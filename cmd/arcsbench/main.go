@@ -1,0 +1,93 @@
+// Command arcsbench regenerates the paper's evaluation artifacts: every
+// table and figure of §IV-V, plus the design ablations listed in
+// DESIGN.md. With no arguments it runs everything in paper order; with
+// experiment IDs it runs the selection.
+//
+// Usage:
+//
+//	arcsbench              # run all experiments
+//	arcsbench -list        # list experiment IDs
+//	arcsbench fig4 fig8    # run a selection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"arcs/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	charts := flag.Bool("charts", false, "render figures as ASCII bar charts where available")
+	outDir := flag.String("o", "", "also write each experiment's output to DIR/<id>.txt")
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "arcsbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	var todo []bench.Experiment
+	if len(ids) == 0 {
+		todo = bench.Experiments()
+	} else {
+		for _, id := range ids {
+			e, ok := bench.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "arcsbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for i, e := range todo {
+		if i > 0 {
+			fmt.Println()
+			fmt.Println("================================================================")
+			fmt.Println()
+		}
+		start := time.Now()
+		run := e.Run
+		if *charts && e.RunChart != nil {
+			run = e.RunChart
+		}
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *outDir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "arcsbench:", err)
+				os.Exit(1)
+			}
+			w = io.MultiWriter(os.Stdout, f)
+		}
+		if err := run(w); err != nil {
+			fmt.Fprintf(os.Stderr, "arcsbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "arcsbench:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s completed in %.1fs]\n", e.ID, time.Since(start).Seconds())
+	}
+}

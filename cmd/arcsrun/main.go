@@ -1,0 +1,257 @@
+// Command arcsrun executes one benchmark under a chosen ARCS strategy and
+// power cap, printing the application-level result, the per-region tuned
+// configurations, and the comparison against the default configuration.
+//
+// Usage:
+//
+//	arcsrun -app SP -workload B -arch crill -cap 70 -strategy offline
+//	arcsrun -app LULESH -workload 45 -arch minotaur -strategy online
+//
+// With -history FILE, an offline search run saves the best configurations
+// to FILE (ARCS's history file); -strategy replay loads them from FILE
+// instead of searching.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"arcs/internal/apex"
+	"arcs/internal/cli"
+	arcs "arcs/internal/core"
+	"arcs/internal/kernels"
+	"arcs/internal/omp"
+	"arcs/internal/sim"
+	"arcs/internal/trace"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "SP", "benchmark: SP, BT or LULESH")
+		workload = flag.String("workload", "B", "NPB class (B, C) or LULESH mesh (45, 60)")
+		archName = flag.String("arch", "crill", "architecture: crill or minotaur")
+		capW     = flag.Float64("cap", 0, "package power cap in watts (0 = TDP)")
+		strategy = flag.String("strategy", "online", "default, online, offline or replay")
+		steps    = flag.Int("steps", 0, "override time steps (0 = benchmark default)")
+		seed     = flag.Int64("seed", 1, "search seed")
+		histPath = flag.String("history", "", "history file to save (offline) or load (replay)")
+		profCSV  = flag.String("profile", "", "write the APEX profile of the tuned run to this CSV file")
+		traceOut = flag.String("trace", "", "write a Chrome trace of the tuned run to this JSON file")
+	)
+	flag.Parse()
+	if err := run(runCfg{
+		app: *appName, workload: *workload, arch: *archName, capW: *capW,
+		strategy: *strategy, steps: *steps, seed: *seed, histPath: *histPath,
+		profCSV: *profCSV, traceOut: *traceOut,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "arcsrun:", err)
+		os.Exit(1)
+	}
+}
+
+// runCfg carries the parsed command line.
+type runCfg struct {
+	app, workload, arch, strategy, histPath, profCSV, traceOut string
+	capW                                                       float64
+	steps                                                      int
+	seed                                                       int64
+}
+
+func run(cfg runCfg) error {
+	appName, workload, archName := cfg.app, cfg.workload, cfg.arch
+	capW, strategy, steps, seed, histPath := cfg.capW, cfg.strategy, cfg.steps, cfg.seed, cfg.histPath
+	app, err := cli.BuildApp(appName, workload)
+	if err != nil {
+		return err
+	}
+	if steps > 0 {
+		app = app.WithSteps(steps)
+	}
+	arch, err := cli.BuildArch(archName)
+	if err != nil {
+		return err
+	}
+
+	// Baseline run for comparison.
+	baseT, baseE, err := execute(arch, app, capW, nil)
+	if err != nil {
+		return err
+	}
+
+	var tunedT, tunedE float64
+	var reports []arcs.RegionReport
+	outputs := runOutputs{profCSV: cfg.profCSV, traceOut: cfg.traceOut}
+	switch strategy {
+	case "default":
+		tunedT, tunedE = baseT, baseE
+	case "online":
+		tunedT, tunedE, reports, err = tunedRun(arch, app, capW, arcs.Options{
+			Strategy: arcs.StrategyOnline, Seed: seed,
+		}, outputs)
+	case "offline":
+		hist := arcs.NewMemHistory()
+		// Unmeasured search execution.
+		_, _, _, err = tunedRun(arch, app.WithSteps(searchSteps(arch, app)), capW, arcs.Options{
+			Strategy: arcs.StrategyOfflineSearch, Seed: seed,
+			History: hist, Key: keyFn(app, arch, capW),
+		}, runOutputs{})
+		if err != nil {
+			return err
+		}
+		if histPath != "" {
+			if err := hist.SaveFile(histPath); err != nil {
+				return err
+			}
+			fmt.Printf("history: saved %d entries to %s\n", hist.Len(), histPath)
+		}
+		tunedT, tunedE, reports, err = tunedRun(arch, app, capW, arcs.Options{
+			Strategy: arcs.StrategyOfflineReplay, Seed: seed,
+			History: hist, Key: keyFn(app, arch, capW),
+		}, outputs)
+	case "replay":
+		if histPath == "" {
+			return fmt.Errorf("-strategy replay requires -history FILE")
+		}
+		hist, lerr := arcs.LoadHistoryFile(histPath)
+		if lerr != nil {
+			return lerr
+		}
+		tunedT, tunedE, reports, err = tunedRun(arch, app, capW, arcs.Options{
+			Strategy: arcs.StrategyOfflineReplay, Seed: seed,
+			History: hist, Key: keyFn(app, arch, capW),
+		}, outputs)
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	if err != nil {
+		return err
+	}
+
+	capLabel := fmt.Sprintf("%.0fW", capW)
+	if capW == 0 {
+		capLabel = fmt.Sprintf("TDP(%.0fW)", arch.TDPW)
+	}
+	fmt.Printf("%s.%s on %s at %s, strategy %s\n", appName, workload, arch.Name, capLabel, strategy)
+	fmt.Printf("default : %8.3f s", baseT)
+	if arch.HasEnergyCtr {
+		fmt.Printf("  %10.1f J", baseE)
+	}
+	fmt.Println()
+	fmt.Printf("%-8s: %8.3f s", strategy, tunedT)
+	if arch.HasEnergyCtr {
+		fmt.Printf("  %10.1f J", tunedE)
+	}
+	fmt.Println()
+	fmt.Printf("speedup : %8.3fx  time improvement %.1f%%\n", baseT/tunedT, (1-tunedT/baseT)*100)
+	if len(reports) > 0 {
+		fmt.Println("\nper-region configurations:")
+		for _, r := range reports {
+			status := ""
+			if r.Skipped {
+				status = " [skipped]"
+			} else if !r.Converged {
+				status = " [searching]"
+			}
+			fmt.Printf("  %-36s (%s)%s\n", r.Region, r.Config, status)
+		}
+	}
+	return nil
+}
+
+// execute runs the app once on a fresh machine, optionally wiring ARCS.
+func execute(arch *sim.Arch, app *kernels.App, capW float64, setup func(*omp.Runtime, *apex.Instance) error) (float64, float64, error) {
+	mach, err := sim.NewMachine(arch)
+	if err != nil {
+		return 0, 0, err
+	}
+	if capW > 0 {
+		if err := mach.SetPowerCap(capW); err != nil {
+			return 0, 0, err
+		}
+	}
+	rt := omp.NewRuntime(mach)
+	if setup != nil {
+		apx := apex.New()
+		apx.SetPowerSource(mach)
+		rt.RegisterTool(apex.NewTool(apx))
+		if err := setup(rt, apx); err != nil {
+			return 0, 0, err
+		}
+	}
+	res, err := app.Run(rt)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.TimeS, res.EnergyJ, nil
+}
+
+// runOutputs selects optional artifacts of a tuned run.
+type runOutputs struct {
+	profCSV  string
+	traceOut string
+}
+
+func tunedRun(arch *sim.Arch, app *kernels.App, capW float64, opts arcs.Options, outs runOutputs) (float64, float64, []arcs.RegionReport, error) {
+	var tuner *arcs.Tuner
+	var apxRef *apex.Instance
+	var timeline *trace.Timeline
+	t, e, err := execute(arch, app, capW, func(rt *omp.Runtime, apx *apex.Instance) error {
+		apxRef = apx
+		if outs.traceOut != "" {
+			timeline = trace.NewTimeline()
+			rt.RegisterTool(timeline)
+		}
+		var err error
+		tuner, err = arcs.New(apx, arch, opts)
+		return err
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if err := tuner.Finish(); err != nil {
+		return 0, 0, nil, err
+	}
+	if outs.profCSV != "" {
+		f, err := os.Create(outs.profCSV)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if err := apxRef.WriteCSV(f); err != nil {
+			f.Close()
+			return 0, 0, nil, err
+		}
+		if err := f.Close(); err != nil {
+			return 0, 0, nil, err
+		}
+		fmt.Printf("profile: wrote %s\n", outs.profCSV)
+	}
+	if outs.traceOut != "" {
+		f, err := os.Create(outs.traceOut)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if err := timeline.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return 0, 0, nil, err
+		}
+		if err := f.Close(); err != nil {
+			return 0, 0, nil, err
+		}
+		fmt.Printf("trace: wrote %s (open in chrome://tracing)\n", outs.traceOut)
+	}
+	return t, e, tuner.Report(), nil
+}
+
+func keyFn(app *kernels.App, arch *sim.Arch, capW float64) func(string) arcs.HistoryKey {
+	if capW == 0 {
+		capW = arch.TDPW
+	}
+	return func(region string) arcs.HistoryKey {
+		return arcs.HistoryKey{App: app.Name, Workload: app.Workload, CapW: capW, Region: region}
+	}
+}
+
+func searchSteps(arch *sim.Arch, app *kernels.App) int {
+	return arcs.TableISpace(arch).Size() + 8
+}

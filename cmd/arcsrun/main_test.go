@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// End-to-end command tests: the offline strategy writes a history file the
+// replay strategy can consume, and the profile/trace artifacts appear.
+func TestRunOfflineThenReplay(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "history.json")
+
+	cfg := runCfg{
+		app: "SP", workload: "B", arch: "crill", capW: 70,
+		strategy: "offline", steps: 10, seed: 1, histPath: hist,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatalf("offline: %v", err)
+	}
+	data, err := os.ReadFile(hist)
+	if err != nil {
+		t.Fatalf("history not written: %v", err)
+	}
+	if !strings.Contains(string(data), "x_solve") {
+		t.Errorf("history missing regions:\n%s", data)
+	}
+
+	cfg.strategy = "replay"
+	if err := run(cfg); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestRunOnlineWithArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cfg := runCfg{
+		app: "LULESH", workload: "45", arch: "crill",
+		strategy: "online", steps: 5, seed: 2,
+		profCSV:  filepath.Join(dir, "p.csv"),
+		traceOut: filepath.Join(dir, "t.json"),
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	csvData, err := os.ReadFile(cfg.profCSV)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if !strings.HasPrefix(string(csvData), "timer,calls,") {
+		t.Errorf("profile header wrong: %.60s", csvData)
+	}
+	traceData, err := os.ReadFile(cfg.traceOut)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if !strings.Contains(string(traceData), "traceEvents") {
+		t.Errorf("trace malformed: %.60s", traceData)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(runCfg{app: "NOPE", workload: "B", arch: "crill", strategy: "online"}); err == nil {
+		t.Errorf("unknown app must fail")
+	}
+	if err := run(runCfg{app: "SP", workload: "B", arch: "nope", strategy: "online"}); err == nil {
+		t.Errorf("unknown arch must fail")
+	}
+	if err := run(runCfg{app: "SP", workload: "B", arch: "crill", strategy: "sideways", steps: 2}); err == nil {
+		t.Errorf("unknown strategy must fail")
+	}
+	if err := run(runCfg{app: "SP", workload: "B", arch: "crill", strategy: "replay", steps: 2}); err == nil {
+		t.Errorf("replay without history must fail")
+	}
+	// Minotaur cannot be capped.
+	if err := run(runCfg{app: "SP", workload: "B", arch: "minotaur", capW: 100, strategy: "online", steps: 2}); err == nil {
+		t.Errorf("capping Minotaur must fail")
+	}
+}
+
+func TestRunDefaultStrategy(t *testing.T) {
+	if err := run(runCfg{app: "BT", workload: "B", arch: "crill", strategy: "default", steps: 3}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSweepOutputs(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "sweep.csv")
+	var sb strings.Builder
+	if err := run(&sb, "BT", "B", "crill", 55, 2, csvPath); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"BT.B on Crill at 55 W", "compute_rhs", "best#1", "best#2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q", want)
+		}
+	}
+
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 regions x 252 configurations + header.
+	if len(rows) != 7*252+1 {
+		t.Errorf("csv rows = %d, want %d", len(rows), 7*252+1)
+	}
+	if rows[0][0] != "region" || len(rows[0]) != 10 {
+		t.Errorf("csv header = %v", rows[0])
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "NOPE", "B", "crill", 0, 1, ""); err == nil {
+		t.Errorf("unknown app must fail")
+	}
+	if err := run(&sb, "SP", "B", "nope", 0, 1, ""); err == nil {
+		t.Errorf("unknown arch must fail")
+	}
+	if err := run(&sb, "SP", "B", "minotaur", 100, 1, ""); err == nil {
+		t.Errorf("capping Minotaur must fail")
+	}
+}

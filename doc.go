@@ -1,0 +1,31 @@
+// Package arcs is a from-scratch Go reproduction of "ARCS: Adaptive
+// Runtime Configuration Selection for Power-Constrained OpenMP
+// Applications" (Shahneous Bari et al., IEEE CLUSTER 2016).
+//
+// The library lives under internal/:
+//
+//   - internal/sim      — deterministic multicore machine model (DVFS under
+//     RAPL-style power caps, cache hierarchy, SMT, bandwidth);
+//   - internal/rapl     — libmsr/RAPL-style power capping and energy counters;
+//   - internal/omp      — OpenMP-style runtime (ICVs, worksharing schedules)
+//     on the simulated machine;
+//   - internal/ompt     — OMPT-style tool interface (events + control plane);
+//   - internal/apex     — APEX-style introspection and policy engine;
+//   - internal/harmony  — Active Harmony-style search (exhaustive,
+//     Nelder-Mead, PRO, random);
+//   - internal/core     — the ARCS tuner itself (package arcs);
+//   - internal/kernels  — region-level workload models of NPB SP/BT and
+//     LULESH;
+//   - internal/parfor   — a native goroutine parallel-for ARCS can tune with
+//     real wall-clock time;
+//   - internal/bench    — the experiment harness regenerating every table
+//     and figure of the paper's evaluation;
+//   - internal/trace    — TAU-style OMPT event profiles.
+//
+// Executables: cmd/arcsbench (regenerate the evaluation), cmd/arcsrun (run
+// one application under a strategy), cmd/arcssweep (exhaustive
+// configuration sweeps). Runnable examples live under examples/.
+//
+// The benchmarks in bench_test.go regenerate each paper artifact under
+// "go test -bench"; see EXPERIMENTS.md for paper-vs-measured results.
+package arcs

@@ -1,0 +1,59 @@
+// Powersweep: the paper's core experiment shape — one application swept
+// across the five Crill power levels under all three strategies,
+// reproducing the Fig. 4 comparison with the public harness API.
+//
+//	go run ./examples/powersweep [-app BT]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"arcs/internal/bench"
+	"arcs/internal/kernels"
+	"arcs/internal/sim"
+)
+
+func main() {
+	appName := flag.String("app", "SP", "SP or BT (class B)")
+	flag.Parse()
+
+	var (
+		app *kernels.App
+		err error
+	)
+	switch *appName {
+	case "SP":
+		app, err = kernels.SP(kernels.ClassB)
+	case "BT":
+		app, err = kernels.BT(kernels.ClassB)
+	default:
+		err = fmt.Errorf("unknown app %q", *appName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	arch := sim.Crill()
+	fmt.Printf("sweeping %s across package power levels on %s\n", app, arch.Name)
+	fmt.Println("(default / ARCS-Online / ARCS-Offline; three runs each, averaged)")
+	fmt.Println()
+
+	res, err := bench.MeasureAppLevel(
+		fmt.Sprintf("%s.B across the five power levels", *appName),
+		arch, app, bench.CrillCaps(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Print(os.Stdout)
+
+	fmt.Println()
+	fmt.Printf("best time improvement:   ARCS-Online %.1f%%, ARCS-Offline %.1f%%\n",
+		res.Improvement(bench.ArmOnline, false)*100,
+		res.Improvement(bench.ArmOffline, false)*100)
+	fmt.Printf("best energy improvement: ARCS-Online %.1f%%, ARCS-Offline %.1f%%\n",
+		res.Improvement(bench.ArmOnline, true)*100,
+		res.Improvement(bench.ArmOffline, true)*100)
+}

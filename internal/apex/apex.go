@@ -1,0 +1,192 @@
+// Package apex implements an APEX-style (Autonomic Performance Environment
+// for eXascale) measurement and runtime adaptation library (§III-B of the
+// paper): introspection through timers and counters, snapshotable state
+// including power/energy readings, and a policy engine whose rules are
+// callback functions triggered by timer events or fired periodically.
+// ARCS is implemented as an APEX policy (internal/core); the OMPT adapter
+// in tool.go turns OpenMP region events into APEX timer events.
+package apex
+
+import (
+	"sort"
+
+	"arcs/internal/ompt"
+	"arcs/internal/stats"
+)
+
+// Profile accumulates the measurement history of one timer (one OpenMP
+// region in the ARCS use).
+type Profile struct {
+	Name string
+
+	Calls        int
+	TotalS       float64
+	TotalEnergyJ float64
+	TotalBarrier float64
+	TotalLoopS   float64
+	TotalOverS   float64
+
+	Time stats.Welford // per-call region time distribution
+
+	// Last holds the most recent measurement in full.
+	Last ompt.Metrics
+}
+
+// MeanS returns the mean per-call time.
+func (p *Profile) MeanS() float64 {
+	if p.Calls == 0 {
+		return 0
+	}
+	return p.TotalS / float64(p.Calls)
+}
+
+// PowerSource is the introspection hook for power state; *sim.Machine
+// satisfies it directly.
+type PowerSource interface {
+	PowerCap() float64
+	EnergyJ() float64
+}
+
+// Instance is one APEX environment. It is not safe for concurrent use; the
+// simulated runtime is single-threaded, as is the OMPT callback stream on
+// the master thread of a real run.
+type Instance struct {
+	profiles map[string]*Profile
+	counters map[string]float64
+	engine   policyEngine
+	power    PowerSource
+
+	clockS float64 // accumulated measured time, drives periodic policies
+}
+
+// New creates an empty APEX instance.
+func New() *Instance {
+	return &Instance{
+		profiles: make(map[string]*Profile),
+		counters: make(map[string]float64),
+	}
+}
+
+// SetPowerSource attaches a power/energy introspection source.
+func (a *Instance) SetPowerSource(ps PowerSource) { a.power = ps }
+
+// PowerCap reads the current package power limit from the attached source
+// (0 when no source is attached). Policies use this cheap accessor on hot
+// paths instead of building a full State snapshot.
+func (a *Instance) PowerCap() float64 {
+	if a.power == nil {
+		return 0
+	}
+	return a.power.PowerCap()
+}
+
+// Profile interns and returns the profile for a timer name.
+func (a *Instance) Profile(name string) *Profile {
+	p, ok := a.profiles[name]
+	if !ok {
+		p = &Profile{Name: name}
+		a.profiles[name] = p
+	}
+	return p
+}
+
+// Profiles returns all profiles sorted by descending total time (the
+// paper's Fig. 9 "top five regions" ordering).
+func (a *Instance) Profiles() []*Profile {
+	out := make([]*Profile, 0, len(a.profiles))
+	for _, p := range a.profiles {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalS != out[j].TotalS {
+			return out[i].TotalS > out[j].TotalS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// StartTimer fires TimerStart policies; cp gives them the runtime control
+// plane so an adaptation policy (ARCS) can reconfigure the imminent region.
+func (a *Instance) StartTimer(name string, cp ompt.ControlPlane) {
+	a.engine.fire(Context{
+		Event: TimerStart,
+		Timer: name,
+		CP:    cp,
+		Apex:  a,
+		NowS:  a.clockS,
+	})
+}
+
+// StopTimer records the measurement into the profile and fires TimerStop
+// policies, then advances the periodic-policy clock.
+func (a *Instance) StopTimer(name string, m ompt.Metrics) {
+	p := a.Profile(name)
+	p.Calls++
+	p.TotalS += m.TimeS
+	p.TotalEnergyJ += m.EnergyJ
+	p.TotalBarrier += m.MeanWaitS
+	p.TotalLoopS += m.MeanBusyS
+	p.TotalOverS += m.OverheadS
+	p.Time.Add(m.TimeS)
+	p.Last = m
+
+	a.clockS += m.TimeS
+	a.engine.fire(Context{
+		Event:   TimerStop,
+		Timer:   name,
+		Metrics: m,
+		Apex:    a,
+		NowS:    a.clockS,
+	})
+	a.engine.tick(a.clockS, a)
+}
+
+// IncrCounter adds v to a named counter.
+func (a *Instance) IncrCounter(name string, v float64) { a.counters[name] += v }
+
+// Counter reads a named counter (0 if absent).
+func (a *Instance) Counter(name string) float64 { return a.counters[name] }
+
+// Snapshot is an introspection view of the current APEX state — what the
+// paper calls "the APEX state" that policy rules query.
+type Snapshot struct {
+	NowS     float64
+	PowerCap float64 // 0 if no power source attached
+	EnergyJ  float64
+	Profiles map[string]ProfileSummary
+	Counters map[string]float64
+}
+
+// ProfileSummary is the compact per-timer view inside a snapshot.
+type ProfileSummary struct {
+	Calls   int
+	TotalS  float64
+	MeanS   float64
+	EnergyJ float64
+}
+
+// State captures a snapshot.
+func (a *Instance) State() Snapshot {
+	s := Snapshot{
+		NowS:     a.clockS,
+		Profiles: make(map[string]ProfileSummary, len(a.profiles)),
+		Counters: make(map[string]float64, len(a.counters)),
+	}
+	if a.power != nil {
+		s.PowerCap = a.power.PowerCap()
+		s.EnergyJ = a.power.EnergyJ()
+	}
+	for name, p := range a.profiles {
+		s.Profiles[name] = ProfileSummary{
+			Calls:   p.Calls,
+			TotalS:  p.TotalS,
+			MeanS:   p.MeanS(),
+			EnergyJ: p.TotalEnergyJ,
+		}
+	}
+	for name, v := range a.counters {
+		s.Counters[name] = v
+	}
+	return s
+}

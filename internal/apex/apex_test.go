@@ -1,0 +1,225 @@
+package apex
+
+import (
+	"math"
+	"testing"
+
+	"arcs/internal/omp"
+	"arcs/internal/ompt"
+	"arcs/internal/sim"
+)
+
+func metrics(timeS, energyJ float64) ompt.Metrics {
+	return ompt.Metrics{TimeS: timeS, EnergyJ: energyJ, MeanBusyS: timeS * 0.8, MeanWaitS: timeS * 0.2}
+}
+
+func TestProfileAccumulation(t *testing.T) {
+	a := New()
+	a.StopTimer("r", metrics(1.0, 50))
+	a.StopTimer("r", metrics(3.0, 150))
+	p := a.Profile("r")
+	if p.Calls != 2 {
+		t.Errorf("Calls = %d", p.Calls)
+	}
+	if p.TotalS != 4.0 || p.TotalEnergyJ != 200 {
+		t.Errorf("totals wrong: %+v", p)
+	}
+	if p.MeanS() != 2.0 {
+		t.Errorf("MeanS = %v", p.MeanS())
+	}
+	if p.Time.Min() != 1.0 || p.Time.Max() != 3.0 {
+		t.Errorf("Welford min/max wrong")
+	}
+	if p.Last.TimeS != 3.0 {
+		t.Errorf("Last not updated")
+	}
+	empty := a.Profile("never-stopped")
+	if empty.MeanS() != 0 {
+		t.Errorf("empty profile MeanS = %v", empty.MeanS())
+	}
+}
+
+func TestProfilesSortedByTotalTime(t *testing.T) {
+	a := New()
+	a.StopTimer("small", metrics(1, 0))
+	a.StopTimer("big", metrics(10, 0))
+	a.StopTimer("mid", metrics(5, 0))
+	ps := a.Profiles()
+	if len(ps) != 3 || ps[0].Name != "big" || ps[1].Name != "mid" || ps[2].Name != "small" {
+		names := make([]string, len(ps))
+		for i, p := range ps {
+			names[i] = p.Name
+		}
+		t.Errorf("order = %v", names)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	a := New()
+	a.IncrCounter("config_changes", 1)
+	a.IncrCounter("config_changes", 2)
+	if a.Counter("config_changes") != 3 {
+		t.Errorf("counter = %v", a.Counter("config_changes"))
+	}
+	if a.Counter("missing") != 0 {
+		t.Errorf("missing counter must read 0")
+	}
+}
+
+func TestTimerPolicies(t *testing.T) {
+	a := New()
+	var starts, stops []string
+	a.RegisterPolicy(TimerStart, func(c Context) { starts = append(starts, c.Timer) })
+	a.RegisterPolicy(TimerStop, func(c Context) {
+		stops = append(stops, c.Timer)
+		if c.Metrics.TimeS != 2.5 {
+			t.Errorf("stop policy metrics = %+v", c.Metrics)
+		}
+	})
+	a.StartTimer("x_solve", nil)
+	a.StopTimer("x_solve", metrics(2.5, 10))
+	if len(starts) != 1 || starts[0] != "x_solve" {
+		t.Errorf("starts = %v", starts)
+	}
+	if len(stops) != 1 {
+		t.Errorf("stops = %v", stops)
+	}
+}
+
+func TestDeregisterPolicy(t *testing.T) {
+	a := New()
+	n := 0
+	id := a.RegisterPolicy(TimerStop, func(Context) { n++ })
+	a.StopTimer("r", metrics(1, 0))
+	a.DeregisterPolicy(id)
+	a.DeregisterPolicy(id) // double-remove is a no-op
+	a.StopTimer("r", metrics(1, 0))
+	if n != 1 {
+		t.Errorf("policy fired %d times, want 1", n)
+	}
+	if a.PolicyCount() != 0 {
+		t.Errorf("PolicyCount = %d", a.PolicyCount())
+	}
+}
+
+func TestPeriodicPolicy(t *testing.T) {
+	a := New()
+	fired := 0
+	a.RegisterPeriodicPolicy(1.0, func(c Context) { fired++ })
+	a.StopTimer("r", metrics(0.4, 0)) // t=0.4
+	if fired != 0 {
+		t.Fatalf("fired too early")
+	}
+	a.StopTimer("r", metrics(0.7, 0)) // t=1.1
+	if fired != 1 {
+		t.Errorf("fired = %d after 1.1s, want 1", fired)
+	}
+	a.StopTimer("r", metrics(2.5, 0)) // t=3.6: catches up periods 2 and 3
+	if fired != 3 {
+		t.Errorf("fired = %d after 3.6s, want 3", fired)
+	}
+}
+
+func TestPeriodicPolicyBadPeriod(t *testing.T) {
+	a := New()
+	fired := 0
+	a.RegisterPeriodicPolicy(0, func(Context) { fired++ }) // coerced to 1s
+	a.StopTimer("r", metrics(1.5, 0))
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+}
+
+func TestSnapshotWithPowerSource(t *testing.T) {
+	m, err := sim.NewMachine(sim.Crill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPowerCap(70); err != nil {
+		t.Fatal(err)
+	}
+	m.Account(1, 60)
+	a := New()
+	a.SetPowerSource(m)
+	a.StopTimer("r", metrics(2, 100))
+	a.IncrCounter("c", 7)
+	s := a.State()
+	if s.PowerCap != 70 {
+		t.Errorf("snapshot cap = %v", s.PowerCap)
+	}
+	if s.EnergyJ != 60 {
+		t.Errorf("snapshot energy = %v", s.EnergyJ)
+	}
+	if s.NowS != 2 {
+		t.Errorf("snapshot clock = %v", s.NowS)
+	}
+	if ps := s.Profiles["r"]; ps.Calls != 1 || ps.MeanS != 2 {
+		t.Errorf("snapshot profile = %+v", ps)
+	}
+	if s.Counters["c"] != 7 {
+		t.Errorf("snapshot counters = %v", s.Counters)
+	}
+}
+
+func TestSnapshotWithoutPowerSource(t *testing.T) {
+	a := New()
+	s := a.State()
+	if s.PowerCap != 0 || s.EnergyJ != 0 {
+		t.Errorf("no power source should read zeros: %+v", s)
+	}
+}
+
+// Integration: the OMPT adapter drives APEX from a real runtime, and a
+// TimerStart policy can reconfigure the region it precedes.
+func TestToolIntegration(t *testing.T) {
+	m, err := sim.NewMachine(sim.Crill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := omp.NewRuntime(m)
+	a := New()
+	a.SetPowerSource(m)
+	a.RegisterPolicy(TimerStart, func(c Context) {
+		if c.CP != nil {
+			_ = c.CP.SetNumThreads(8)
+		}
+	})
+	rt.RegisterTool(NewTool(a))
+
+	lm := &sim.LoopModel{
+		Name: "loop", Iters: 256, CompNSPerIter: 10000,
+		Mem: sim.CacheSpec{AccessesPerIter: 50, BytesPerIter: 512, TemporalWindowKB: 8, FootprintMB: 1, MLP: 4},
+	}
+	mtr, err := rt.Run(rt.Region("x_solve", lm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mtr.Threads != 8 {
+		t.Errorf("policy reconfiguration not applied: %d threads", mtr.Threads)
+	}
+	p := a.Profile("x_solve")
+	if p.Calls != 1 {
+		t.Errorf("profile not driven by OMPT adapter: %+v", p)
+	}
+	if math.Abs(p.TotalS-mtr.TimeS) > 1e-12 {
+		t.Errorf("profile time %v != metrics %v", p.TotalS, mtr.TimeS)
+	}
+}
+
+func TestPowerCapAccessor(t *testing.T) {
+	a := New()
+	if a.PowerCap() != 0 {
+		t.Errorf("no source attached should read 0")
+	}
+	m, err := sim.NewMachine(sim.Crill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPowerCap(85); err != nil {
+		t.Fatal(err)
+	}
+	a.SetPowerSource(m)
+	if a.PowerCap() != 85 {
+		t.Errorf("PowerCap = %v, want 85", a.PowerCap())
+	}
+}

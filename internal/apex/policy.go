@@ -1,0 +1,105 @@
+package apex
+
+import "arcs/internal/ompt"
+
+// Event enumerates what can trigger a policy rule.
+type Event int
+
+const (
+	// TimerStart fires before a timed section begins (ARCS reconfigures
+	// the runtime here).
+	TimerStart Event = iota
+	// TimerStop fires after a timed section ends, with its metrics
+	// (ARCS reports performance to Active Harmony here).
+	TimerStop
+	// Periodic fires on the measured-time clock at a registered interval.
+	Periodic
+)
+
+// Context is the information handed to a policy rule when it fires.
+type Context struct {
+	Event   Event
+	Timer   string       // timer name for TimerStart/TimerStop
+	Metrics ompt.Metrics // populated on TimerStop
+	CP      ompt.ControlPlane
+	Apex    *Instance
+	NowS    float64
+}
+
+// Policy is a rule: a callback that observes APEX state and may exercise
+// control (through Context.CP or any captured handle).
+type Policy func(Context)
+
+// PolicyID identifies a registered policy for deregistration.
+type PolicyID int
+
+type registeredPolicy struct {
+	id      PolicyID
+	event   Event
+	fn      Policy
+	period  float64
+	nextDue float64
+}
+
+type policyEngine struct {
+	policies []registeredPolicy
+	nextID   PolicyID
+}
+
+// RegisterPolicy attaches a rule to TimerStart or TimerStop events.
+func (a *Instance) RegisterPolicy(e Event, fn Policy) PolicyID {
+	return a.engine.register(registeredPolicy{event: e, fn: fn})
+}
+
+// RegisterPeriodicPolicy attaches a rule fired every periodS seconds of
+// measured time.
+func (a *Instance) RegisterPeriodicPolicy(periodS float64, fn Policy) PolicyID {
+	if periodS <= 0 {
+		periodS = 1
+	}
+	return a.engine.register(registeredPolicy{event: Periodic, fn: fn, period: periodS, nextDue: periodS})
+}
+
+// DeregisterPolicy removes a rule; unknown IDs are ignored.
+func (a *Instance) DeregisterPolicy(id PolicyID) {
+	ps := a.engine.policies
+	for i, p := range ps {
+		if p.id == id {
+			a.engine.policies = append(ps[:i], ps[i+1:]...)
+			return
+		}
+	}
+}
+
+// PolicyCount returns the number of registered rules.
+func (a *Instance) PolicyCount() int { return len(a.engine.policies) }
+
+func (e *policyEngine) register(p registeredPolicy) PolicyID {
+	e.nextID++
+	p.id = e.nextID
+	e.policies = append(e.policies, p)
+	return p.id
+}
+
+func (e *policyEngine) fire(ctx Context) {
+	for _, p := range e.policies {
+		if p.event == ctx.Event {
+			p.fn(ctx)
+		}
+	}
+}
+
+// tick fires periodic policies whose deadline has passed, catching up if
+// the clock jumped several periods.
+func (e *policyEngine) tick(nowS float64, a *Instance) {
+	for i := range e.policies {
+		p := &e.policies[i]
+		if p.event != Periodic {
+			continue
+		}
+		for p.nextDue <= nowS {
+			p.fn(Context{Event: Periodic, Apex: a, NowS: nowS})
+			p.nextDue += p.period
+		}
+	}
+}

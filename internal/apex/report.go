@@ -1,0 +1,75 @@
+package apex
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV dumps the profile table in the CSV form real APEX emits at exit
+// (one row per timer), suitable for spreadsheets and scripted analysis.
+func (a *Instance) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"timer", "calls", "total_s", "mean_s", "min_s", "max_s", "stddev_s",
+		"energy_j", "barrier_s", "loop_s", "overhead_s",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("apex: write csv: %w", err)
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', 9, 64) }
+	for _, p := range a.Profiles() {
+		row := []string{
+			p.Name,
+			strconv.Itoa(p.Calls),
+			f(p.TotalS),
+			f(p.MeanS()),
+			f(p.Time.Min()),
+			f(p.Time.Max()),
+			f(p.Time.Stddev()),
+			f(p.TotalEnergyJ),
+			f(p.TotalBarrier),
+			f(p.TotalLoopS),
+			f(p.TotalOverS),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("apex: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("apex: write csv: %w", err)
+	}
+	return nil
+}
+
+// WriteReport renders the human-readable end-of-run screen report (the
+// paper's APEX prints a similar table at exit).
+func (a *Instance) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "%-36s %8s %12s %12s %12s\n", "timer", "calls", "total(s)", "mean(ms)", "energy(J)")
+	for _, p := range a.Profiles() {
+		fmt.Fprintf(w, "%-36s %8d %12.4f %12.4f %12.2f\n",
+			p.Name, p.Calls, p.TotalS, p.MeanS()*1e3, p.TotalEnergyJ)
+	}
+	if len(a.counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range a.counterNames() {
+			fmt.Fprintf(w, "  %-34s %g\n", name, a.counters[name])
+		}
+	}
+}
+
+// counterNames returns the counter keys sorted for deterministic output.
+func (a *Instance) counterNames() []string {
+	names := make([]string, 0, len(a.counters))
+	for n := range a.counters {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

@@ -1,0 +1,58 @@
+package apex
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	a := New()
+	a.StopTimer("x_solve", metrics(1.5, 100))
+	a.StopTimer("x_solve", metrics(2.5, 120))
+	a.StopTimer("add", metrics(0.1, 5))
+
+	var sb strings.Builder
+	if err := a.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v\n%s", err, sb.String())
+	}
+	if len(rows) != 3 { // header + 2 timers
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0][0] != "timer" || len(rows[0]) != 11 {
+		t.Errorf("header = %v", rows[0])
+	}
+	// Sorted by total time descending: x_solve first.
+	if rows[1][0] != "x_solve" || rows[2][0] != "add" {
+		t.Errorf("row order: %v, %v", rows[1][0], rows[2][0])
+	}
+	if rows[1][1] != "2" {
+		t.Errorf("x_solve calls = %v", rows[1][1])
+	}
+	if rows[1][2] != "4" { // 1.5 + 2.5
+		t.Errorf("x_solve total = %v", rows[1][2])
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	a := New()
+	a.StopTimer("r", metrics(2, 50))
+	a.IncrCounter("arcs.trials", 7)
+	a.IncrCounter("arcs.cap_changes", 1)
+	var sb strings.Builder
+	a.WriteReport(&sb)
+	out := sb.String()
+	for _, want := range []string{"timer", "r", "arcs.trials", "arcs.cap_changes", "7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Counters are sorted.
+	if strings.Index(out, "arcs.cap_changes") > strings.Index(out, "arcs.trials") {
+		t.Errorf("counters not sorted:\n%s", out)
+	}
+}

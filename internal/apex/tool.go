@@ -1,0 +1,26 @@
+package apex
+
+import "arcs/internal/ompt"
+
+// Tool adapts OMPT region events into APEX timer events, completing the
+// paper's Fig. 2 pipeline: OpenMP runtime -> OMPT -> APEX introspection ->
+// policy engine. The OMPT interface "starts a timer upon entry to an
+// OpenMP parallel region and stops that timer upon exit" (§III-B).
+type Tool struct {
+	apex *Instance
+}
+
+// NewTool creates the adapter for an APEX instance.
+func NewTool(a *Instance) *Tool { return &Tool{apex: a} }
+
+// ParallelBegin implements ompt.Tool.
+func (t *Tool) ParallelBegin(r ompt.RegionInfo, cp ompt.ControlPlane) {
+	t.apex.StartTimer(r.Name, cp)
+}
+
+// ParallelEnd implements ompt.Tool.
+func (t *Tool) ParallelEnd(r ompt.RegionInfo, m ompt.Metrics) {
+	t.apex.StopTimer(r.Name, m)
+}
+
+var _ ompt.Tool = (*Tool)(nil)

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/kernels"
+	"arcs/internal/sim"
+)
+
+// AblationOverheadResult quantifies how the per-invocation
+// configuration-change cost drives the LULESH result (§III-C, §V-C): the
+// same ARCS-Offline run at TDP under scaled overheads.
+type AblationOverheadResult struct {
+	OverheadMS []float64
+	TimeNorm   []float64 // ARCS-Offline time / default time
+}
+
+// AblationOverhead runs LULESH mesh 45 on Crill at TDP with the
+// configuration-change overhead swept from zero to 4x the measured value.
+func AblationOverhead() (*AblationOverheadResult, error) {
+	arch := sim.Crill()
+	app, err := kernels.LULESH(45)
+	if err != nil {
+		return nil, err
+	}
+	base, err := Measure(RunSpec{Arch: arch, App: app, Arm: ArmDefault, Seed: 20})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationOverheadResult{}
+	for _, ov := range []float64{-1, 0.0002, 0.0008, 0.0016, 0.0032} {
+		out, err := Measure(RunSpec{
+			Arch: arch, App: app, Arm: ArmOffline, Seed: 20, ConfigChangeS: ov,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ov < 0 {
+			ov = 0
+		}
+		res.OverheadMS = append(res.OverheadMS, ov*1e3)
+		res.TimeNorm = append(res.TimeNorm, Normalized(out.TimeS, base.TimeS))
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *AblationOverheadResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation — configuration-change overhead vs ARCS-Offline LULESH time (Crill, TDP)")
+	fmt.Fprintf(w, "%-18s %s\n", "overhead (ms)", "ARCS-Offline / Default time")
+	for i := range r.OverheadMS {
+		fmt.Fprintf(w, "%-18.2f %.3f\n", r.OverheadMS[i], r.TimeNorm[i])
+	}
+	fmt.Fprintln(w, "(0.80 ms is the measured Crill value; the paper's §V-C loss mechanism)")
+}
+
+// AblationSelectiveResult implements the paper's stated future work —
+// "selective tuning for OpenMP regions to avoid overheads on the smaller
+// regions" — and measures what it would have bought.
+type AblationSelectiveResult struct {
+	Arms       []string
+	TimeNorm   []float64
+	EnergyNorm []float64
+}
+
+// AblationSelective compares ARCS-Offline and ARCS-Online on LULESH with
+// and without a 2 ms selective-tuning threshold.
+func AblationSelective() (*AblationSelectiveResult, error) {
+	arch := sim.Crill()
+	app, err := kernels.LULESH(45)
+	if err != nil {
+		return nil, err
+	}
+	base, err := Measure(RunSpec{Arch: arch, App: app, Arm: ArmDefault, Seed: 21})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationSelectiveResult{}
+	cases := []struct {
+		label string
+		arm   Arm
+		minS  float64
+	}{
+		{"ARCS-Online", ArmOnline, 0},
+		{"ARCS-Online + selective(2ms)", ArmOnline, 0.002},
+		{"ARCS-Offline", ArmOffline, 0},
+		{"ARCS-Offline + selective(2ms)", ArmOffline, 0.002},
+	}
+	for _, c := range cases {
+		out, err := Measure(RunSpec{
+			Arch: arch, App: app, Arm: c.arm, Seed: 21, MinRegionS: c.minS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Arms = append(res.Arms, c.label)
+		res.TimeNorm = append(res.TimeNorm, Normalized(out.TimeS, base.TimeS))
+		res.EnergyNorm = append(res.EnergyNorm, Normalized(out.EnergyJ, base.EnergyJ))
+	}
+	return res, nil
+}
+
+// Print renders the comparison.
+func (r *AblationSelectiveResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation — selective tuning of small regions, LULESH mesh 45 (Crill, TDP)")
+	fmt.Fprintf(w, "%-34s %10s %10s\n", "strategy", "time", "energy")
+	for i := range r.Arms {
+		fmt.Fprintf(w, "%-34s %10.3f %10.3f\n", r.Arms[i], r.TimeNorm[i], r.EnergyNorm[i])
+	}
+	fmt.Fprintln(w, "(normalised to default; the paper's future-work fix for the §V-C overhead loss)")
+}
+
+// AblationSearchResult compares Active Harmony strategies for the online
+// method on SP class B.
+type AblationSearchResult struct {
+	Algos    []string
+	TimeNorm []float64
+	Evals    []int // tuning evaluations spent on compute_rhs
+}
+
+// AblationSearch runs SP online with each search algorithm.
+func AblationSearch() (*AblationSearchResult, error) {
+	arch := sim.Crill()
+	app, err := kernels.SP(kernels.ClassB)
+	if err != nil {
+		return nil, err
+	}
+	base, err := Measure(RunSpec{Arch: arch, App: app, Arm: ArmDefault, Seed: 22})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationSearchResult{}
+	for _, algo := range []arcs.SearchAlgo{arcs.AlgoNelderMead, arcs.AlgoCoordinate, arcs.AlgoPRO, arcs.AlgoRandom, arcs.AlgoExhaustive} {
+		out, err := Measure(RunSpec{
+			Arch: arch, App: app, Arm: ArmOnline, Seed: 22, Algo: algo,
+		})
+		if err != nil {
+			return nil, err
+		}
+		evals := 0
+		for _, rep := range out.Reports {
+			if rep.Region == "compute_rhs" {
+				evals = rep.Evals
+			}
+		}
+		res.Algos = append(res.Algos, algo.String())
+		res.TimeNorm = append(res.TimeNorm, Normalized(out.TimeS, base.TimeS))
+		res.Evals = append(res.Evals, evals)
+	}
+	return res, nil
+}
+
+// Print renders the comparison.
+func (r *AblationSearchResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation — search strategies for ARCS-Online, SP class B (Crill, TDP)")
+	fmt.Fprintf(w, "%-20s %12s %22s\n", "algorithm", "time", "evals (compute_rhs)")
+	for i := range r.Algos {
+		fmt.Fprintf(w, "%-20s %12.3f %22d\n", r.Algos[i], r.TimeNorm[i], r.Evals[i])
+	}
+	fmt.Fprintln(w, "(normalised to default; the paper pairs Nelder-Mead online, exhaustive offline)")
+}
+
+// AblationPowerLawResult checks how the DVFS power-law exponent shifts the
+// configurations ARCS picks under a tight cap.
+type AblationPowerLawResult struct {
+	Exponents []float64
+	TimeNorm  []float64
+	RhsConfig []string
+}
+
+// AblationPowerLaw runs SP class B ARCS-Offline at 55 W under P ∝ f^e for
+// e in {1, 2, 3}.
+func AblationPowerLaw() (*AblationPowerLawResult, error) {
+	app, err := kernels.SP(kernels.ClassB)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationPowerLawResult{}
+	for _, exp := range []float64{1, 2, 3} {
+		arch := sim.Crill()
+		arch.PowerLawExp = exp
+		base, err := Measure(RunSpec{Arch: arch, App: app, CapW: 55, Arm: ArmDefault, Seed: 23})
+		if err != nil {
+			return nil, err
+		}
+		out, err := Measure(RunSpec{Arch: arch, App: app, CapW: 55, Arm: ArmOffline, Seed: 23})
+		if err != nil {
+			return nil, err
+		}
+		cfg := ""
+		for _, rep := range out.Reports {
+			if rep.Region == "compute_rhs" {
+				cfg = rep.Config.String()
+			}
+		}
+		res.Exponents = append(res.Exponents, exp)
+		res.TimeNorm = append(res.TimeNorm, Normalized(out.TimeS, base.TimeS))
+		res.RhsConfig = append(res.RhsConfig, cfg)
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *AblationPowerLawResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation — DVFS power-law exponent, SP class B ARCS-Offline at 55W (Crill)")
+	fmt.Fprintf(w, "%-12s %10s %26s\n", "P ∝ f^e", "time", "compute_rhs config")
+	for i := range r.Exponents {
+		fmt.Fprintf(w, "e = %-8.0f %10.3f %26s\n", r.Exponents[i], r.TimeNorm[i], "("+r.RhsConfig[i]+")")
+	}
+	fmt.Fprintln(w, "(normalised to default at the same exponent)")
+}

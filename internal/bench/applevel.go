@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"arcs/internal/kernels"
+	"arcs/internal/sim"
+)
+
+// AppLevel is the application-level comparison behind Figs. 4, 5, 7 and 8:
+// execution time and package energy of the default, ARCS-Online and
+// ARCS-Offline strategies across power levels, normalised to the default
+// at the same level (the paper's bar charts; smaller is better).
+type AppLevel struct {
+	Title string
+	Arch  *sim.Arch
+	App   string
+	Caps  []float64
+	Arms  []Arm
+
+	// TimeS[c][a] etc., indexed by cap then arm.
+	TimeS      [][]float64
+	EnergyJ    [][]float64
+	TimeNorm   [][]float64
+	EnergyNorm [][]float64
+}
+
+// MeasureAppLevel runs all arms across the caps.
+func MeasureAppLevel(title string, arch *sim.Arch, app *kernels.App, caps []float64, seed int64) (*AppLevel, error) {
+	res := &AppLevel{
+		Title: title,
+		Arch:  arch,
+		App:   app.String(),
+		Caps:  caps,
+		Arms:  []Arm{ArmDefault, ArmOnline, ArmOffline},
+	}
+	for _, capW := range caps {
+		var times, energies, tnorm, enorm []float64
+		var baseT, baseE float64
+		for _, arm := range res.Arms {
+			out, err := Measure(RunSpec{
+				Arch: arch, App: app, CapW: capW, Arm: arm, Seed: seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s %s at %s: %w", app, arm, CapLabel(capW, arch), err)
+			}
+			if arm == ArmDefault {
+				baseT, baseE = out.TimeS, out.EnergyJ
+			}
+			times = append(times, out.TimeS)
+			energies = append(energies, out.EnergyJ)
+			tnorm = append(tnorm, Normalized(out.TimeS, baseT))
+			enorm = append(enorm, Normalized(out.EnergyJ, baseE))
+		}
+		res.TimeS = append(res.TimeS, times)
+		res.EnergyJ = append(res.EnergyJ, energies)
+		res.TimeNorm = append(res.TimeNorm, tnorm)
+		res.EnergyNorm = append(res.EnergyNorm, enorm)
+	}
+	return res, nil
+}
+
+// Print renders the normalised time and energy tables.
+func (r *AppLevel) Print(w io.Writer) {
+	fmt.Fprintln(w, r.Title)
+	r.printMetric(w, "Execution time (normalised to Default)", r.TimeNorm, r.TimeS, "s")
+	if r.Arch.HasEnergyCtr {
+		r.printMetric(w, "Package energy (normalised to Default)", r.EnergyNorm, r.EnergyJ, "J")
+	} else {
+		fmt.Fprintln(w, "(package energy unavailable: no energy-counter access on this machine)")
+	}
+}
+
+func (r *AppLevel) printMetric(w io.Writer, title string, norm, raw [][]float64, unit string) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-12s", "level")
+	for _, a := range r.Arms {
+		fmt.Fprintf(w, " %14s", a)
+	}
+	fmt.Fprintf(w, "   raw Default (%s)\n", unit)
+	for ci, capW := range r.Caps {
+		fmt.Fprintf(w, "%-12s", CapLabel(capW, r.Arch))
+		for ai := range r.Arms {
+			fmt.Fprintf(w, " %14.3f", norm[ci][ai])
+		}
+		fmt.Fprintf(w, "   %.3f\n", raw[ci][0])
+	}
+}
+
+// Improvement returns the best fractional improvement over default across
+// all caps for the given arm and metric (time when energy=false).
+func (r *AppLevel) Improvement(arm Arm, energy bool) float64 {
+	ai := -1
+	for i, a := range r.Arms {
+		if a == arm {
+			ai = i
+		}
+	}
+	if ai < 0 {
+		return 0
+	}
+	best := -1e9
+	src := r.TimeNorm
+	if energy {
+		src = r.EnergyNorm
+	}
+	for ci := range r.Caps {
+		if imp := 1 - src[ci][ai]; imp > best {
+			best = imp
+		}
+	}
+	return best
+}

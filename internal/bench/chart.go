@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// chart.go renders the paper's normalised bar charts as ASCII, so
+// `arcsbench -charts` reproduces the *figures*, not just their numbers.
+
+// chartWidth is the bar length corresponding to chartMax.
+const chartWidth = 44
+
+// Bar renders one horizontal bar for a value on a [0, max] scale.
+func Bar(value, max float64) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value/max*chartWidth + 0.5)
+	if n > chartWidth {
+		n = chartWidth
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune('█')
+	}
+	if n == 0 && value > 0 {
+		b.WriteRune('▏')
+	}
+	return b.String()
+}
+
+// chartMax picks a round axis maximum covering all values (at least 1.0,
+// since the charts are normalised to the default configuration).
+func chartMax(vals ...float64) float64 {
+	max := 1.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	// Round up to the next 0.25 step.
+	steps := int(max/0.25) + 1
+	return float64(steps) * 0.25
+}
+
+// Chart renders the normalised metric of an AppLevel as grouped bars, one
+// group per power level — the shape of the paper's Figs. 4, 5, 7 and 8.
+func (r *AppLevel) Chart(w io.Writer, energy bool) {
+	src := r.TimeNorm
+	title := "Execution time (normalised to Default)"
+	if energy {
+		if !r.Arch.HasEnergyCtr {
+			fmt.Fprintln(w, "(no energy counters on this machine)")
+			return
+		}
+		src = r.EnergyNorm
+		title = "Package energy (normalised to Default)"
+	}
+	var all []float64
+	for _, row := range src {
+		all = append(all, row...)
+	}
+	max := chartMax(all...)
+	fmt.Fprintf(w, "%s — %s  [axis 0 .. %.2f]\n", r.Title, title, max)
+	for ci, capW := range r.Caps {
+		fmt.Fprintf(w, "%s\n", CapLabel(capW, r.Arch))
+		for ai, arm := range r.Arms {
+			v := src[ci][ai]
+			fmt.Fprintf(w, "  %-14s %-*s %.3f\n", arm, chartWidth, Bar(v, max), v)
+		}
+	}
+}
+
+// ChartFeatureRows renders a Figs. 3/6/10-style feature chart: one group
+// per region, one bar per feature, normalised ARCS/default.
+func ChartFeatureRows(w io.Writer, title string, rows []FeatureRow) {
+	var all []float64
+	for _, r := range rows {
+		all = append(all, r.L1, r.L2, r.L3, r.Barrier)
+	}
+	max := chartMax(all...)
+	fmt.Fprintf(w, "%s  [ARCS-Offline / Default, axis 0 .. %.2f]\n", title, max)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s  (%s)\n", r.Region, r.ARCSCfg)
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"L1 miss", r.L1}, {"L2 miss", r.L2}, {"L3 miss", r.L3}, {"OMP_BARRIER", r.Barrier},
+		} {
+			fmt.Fprintf(w, "  %-12s %-*s %.3f\n", f.name, chartWidth, Bar(f.v, max), f.v)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"arcs/internal/sim"
+)
+
+func TestBar(t *testing.T) {
+	if got := Bar(1.0, 1.0); len([]rune(got)) != chartWidth {
+		t.Errorf("full bar length = %d, want %d", len([]rune(got)), chartWidth)
+	}
+	if got := Bar(0.5, 1.0); len([]rune(got)) != chartWidth/2 {
+		t.Errorf("half bar length = %d", len([]rune(got)))
+	}
+	if got := Bar(0, 1.0); got != "" {
+		t.Errorf("zero bar = %q", got)
+	}
+	if got := Bar(0.001, 1.0); got != "▏" {
+		t.Errorf("tiny positive value must render a sliver, got %q", got)
+	}
+	if got := Bar(5, 1.0); len([]rune(got)) != chartWidth {
+		t.Errorf("overflow must clamp, got %d runes", len([]rune(got)))
+	}
+	if Bar(1, 0) != "" || Bar(-1, 1) != "" {
+		t.Errorf("degenerate inputs must render empty")
+	}
+}
+
+func TestChartMax(t *testing.T) {
+	if got := chartMax(0.3, 0.8); got != 1.25 {
+		t.Errorf("chartMax below 1 should give 1.25, got %v", got)
+	}
+	if got := chartMax(1.6); got != 1.75 {
+		t.Errorf("chartMax(1.6) = %v, want 1.75", got)
+	}
+}
+
+func TestAppLevelChart(t *testing.T) {
+	r := &AppLevel{
+		Title:      "test",
+		Arch:       sim.Crill(),
+		Caps:       []float64{55, 0},
+		Arms:       []Arm{ArmDefault, ArmOffline},
+		TimeNorm:   [][]float64{{1, 0.7}, {1, 0.65}},
+		EnergyNorm: [][]float64{{1, 0.72}, {1, 0.66}},
+	}
+	var sb strings.Builder
+	r.Chart(&sb, false)
+	out := sb.String()
+	for _, want := range []string{"55W", "TDP(115W)", "ARCS-Offline", "0.700", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	r.Chart(&sb, true)
+	if !strings.Contains(sb.String(), "energy") {
+		t.Errorf("energy chart missing title")
+	}
+
+	// No energy counters: the energy chart degrades gracefully.
+	r.Arch = sim.Minotaur()
+	sb.Reset()
+	r.Chart(&sb, true)
+	if !strings.Contains(sb.String(), "no energy counters") {
+		t.Errorf("Minotaur energy chart should explain itself: %q", sb.String())
+	}
+}
+
+func TestFeatureChart(t *testing.T) {
+	rows := []FeatureRow{{
+		Region: "x_solve", ARCSCfg: "32, static, 1",
+		L1: 0.95, L2: 0.64, L3: 0.11, Barrier: 0.3,
+	}}
+	var sb strings.Builder
+	ChartFeatureRows(&sb, "features", rows)
+	out := sb.String()
+	for _, want := range []string{"x_solve", "L3 miss", "OMP_BARRIER", "0.110"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("feature chart missing %q:\n%s", want, out)
+		}
+	}
+}

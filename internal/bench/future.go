@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/kernels"
+	"arcs/internal/ompt"
+	"arcs/internal/sim"
+)
+
+// FutureDVFSResult evaluates the paper's §VII future work: adding a
+// per-region DVFS dimension to the ARCS search space. Frequency requests
+// only ever lower the governor's choice, so they cannot help a pure time
+// objective; the gain appears for energy-aware objectives, where slowing
+// memory-bound regions saves cubic dynamic power at linear-or-less time
+// cost.
+type FutureDVFSResult struct {
+	Rows []FutureDVFSRow
+}
+
+// FutureDVFSRow is one strategy variant.
+type FutureDVFSRow struct {
+	Label      string
+	TimeNorm   float64
+	EnergyNorm float64
+	EDPNorm    float64
+	RhsConfig  string // configuration chosen for compute_rhs
+}
+
+// FutureDVFS runs SP class B at TDP with the EDP objective, with and
+// without the DVFS dimension.
+func FutureDVFS() (*FutureDVFSResult, error) {
+	arch := sim.Crill()
+	app, err := kernels.SP(kernels.ClassB)
+	if err != nil {
+		return nil, err
+	}
+	base, err := Measure(RunSpec{Arch: arch, App: app, Arm: ArmDefault, Seed: 30})
+	if err != nil {
+		return nil, err
+	}
+	baseEDP := base.TimeS * base.EnergyJ
+
+	res := &FutureDVFSResult{}
+	for _, c := range []struct {
+		label string
+		arm   Arm
+		dvfs  bool
+	}{
+		{"ARCS-Online (EDP objective)", ArmOnline, false},
+		{"ARCS-Online + DVFS", ArmOnline, true},
+		{"ARCS-Offline (EDP objective)", ArmOffline, false},
+		{"ARCS-Offline + DVFS", ArmOffline, true},
+	} {
+		out, err := Measure(RunSpec{
+			Arch: arch, App: app, Arm: c.arm, Seed: 30,
+			Objective: arcs.ObjectiveEDP, TuneDVFS: c.dvfs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg := ""
+		for _, r := range out.Reports {
+			if r.Region == "compute_rhs" {
+				cfg = r.Config.String()
+			}
+		}
+		res.Rows = append(res.Rows, FutureDVFSRow{
+			Label:      c.label,
+			TimeNorm:   Normalized(out.TimeS, base.TimeS),
+			EnergyNorm: Normalized(out.EnergyJ, base.EnergyJ),
+			EDPNorm:    Normalized(out.TimeS*out.EnergyJ, baseEDP),
+			RhsConfig:  cfg,
+		})
+	}
+	return res, nil
+}
+
+// Print renders the comparison.
+func (r *FutureDVFSResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Future work (§VII) — per-region DVFS dimension, SP class B at TDP (Crill)")
+	fmt.Fprintf(w, "%-30s %8s %8s %8s   %s\n", "strategy", "time", "energy", "EDP", "compute_rhs config")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-30s %8.3f %8.3f %8.3f   (%s)\n",
+			row.Label, row.TimeNorm, row.EnergyNorm, row.EDPNorm, row.RhsConfig)
+	}
+	fmt.Fprintln(w, "(normalised to the default configuration; smaller is better. The online")
+	fmt.Fprintln(w, " Nelder-Mead converges more slowly in 4 dimensions; the exhaustive offline")
+	fmt.Fprintln(w, " search shows the dimension's real value for energy-aware objectives.)")
+}
+
+// FutureDRAMResult evaluates the other §VII future work: accounting for
+// memory power in addition to processor power. It reports package and
+// DRAM energy separately and shows how much of the total the package-only
+// view (all the paper could measure) misses.
+type FutureDRAMResult struct {
+	Rows []FutureDRAMRow
+}
+
+// FutureDRAMRow is one strategy's energy split.
+type FutureDRAMRow struct {
+	Label    string
+	PkgJ     float64
+	DRAMJ    float64
+	TotalJ   float64
+	DRAMFrac float64
+}
+
+// FutureDRAM runs SP class B at 55 W and reports the package/DRAM energy
+// split for the default and ARCS-Offline strategies.
+func FutureDRAM() (*FutureDRAMResult, error) {
+	arch := sim.Crill()
+	app, err := kernels.SP(kernels.ClassB)
+	if err != nil {
+		return nil, err
+	}
+	res := &FutureDRAMResult{}
+	for _, c := range []struct {
+		label string
+		arm   Arm
+	}{
+		{"Default", ArmDefault},
+		{"ARCS-Offline", ArmOffline},
+	} {
+		out, err := Measure(RunSpec{Arch: arch, App: app, CapW: 55, Arm: c.arm, Seed: 31})
+		if err != nil {
+			return nil, err
+		}
+		total := out.EnergyJ + out.DRAMJ
+		res.Rows = append(res.Rows, FutureDRAMRow{
+			Label:    c.label,
+			PkgJ:     out.EnergyJ,
+			DRAMJ:    out.DRAMJ,
+			TotalJ:   total,
+			DRAMFrac: out.DRAMJ / total,
+		})
+	}
+	return res, nil
+}
+
+// Print renders the split.
+func (r *FutureDRAMResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Future work (§VII) — memory-power accounting, SP class B at 55W (Crill)")
+	fmt.Fprintf(w, "%-16s %12s %12s %12s %10s\n", "strategy", "package (J)", "DRAM (J)", "total (J)", "DRAM %")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %12.1f %12.1f %12.1f %9.1f%%\n",
+			row.Label, row.PkgJ, row.DRAMJ, row.TotalJ, row.DRAMFrac*100)
+	}
+	fmt.Fprintln(w, "(the paper caps and measures only the package domain; DRAM runs uncapped)")
+}
+
+// FutureBindResult evaluates the thread-placement extension: adding
+// OMP_PROC_BIND {close, spread} to the search space. Close binding packs
+// SMT siblings onto fewer cores, which clocks higher under a tight cap at
+// the price of shared private caches — occasionally a win for capped,
+// compute-leaning regions.
+type FutureBindResult struct {
+	Rows []FutureBindRow
+}
+
+// FutureBindRow is one strategy variant.
+type FutureBindRow struct {
+	Label     string
+	TimeNorm  float64
+	CloseUses int // regions whose chosen configuration uses close binding
+}
+
+// FutureBind runs BT class B at 55 W, ARCS-Offline, with and without the
+// placement dimension.
+func FutureBind() (*FutureBindResult, error) {
+	arch := sim.Crill()
+	app, err := kernels.BT(kernels.ClassB)
+	if err != nil {
+		return nil, err
+	}
+	base, err := Measure(RunSpec{Arch: arch, App: app, CapW: 55, Arm: ArmDefault, Seed: 32})
+	if err != nil {
+		return nil, err
+	}
+	res := &FutureBindResult{}
+	for _, c := range []struct {
+		label string
+		bind  bool
+	}{
+		{"ARCS-Offline", false},
+		{"ARCS-Offline + proc_bind", true},
+	} {
+		out, err := Measure(RunSpec{
+			Arch: arch, App: app, CapW: 55, Arm: ArmOffline, Seed: 32, TuneBind: c.bind,
+		})
+		if err != nil {
+			return nil, err
+		}
+		closeUses := 0
+		for _, rep := range out.Reports {
+			if rep.Config.Bind == ompt.BindClose {
+				closeUses++
+			}
+		}
+		res.Rows = append(res.Rows, FutureBindRow{
+			Label:     c.label,
+			TimeNorm:  Normalized(out.TimeS, base.TimeS),
+			CloseUses: closeUses,
+		})
+	}
+	return res, nil
+}
+
+// Print renders the comparison.
+func (r *FutureBindResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Extension — OMP_PROC_BIND placement dimension, BT class B at 55W (Crill)")
+	fmt.Fprintf(w, "%-28s %8s %22s\n", "strategy", "time", "regions using close")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-28s %8.3f %22d\n", row.Label, row.TimeNorm, row.CloseUses)
+	}
+	fmt.Fprintln(w, "(normalised to default; close binding concentrates the cap budget on fewer cores)")
+}

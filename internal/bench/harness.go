@@ -1,0 +1,290 @@
+// Package bench is the experiment harness: one driver per table and figure
+// of the paper's evaluation (§IV-V), each regenerating the corresponding
+// rows or series from the simulated platforms. The drivers compose the
+// full ARCS stack — kernels -> omp runtime -> OMPT -> APEX -> ARCS ->
+// Active Harmony — exactly as an application run would.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"arcs/internal/apex"
+	arcs "arcs/internal/core"
+	"arcs/internal/kernels"
+	"arcs/internal/omp"
+	"arcs/internal/sim"
+	"arcs/internal/stats"
+)
+
+// Arm identifies the strategy under measurement.
+type Arm int
+
+const (
+	// ArmDefault is the paper's baseline: maximum hardware threads, static
+	// schedule, default chunking, no tool attached.
+	ArmDefault Arm = iota
+	// ArmOnline is ARCS-Online (Nelder-Mead in the measured run).
+	ArmOnline
+	// ArmOffline is ARCS-Offline (exhaustive search run first, then the
+	// measured replay run).
+	ArmOffline
+)
+
+// String implements fmt.Stringer, matching the paper's legend names.
+func (a Arm) String() string {
+	switch a {
+	case ArmDefault:
+		return "Default"
+	case ArmOnline:
+		return "ARCS-Online"
+	case ArmOffline:
+		return "ARCS-Offline"
+	default:
+		return fmt.Sprintf("Arm(%d)", int(a))
+	}
+}
+
+// DefaultNoise is the run-to-run noise sigma used by all experiments.
+const DefaultNoise = 0.01
+
+// RunSpec describes one measured experiment arm.
+type RunSpec struct {
+	Arch *sim.Arch
+	App  *kernels.App
+	CapW float64 // 0 = TDP
+	Arm  Arm
+
+	Seed  int64
+	Noise float64 // 0 = DefaultNoise; negative = disabled
+	Runs  int     // 0 = 3, the paper's protocol
+
+	Objective  arcs.Objective
+	Algo       arcs.SearchAlgo // online search override (ablation)
+	MaxEvals   int
+	MinRegionS float64 // selective-tuning ablation
+	TuneDVFS   bool    // §VII future-work DVFS dimension
+	TuneBind   bool    // OMP_PROC_BIND placement dimension
+
+	// ConfigChangeS overrides the architecture's configuration-change
+	// overhead (ablation). Zero keeps the architecture value; a negative
+	// value selects an explicit zero overhead.
+	ConfigChangeS float64
+
+	// SearchSteps overrides the offline search run length (0 = enough
+	// steps to exhaust the Table I space).
+	SearchSteps int
+}
+
+func (s *RunSpec) normalize() RunSpec {
+	out := *s
+	if out.Runs <= 0 {
+		out.Runs = 3
+	}
+	if out.Noise == 0 {
+		out.Noise = DefaultNoise
+	}
+	if out.Noise < 0 {
+		out.Noise = 0
+	}
+	switch {
+	case out.ConfigChangeS == 0:
+		out.ConfigChangeS = out.Arch.ConfigChangeS
+	case out.ConfigChangeS < 0:
+		out.ConfigChangeS = 0
+	}
+	return out
+}
+
+// arch returns a copy of the spec's architecture with overrides applied.
+// Callers pass a normalized spec, so ConfigChangeS is already resolved.
+func (s *RunSpec) arch() *sim.Arch {
+	a := *s.Arch
+	a.ConfigChangeS = s.ConfigChangeS
+	return &a
+}
+
+// Outcome aggregates the measured runs of one arm.
+type Outcome struct {
+	TimeS    float64 // aggregate per the paper's protocol
+	EnergyJ  float64
+	DRAMJ    float64
+	Times    []float64
+	Energies []float64
+	DRAMs    []float64
+	Reports  []arcs.RegionReport // from the last measured run
+}
+
+// Measure runs one experiment arm end to end: for ARCS-Offline it first
+// performs the unmeasured exhaustive search run, then measures Runs
+// executions and aggregates them — average on dedicated machines (Crill),
+// minimum on shared ones (Minotaur), as in §IV-D.
+func Measure(spec RunSpec) (Outcome, error) {
+	sp := spec.normalize()
+	arch := sp.arch()
+	capW := sp.CapW
+
+	var hist *arcs.MemHistory
+	if sp.Arm == ArmOffline {
+		h, err := offlineSearch(sp, arch)
+		if err != nil {
+			return Outcome{}, err
+		}
+		hist = h
+	}
+
+	var out Outcome
+	for run := 0; run < sp.Runs; run++ {
+		mach, err := newMachine(arch, capW)
+		if err != nil {
+			return Outcome{}, err
+		}
+		mach.SetNoise(sp.Noise, sp.Seed+int64(run)*7919+1)
+		rt := omp.NewRuntime(mach)
+
+		var tuner *arcs.Tuner
+		if sp.Arm != ArmDefault {
+			apx := apex.New()
+			apx.SetPowerSource(mach)
+			rt.RegisterTool(apex.NewTool(apx))
+			opts := arcs.Options{
+				Objective:  sp.Objective,
+				MaxEvals:   sp.MaxEvals,
+				Seed:       sp.Seed + int64(run),
+				MinRegionS: sp.MinRegionS,
+				TuneDVFS:   sp.TuneDVFS,
+				TuneBind:   sp.TuneBind,
+			}
+			switch sp.Arm {
+			case ArmOnline:
+				opts.Strategy = arcs.StrategyOnline
+				opts.Algo = sp.Algo
+			case ArmOffline:
+				opts.Strategy = arcs.StrategyOfflineReplay
+				opts.History = hist
+				opts.Key = historyKey(sp.App, mach)
+			}
+			tuner, err = arcs.New(apx, arch, opts)
+			if err != nil {
+				return Outcome{}, err
+			}
+		}
+
+		res, err := sp.App.Run(rt)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if tuner != nil {
+			if err := tuner.Finish(); err != nil {
+				return Outcome{}, err
+			}
+			out.Reports = tuner.Report()
+		}
+		out.Times = append(out.Times, res.TimeS)
+		out.Energies = append(out.Energies, res.EnergyJ)
+		out.DRAMs = append(out.DRAMs, res.DRAMEnergyJ)
+	}
+
+	// Aggregation protocol: min on shared machines, mean on dedicated.
+	if arch.Name == "Minotaur" {
+		out.TimeS = stats.Min(out.Times)
+		out.EnergyJ = stats.Min(out.Energies)
+		out.DRAMJ = stats.Min(out.DRAMs)
+	} else {
+		out.TimeS = stats.Mean(out.Times)
+		out.EnergyJ = stats.Mean(out.Energies)
+		out.DRAMJ = stats.Mean(out.DRAMs)
+	}
+	return out, nil
+}
+
+// offlineSearch performs the unmeasured exhaustive search execution and
+// returns the resulting history.
+func offlineSearch(sp RunSpec, arch *sim.Arch) (*arcs.MemHistory, error) {
+	mach, err := newMachine(arch, sp.CapW)
+	if err != nil {
+		return nil, err
+	}
+	// The search run observes the same noisy environment.
+	mach.SetNoise(sp.Noise, sp.Seed*31+17)
+	rt := omp.NewRuntime(mach)
+	apx := apex.New()
+	apx.SetPowerSource(mach)
+	rt.RegisterTool(apex.NewTool(apx))
+
+	hist := arcs.NewMemHistory()
+	tuner, err := arcs.New(apx, arch, arcs.Options{
+		Strategy:  arcs.StrategyOfflineSearch,
+		Objective: sp.Objective,
+		History:   hist,
+		Key:       historyKey(sp.App, mach),
+		Seed:      sp.Seed,
+		TuneDVFS:  sp.TuneDVFS,
+		TuneBind:  sp.TuneBind,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	steps := sp.SearchSteps
+	if steps == 0 {
+		space := arcs.TableISpace(arch)
+		if sp.TuneDVFS {
+			space = space.WithDVFS(arch)
+		}
+		if sp.TuneBind {
+			space = space.WithBind()
+		}
+		// Every region needs space.Size() invocations; regions called once
+		// per step dominate, so size the run by them (plus slack).
+		steps = space.Size() + 8
+	}
+	if _, err := sp.App.WithSteps(steps).Run(rt); err != nil {
+		return nil, err
+	}
+	if err := tuner.Finish(); err != nil {
+		return nil, err
+	}
+	return hist, nil
+}
+
+// historyKey builds the context key: app, workload and effective cap.
+func historyKey(app *kernels.App, mach *sim.Machine) func(string) arcs.HistoryKey {
+	capW := mach.PowerCap()
+	return func(region string) arcs.HistoryKey {
+		return arcs.HistoryKey{App: app.Name, Workload: app.Workload, CapW: capW, Region: region}
+	}
+}
+
+func newMachine(arch *sim.Arch, capW float64) (*sim.Machine, error) {
+	mach, err := sim.NewMachine(arch)
+	if err != nil {
+		return nil, err
+	}
+	if capW > 0 {
+		if err := mach.SetPowerCap(capW); err != nil {
+			return nil, err
+		}
+	}
+	return mach, nil
+}
+
+// CrillCaps are the five evaluated package power levels on Crill (§IV-D);
+// 0 denotes the TDP (115 W) level.
+func CrillCaps() []float64 { return []float64{55, 70, 85, 100, 0} }
+
+// CapLabel renders a cap the way the paper's x-axes do.
+func CapLabel(capW float64, arch *sim.Arch) string {
+	if capW == 0 {
+		return fmt.Sprintf("TDP(%.0fW)", arch.TDPW)
+	}
+	return fmt.Sprintf("%.0fW", capW)
+}
+
+// Normalized returns x/base guarding against zero.
+func Normalized(x, base float64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return x / base
+}

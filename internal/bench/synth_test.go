@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+
+	"arcs/internal/kernels"
+	"arcs/internal/sim"
+)
+
+// ARCS robustness property across random workloads: on any synthetic
+// application, ARCS-Offline must never be substantially worse than the
+// default configuration. Its worst case is bounded by the per-invocation
+// overhead (the replay can always select the default configuration, paying
+// only config-change + instrumentation), so we assert the measured loss
+// never exceeds the overhead bound plus slack.
+func TestARCSNeverMuchWorseOnSyntheticApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic sweep is slow")
+	}
+	arch := sim.Crill()
+	for seed := int64(1); seed <= 6; seed++ {
+		app := kernels.Synthetic(kernels.SynthOptions{Seed: seed, Regions: 5, Steps: 12})
+		base, err := Measure(RunSpec{Arch: arch, App: app, Arm: ArmDefault, Seed: seed, Runs: 1, Noise: -1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		off, err := Measure(RunSpec{Arch: arch, App: app, Arm: ArmOffline, Seed: seed, Runs: 1, Noise: -1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Overhead bound: every invocation pays config-change+instrument.
+		invocations := float64(app.InvocationsPerStep() * app.Steps)
+		bound := invocations * (arch.ConfigChangeS + arch.InstrumentS) * 1.25
+		if off.TimeS > base.TimeS+bound {
+			t.Errorf("seed %d: ARCS-Offline %.4fs vs default %.4fs exceeds overhead bound %.4fs",
+				seed, off.TimeS, base.TimeS, bound)
+		}
+	}
+}
+
+// Determinism: the same spec (noise disabled) produces identical results.
+func TestMeasureDeterministic(t *testing.T) {
+	arch := sim.Crill()
+	app := kernels.Synthetic(kernels.SynthOptions{Seed: 3, Regions: 4, Steps: 8})
+	run := func() Outcome {
+		out, err := Measure(RunSpec{Arch: arch, App: app, Arm: ArmOnline, Seed: 5, Runs: 1, Noise: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a.TimeS != b.TimeS || a.EnergyJ != b.EnergyJ {
+		t.Errorf("Measure must be deterministic: %v/%v vs %v/%v", a.TimeS, a.EnergyJ, b.TimeS, b.EnergyJ)
+	}
+}
+
+// Synthetic generation itself is deterministic and valid.
+func TestSyntheticApps(t *testing.T) {
+	a := kernels.Synthetic(kernels.SynthOptions{Seed: 42})
+	b := kernels.Synthetic(kernels.SynthOptions{Seed: 42})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Regions) != len(b.Regions) {
+		t.Fatalf("same seed, different structure")
+	}
+	for i := range a.Regions {
+		if a.Regions[i].Model.Iters != b.Regions[i].Model.Iters ||
+			a.Regions[i].Model.CompNSPerIter != b.Regions[i].Model.CompNSPerIter {
+			t.Errorf("region %d differs across same-seed generations", i)
+		}
+	}
+	c := kernels.Synthetic(kernels.SynthOptions{Seed: 43})
+	same := true
+	for i := range a.Regions {
+		if a.Regions[i].Model.Iters != c.Regions[i].Model.Iters {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different seeds should differ")
+	}
+}
+
+// The future-work drivers run end to end.
+func TestFutureDriversRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("future-work drivers are slow")
+	}
+	dram, err := FutureDRAM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dram.Rows) != 2 {
+		t.Fatalf("rows = %+v", dram.Rows)
+	}
+	for _, row := range dram.Rows {
+		if row.DRAMJ <= 0 || row.DRAMFrac <= 0 || row.DRAMFrac >= 1 {
+			t.Errorf("bad DRAM split: %+v", row)
+		}
+	}
+	// ARCS reduces DRAM energy too (better cache use = less traffic).
+	if dram.Rows[1].DRAMJ >= dram.Rows[0].DRAMJ {
+		t.Errorf("ARCS should cut DRAM energy: %v vs %v", dram.Rows[1].DRAMJ, dram.Rows[0].DRAMJ)
+	}
+}

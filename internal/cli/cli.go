@@ -1,0 +1,65 @@
+// Package cli holds the small shared helpers of the command-line tools:
+// resolving benchmark and architecture names to their constructors.
+package cli
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"arcs/internal/kernels"
+	"arcs/internal/sim"
+)
+
+// BuildApp resolves a benchmark name and workload: SP/BT with NPB classes
+// (B, C), LULESH with mesh sizes (45, 60), SYNTH with a numeric seed.
+func BuildApp(name, workload string) (*kernels.App, error) {
+	switch name {
+	case "SP":
+		return kernels.SP(kernels.Class(workload))
+	case "BT":
+		return kernels.BT(kernels.Class(workload))
+	case "LULESH":
+		mesh, err := strconv.Atoi(workload)
+		if err != nil {
+			return nil, fmt.Errorf("cli: LULESH workload must be a mesh size, got %q", workload)
+		}
+		return kernels.LULESH(mesh)
+	case "SYNTH":
+		seed, err := strconv.ParseInt(workload, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: SYNTH workload must be a seed, got %q", workload)
+		}
+		return kernels.Synthetic(kernels.SynthOptions{Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("cli: unknown app %q (want SP, BT, LULESH or SYNTH)", name)
+	}
+}
+
+// Apps lists the recognised benchmark names.
+func Apps() []string { return []string{"SP", "BT", "LULESH", "SYNTH"} }
+
+// archBuilders maps the recognised architecture names.
+var archBuilders = map[string]func() *sim.Arch{
+	"crill":    sim.Crill,
+	"minotaur": sim.Minotaur,
+}
+
+// BuildArch resolves an architecture name.
+func BuildArch(name string) (*sim.Arch, error) {
+	b, ok := archBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("cli: unknown arch %q (want one of %v)", name, Arches())
+	}
+	return b(), nil
+}
+
+// Arches lists the recognised architecture names, sorted.
+func Arches() []string {
+	out := make([]string, 0, len(archBuilders))
+	for k := range archBuilders {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

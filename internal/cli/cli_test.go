@@ -1,0 +1,49 @@
+package cli
+
+import "testing"
+
+func TestBuildApp(t *testing.T) {
+	cases := []struct {
+		name, workload string
+		ok             bool
+	}{
+		{"SP", "B", true},
+		{"SP", "C", true},
+		{"BT", "B", true},
+		{"LULESH", "45", true},
+		{"LULESH", "60", true},
+		{"SYNTH", "7", true},
+		{"SP", "Z", false},
+		{"LULESH", "huge", false},
+		{"LULESH", "33", false},
+		{"SYNTH", "not-a-seed", false},
+		{"CG", "B", false},
+	}
+	for _, c := range cases {
+		app, err := BuildApp(c.name, c.workload)
+		if c.ok && (err != nil || app == nil) {
+			t.Errorf("BuildApp(%s, %s): %v", c.name, c.workload, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("BuildApp(%s, %s) should fail", c.name, c.workload)
+		}
+		if c.ok && app.Name != c.name {
+			t.Errorf("app name %q != %q", app.Name, c.name)
+		}
+	}
+}
+
+func TestBuildArch(t *testing.T) {
+	for _, name := range Arches() {
+		a, err := BuildArch(name)
+		if err != nil || a == nil {
+			t.Errorf("BuildArch(%s): %v", name, err)
+		}
+	}
+	if _, err := BuildArch("summit"); err == nil {
+		t.Errorf("unknown arch must fail")
+	}
+	if len(Apps()) != 4 {
+		t.Errorf("Apps = %v", Apps())
+	}
+}

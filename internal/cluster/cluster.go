@@ -1,0 +1,228 @@
+// Package cluster models the paper's motivating context (§I, §II, related
+// work §VI: Patki et al.'s hardware overprovisioning): a job is given a
+// fixed GLOBAL power budget, and the resource manager chooses how many
+// nodes to run it on — more nodes each capped lower, or fewer nodes each
+// capped higher. Per-node performance under a cap is exactly what ARCS
+// optimises, so node-level tuning shifts the cluster-level trade-off.
+//
+// The model strong-scales one application across n identical nodes (each
+// node runs steps/n time steps of the domain decomposition), adds a
+// surface-to-volume halo-exchange cost per step, and derives the job
+// makespan from one representative node plus an order-statistics straggler
+// margin for the run-to-run noise.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"arcs/internal/apex"
+	arcs "arcs/internal/core"
+	"arcs/internal/kernels"
+	"arcs/internal/omp"
+	"arcs/internal/sim"
+)
+
+// CommModel parameterises the per-step communication cost of the
+// decomposition: latency grows logarithmically with the node count
+// (reductions), volume shrinks with the surface-to-volume ratio.
+type CommModel struct {
+	LatencyS   float64 // per-step alpha * log2(n)
+	VolumeS    float64 // per-step beta * n^(-2/3) (halo surface at n=1)
+	NoiseSigma float64 // per-node run-to-run sigma for the straggler margin
+}
+
+// PerStepS returns the communication seconds per time step on n nodes.
+func (c CommModel) PerStepS(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return c.LatencyS*math.Log2(float64(n)) + c.VolumeS*math.Pow(float64(n), -2.0/3.0)
+}
+
+// StragglerFactor approximates E[max of n log-normal node times] /
+// E[node time]: the makespan penalty from node-level noise.
+func (c CommModel) StragglerFactor(n int) float64 {
+	if n <= 1 || c.NoiseSigma <= 0 {
+		return 1
+	}
+	return 1 + c.NoiseSigma*math.Sqrt(2*math.Log(float64(n)))
+}
+
+// Strategy selects the per-node runtime configuration policy.
+type Strategy int
+
+const (
+	// StrategyDefault runs every node with the default OpenMP config.
+	StrategyDefault Strategy = iota
+	// StrategyARCS runs every node under ARCS-Offline: one exhaustive
+	// search at the job's per-node cap, replayed on all nodes.
+	StrategyARCS
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyDefault:
+		return "Default"
+	case StrategyARCS:
+		return "ARCS-Offline"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Job describes one placement choice for a fixed-size workload.
+type Job struct {
+	Arch *sim.Arch
+	App  *kernels.App // App.Steps is the TOTAL work, divided across nodes
+
+	GlobalBudgetW float64
+	Nodes         int
+	Strategy      Strategy
+	Comm          CommModel
+	Seed          int64
+}
+
+// Result is the cluster-level outcome of one placement.
+type Result struct {
+	Nodes       int
+	PerNodeCapW float64
+	MakespanS   float64
+	EnergyJ     float64 // all nodes, package energy over their busy time
+	CommS       float64 // communication share of one node's runtime
+}
+
+// Run evaluates the job.
+func Run(job Job) (Result, error) {
+	if job.Nodes <= 0 {
+		return Result{}, fmt.Errorf("cluster: non-positive node count %d", job.Nodes)
+	}
+	if job.GlobalBudgetW <= 0 {
+		return Result{}, fmt.Errorf("cluster: non-positive power budget")
+	}
+	cap := job.GlobalBudgetW / float64(job.Nodes)
+	if cap > job.Arch.TDPW {
+		cap = job.Arch.TDPW // nodes cannot draw beyond TDP
+	}
+	if cap <= job.Arch.StaticW {
+		return Result{}, fmt.Errorf("cluster: per-node cap %.1fW below static power %.1fW", cap, job.Arch.StaticW)
+	}
+	stepsPerNode := (job.App.Steps + job.Nodes - 1) / job.Nodes
+	nodeApp := job.App.WithSteps(stepsPerNode)
+
+	nodeTime, nodeEnergy, err := runNode(job, nodeApp, cap)
+	if err != nil {
+		return Result{}, err
+	}
+
+	commS := job.Comm.PerStepS(job.Nodes) * float64(stepsPerNode)
+	nodeTime += commS
+	// Communication burns roughly static power (cores idle in MPI waits).
+	nodeEnergy += commS * job.Arch.StaticW
+
+	makespan := nodeTime * job.Comm.StragglerFactor(job.Nodes)
+	return Result{
+		Nodes:       job.Nodes,
+		PerNodeCapW: cap,
+		MakespanS:   makespan,
+		// Non-straggler nodes idle at static power until the join.
+		EnergyJ: float64(job.Nodes) * (nodeEnergy + (makespan-nodeTime)*job.Arch.StaticW),
+		CommS:   commS,
+	}, nil
+}
+
+// runNode simulates one representative node at the given cap.
+func runNode(job Job, app *kernels.App, capW float64) (float64, float64, error) {
+	mach, err := sim.NewMachine(job.Arch)
+	if err != nil {
+		return 0, 0, err
+	}
+	if capW < job.Arch.TDPW {
+		if err := mach.SetPowerCap(capW); err != nil {
+			return 0, 0, err
+		}
+	}
+	rt := omp.NewRuntime(mach)
+
+	var tuner *arcs.Tuner
+	if job.Strategy == StrategyARCS {
+		hist, err := searchAtCap(job, capW)
+		if err != nil {
+			return 0, 0, err
+		}
+		apx := apex.New()
+		apx.SetPowerSource(mach)
+		rt.RegisterTool(apex.NewTool(apx))
+		key := historyKey(job.App, capW)
+		tuner, err = arcs.New(apx, job.Arch, arcs.Options{
+			Strategy: arcs.StrategyOfflineReplay,
+			History:  hist,
+			Key:      key,
+			Seed:     job.Seed,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	res, err := app.Run(rt)
+	if err != nil {
+		return 0, 0, err
+	}
+	if tuner != nil {
+		if err := tuner.Finish(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return res.TimeS, res.EnergyJ, nil
+}
+
+// searchAtCap performs the unmeasured exhaustive search run once for the
+// job's cap (shared by all nodes — they are identical).
+func searchAtCap(job Job, capW float64) (*arcs.MemHistory, error) {
+	mach, err := sim.NewMachine(job.Arch)
+	if err != nil {
+		return nil, err
+	}
+	if capW < job.Arch.TDPW {
+		if err := mach.SetPowerCap(capW); err != nil {
+			return nil, err
+		}
+	}
+	rt := omp.NewRuntime(mach)
+	apx := apex.New()
+	apx.SetPowerSource(mach)
+	rt.RegisterTool(apex.NewTool(apx))
+
+	hist := arcs.NewMemHistory()
+	tuner, err := arcs.New(apx, job.Arch, arcs.Options{
+		Strategy: arcs.StrategyOfflineSearch,
+		History:  hist,
+		Key:      historyKey(job.App, capW),
+		Seed:     job.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	steps := arcs.TableISpace(job.Arch).Size() + 8
+	if _, err := job.App.WithSteps(steps).Run(rt); err != nil {
+		return nil, err
+	}
+	if err := tuner.Finish(); err != nil {
+		return nil, err
+	}
+	return hist, nil
+}
+
+func historyKey(app *kernels.App, capW float64) func(string) arcs.HistoryKey {
+	return func(region string) arcs.HistoryKey {
+		return arcs.HistoryKey{App: app.Name, Workload: app.Workload, CapW: capW, Region: region}
+	}
+}
+
+// DefaultComm returns communication constants sized for the NPB-style jobs
+// in this repository (per-step latency term ~1 ms * log2 n, halo volume
+// ~20 ms at one node shrinking with surface/volume).
+func DefaultComm() CommModel {
+	return CommModel{LatencyS: 0.001, VolumeS: 0.020, NoiseSigma: 0.01}
+}

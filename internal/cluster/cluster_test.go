@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"testing"
+
+	"arcs/internal/kernels"
+	"arcs/internal/sim"
+)
+
+func job(t *testing.T, nodes int, strat Strategy) Job {
+	t.Helper()
+	app, err := kernels.SP(kernels.ClassB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Job{
+		Arch: sim.Crill(), App: app.WithSteps(96),
+		GlobalBudgetW: 1120, Nodes: nodes,
+		Strategy: strat, Comm: DefaultComm(), Seed: 1,
+	}
+}
+
+func TestCommModel(t *testing.T) {
+	c := DefaultComm()
+	if c.PerStepS(1) != 0 {
+		t.Errorf("single node has no communication")
+	}
+	lat := CommModel{LatencyS: 0.001}
+	if lat.PerStepS(16) <= lat.PerStepS(4) {
+		t.Errorf("latency term must grow with node count")
+	}
+	// Volume term shrinks: with zero latency, more nodes = less halo.
+	v := CommModel{VolumeS: 1}
+	if v.PerStepS(27) >= v.PerStepS(8) {
+		t.Errorf("halo volume must shrink with node count")
+	}
+	if got := c.StragglerFactor(1); got != 1 {
+		t.Errorf("single node straggler factor = %v", got)
+	}
+	if c.StragglerFactor(64) <= c.StragglerFactor(4) {
+		t.Errorf("straggler margin must grow with node count")
+	}
+	if (CommModel{}).StragglerFactor(64) != 1 {
+		t.Errorf("zero sigma must give factor 1")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	j := job(t, 0, StrategyDefault)
+	if _, err := Run(j); err == nil {
+		t.Errorf("zero nodes must fail")
+	}
+	j = job(t, 8, StrategyDefault)
+	j.GlobalBudgetW = 0
+	if _, err := Run(j); err == nil {
+		t.Errorf("zero budget must fail")
+	}
+	// Per-node cap below static power is infeasible.
+	j = job(t, 64, StrategyDefault) // 1120/64 = 17.5W < 32W static
+	if _, err := Run(j); err == nil {
+		t.Errorf("cap below static power must fail")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	out, err := Run(job(t, 16, StrategyDefault))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PerNodeCapW != 70 {
+		t.Errorf("per-node cap = %v, want 70", out.PerNodeCapW)
+	}
+	if out.MakespanS <= 0 || out.EnergyJ <= 0 || out.CommS <= 0 {
+		t.Errorf("bad result: %+v", out)
+	}
+}
+
+func TestCapClampsToTDP(t *testing.T) {
+	j := job(t, 4, StrategyDefault) // 280 W/node > TDP
+	out, err := Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PerNodeCapW != 115 {
+		t.Errorf("cap must clamp to TDP, got %v", out.PerNodeCapW)
+	}
+}
+
+func TestARCSLowersMakespan(t *testing.T) {
+	def, err := Run(job(t, 16, StrategyDefault))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := Run(job(t, 16, StrategyARCS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.MakespanS >= def.MakespanS {
+		t.Errorf("ARCS nodes must finish sooner: %v vs %v", tuned.MakespanS, def.MakespanS)
+	}
+	if tuned.EnergyJ >= def.EnergyJ {
+		t.Errorf("ARCS job should also use less energy: %v vs %v", tuned.EnergyJ, def.EnergyJ)
+	}
+}
+
+func TestStrongScalingTradeOff(t *testing.T) {
+	// Doubling nodes halves per-node work but lowers the cap; with this
+	// budget the net is still a win at small n, and communication plus the
+	// straggler margin keep it sublinear.
+	n8, err := Run(job(t, 8, StrategyDefault))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n16, err := Run(job(t, 16, StrategyDefault))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n16.MakespanS >= n8.MakespanS {
+		t.Errorf("16 nodes should beat 8 under this budget: %v vs %v", n16.MakespanS, n8.MakespanS)
+	}
+	if speedup := n8.MakespanS / n16.MakespanS; speedup >= 2 {
+		t.Errorf("scaling must be sublinear (caps + comm), speedup %v", speedup)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyDefault.String() != "Default" || StrategyARCS.String() != "ARCS-Offline" {
+		t.Errorf("strategy names wrong")
+	}
+}

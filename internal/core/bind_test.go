@@ -1,0 +1,95 @@
+package arcs
+
+import (
+	"testing"
+
+	"arcs/internal/harmony"
+	"arcs/internal/ompt"
+	"arcs/internal/sim"
+)
+
+func TestWithBindSpace(t *testing.T) {
+	arch := sim.Crill()
+	ss := TableISpace(arch).WithBind()
+	if !ss.HasBind() || ss.Dims() != 4 {
+		t.Fatalf("bind space: HasBind=%v Dims=%d", ss.HasBind(), ss.Dims())
+	}
+	if ss.Size() != 252*2 {
+		t.Errorf("Size = %d, want 504", ss.Size())
+	}
+	if err := ss.Validate(arch); err != nil {
+		t.Errorf("%v", err)
+	}
+	bad := ss
+	bad.Binds = []ompt.BindKind{ompt.BindKind(9)}
+	if err := bad.Validate(arch); err == nil {
+		t.Errorf("unknown bind kind must fail validation")
+	}
+}
+
+func TestBindAndDVFSSpaceTogether(t *testing.T) {
+	arch := sim.Crill()
+	ss := TableISpace(arch).WithDVFS(arch).WithBind()
+	if ss.Dims() != 5 {
+		t.Fatalf("Dims = %d, want 5", ss.Dims())
+	}
+	if ss.Size() != 252*7*2 {
+		t.Errorf("Size = %d", ss.Size())
+	}
+	hs, err := ss.HarmonySpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Dims() != 5 {
+		t.Errorf("harmony dims = %d", hs.Dims())
+	}
+	p := harmony.Point{1, 2, 3, 4, 0}
+	cfg, err := ss.Decode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Bind != ompt.BindClose {
+		t.Errorf("decoded bind = %v, want close", cfg.Bind)
+	}
+	back, ok := ss.Encode(cfg)
+	if !ok || !back.Equal(p) {
+		t.Errorf("round trip %v -> %v -> %v", p, cfg, back)
+	}
+	def, err := ss.Decode(ss.DefaultPoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != (ConfigValues{}) {
+		t.Errorf("default point = %v", def)
+	}
+}
+
+func TestConfigValuesStringWithBind(t *testing.T) {
+	c := ConfigValues{Threads: 16, Schedule: ompt.ScheduleStatic, Chunk: 8, Bind: ompt.BindClose}
+	if got := c.String(); got != "16, static, 8, close" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTunerWithBind(t *testing.T) {
+	r := newRig(t)
+	tuner, err := New(r.apx, r.mach.Arch(), Options{
+		Strategy: StrategyOnline, TuneBind: true, Seed: 15, MaxEvals: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := map[string]*sim.LoopModel{"alpha": imbalancedLoop()}
+	r.runApp(t, 60, regions)
+	_ = tuner.Finish()
+	if got := r.apx.Counter("arcs.bind_unsupported"); got != 0 {
+		t.Errorf("omp runtime supports proc bind; counter = %v", got)
+	}
+	if got := r.apx.Counter("arcs.apply_errors"); got != 0 {
+		t.Errorf("apply errors = %v", got)
+	}
+	reps := tuner.Report()
+	if len(reps) != 1 || reps[0].Evals < 5 {
+		t.Fatalf("report = %+v", reps)
+	}
+}

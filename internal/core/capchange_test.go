@@ -1,0 +1,65 @@
+package arcs
+
+import (
+	"testing"
+
+	"arcs/internal/sim"
+)
+
+// Cap-change adaptation (§II): when the resource manager moves the package
+// power limit mid-run, a ReTuneOnCapChange tuner restarts its searches.
+func TestReTuneOnCapChange(t *testing.T) {
+	r := newRig(t)
+	tuner, err := New(r.apx, r.mach.Arch(), Options{
+		Strategy: StrategyOnline, Seed: 13, ReTuneOnCapChange: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := map[string]*sim.LoopModel{"alpha": imbalancedLoop()}
+
+	r.runApp(t, 40, regions) // converge at TDP
+	repsBefore := tuner.Report()
+	if !repsBefore[0].Converged {
+		t.Fatalf("should have converged at TDP: %+v", repsBefore)
+	}
+	evalsAtTDP := repsBefore[0].Evals
+
+	if err := r.mach.SetPowerCap(55); err != nil {
+		t.Fatal(err)
+	}
+	r.runApp(t, 40, regions)
+
+	if got := r.apx.Counter("arcs.cap_changes"); got != 1 {
+		t.Errorf("cap changes observed = %v, want 1", got)
+	}
+	repsAfter := tuner.Report()
+	if repsAfter[0].Evals <= 2 {
+		t.Errorf("search should have restarted after the cap change: %d evals", repsAfter[0].Evals)
+	}
+	_ = evalsAtTDP // the new session's eval count is independent of the old one
+}
+
+// Without ReTuneOnCapChange the tuner keeps its converged configuration
+// (the "stale" behaviour the dynamic-cap experiment compares against).
+func TestStaleTunerIgnoresCapChange(t *testing.T) {
+	r := newRig(t)
+	tuner, err := New(r.apx, r.mach.Arch(), Options{Strategy: StrategyOnline, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := map[string]*sim.LoopModel{"alpha": imbalancedLoop()}
+	r.runApp(t, 40, regions)
+	evals := tuner.Report()[0].Evals
+
+	if err := r.mach.SetPowerCap(55); err != nil {
+		t.Fatal(err)
+	}
+	r.runApp(t, 10, regions)
+	if got := r.apx.Counter("arcs.cap_changes"); got != 0 {
+		t.Errorf("stale tuner must not track cap changes, counter = %v", got)
+	}
+	if after := tuner.Report()[0].Evals; after != evals {
+		t.Errorf("stale tuner restarted its search: %d -> %d evals", evals, after)
+	}
+}

@@ -1,0 +1,152 @@
+package arcs
+
+import (
+	"testing"
+
+	"arcs/internal/harmony"
+	"arcs/internal/ompt"
+	"arcs/internal/sim"
+)
+
+func TestWithDVFSSpace(t *testing.T) {
+	arch := sim.Crill()
+	ss := TableISpace(arch).WithDVFS(arch)
+	if !ss.HasDVFS() {
+		t.Fatal("WithDVFS must enable the dimension")
+	}
+	if ss.Dims() != 4 {
+		t.Errorf("Dims = %d", ss.Dims())
+	}
+	if ss.Size() != 252*7 {
+		t.Errorf("Size = %d, want %d", ss.Size(), 252*7)
+	}
+	if ss.Freqs[len(ss.Freqs)-1] != 0 {
+		t.Errorf("last frequency must be the governor default (0): %v", ss.Freqs)
+	}
+	if err := ss.Validate(arch); err != nil {
+		t.Errorf("DVFS space must validate: %v", err)
+	}
+	bad := ss
+	bad.Freqs = []float64{9.9}
+	if err := bad.Validate(arch); err == nil {
+		t.Errorf("out-of-range frequency must fail validation")
+	}
+}
+
+func TestDVFSDecodeEncodeRoundTrip(t *testing.T) {
+	arch := sim.Crill()
+	ss := TableISpace(arch).WithDVFS(arch)
+	hs, err := ss.HarmonySpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Dims() != 4 || hs.Size() != ss.Size() {
+		t.Fatalf("harmony space mismatch: dims=%d size=%d", hs.Dims(), hs.Size())
+	}
+	p := harmony.Point{1, 2, 3, 2}
+	cfg, err := ss.Decode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FreqGHz != ss.Freqs[2] {
+		t.Errorf("decoded freq = %v", cfg.FreqGHz)
+	}
+	back, ok := ss.Encode(cfg)
+	if !ok || !back.Equal(p) {
+		t.Errorf("round trip %v -> %v -> %v", p, cfg, back)
+	}
+	// 3-dim points are rejected on a 4-dim space.
+	if _, err := ss.Decode(harmony.Point{0, 0, 0}); err == nil {
+		t.Errorf("short point must fail on a DVFS space")
+	}
+	// Default point decodes to all-defaults including freq 0.
+	def, err := ss.Decode(ss.DefaultPoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != (ConfigValues{}) {
+		t.Errorf("default point decodes to %v", def)
+	}
+}
+
+func TestConfigValuesStringWithFreq(t *testing.T) {
+	c := ConfigValues{Threads: 16, Schedule: ompt.ScheduleGuided, Chunk: 8, FreqGHz: 1.92}
+	if got := c.String(); got != "16, guided, 8, 1.92GHz" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	m := ompt.Metrics{TimeS: 2, EnergyJ: 100, DRAMEnergyJ: 25}
+	cases := []struct {
+		obj  Objective
+		want float64
+	}{
+		{ObjectiveTime, 2},
+		{ObjectiveEnergy, 100},
+		{ObjectiveEDP, 200},
+		{ObjectiveTotalEnergy, 125},
+	}
+	for _, c := range cases {
+		got, err := c.obj.Eval(m)
+		if err != nil || got != c.want {
+			t.Errorf("%v.Eval = %v, %v; want %v", c.obj, got, err, c.want)
+		}
+	}
+	// Energy objectives require counters.
+	noCtr := ompt.Metrics{TimeS: 2}
+	for _, obj := range []Objective{ObjectiveEnergy, ObjectiveEDP, ObjectiveTotalEnergy} {
+		if _, err := obj.Eval(noCtr); err == nil {
+			t.Errorf("%v must fail without energy counters", obj)
+		}
+	}
+	if _, err := Objective(99).Eval(m); err == nil {
+		t.Errorf("unknown objective must fail")
+	}
+	if ObjectiveTotalEnergy.String() != "total-energy" {
+		t.Errorf("objective name wrong")
+	}
+}
+
+// Integration: online tuning with the DVFS dimension against the real
+// runtime; the frequency must actually be applied on region execution.
+func TestTunerWithDVFS(t *testing.T) {
+	r := newRig(t)
+	tuner, err := New(r.apx, r.mach.Arch(), Options{
+		Strategy:  StrategyOnline,
+		Objective: ObjectiveEDP,
+		TuneDVFS:  true,
+		Seed:      11,
+		MaxEvals:  60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := map[string]*sim.LoopModel{"alpha": imbalancedLoop()}
+	r.runApp(t, 70, regions)
+	_ = tuner.Finish()
+
+	if got := r.apx.Counter("arcs.dvfs_unsupported"); got != 0 {
+		t.Errorf("omp runtime supports DVFS; unsupported counter = %v", got)
+	}
+	if got := r.apx.Counter("arcs.apply_errors"); got != 0 {
+		t.Errorf("apply errors = %v", got)
+	}
+	reps := tuner.Report()
+	if len(reps) != 1 || reps[0].Evals < 10 {
+		t.Fatalf("report = %+v", reps)
+	}
+	// The chosen frequency must be from the ladder (or the 0 default).
+	cfg := reps[0].Config
+	if cfg.FreqGHz != 0 {
+		found := false
+		for _, f := range r.mach.Arch().FreqLadder() {
+			if f == cfg.FreqGHz {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("chosen frequency %v not on the ladder", cfg.FreqGHz)
+		}
+	}
+}

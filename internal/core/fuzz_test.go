@@ -1,0 +1,48 @@
+package arcs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadHistoryFile ensures arbitrary bytes never panic the history
+// loader, and that anything it accepts can be saved and reloaded
+// losslessly.
+func FuzzLoadHistoryFile(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"key":{"app":"SP","workload":"B","cap_w":70,"region":"x_solve"},` +
+		`"config":{"threads":16,"schedule":3,"chunk":1},"perf":1.5}]`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[{"key":{},"config":{"freq_ghz":1.5}}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "h.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		h, err := LoadHistoryFile(path)
+		if err != nil {
+			return
+		}
+		// Round trip: anything accepted must save and reload identically.
+		out := filepath.Join(dir, "h2.json")
+		if err := h.SaveFile(out); err != nil {
+			t.Fatalf("save of accepted history failed: %v", err)
+		}
+		h2, err := LoadHistoryFile(out)
+		if err != nil {
+			t.Fatalf("reload failed: %v", err)
+		}
+		if h2.Len() != h.Len() {
+			t.Fatalf("round trip changed entry count: %d -> %d", h.Len(), h2.Len())
+		}
+		for _, e := range h.Entries() {
+			got, ok := h2.Load(e.Key)
+			if !ok || got != e.Cfg {
+				t.Fatalf("entry %v lost in round trip", e.Key)
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package arcs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// HistoryKey identifies one tuned context: the paper observes that optimal
+// configurations change across regions, power levels and workload sizes
+// (§II), so the history is keyed by all three plus the application.
+type HistoryKey struct {
+	App      string  `json:"app"`
+	Workload string  `json:"workload"`
+	CapW     float64 `json:"cap_w"` // effective cap (TDP when uncapped)
+	Region   string  `json:"region"`
+}
+
+// String renders the canonical key form used in history files.
+func (k HistoryKey) String() string {
+	return fmt.Sprintf("%s|%s|%g|%s", k.App, k.Workload, k.CapW, k.Region)
+}
+
+// History stores the best configurations found by search runs so that
+// later executions "can use the saved values instead of repeating the
+// search process" (§III-B).
+type History interface {
+	// Save records the best configuration for a context.
+	Save(k HistoryKey, cfg ConfigValues, perf float64)
+	// Load retrieves a previously saved configuration.
+	Load(k HistoryKey) (ConfigValues, bool)
+	// Len reports the number of stored entries.
+	Len() int
+}
+
+// historyEntry is the serialised record.
+type historyEntry struct {
+	Key  HistoryKey   `json:"key"`
+	Cfg  ConfigValues `json:"config"`
+	Perf float64      `json:"perf"`
+}
+
+// MemHistory is an in-memory History, used by the benchmark harness where
+// search and replay runs happen in one process.
+type MemHistory struct {
+	entries map[string]historyEntry
+}
+
+// NewMemHistory creates an empty in-memory history.
+func NewMemHistory() *MemHistory {
+	return &MemHistory{entries: make(map[string]historyEntry)}
+}
+
+// Save implements History.
+func (h *MemHistory) Save(k HistoryKey, cfg ConfigValues, perf float64) {
+	h.entries[k.String()] = historyEntry{Key: k, Cfg: cfg, Perf: perf}
+}
+
+// Load implements History.
+func (h *MemHistory) Load(k HistoryKey) (ConfigValues, bool) {
+	e, ok := h.entries[k.String()]
+	return e.Cfg, ok
+}
+
+// Len implements History.
+func (h *MemHistory) Len() int { return len(h.entries) }
+
+// Entries returns the stored records sorted by key (deterministic output
+// for reports and tests).
+func (h *MemHistory) Entries() []struct {
+	Key  HistoryKey
+	Cfg  ConfigValues
+	Perf float64
+} {
+	keys := make([]string, 0, len(h.entries))
+	for k := range h.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]struct {
+		Key  HistoryKey
+		Cfg  ConfigValues
+		Perf float64
+	}, 0, len(keys))
+	for _, k := range keys {
+		e := h.entries[k]
+		out = append(out, struct {
+			Key  HistoryKey
+			Cfg  ConfigValues
+			Perf float64
+		}{e.Key, e.Cfg, e.Perf})
+	}
+	return out
+}
+
+// SaveFile serialises the history to a JSON file (the paper's "history
+// file" that the offline strategy reads "only once during the whole
+// application lifetime").
+func (h *MemHistory) SaveFile(path string) error {
+	keys := make([]string, 0, len(h.entries))
+	for k := range h.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	list := make([]historyEntry, 0, len(keys))
+	for _, k := range keys {
+		list = append(list, h.entries[k])
+	}
+	data, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return fmt.Errorf("arcs: encode history: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("arcs: write history: %w", err)
+	}
+	return nil
+}
+
+// LoadHistoryFile reads a history file written by SaveFile.
+func LoadHistoryFile(path string) (*MemHistory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("arcs: read history: %w", err)
+	}
+	var list []historyEntry
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("arcs: decode history: %w", err)
+	}
+	h := NewMemHistory()
+	for _, e := range list {
+		h.entries[e.Key.String()] = e
+	}
+	return h, nil
+}
+
+var _ History = (*MemHistory)(nil)

@@ -1,0 +1,99 @@
+package arcs
+
+import (
+	"path/filepath"
+	"testing"
+
+	"arcs/internal/ompt"
+)
+
+func TestMemHistoryRoundTrip(t *testing.T) {
+	h := NewMemHistory()
+	k := HistoryKey{App: "SP", Workload: "B", CapW: 70, Region: "x_solve"}
+	cfg := ConfigValues{Threads: 16, Schedule: ompt.ScheduleGuided, Chunk: 1}
+	h.Save(k, cfg, 1.5)
+	got, ok := h.Load(k)
+	if !ok || got != cfg {
+		t.Errorf("Load = %v, %v", got, ok)
+	}
+	if _, ok := h.Load(HistoryKey{App: "SP", Workload: "B", CapW: 85, Region: "x_solve"}); ok {
+		t.Errorf("different cap must be a different key")
+	}
+	if _, ok := h.Load(HistoryKey{App: "SP", Workload: "C", CapW: 70, Region: "x_solve"}); ok {
+		t.Errorf("different workload must be a different key")
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d", h.Len())
+	}
+}
+
+func TestHistoryOverwrite(t *testing.T) {
+	h := NewMemHistory()
+	k := HistoryKey{App: "BT", Workload: "B", CapW: 115, Region: "compute_rhs"}
+	h.Save(k, ConfigValues{Threads: 8}, 2.0)
+	h.Save(k, ConfigValues{Threads: 24}, 1.0)
+	got, _ := h.Load(k)
+	if got.Threads != 24 {
+		t.Errorf("overwrite failed: %v", got)
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len after overwrite = %d", h.Len())
+	}
+}
+
+func TestHistoryEntriesSorted(t *testing.T) {
+	h := NewMemHistory()
+	h.Save(HistoryKey{App: "b", Region: "r"}, ConfigValues{}, 1)
+	h.Save(HistoryKey{App: "a", Region: "r"}, ConfigValues{}, 2)
+	es := h.Entries()
+	if len(es) != 2 || es[0].Key.App != "a" || es[1].Key.App != "b" {
+		t.Errorf("entries not sorted: %+v", es)
+	}
+}
+
+func TestHistoryFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arcs-history.json")
+	h := NewMemHistory()
+	k1 := HistoryKey{App: "SP", Workload: "C", CapW: 115, Region: "compute_rhs"}
+	k2 := HistoryKey{App: "LULESH", Workload: "45", CapW: 55, Region: "EvalEOSForElems"}
+	h.Save(k1, ConfigValues{Threads: 16, Schedule: ompt.ScheduleGuided, Chunk: 8}, 3.25)
+	h.Save(k2, ConfigValues{Threads: 4, Schedule: ompt.ScheduleStatic, Chunk: 32}, 0.001)
+	if err := h.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadHistoryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d entries", loaded.Len())
+	}
+	for _, k := range []HistoryKey{k1, k2} {
+		want, _ := h.Load(k)
+		got, ok := loaded.Load(k)
+		if !ok || got != want {
+			t.Errorf("key %v: got %v want %v", k, got, want)
+		}
+	}
+}
+
+func TestLoadHistoryFileErrors(t *testing.T) {
+	if _, err := LoadHistoryFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Errorf("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHistoryFile(bad); err == nil {
+		t.Errorf("malformed file must error")
+	}
+}
+
+func TestHistoryKeyString(t *testing.T) {
+	k := HistoryKey{App: "SP", Workload: "B", CapW: 70, Region: "x_solve"}
+	if got := k.String(); got != "SP|B|70|x_solve" {
+		t.Errorf("key = %q", got)
+	}
+}

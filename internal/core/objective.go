@@ -1,0 +1,66 @@
+package arcs
+
+import (
+	"fmt"
+
+	"arcs/internal/ompt"
+)
+
+// Objective selects what ARCS minimises. The paper tunes for execution
+// time (APEX "reports the time to complete the parallel region"); the
+// energy and EDP objectives are provided as the natural extensions for
+// power-constrained operation.
+type Objective int
+
+const (
+	// ObjectiveTime minimises region wall time (the paper's objective).
+	ObjectiveTime Objective = iota
+	// ObjectiveEnergy minimises region package energy.
+	ObjectiveEnergy
+	// ObjectiveEDP minimises the energy-delay product.
+	ObjectiveEDP
+	// ObjectiveTotalEnergy minimises package plus DRAM energy — usable once
+	// the §VII future-work memory-power accounting is available.
+	ObjectiveTotalEnergy
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveTime:
+		return "time"
+	case ObjectiveEnergy:
+		return "energy"
+	case ObjectiveEDP:
+		return "edp"
+	case ObjectiveTotalEnergy:
+		return "total-energy"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Eval extracts the objective value (lower is better) from a measurement.
+func (o Objective) Eval(m ompt.Metrics) (float64, error) {
+	switch o {
+	case ObjectiveTime:
+		return m.TimeS, nil
+	case ObjectiveEnergy:
+		if m.EnergyJ <= 0 {
+			return 0, fmt.Errorf("arcs: energy objective requires energy counters")
+		}
+		return m.EnergyJ, nil
+	case ObjectiveEDP:
+		if m.EnergyJ <= 0 {
+			return 0, fmt.Errorf("arcs: EDP objective requires energy counters")
+		}
+		return m.EnergyJ * m.TimeS, nil
+	case ObjectiveTotalEnergy:
+		if m.EnergyJ <= 0 || m.DRAMEnergyJ <= 0 {
+			return 0, fmt.Errorf("arcs: total-energy objective requires package and DRAM counters")
+		}
+		return m.EnergyJ + m.DRAMEnergyJ, nil
+	default:
+		return 0, fmt.Errorf("arcs: unknown objective %d", int(o))
+	}
+}

@@ -1,0 +1,296 @@
+// Package arcs implements the ARCS framework — Adaptive Runtime
+// Configuration Selection — the paper's primary contribution. ARCS is an
+// APEX policy: it listens to the region timer events APEX derives from
+// OMPT, runs one Active Harmony tuning session per OpenMP parallel region,
+// and sets the number of threads, scheduling policy and chunk size for
+// each region invocation through the OpenMP control plane. Two strategies
+// are provided, matching the paper:
+//
+//   - ARCS-Online: Nelder-Mead search converging within a single run, with
+//     the search overhead charged to that run;
+//   - ARCS-Offline: an exhaustive search run that saves the best
+//     configuration per region to a history file, then a measured replay
+//     run that reads the history "only once during the whole application
+//     lifetime" (§III-C).
+package arcs
+
+import (
+	"fmt"
+
+	"arcs/internal/harmony"
+	"arcs/internal/ompt"
+	"arcs/internal/sim"
+)
+
+// ConfigValues is a decoded point of the ARCS search space. Zero values
+// mean "default": all hardware threads, compiled-in schedule, derived
+// chunk — exactly the paper's baseline semantics.
+type ConfigValues struct {
+	Threads  int               `json:"threads"`  // 0 = default (max hardware threads)
+	Schedule ompt.ScheduleKind `json:"schedule"` // ScheduleDefault = runtime default
+	Chunk    int               `json:"chunk"`    // 0 = default
+	// FreqGHz is the requested DVFS point (0 = leave the governor alone).
+	// Populated only when the search space includes the future-work DVFS
+	// dimension (§VII).
+	FreqGHz float64 `json:"freq_ghz,omitempty"`
+	// Bind is the thread placement policy (OMP_PROC_BIND); BindDefault
+	// keeps the runtime's spread policy. Populated only when the space
+	// includes the placement dimension.
+	Bind ompt.BindKind `json:"bind,omitempty"`
+}
+
+// String renders the config in the paper's "16, guided, 8" style.
+func (c ConfigValues) String() string {
+	th := "default"
+	if c.Threads > 0 {
+		th = fmt.Sprintf("%d", c.Threads)
+	}
+	ch := "default"
+	if c.Chunk > 0 {
+		ch = fmt.Sprintf("%d", c.Chunk)
+	}
+	out := fmt.Sprintf("%s, %s, %s", th, c.Schedule, ch)
+	if c.FreqGHz > 0 {
+		out += fmt.Sprintf(", %.2fGHz", c.FreqGHz)
+	}
+	if c.Bind != ompt.BindDefault {
+		out += ", " + c.Bind.String()
+	}
+	return out
+}
+
+// SearchSpace is the reduced ARCS parameter space of Table I.
+type SearchSpace struct {
+	Threads   []int               // candidate team sizes; 0 = default
+	Schedules []ompt.ScheduleKind // candidate schedule kinds
+	Chunks    []int               // candidate chunk sizes; 0 = default
+	// Freqs optionally adds the §VII future-work DVFS dimension: candidate
+	// frequency requests in GHz, 0 = governor default. Empty disables it.
+	Freqs []float64
+	// Binds optionally adds the thread-placement dimension
+	// (OMP_PROC_BIND). Empty disables it.
+	Binds []ompt.BindKind
+}
+
+// TableISpace returns the paper's Table I search space for an
+// architecture: Crill and Minotaur get their published thread sets; other
+// architectures get a power-of-two ladder up to the hardware thread count.
+func TableISpace(arch *sim.Arch) SearchSpace {
+	ss := SearchSpace{
+		Schedules: []ompt.ScheduleKind{
+			ompt.ScheduleDynamic, ompt.ScheduleStatic, ompt.ScheduleGuided, ompt.ScheduleDefault,
+		},
+		Chunks: []int{1, 8, 16, 32, 64, 128, 256, 512, 0},
+	}
+	switch arch.Name {
+	case "Crill":
+		ss.Threads = []int{2, 4, 8, 16, 24, 32, 0}
+	case "Minotaur":
+		ss.Threads = []int{10, 20, 40, 80, 120, 160, 0}
+	default:
+		for t := 2; t <= arch.HWThreads(); t *= 2 {
+			ss.Threads = append(ss.Threads, t)
+		}
+		ss.Threads = append(ss.Threads, 0)
+	}
+	return ss
+}
+
+// Validate checks the space is non-degenerate and within hardware limits.
+func (ss SearchSpace) Validate(arch *sim.Arch) error {
+	if len(ss.Threads) == 0 || len(ss.Schedules) == 0 || len(ss.Chunks) == 0 {
+		return fmt.Errorf("arcs: empty search space dimension")
+	}
+	for _, t := range ss.Threads {
+		if t < 0 || t > arch.HWThreads() {
+			return fmt.Errorf("arcs: thread count %d outside [0, %d]", t, arch.HWThreads())
+		}
+	}
+	for _, c := range ss.Chunks {
+		if c < 0 {
+			return fmt.Errorf("arcs: negative chunk %d", c)
+		}
+	}
+	for _, k := range ss.Schedules {
+		switch k {
+		case ompt.ScheduleDefault, ompt.ScheduleStatic, ompt.ScheduleDynamic, ompt.ScheduleGuided:
+		default:
+			return fmt.Errorf("arcs: unknown schedule kind %v", k)
+		}
+	}
+	for _, f := range ss.Freqs {
+		if f != 0 && (f < arch.MinGHz || f > arch.BaseGHz) {
+			return fmt.Errorf("arcs: frequency %g outside [%g, %g] GHz", f, arch.MinGHz, arch.BaseGHz)
+		}
+	}
+	for _, b := range ss.Binds {
+		switch b {
+		case ompt.BindDefault, ompt.BindSpread, ompt.BindClose:
+		default:
+			return fmt.Errorf("arcs: unknown bind kind %v", b)
+		}
+	}
+	return nil
+}
+
+// WithDVFS returns a copy of the space extended with the architecture's
+// frequency ladder plus the governor default.
+func (ss SearchSpace) WithDVFS(arch *sim.Arch) SearchSpace {
+	out := ss
+	out.Freqs = append(append([]float64(nil), arch.FreqLadder()...), 0)
+	return out
+}
+
+// HasDVFS reports whether the DVFS dimension is enabled.
+func (ss SearchSpace) HasDVFS() bool { return len(ss.Freqs) > 0 }
+
+// WithBind returns a copy of the space extended with the thread-placement
+// dimension {close, default(spread)}.
+func (ss SearchSpace) WithBind() SearchSpace {
+	out := ss
+	out.Binds = []ompt.BindKind{ompt.BindClose, ompt.BindDefault}
+	return out
+}
+
+// HasBind reports whether the placement dimension is enabled.
+func (ss SearchSpace) HasBind() bool { return len(ss.Binds) > 0 }
+
+// HarmonySpace builds the discrete lattice Active Harmony searches.
+func (ss SearchSpace) HarmonySpace() (harmony.Space, error) {
+	params := []harmony.Param{
+		{Name: "num_threads", Card: len(ss.Threads)},
+		{Name: "schedule", Card: len(ss.Schedules)},
+		{Name: "chunk", Card: len(ss.Chunks)},
+	}
+	if ss.HasDVFS() {
+		params = append(params, harmony.Param{Name: "freq", Card: len(ss.Freqs)})
+	}
+	if ss.HasBind() {
+		params = append(params, harmony.Param{Name: "proc_bind", Card: len(ss.Binds)})
+	}
+	return harmony.NewSpace(params...)
+}
+
+// Decode maps a lattice point to configuration values.
+func (ss SearchSpace) Decode(p harmony.Point) (ConfigValues, error) {
+	want := ss.Dims()
+	if len(p) != want {
+		return ConfigValues{}, fmt.Errorf("arcs: point has %d dims, want %d", len(p), want)
+	}
+	if p[0] < 0 || p[0] >= len(ss.Threads) || p[1] < 0 || p[1] >= len(ss.Schedules) || p[2] < 0 || p[2] >= len(ss.Chunks) {
+		return ConfigValues{}, fmt.Errorf("arcs: point %v outside space", p)
+	}
+	cfg := ConfigValues{
+		Threads:  ss.Threads[p[0]],
+		Schedule: ss.Schedules[p[1]],
+		Chunk:    ss.Chunks[p[2]],
+	}
+	idx := 3
+	if ss.HasDVFS() {
+		if p[idx] < 0 || p[idx] >= len(ss.Freqs) {
+			return ConfigValues{}, fmt.Errorf("arcs: point %v outside space", p)
+		}
+		cfg.FreqGHz = ss.Freqs[p[idx]]
+		idx++
+	}
+	if ss.HasBind() {
+		if p[idx] < 0 || p[idx] >= len(ss.Binds) {
+			return ConfigValues{}, fmt.Errorf("arcs: point %v outside space", p)
+		}
+		cfg.Bind = ss.Binds[p[idx]]
+	}
+	return cfg, nil
+}
+
+// Dims returns the number of search dimensions: 3 base, plus the optional
+// DVFS and placement dimensions.
+func (ss SearchSpace) Dims() int {
+	d := 3
+	if ss.HasDVFS() {
+		d++
+	}
+	if ss.HasBind() {
+		d++
+	}
+	return d
+}
+
+// Encode maps configuration values back to a lattice point; ok=false if
+// any value is not in the space.
+func (ss SearchSpace) Encode(c ConfigValues) (harmony.Point, bool) {
+	p := make(harmony.Point, ss.Dims())
+	for i := range p {
+		p[i] = -1
+	}
+	for i, t := range ss.Threads {
+		if t == c.Threads {
+			p[0] = i
+			break
+		}
+	}
+	for i, k := range ss.Schedules {
+		if k == c.Schedule {
+			p[1] = i
+			break
+		}
+	}
+	for i, ch := range ss.Chunks {
+		if ch == c.Chunk {
+			p[2] = i
+			break
+		}
+	}
+	idx := 3
+	if ss.HasDVFS() {
+		for i, f := range ss.Freqs {
+			if f == c.FreqGHz {
+				p[idx] = i
+				break
+			}
+		}
+		idx++
+	}
+	if ss.HasBind() {
+		for i, b := range ss.Binds {
+			if b == c.Bind {
+				p[idx] = i
+				break
+			}
+		}
+	}
+	for _, v := range p {
+		if v < 0 {
+			return p, false
+		}
+	}
+	return p, true
+}
+
+// DefaultPoint returns the lattice point of the default configuration, or
+// the last point of each dimension when the defaults are not in the space.
+func (ss SearchSpace) DefaultPoint() harmony.Point {
+	p, ok := ss.Encode(ConfigValues{})
+	if ok {
+		return p
+	}
+	p = harmony.Point{len(ss.Threads) - 1, len(ss.Schedules) - 1, len(ss.Chunks) - 1}
+	if ss.HasDVFS() {
+		p = append(p, len(ss.Freqs)-1)
+	}
+	if ss.HasBind() {
+		p = append(p, len(ss.Binds)-1)
+	}
+	return p
+}
+
+// Size returns the number of configurations in the space.
+func (ss SearchSpace) Size() int {
+	n := len(ss.Threads) * len(ss.Schedules) * len(ss.Chunks)
+	if ss.HasDVFS() {
+		n *= len(ss.Freqs)
+	}
+	if ss.HasBind() {
+		n *= len(ss.Binds)
+	}
+	return n
+}

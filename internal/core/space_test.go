@@ -1,0 +1,138 @@
+package arcs
+
+import (
+	"testing"
+
+	"arcs/internal/harmony"
+	"arcs/internal/ompt"
+	"arcs/internal/sim"
+)
+
+func TestTableISpaceCrill(t *testing.T) {
+	ss := TableISpace(sim.Crill())
+	wantThreads := []int{2, 4, 8, 16, 24, 32, 0}
+	if len(ss.Threads) != len(wantThreads) {
+		t.Fatalf("threads = %v", ss.Threads)
+	}
+	for i, w := range wantThreads {
+		if ss.Threads[i] != w {
+			t.Errorf("threads[%d] = %d, want %d", i, ss.Threads[i], w)
+		}
+	}
+	if len(ss.Schedules) != 4 {
+		t.Errorf("schedules = %v", ss.Schedules)
+	}
+	if len(ss.Chunks) != 9 {
+		t.Errorf("chunks = %v", ss.Chunks)
+	}
+	if ss.Size() != 7*4*9 {
+		t.Errorf("Size = %d, want 252", ss.Size())
+	}
+	if err := ss.Validate(sim.Crill()); err != nil {
+		t.Errorf("Table I space must validate: %v", err)
+	}
+}
+
+func TestTableISpaceMinotaur(t *testing.T) {
+	ss := TableISpace(sim.Minotaur())
+	want := []int{10, 20, 40, 80, 120, 160, 0}
+	for i, w := range want {
+		if ss.Threads[i] != w {
+			t.Errorf("threads[%d] = %d, want %d", i, ss.Threads[i], w)
+		}
+	}
+	if err := ss.Validate(sim.Minotaur()); err != nil {
+		t.Errorf("%v", err)
+	}
+}
+
+func TestTableISpaceGenericArch(t *testing.T) {
+	a := sim.Crill()
+	a.Name = "Other"
+	ss := TableISpace(a)
+	if len(ss.Threads) == 0 || ss.Threads[len(ss.Threads)-1] != 0 {
+		t.Errorf("generic space must end with default: %v", ss.Threads)
+	}
+	if err := ss.Validate(a); err != nil {
+		t.Errorf("%v", err)
+	}
+}
+
+func TestSpaceValidation(t *testing.T) {
+	arch := sim.Crill()
+	bad := SearchSpace{Threads: []int{64}, Schedules: []ompt.ScheduleKind{ompt.ScheduleStatic}, Chunks: []int{1}}
+	if err := bad.Validate(arch); err == nil {
+		t.Errorf("64 threads on Crill must fail")
+	}
+	bad2 := SearchSpace{Threads: []int{2}, Schedules: []ompt.ScheduleKind{ompt.ScheduleKind(99)}, Chunks: []int{1}}
+	if err := bad2.Validate(arch); err == nil {
+		t.Errorf("unknown schedule must fail")
+	}
+	bad3 := SearchSpace{Threads: []int{2}, Schedules: []ompt.ScheduleKind{ompt.ScheduleStatic}, Chunks: []int{-1}}
+	if err := bad3.Validate(arch); err == nil {
+		t.Errorf("negative chunk must fail")
+	}
+	empty := SearchSpace{}
+	if err := empty.Validate(arch); err == nil {
+		t.Errorf("empty space must fail")
+	}
+}
+
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	ss := TableISpace(sim.Crill())
+	hs, err := ss.HarmonySpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Size() != ss.Size() {
+		t.Errorf("harmony size %d != space size %d", hs.Size(), ss.Size())
+	}
+	for ti := range ss.Threads {
+		for si := range ss.Schedules {
+			for ci := range ss.Chunks {
+				p := harmony.Point{ti, si, ci}
+				cfg, err := ss.Decode(p)
+				if err != nil {
+					t.Fatalf("Decode(%v): %v", p, err)
+				}
+				back, ok := ss.Encode(cfg)
+				if !ok || !back.Equal(p) {
+					t.Fatalf("round trip %v -> %v -> %v", p, cfg, back)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	ss := TableISpace(sim.Crill())
+	if _, err := ss.Decode(harmony.Point{0, 0}); err == nil {
+		t.Errorf("short point must fail")
+	}
+	if _, err := ss.Decode(harmony.Point{99, 0, 0}); err == nil {
+		t.Errorf("out-of-range point must fail")
+	}
+}
+
+func TestDefaultPoint(t *testing.T) {
+	ss := TableISpace(sim.Crill())
+	p := ss.DefaultPoint()
+	cfg, err := ss.Decode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Threads != 0 || cfg.Schedule != ompt.ScheduleDefault || cfg.Chunk != 0 {
+		t.Errorf("default point decodes to %v", cfg)
+	}
+}
+
+func TestConfigValuesString(t *testing.T) {
+	c := ConfigValues{Threads: 16, Schedule: ompt.ScheduleGuided, Chunk: 8}
+	if got := c.String(); got != "16, guided, 8" {
+		t.Errorf("String = %q", got)
+	}
+	d := ConfigValues{}
+	if got := d.String(); got != "default, default, default" {
+		t.Errorf("String = %q", got)
+	}
+}

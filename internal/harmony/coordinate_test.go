@@ -1,0 +1,76 @@
+package harmony
+
+import (
+	"testing"
+)
+
+func TestCoordinateDescentFindsSeparableOptimum(t *testing.T) {
+	// A separable objective (no parameter interactions) is coordinate
+	// descent's best case: it must find the exact optimum.
+	s := space3(t)
+	target := Point{5, 1, 7}
+	sess := NewSession(s, NewCoordinateDescent(s, Point{0, 0, 0}, 0))
+	best := drive(t, sess, quad(target), 500)
+	if !best.Equal(target) {
+		t.Errorf("CD best = %v, want %v (separable objective)", best, target)
+	}
+}
+
+func TestCoordinateDescentMissesInteractions(t *testing.T) {
+	// A strongly coupled objective: minimum on the anti-diagonal, which
+	// axis sweeps from the wrong corner cannot reach in one pass. CD must
+	// still converge and return something valid.
+	s, err := NewSpace(Param{"a", 9}, Param{"b", 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coupled := func(p Point) float64 {
+		// Minimum at (8, 0) with a steep valley along a+b == 8.
+		d := float64(p[0] + p[1] - 8)
+		return d*d*10 + float64(8-p[0])
+	}
+	sess := NewSession(s, NewCoordinateDescent(s, Point{0, 8}, 0))
+	best := drive(t, sess, coupled, 500)
+	if !s.Valid(best) {
+		t.Fatalf("invalid best %v", best)
+	}
+	if coupled(best) > coupled(Point{0, 8}) {
+		t.Errorf("CD must not end worse than its seed")
+	}
+}
+
+func TestCoordinateDescentBudget(t *testing.T) {
+	s := space3(t)
+	cd := NewCoordinateDescent(s, Point{0, 0, 0}, 7)
+	sess := NewSession(s, cd)
+	drive(t, sess, quad(Point{6, 3, 8}), 200)
+	if !cd.Converged() {
+		t.Errorf("CD must converge once the budget is spent")
+	}
+	if sess.Evals() > 7 {
+		t.Errorf("CD exceeded its budget: %d evals", sess.Evals())
+	}
+}
+
+func TestCoordinateDescentConvergesWithoutImprovement(t *testing.T) {
+	// Constant objective: the first full pass finds no improvement and the
+	// search must stop rather than loop.
+	s := space3(t)
+	sess := NewSession(s, NewCoordinateDescent(s, Point{3, 2, 4}, 0))
+	flat := func(Point) float64 { return 1 }
+	best := drive(t, sess, flat, 1000)
+	if !s.Valid(best) {
+		t.Errorf("invalid best %v", best)
+	}
+}
+
+func TestCoordinateDescentDeterministic(t *testing.T) {
+	run := func() Point {
+		s := space3(t)
+		sess := NewSession(s, NewCoordinateDescent(s, Point{2, 2, 2}, 0))
+		return drive(t, sess, quad(Point{1, 3, 6}), 500)
+	}
+	if a, b := run(), run(); !a.Equal(b) {
+		t.Errorf("CD must be deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,35 @@
+package harmony_test
+
+import (
+	"fmt"
+
+	"arcs/internal/harmony"
+)
+
+// A tuning session minimises a black-box objective over a discrete
+// parameter lattice using the fetch/report protocol.
+func ExampleSession() {
+	space, _ := harmony.NewSpace(
+		harmony.Param{Name: "threads", Card: 7},
+		harmony.Param{Name: "schedule", Card: 4},
+		harmony.Param{Name: "chunk", Card: 9},
+	)
+	// Exhaustive search guarantees the optimum; ARCS-Online would use
+	// harmony.NewNelderMead here to converge in far fewer evaluations.
+	sess := harmony.NewSession(space, harmony.NewExhaustive(space))
+
+	objective := func(p harmony.Point) float64 {
+		d0, d1, d2 := float64(p[0]-4), float64(p[1]-2), float64(p[2]-6)
+		return d0*d0 + d1*d1 + d2*d2
+	}
+	for {
+		p, done := sess.Fetch()
+		if done {
+			fmt.Println("best:", p)
+			break
+		}
+		sess.Report(objective(p))
+	}
+	// Output:
+	// best: [4 2 6]
+}

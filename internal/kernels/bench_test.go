@@ -1,0 +1,42 @@
+package kernels
+
+import (
+	"testing"
+
+	"arcs/internal/omp"
+	"arcs/internal/sim"
+)
+
+// benchApp times one full application run on a fresh machine — the unit of
+// work every experiment arm repeats.
+func benchApp(b *testing.B, build func() (*App, error), steps int) {
+	b.Helper()
+	app, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	app = app.WithSteps(steps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.NewMachine(sim.Crill())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := app.Run(omp.NewRuntime(m)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPClassB(b *testing.B) {
+	benchApp(b, func() (*App, error) { return SP(ClassB) }, 10)
+}
+
+func BenchmarkBTClassB(b *testing.B) {
+	benchApp(b, func() (*App, error) { return BT(ClassB) }, 10)
+}
+
+func BenchmarkLULESH45(b *testing.B) {
+	benchApp(b, func() (*App, error) { return LULESH(45) }, 5)
+}

@@ -1,0 +1,122 @@
+// Package kernels provides region-level workload models of the paper's
+// three benchmarks — NPB SP, NPB BT (both 3.3-OMP-C, classes B and C) and
+// LULESH 2.0 (mesh 45 and 60) — parameterised from the paper's own §V
+// characterisation:
+//
+//   - SP: good load balance but poor cache behaviour; ~75% of time in
+//     compute_rhs (poor LB + poor cache) and x/y/z_solve (poor cache);
+//   - BT: good load balance and cache behaviour except compute_rhs, whose
+//     long-stride second-order stencil defeats spatial locality;
+//   - LULESH: excellent balance and cache use; many small regions (the
+//     EvalEOSForElems/CalcPressureForElems calls that make per-invocation
+//     tuning overhead visible) plus one mildly imbalanced hourglass-force
+//     region.
+//
+// Each App is a list of region specifications invoked a fixed number of
+// times per time step; running an App against an omp.Runtime reproduces
+// the OMPT event stream ARCS tunes against.
+package kernels
+
+import (
+	"fmt"
+
+	"arcs/internal/omp"
+	"arcs/internal/sim"
+)
+
+// RegionSpec is one OpenMP parallel region of an application.
+type RegionSpec struct {
+	Name         string
+	Model        *sim.LoopModel
+	CallsPerStep int
+}
+
+// App is a benchmark: a named set of regions executed per time step.
+type App struct {
+	Name     string
+	Workload string // class or mesh size: "B", "C", "45", "60"
+	Steps    int
+	Regions  []RegionSpec
+}
+
+// String returns "SP.B"-style identification.
+func (a *App) String() string { return a.Name + "." + a.Workload }
+
+// Validate checks the app is runnable.
+func (a *App) Validate() error {
+	if a.Steps <= 0 {
+		return fmt.Errorf("kernels: %s: non-positive steps", a)
+	}
+	if len(a.Regions) == 0 {
+		return fmt.Errorf("kernels: %s: no regions", a)
+	}
+	for _, r := range a.Regions {
+		if r.CallsPerStep <= 0 {
+			return fmt.Errorf("kernels: %s: region %q has no calls per step", a, r.Name)
+		}
+		if err := r.Model.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunResult summarises one application execution.
+type RunResult struct {
+	TimeS       float64
+	EnergyJ     float64 // package energy
+	DRAMEnergyJ float64 // memory energy (§VII future-work accounting)
+}
+
+// Run executes the application on the runtime: Steps time steps, each
+// invoking every region CallsPerStep times in declaration order. It
+// returns wall time and package energy for the run.
+func (a *App) Run(rt *omp.Runtime) (RunResult, error) {
+	if err := a.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	m := rt.Machine()
+	t0, e0, d0 := m.Now(), m.EnergyJ(), m.DRAMEnergyJ()
+	for step := 0; step < a.Steps; step++ {
+		for _, spec := range a.Regions {
+			region := rt.Region(spec.Name, spec.Model)
+			for c := 0; c < spec.CallsPerStep; c++ {
+				if _, err := rt.Run(region); err != nil {
+					return RunResult{}, fmt.Errorf("kernels: %s step %d: %w", a, step, err)
+				}
+			}
+		}
+	}
+	return RunResult{
+		TimeS:       m.Now() - t0,
+		EnergyJ:     m.EnergyJ() - e0,
+		DRAMEnergyJ: m.DRAMEnergyJ() - d0,
+	}, nil
+}
+
+// WithSteps returns a shallow copy running a different number of steps
+// (search runs need enough invocations to exhaust the space).
+func (a *App) WithSteps(steps int) *App {
+	cp := *a
+	cp.Steps = steps
+	return &cp
+}
+
+// Region returns the spec with the given name, or nil.
+func (a *App) Region(name string) *RegionSpec {
+	for i := range a.Regions {
+		if a.Regions[i].Name == name {
+			return &a.Regions[i]
+		}
+	}
+	return nil
+}
+
+// InvocationsPerStep returns the total region invocations per time step.
+func (a *App) InvocationsPerStep() int {
+	n := 0
+	for _, r := range a.Regions {
+		n += r.CallsPerStep
+	}
+	return n
+}

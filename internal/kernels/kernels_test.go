@@ -1,0 +1,291 @@
+package kernels
+
+import (
+	"testing"
+
+	"arcs/internal/omp"
+	"arcs/internal/sim"
+)
+
+func crill(t *testing.T) *sim.Machine {
+	t.Helper()
+	m, err := sim.NewMachine(sim.Crill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func allApps(t *testing.T) []*App {
+	t.Helper()
+	spB, err := SP(ClassB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spC, err := SP(ClassC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	btB, err := BT(ClassB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	btC, err := BT(ClassC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l45, err := LULESH(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l60, err := LULESH(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*App{spB, spC, btB, btC, l45, l60}
+}
+
+func TestAppsValidate(t *testing.T) {
+	for _, app := range allApps(t) {
+		if err := app.Validate(); err != nil {
+			t.Errorf("%s: %v", app, err)
+		}
+	}
+}
+
+func TestUnsupportedWorkloads(t *testing.T) {
+	if _, err := SP(Class("D")); err == nil {
+		t.Errorf("class D must be rejected")
+	}
+	if _, err := BT(Class("A")); err == nil {
+		t.Errorf("class A must be rejected")
+	}
+	if _, err := LULESH(30); err == nil {
+		t.Errorf("mesh 30 must be rejected")
+	}
+}
+
+func TestSPStructure(t *testing.T) {
+	app, err := SP(ClassB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Regions) != 13 {
+		t.Errorf("SP has %d regions, want 13 (§V-A)", len(app.Regions))
+	}
+	for _, name := range []string{"compute_rhs", "x_solve", "y_solve", "z_solve"} {
+		if app.Region(name) == nil {
+			t.Errorf("SP missing region %q", name)
+		}
+	}
+	if app.Region("no_such") != nil {
+		t.Errorf("Region must return nil for unknown names")
+	}
+}
+
+// The four major SP regions must account for roughly 75% of execution time
+// under the default configuration (§V-A: "almost 75%").
+func TestSPMajorsShare(t *testing.T) {
+	app, err := SP(ClassB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := crill(t)
+	def := sim.Config{Threads: 32, Sched: sim.SchedStatic, Chunk: 0}
+	majors, total := 0.0, 0.0
+	majorSet := map[string]bool{"compute_rhs": true, "x_solve": true, "y_solve": true, "z_solve": true}
+	for _, spec := range app.Regions {
+		res, err := m.ProbeLoop(spec.Model, def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt := res.TimeS * float64(spec.CallsPerStep)
+		total += dt
+		if majorSet[spec.Name] {
+			majors += dt
+		}
+	}
+	share := majors / total
+	if share < 0.65 || share > 0.95 {
+		t.Errorf("SP majors share = %.2f, want ~0.75", share)
+	}
+}
+
+// compute_rhs must be imbalanced and the solves well balanced (§V-A).
+func TestSPImbalanceProfile(t *testing.T) {
+	app, err := SP(ClassB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := app.Region("compute_rhs").Model.ImbalanceRatio(); r < 1.2 {
+		t.Errorf("compute_rhs imbalance ratio = %v, want > 1.2", r)
+	}
+	if r := app.Region("x_solve").Model.ImbalanceRatio(); r > 1.01 {
+		t.Errorf("x_solve should be balanced, ratio = %v", r)
+	}
+}
+
+// Class C must be roughly 4x the work of class B ("Dataset C is four times
+// larger than data set B", §V-A).
+func TestClassCScaling(t *testing.T) {
+	b, err := SP(ClassB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := SP(ClassC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := b.Region("x_solve").Model.TotalWork()
+	wc := c.Region("x_solve").Model.TotalWork()
+	ratio := wc / wb
+	if ratio < 3 || ratio > 5.5 {
+		t.Errorf("class C / class B work = %v, want ~4", ratio)
+	}
+}
+
+// BT solves must be compute-bound (good cache, §V-B): memory stalls small
+// relative to compute.
+func TestBTSolvesComputeBound(t *testing.T) {
+	app, err := BT(ClassB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := crill(t)
+	lm := app.Region("x_solve").Model
+	res, err := m.ProbeLoop(lm, sim.Config{Threads: 16, Sched: sim.SchedStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Miss.L3 > 0.3 {
+		t.Errorf("BT x_solve L3 miss = %v, should be cache friendly", res.Miss.L3)
+	}
+}
+
+// LULESH tiny regions must sit near the configuration-change overhead
+// (§V-C: ~100% for EvalEOSForElems, ~60% for CalcPressureForElems).
+func TestLULESHTinyRegionOverheadRatio(t *testing.T) {
+	app, err := LULESH(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := crill(t)
+	arch := m.Arch()
+	def := sim.Config{Threads: 32, Sched: sim.SchedStatic, Chunk: 0}
+
+	eos, err := m.ProbeLoop(app.Region("EvalEOSForElems").Model, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := arch.ConfigChangeS / eos.TimeS
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("EvalEOS overhead ratio = %.2f, want ~1.0", ratio)
+	}
+	pres, err := m.ProbeLoop(app.Region("CalcPressureForElems").Model, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio = arch.ConfigChangeS / pres.TimeS
+	if ratio < 0.4 || ratio > 0.9 {
+		t.Errorf("CalcPressure overhead ratio = %.2f, want ~0.6", ratio)
+	}
+	// Both are barrier-dominated (the serial EOS evaluation).
+	if f := eos.BarrierFrac(); f < 0.4 {
+		t.Errorf("EvalEOS barrier fraction = %v, want > 0.4", f)
+	}
+}
+
+func TestRunExecutesAllRegions(t *testing.T) {
+	app, err := SP(ClassB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app = app.WithSteps(2)
+	rt := omp.NewRuntime(crill(t))
+	res, err := app.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeS <= 0 || res.EnergyJ <= 0 {
+		t.Errorf("bad run result: %+v", res)
+	}
+	if got := len(rt.Regions()); got != len(app.Regions) {
+		t.Errorf("runtime saw %d regions, want %d", got, len(app.Regions))
+	}
+	for _, r := range rt.Regions() {
+		spec := app.Region(r.Name())
+		if spec == nil {
+			t.Errorf("unexpected region %q", r.Name())
+			continue
+		}
+		if want := 2 * spec.CallsPerStep; r.Invocations() != want {
+			t.Errorf("region %q invoked %d times, want %d", r.Name(), r.Invocations(), want)
+		}
+	}
+}
+
+func TestRunInvalidApp(t *testing.T) {
+	rt := omp.NewRuntime(crill(t))
+	bad := &App{Name: "X", Workload: "1", Steps: 0}
+	if _, err := bad.Run(rt); err == nil {
+		t.Errorf("invalid app must not run")
+	}
+	bad2 := &App{Name: "X", Workload: "1", Steps: 1,
+		Regions: []RegionSpec{{Name: "r", CallsPerStep: 0, Model: &sim.LoopModel{Name: "r", Iters: 1}}}}
+	if _, err := bad2.Run(rt); err == nil {
+		t.Errorf("zero calls per step must be rejected")
+	}
+}
+
+func TestWithSteps(t *testing.T) {
+	app, err := BT(ClassB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longer := app.WithSteps(99)
+	if longer.Steps != 99 || app.Steps == 99 {
+		t.Errorf("WithSteps must copy, not mutate")
+	}
+	if longer.Regions[0].Name != app.Regions[0].Name {
+		t.Errorf("WithSteps must keep regions")
+	}
+}
+
+func TestInvocationsPerStep(t *testing.T) {
+	app, err := LULESH(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 big regions once + EvalEOS x8 + CalcPressure x2.
+	if got := app.InvocationsPerStep(); got != 16 {
+		t.Errorf("LULESH invocations per step = %d, want 16", got)
+	}
+}
+
+func TestAppString(t *testing.T) {
+	app, err := SP(ClassC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.String() != "SP.C" {
+		t.Errorf("String = %q", app.String())
+	}
+}
+
+// Mesh 60 must be heavier than mesh 45 (60³/45³ ≈ 2.37x element count).
+func TestLULESHMeshScaling(t *testing.T) {
+	l45, err := LULESH(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l60, err := LULESH(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w45 := l45.Region("CalcKinematicsForElems").Model.TotalWork()
+	w60 := l60.Region("CalcKinematicsForElems").Model.TotalWork()
+	ratio := w60 / w45
+	if ratio < 2.0 || ratio > 2.8 {
+		t.Errorf("mesh 60/45 work ratio = %v, want ~2.37", ratio)
+	}
+}

@@ -1,0 +1,131 @@
+package kernels
+
+import (
+	"fmt"
+
+	"arcs/internal/sim"
+)
+
+// LULESH builds the LLNL shock-hydrodynamics proxy (LULESH 2.0) for mesh
+// edge sizes 45 or 60 (§IV-C). LULESH "shows excellent load balancing and
+// cache behavior": its big element loops are nearly perfectly balanced, so
+// ARCS has little to improve — and its many short regions (EvalEOSForElems
+// at ~0.8 ms and CalcPressureForElems at ~1.4 ms per call) make the
+// ~0.8 ms per-invocation configuration-change overhead dominant, the
+// effect the paper analyses in §V-C and Figs. 8-10.
+func LULESH(mesh int) (*App, error) {
+	if mesh != 45 && mesh != 60 {
+		return nil, fmt.Errorf("kernels: unsupported LULESH mesh %d (want 45 or 60)", mesh)
+	}
+	elems := mesh * mesh * mesh
+	// EvalEOS/CalcPressure operate on one material region subset per call.
+	matElems := elems / 10
+
+	elemSpec := func(footMB float64) sim.CacheSpec {
+		return sim.CacheSpec{
+			AccessesPerIter:  110,
+			BytesPerIter:     560,
+			StrideElems:      1, // indirection exists but arrays are compacted
+			TemporalWindowKB: 40,
+			FootprintMB:      footMB,
+			BoundaryLines:    12,  // force-array false sharing at chunk seams
+			PassesPerChunk:   1.3, // gather/scatter re-touches node data
+			L3Contention:     0.35,
+			MLP:              6,
+		}
+	}
+	footMB := float64(elems) * 1000 / 1e6 // ~1 KB of state per element
+
+	app := &App{Name: "LULESH", Workload: fmt.Sprintf("%d", mesh), Steps: 40}
+	app.Regions = []RegionSpec{
+		{
+			Name: "CalcFBHourglassForceForElems", CallsPerStep: 1,
+			Model: &sim.LoopModel{
+				Name: "CalcFBHourglassForceForElems", Iters: elems,
+				CompNSPerIter: 14000,
+				// Hourglass stiffness work varies by deformation state,
+				// spatially correlated: the one LULESH region with real
+				// imbalance (~6% barrier time at default, §V-C).
+				Imbalance: sim.Imbalance{Kind: sim.Sawtooth, Param: 0.55, Blocks: 16},
+				Mem:       elemSpec(footMB),
+			},
+		},
+		{
+			Name: "CalcKinematicsForElems", CallsPerStep: 1,
+			Model: &sim.LoopModel{
+				Name: "CalcKinematicsForElems", Iters: elems,
+				CompNSPerIter: 9600, // near-perfect balance: 0.08% barrier
+				Imbalance:     sim.Imbalance{Kind: sim.Uniform},
+				Mem:           elemSpec(footMB * 0.8),
+			},
+		},
+		{
+			Name: "CalcMonotonicQGradientsForElems", CallsPerStep: 1,
+			Model: &sim.LoopModel{
+				Name: "CalcMonotonicQGradientsForElems", Iters: elems,
+				CompNSPerIter: 6800,
+				Imbalance:     sim.Imbalance{Kind: sim.Uniform},
+				Mem:           elemSpec(footMB * 0.7),
+			},
+		},
+		{
+			Name: "IntegrateStressForElems", CallsPerStep: 1,
+			Model: &sim.LoopModel{
+				Name: "IntegrateStressForElems", Iters: elems,
+				CompNSPerIter: 6000,
+				Imbalance:     sim.Imbalance{Kind: sim.Sawtooth, Param: 0.22, Blocks: 16},
+				Mem:           elemSpec(footMB * 0.6),
+			},
+		},
+		{
+			Name: "CalcLagrangeElements", CallsPerStep: 1,
+			Model: &sim.LoopModel{
+				Name: "CalcLagrangeElements", Iters: elems,
+				CompNSPerIter: 4400,
+				Imbalance:     sim.Imbalance{Kind: sim.Uniform},
+				Mem:           elemSpec(footMB * 0.5),
+			},
+		},
+		{
+			Name: "ApplyMaterialPropertiesForElems", CallsPerStep: 1,
+			Model: &sim.LoopModel{
+				Name: "ApplyMaterialPropertiesForElems", Iters: elems,
+				CompNSPerIter: 3400,
+				Imbalance:     sim.Imbalance{Kind: sim.Uniform},
+				Mem:           elemSpec(footMB * 0.4),
+			},
+		},
+		{
+			// EvalEOSForElems: tiny per call, mostly master-side work while
+			// the team waits — "most of its time is spent on
+			// OpenMP_BARRIER" (§V-C) — and called many times per step.
+			Name: "EvalEOSForElems", CallsPerStep: 8,
+			Model: &sim.LoopModel{
+				Name: "EvalEOSForElems", Iters: matElems,
+				CompNSPerIter: 700,
+				SerialNS:      4.5e5,
+				Imbalance:     sim.Imbalance{Kind: sim.Uniform},
+				Mem: sim.CacheSpec{
+					AccessesPerIter: 40, BytesPerIter: 200, StrideElems: 1,
+					TemporalWindowKB: 24, FootprintMB: footMB * 0.1,
+					BoundaryLines: 2, PassesPerChunk: 1, L3Contention: 0.2, MLP: 6,
+				},
+			},
+		},
+		{
+			Name: "CalcPressureForElems", CallsPerStep: 2,
+			Model: &sim.LoopModel{
+				Name: "CalcPressureForElems", Iters: matElems,
+				CompNSPerIter: 2200,
+				SerialNS:      3.0e5,
+				Imbalance:     sim.Imbalance{Kind: sim.Uniform},
+				Mem: sim.CacheSpec{
+					AccessesPerIter: 50, BytesPerIter: 260, StrideElems: 1,
+					TemporalWindowKB: 24, FootprintMB: footMB * 0.1,
+					BoundaryLines: 2, PassesPerChunk: 1, L3Contention: 0.2, MLP: 6,
+				},
+			},
+		},
+	}
+	return app, nil
+}

@@ -1,0 +1,211 @@
+package kernels
+
+import (
+	"fmt"
+
+	"arcs/internal/sim"
+)
+
+// Class identifies an NPB problem class.
+type Class string
+
+// Supported NPB classes (the paper uses B and C with custom time steps).
+const (
+	ClassB Class = "B"
+	ClassC Class = "C"
+)
+
+// npbGrid returns the cubic grid dimension of a class.
+func npbGrid(c Class) (int, error) {
+	switch c {
+	case ClassB:
+		return 102, nil
+	case ClassC:
+		return 162, nil
+	default:
+		return 0, fmt.Errorf("kernels: unsupported NPB class %q", c)
+	}
+}
+
+// The NPB 3.3-OMP-C solvers parallelise the two outer grid dimensions, so
+// the worksharing loop runs over grid² pencils; each iteration sweeps one
+// grid line of 5-variable cells. Costs scale linearly per pencil (ls) and
+// windows/footprints with the plane (qs) and volume (cs).
+type npbScaleSet struct {
+	grid int
+	ls   float64 // per-pencil cost scale (linear in grid)
+	qs   float64 // plane scale (quadratic)
+	cs   float64 // volume scale (cubic)
+}
+
+func npbScales(grid int) npbScaleSet {
+	r := float64(grid) / 102.0
+	return npbScaleSet{grid: grid, ls: r, qs: r * r, cs: r * r * r}
+}
+
+// SP builds the NPB SP (Scalar Pentadiagonal) proxy: "good load balancing
+// behavior but poor cache behavior" (§IV-C). Almost 75% of its execution
+// time is in compute_rhs, x_solve, y_solve and z_solve; compute_rhs also
+// has poor load balance (§V-A). The pentadiagonal line solves re-sweep
+// their data (forward elimination + back substitution), so their reuse
+// window is far larger than L2 and their L3 behaviour is strongly
+// configuration dependent — the headroom ARCS exploits in Figs. 3-5.
+func SP(class Class) (*App, error) {
+	grid, err := npbGrid(class)
+	if err != nil {
+		return nil, err
+	}
+	sc := npbScales(grid)
+	iters := grid * grid
+	pencilB := float64(grid) * 5 * 8
+
+	solve := func(name string, stride int, acc float64) RegionSpec {
+		return RegionSpec{
+			Name: name, CallsPerStep: 1,
+			Model: &sim.LoopModel{
+				Name: name, Iters: iters,
+				CompNSPerIter: 30000 * sc.ls,
+				Imbalance:     sim.Imbalance{Kind: sim.Uniform},
+				Mem: sim.CacheSpec{
+					AccessesPerIter:  2 * acc * sc.ls,
+					BytesPerIter:     4 * pencilB,
+					StrideElems:      stride,
+					TemporalWindowKB: 600 * sc.qs,
+					FootprintMB:      250 * sc.cs,
+					BoundaryLines:    96,
+					PassesPerChunk:   3,
+					L3Contention:     0.95,
+					MLP:              2, // recurrence chains limit overlap
+				},
+			},
+		}
+	}
+
+	app := &App{Name: "SP", Workload: string(class), Steps: 50}
+	app.Regions = []RegionSpec{
+		{
+			Name: "compute_rhs", CallsPerStep: 1,
+			Model: &sim.LoopModel{
+				Name: "compute_rhs", Iters: iters,
+				CompNSPerIter: 40000 * sc.ls,
+				Imbalance:     sim.Imbalance{Kind: sim.Ramp, Param: 1.0},
+				Mem: sim.CacheSpec{
+					AccessesPerIter:  24000 * sc.ls,
+					BytesPerIter:     5 * pencilB,
+					StrideElems:      1,
+					TemporalWindowKB: 700 * sc.qs,
+					FootprintMB:      250 * sc.cs,
+					BoundaryLines:    96,
+					PassesPerChunk:   2,
+					L3Contention:     0.95,
+					MLP:              3,
+				},
+			},
+		},
+		solve("x_solve", 1, 11000),
+		solve("y_solve", 2, 9000),
+		solve("z_solve", 4, 7500),
+	}
+	app.Regions = append(app.Regions, npbMinorRegions(sc,
+		"txinvr", "ninvr", "pinvr", "tzetar", "add",
+		"lhsinit_x", "lhsinit_y", "lhsinit_z", "exact_rhs")...)
+	return app, nil
+}
+
+// BT builds the NPB BT (Block Tridiagonal) proxy: "good load balancing and
+// cache behavior" overall — its 5x5 block solves stay cache resident, so
+// ARCS has little to improve (§V-B) — except compute_rhs, whose
+// second-order stencil along the K dimension ("K±2, K±1, K elements") is
+// not cache friendly and is also the one imbalanced region.
+func BT(class Class) (*App, error) {
+	grid, err := npbGrid(class)
+	if err != nil {
+		return nil, err
+	}
+	sc := npbScales(grid)
+	iters := grid * grid
+	pencilB := float64(grid) * 5 * 8
+
+	solve := func(name string) RegionSpec {
+		return RegionSpec{
+			Name: name, CallsPerStep: 1,
+			Model: &sim.LoopModel{
+				Name: name, Iters: iters,
+				CompNSPerIter: 50000 * sc.ls, // dense 5x5 block factorisation
+				Imbalance:     sim.Imbalance{Kind: sim.Sawtooth, Param: 0.3, Blocks: 8},
+				Mem: sim.CacheSpec{
+					AccessesPerIter:  6000 * sc.ls,
+					BytesPerIter:     3 * pencilB,
+					StrideElems:      1,
+					TemporalWindowKB: 300 * sc.qs,
+					FootprintMB:      120 * sc.cs,
+					BoundaryLines:    96,
+					PassesPerChunk:   2,
+					L3Contention:     0.6,
+					MLP:              3,
+				},
+			},
+		}
+	}
+
+	app := &App{Name: "BT", Workload: string(class), Steps: 50}
+	app.Regions = []RegionSpec{
+		{
+			Name: "compute_rhs", CallsPerStep: 1,
+			Model: &sim.LoopModel{
+				Name: "compute_rhs", Iters: iters,
+				CompNSPerIter: 34000 * sc.ls,
+				Imbalance:     sim.Imbalance{Kind: sim.Blocks, Param: 1.45, Blocks: 4},
+				Mem: sim.CacheSpec{
+					AccessesPerIter: 10000 * sc.ls,
+					BytesPerIter:    5 * pencilB,
+					StrideElems:     16, // K±2 stencil stride along z
+					// The strided walk never re-references within cache
+					// reach and makes the region effectively streaming:
+					// "algorithmically hard to optimize" (§V-B) — no chunk
+					// choice rescues it.
+					TemporalWindowKB: 8192 * sc.qs,
+					FootprintMB:      280 * sc.cs,
+					BoundaryLines:    96,
+					PassesPerChunk:   1,
+					L3Contention:     0.8,
+					MLP:              3,
+				},
+			},
+		},
+		solve("x_solve"),
+		solve("y_solve"),
+		solve("z_solve"),
+	}
+	app.Regions = append(app.Regions, npbMinorRegions(sc, "add", "qinvr", "lhsinit")...)
+	return app, nil
+}
+
+// npbMinorRegions builds the small supporting regions that fill out the
+// remaining ~25% of NPB runtime: balanced, cache-friendly, cheap.
+func npbMinorRegions(sc npbScaleSet, names ...string) []RegionSpec {
+	iters := sc.grid * sc.grid
+	out := make([]RegionSpec, 0, len(names))
+	for i, n := range names {
+		out = append(out, RegionSpec{
+			Name: n, CallsPerStep: 1,
+			Model: &sim.LoopModel{
+				Name: n, Iters: iters,
+				CompNSPerIter: (2800 + 400*float64(i%3)) * sc.ls,
+				Imbalance:     sim.Imbalance{Kind: sim.Uniform},
+				Mem: sim.CacheSpec{
+					AccessesPerIter:  600 * sc.ls,
+					BytesPerIter:     float64(sc.grid) * 8,
+					StrideElems:      1,
+					TemporalWindowKB: 16,
+					FootprintMB:      60 * sc.cs,
+					BoundaryLines:    2,
+					PassesPerChunk:   1,
+					L3Contention:     0.3,
+					MLP:              8,
+				},
+			},
+		})
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"arcs/internal/sim"
+)
+
+// SynthOptions controls random application generation. The generator is
+// used by property tests (ARCS must never lose more than the overhead
+// bound on any workload) and by users who want to stress the tuner with
+// workloads unlike the three paper benchmarks.
+type SynthOptions struct {
+	Seed    int64
+	Regions int // number of parallel regions (default 6)
+	Steps   int // time steps (default 20)
+
+	// MinIters/MaxIters bound the iteration counts (defaults 256/65536).
+	MinIters int
+	MaxIters int
+}
+
+func (o SynthOptions) normalized() SynthOptions {
+	if o.Regions <= 0 {
+		o.Regions = 6
+	}
+	if o.Steps <= 0 {
+		o.Steps = 20
+	}
+	if o.MinIters <= 0 {
+		o.MinIters = 256
+	}
+	if o.MaxIters < o.MinIters {
+		o.MaxIters = o.MinIters * 256
+	}
+	return o
+}
+
+// Synthetic generates a random but well-formed application: a mix of
+// compute-bound, memory-bound, imbalanced and serial-heavy regions with
+// plausible cache profiles. The same seed always yields the same app.
+func Synthetic(opts SynthOptions) *App {
+	o := opts.normalized()
+	rng := rand.New(rand.NewSource(o.Seed))
+	app := &App{Name: "SYNTH", Workload: fmt.Sprintf("%d", o.Seed), Steps: o.Steps}
+
+	for r := 0; r < o.Regions; r++ {
+		iters := o.MinIters + rng.Intn(o.MaxIters-o.MinIters+1)
+
+		var im sim.Imbalance
+		switch rng.Intn(5) {
+		case 0:
+			im = sim.Imbalance{Kind: sim.Uniform}
+		case 1:
+			im = sim.Imbalance{Kind: sim.Ramp, Param: 0.3 + rng.Float64()*1.2}
+		case 2:
+			im = sim.Imbalance{Kind: sim.Blocks, Param: 1.5 + rng.Float64()*2, Blocks: 1 + rng.Intn(4)}
+		case 3:
+			im = sim.Imbalance{Kind: sim.Random, Param: 0.2 + rng.Float64()*0.6, Seed: rng.Int63()}
+		default:
+			im = sim.Imbalance{Kind: sim.Sawtooth, Param: 0.2 + rng.Float64()*0.8, Blocks: 2 + rng.Intn(14)}
+		}
+
+		memBound := rng.Float64() < 0.5
+		comp := 2000 + rng.Float64()*50000
+		acc := 50 + rng.Float64()*500
+		if memBound {
+			acc *= 10
+			comp /= 4
+		}
+
+		serial := 0.0
+		if rng.Float64() < 0.2 {
+			serial = (0.1 + rng.Float64()) * 1e5
+		}
+
+		app.Regions = append(app.Regions, RegionSpec{
+			Name:         fmt.Sprintf("synth_%02d", r),
+			CallsPerStep: 1 + rng.Intn(3),
+			Model: &sim.LoopModel{
+				Name:          fmt.Sprintf("synth_%02d", r),
+				Iters:         iters,
+				CompNSPerIter: comp,
+				SerialNS:      serial,
+				Imbalance:     im,
+				Mem: sim.CacheSpec{
+					AccessesPerIter:  acc,
+					BytesPerIter:     64 + rng.Float64()*8192,
+					StrideElems:      1 << rng.Intn(6),
+					TemporalWindowKB: 8 + rng.Float64()*2048,
+					FootprintMB:      1 + rng.Float64()*400,
+					BoundaryLines:    rng.Float64() * 64,
+					PassesPerChunk:   1 + rng.Float64()*3,
+					L3Contention:     rng.Float64(),
+					MLP:              1 + rng.Float64()*8,
+				},
+			},
+		})
+	}
+	return app
+}

@@ -1,0 +1,128 @@
+package native
+
+import (
+	"math"
+	"testing"
+
+	"arcs/internal/apex"
+	arcs "arcs/internal/core"
+	"arcs/internal/ompt"
+	"arcs/internal/parfor"
+	"arcs/internal/sim"
+)
+
+func TestHeat3DValidation(t *testing.T) {
+	if _, err := NewHeat3D(2, nil); err == nil {
+		t.Errorf("tiny grid must be rejected")
+	}
+}
+
+func TestHeat3DAnalyticDecay(t *testing.T) {
+	h, err := NewHeat3D(24, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := h.Checksum()
+	if err := h.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	after := h.Checksum()
+	if after >= before {
+		t.Errorf("diffusion must decay the field: %v -> %v", before, after)
+	}
+	if rel := h.Verify(); rel > 0.05 {
+		t.Errorf("analytic verification error %.3f%% exceeds 5%%", rel*100)
+	}
+}
+
+// The solution must not depend on the parallel configuration: every
+// schedule, thread count and chunk choice yields the same field (pencils
+// are independent, so this is a strong race/decomposition check).
+func TestHeat3DConfigInvariance(t *testing.T) {
+	ref, err := NewHeat3D(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Checksum()
+
+	for _, cfg := range []struct {
+		threads int
+		sched   ompt.ScheduleKind
+		chunk   int
+	}{
+		{1, ompt.ScheduleStatic, 0},
+		{4, ompt.ScheduleDynamic, 1},
+		{3, ompt.ScheduleGuided, 2},
+		{8, ompt.ScheduleStatic, 5},
+	} {
+		rt := parfor.NewRuntime(16)
+		if err := rt.SetNumThreads(cfg.threads); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.SetSchedule(cfg.sched, cfg.chunk); err != nil {
+			t.Fatal(err)
+		}
+		h, err := NewHeat3D(16, rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		if got := h.Checksum(); math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("config %+v changed the solution: %v vs %v", cfg, got, want)
+		}
+	}
+}
+
+// ARCS tunes the real solver end to end: the sweeps are separate OMPT
+// regions, each gets its own tuning session against wall-clock time.
+func TestARCSTunesHeat3D(t *testing.T) {
+	rt := parfor.NewRuntime(8)
+	apx := apex.New()
+	rt.RegisterTool(apex.NewTool(apx))
+	space := arcs.SearchSpace{
+		Threads:   []int{1, 2, 4},
+		Schedules: []ompt.ScheduleKind{ompt.ScheduleStatic, ompt.ScheduleGuided},
+		Chunks:    []int{0, 16},
+	}
+	tuner, err := arcs.New(apx, sim.Crill(), arcs.Options{
+		Strategy: arcs.StrategyOnline, Space: space, MaxEvals: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHeat3D(20, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	_ = tuner.Finish()
+	reps := tuner.Report()
+	if len(reps) != 3 {
+		t.Fatalf("expected 3 tuned regions (x/y/z sweeps), got %d", len(reps))
+	}
+	// Tuning must not corrupt the numerics.
+	if rel := h.Verify(); rel > 0.05 {
+		t.Errorf("verification failed under tuning: %.3f%%", rel*100)
+	}
+}
+
+func BenchmarkHeat3DStep(b *testing.B) {
+	h, err := NewHeat3D(32, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package native
+
+import (
+	"math"
+	"testing"
+
+	"arcs/internal/ompt"
+	"arcs/internal/parfor"
+)
+
+func TestJacobiValidation(t *testing.T) {
+	if _, err := NewJacobi2D(1, nil); err == nil {
+		t.Errorf("tiny grid must be rejected")
+	}
+}
+
+func TestJacobiResidualShrinks(t *testing.T) {
+	j, err := NewJacobi2D(32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := j.Residual()
+	if err := j.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	r1 := j.Residual()
+	if err := j.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	r2 := j.Residual()
+	if !(r2 < r1 && r1 < r0) {
+		t.Errorf("residual must shrink: %g -> %g -> %g", r0, r1, r2)
+	}
+}
+
+func TestJacobiConvergesToManufacturedSolution(t *testing.T) {
+	j, err := NewJacobi2D(24, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jacobi needs O(N^2) sweeps; 24^2 is small enough to converge fully.
+	if err := j.Run(3000); err != nil {
+		t.Fatal(err)
+	}
+	if e := j.SolutionError(); e > 5e-3 {
+		t.Errorf("solution error %g exceeds discretisation-level tolerance", e)
+	}
+}
+
+func TestJacobiConfigInvariance(t *testing.T) {
+	ref, err := NewJacobi2D(20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Residual()
+
+	for _, cfg := range []struct {
+		threads int
+		sched   ompt.ScheduleKind
+		chunk   int
+	}{
+		{1, ompt.ScheduleStatic, 0},
+		{5, ompt.ScheduleDynamic, 2},
+		{3, ompt.ScheduleGuided, 1},
+	} {
+		rt := parfor.NewRuntime(8)
+		if err := rt.SetNumThreads(cfg.threads); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.SetSchedule(cfg.sched, cfg.chunk); err != nil {
+			t.Fatal(err)
+		}
+		j, err := NewJacobi2D(20, rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Run(60); err != nil {
+			t.Fatal(err)
+		}
+		if got := j.Residual(); math.Abs(got-want) > 1e-12*math.Max(1, want) {
+			t.Errorf("config %+v changed the solution: %g vs %g", cfg, got, want)
+		}
+	}
+}
+
+func BenchmarkJacobiSweep(b *testing.B) {
+	j, err := NewJacobi2D(256, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Sweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

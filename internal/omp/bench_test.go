@@ -1,0 +1,50 @@
+package omp
+
+import (
+	"testing"
+
+	"arcs/internal/apex"
+	"arcs/internal/ompt"
+	"arcs/internal/sim"
+)
+
+// Benchmarks for the runtime layer: one region execution through the full
+// OMPT/APEX path, with and without tools attached — bounding the framework
+// cost on top of the raw simulation.
+
+func benchRuntime(b *testing.B, attachTools bool) {
+	m, err := sim.NewMachine(sim.Crill())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := NewRuntime(m)
+	if attachTools {
+		apx := apex.New()
+		apx.SetPowerSource(m)
+		apx.RegisterPolicy(apex.TimerStart, func(c apex.Context) {
+			if c.CP != nil {
+				_ = c.CP.SetNumThreads(16)
+				_ = c.CP.SetSchedule(ompt.ScheduleGuided, 8)
+			}
+		})
+		rt.RegisterTool(apex.NewTool(apx))
+	}
+	region := rt.Region("bench", &sim.LoopModel{
+		Name: "bench", Iters: 4096, CompNSPerIter: 15000,
+		Imbalance: sim.Imbalance{Kind: sim.Ramp, Param: 0.8},
+		Mem: sim.CacheSpec{
+			AccessesPerIter: 800, BytesPerIter: 4096, TemporalWindowKB: 256,
+			FootprintMB: 64, BoundaryLines: 16, PassesPerChunk: 2, L3Contention: 0.8, MLP: 3,
+		},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run(region); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegionRunBare(b *testing.B)      { benchRuntime(b, false) }
+func BenchmarkRegionRunWithTools(b *testing.B) { benchRuntime(b, true) }

@@ -1,0 +1,97 @@
+package omp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"arcs/internal/ompt"
+)
+
+// env.go implements the OpenMP environment-variable surface the paper used
+// for its initial exhaustive parameterisation (§III: "the NPB 3.3-OMP-C
+// OpenMP benchmarks were exhaustively parameterized to explore the full
+// search space for the OpenMP environment variables OMP_NUM_THREADS and
+// OMP_SCHEDULE"). Environment application happens at startup, before any
+// region runs, so it does not charge the configuration-change overhead.
+
+// ParseScheduleEnv parses an OMP_SCHEDULE value: "kind[,chunk]" with kind
+// in {static, dynamic, guided, auto}; "auto" maps to the runtime default.
+func ParseScheduleEnv(v string) (ompt.ScheduleKind, int, error) {
+	parts := strings.SplitN(v, ",", 2)
+	kindStr := strings.TrimSpace(strings.ToLower(parts[0]))
+	var kind ompt.ScheduleKind
+	switch kindStr {
+	case "static":
+		kind = ompt.ScheduleStatic
+	case "dynamic":
+		kind = ompt.ScheduleDynamic
+	case "guided":
+		kind = ompt.ScheduleGuided
+	case "auto":
+		kind = ompt.ScheduleDefault
+	default:
+		return 0, 0, fmt.Errorf("omp: OMP_SCHEDULE: unknown kind %q", kindStr)
+	}
+	chunk := 0
+	if len(parts) == 2 {
+		c, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return 0, 0, fmt.Errorf("omp: OMP_SCHEDULE: bad chunk %q", parts[1])
+		}
+		if c < 1 {
+			return 0, 0, fmt.Errorf("omp: OMP_SCHEDULE: chunk %d must be >= 1", c)
+		}
+		chunk = c
+	}
+	return kind, chunk, nil
+}
+
+// ApplyEnv initialises the ICVs from environment-variable values supplied
+// by lookup (pass os.LookupEnv for the real environment). Recognised:
+// OMP_NUM_THREADS, OMP_SCHEDULE. Unset variables keep defaults; invalid
+// values are errors (matching strict runtimes rather than the silently
+// forgiving ones).
+func (rt *Runtime) ApplyEnv(lookup func(string) (string, bool)) error {
+	if v, ok := lookup("OMP_NUM_THREADS"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 1 {
+			return fmt.Errorf("omp: OMP_NUM_THREADS: invalid value %q", v)
+		}
+		if n > rt.MaxThreads() {
+			// Real runtimes clamp to the hardware limit.
+			n = rt.MaxThreads()
+		}
+		rt.icv.NumThreads = n
+	}
+	if v, ok := lookup("OMP_SCHEDULE"); ok {
+		kind, chunk, err := ParseScheduleEnv(v)
+		if err != nil {
+			return err
+		}
+		rt.icv.Schedule = kind
+		rt.icv.Chunk = chunk
+	}
+	if v, ok := lookup("OMP_PROC_BIND"); ok {
+		switch strings.ToLower(strings.TrimSpace(v)) {
+		case "spread", "true":
+			rt.icv.Bind = ompt.BindSpread
+		case "close":
+			rt.icv.Bind = ompt.BindClose
+		case "false":
+			rt.icv.Bind = ompt.BindDefault
+		default:
+			return fmt.Errorf("omp: OMP_PROC_BIND: unknown value %q", v)
+		}
+	}
+	return nil
+}
+
+// EnvFromMap adapts a plain map to the lookup signature, for tests and
+// sweep drivers.
+func EnvFromMap(m map[string]string) func(string) (string, bool) {
+	return func(k string) (string, bool) {
+		v, ok := m[k]
+		return v, ok
+	}
+}

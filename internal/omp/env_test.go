@@ -1,0 +1,175 @@
+package omp
+
+import (
+	"testing"
+
+	"arcs/internal/ompt"
+)
+
+func TestParseScheduleEnv(t *testing.T) {
+	cases := []struct {
+		in    string
+		kind  ompt.ScheduleKind
+		chunk int
+		ok    bool
+	}{
+		{"static", ompt.ScheduleStatic, 0, true},
+		{"dynamic,64", ompt.ScheduleDynamic, 64, true},
+		{"guided, 8", ompt.ScheduleGuided, 8, true},
+		{"GUIDED,8", ompt.ScheduleGuided, 8, true},
+		{"auto", ompt.ScheduleDefault, 0, true},
+		{"static,0", 0, 0, false},
+		{"static,-4", 0, 0, false},
+		{"static,x", 0, 0, false},
+		{"fifo", 0, 0, false},
+	}
+	for _, c := range cases {
+		kind, chunk, err := ParseScheduleEnv(c.in)
+		if c.ok && (err != nil || kind != c.kind || chunk != c.chunk) {
+			t.Errorf("ParseScheduleEnv(%q) = %v,%d,%v; want %v,%d", c.in, kind, chunk, err, c.kind, c.chunk)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseScheduleEnv(%q) should fail", c.in)
+		}
+	}
+}
+
+func TestApplyEnv(t *testing.T) {
+	rt := newRT(t)
+	env := EnvFromMap(map[string]string{
+		"OMP_NUM_THREADS": "16",
+		"OMP_SCHEDULE":    "guided,4",
+	})
+	if err := rt.ApplyEnv(env); err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumThreads() != 16 {
+		t.Errorf("NumThreads = %d", rt.NumThreads())
+	}
+	k, c := rt.Schedule()
+	if k != ompt.ScheduleGuided || c != 4 {
+		t.Errorf("Schedule = %v,%d", k, c)
+	}
+	// Env application must not charge configuration-change overhead.
+	m, err := rt.Run(rt.Region("r", testLoop()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OverheadS != 0 {
+		t.Errorf("env application charged overhead %v", m.OverheadS)
+	}
+	if m.Threads != 16 {
+		t.Errorf("env threads not applied: %d", m.Threads)
+	}
+}
+
+func TestApplyEnvClampsThreads(t *testing.T) {
+	rt := newRT(t)
+	if err := rt.ApplyEnv(EnvFromMap(map[string]string{"OMP_NUM_THREADS": "999"})); err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumThreads() != rt.MaxThreads() {
+		t.Errorf("oversized OMP_NUM_THREADS should clamp to %d, got %d", rt.MaxThreads(), rt.NumThreads())
+	}
+}
+
+func TestApplyEnvErrors(t *testing.T) {
+	rt := newRT(t)
+	if err := rt.ApplyEnv(EnvFromMap(map[string]string{"OMP_NUM_THREADS": "zero"})); err == nil {
+		t.Errorf("bad OMP_NUM_THREADS must fail")
+	}
+	if err := rt.ApplyEnv(EnvFromMap(map[string]string{"OMP_NUM_THREADS": "0"})); err == nil {
+		t.Errorf("OMP_NUM_THREADS=0 must fail")
+	}
+	if err := rt.ApplyEnv(EnvFromMap(map[string]string{"OMP_SCHEDULE": "bogus"})); err == nil {
+		t.Errorf("bad OMP_SCHEDULE must fail")
+	}
+	// Unset variables keep defaults.
+	if err := rt.ApplyEnv(EnvFromMap(nil)); err != nil {
+		t.Errorf("empty env must be fine: %v", err)
+	}
+}
+
+func TestFreqControlPlane(t *testing.T) {
+	rt := newRT(t)
+	ladder := rt.FreqLadderGHz()
+	if len(ladder) < 2 || ladder[0] != rt.Machine().Arch().MinGHz {
+		t.Fatalf("ladder = %v", ladder)
+	}
+	if err := rt.SetFreqGHz(ladder[0]); err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.Run(rt.Region("r", testLoop()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FreqGHz != ladder[0] {
+		t.Errorf("frequency request not applied: %v", m.FreqGHz)
+	}
+	if m.OverheadS <= 0 {
+		t.Errorf("frequency change must cost overhead")
+	}
+	if err := rt.SetFreqGHz(99); err == nil {
+		t.Errorf("out-of-range frequency must fail")
+	}
+	if err := rt.SetFreqGHz(0); err != nil {
+		t.Errorf("clearing the request must succeed: %v", err)
+	}
+}
+
+func TestDRAMEnergyInMetrics(t *testing.T) {
+	rt := newRT(t)
+	m, err := rt.Run(rt.Region("r", testLoop()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DRAMEnergyJ <= 0 {
+		t.Errorf("DRAM energy missing from metrics: %+v", m.DRAMEnergyJ)
+	}
+	if m.DRAMEnergyJ >= m.EnergyJ {
+		t.Errorf("DRAM energy %v should be below package energy %v for this loop", m.DRAMEnergyJ, m.EnergyJ)
+	}
+}
+
+func TestProcBindEnvAndExecution(t *testing.T) {
+	rt := newRT(t)
+	if err := rt.ApplyEnv(EnvFromMap(map[string]string{"OMP_PROC_BIND": "close"})); err != nil {
+		t.Fatal(err)
+	}
+	if rt.ProcBind() != ompt.BindClose {
+		t.Errorf("ProcBind = %v", rt.ProcBind())
+	}
+	if err := rt.ApplyEnv(EnvFromMap(map[string]string{"OMP_PROC_BIND": "sideways"})); err == nil {
+		t.Errorf("bad OMP_PROC_BIND must fail")
+	}
+
+	// Close binding on a capped machine concentrates the budget on fewer
+	// cores, so the region clocks higher than with spread.
+	if err := rt.Machine().SetPowerCap(55); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetNumThreads(16); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetProcBind(ompt.BindClose); err != nil {
+		t.Fatal(err)
+	}
+	closeM, err := rt.Run(rt.Region("r", testLoop()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetProcBind(ompt.BindSpread); err != nil {
+		t.Fatal(err)
+	}
+	spreadM, err := rt.Run(rt.Region("r", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closeM.FreqGHz <= spreadM.FreqGHz {
+		t.Errorf("close binding must clock higher under a cap: %v vs %v",
+			closeM.FreqGHz, spreadM.FreqGHz)
+	}
+	if err := rt.SetProcBind(ompt.BindKind(42)); err == nil {
+		t.Errorf("unknown bind kind must fail")
+	}
+}

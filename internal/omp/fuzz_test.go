@@ -1,0 +1,28 @@
+package omp
+
+import "testing"
+
+// FuzzParseScheduleEnv checks the OMP_SCHEDULE parser never panics and
+// only accepts values that round-trip to a valid kind.
+func FuzzParseScheduleEnv(f *testing.F) {
+	for _, seed := range []string{
+		"static", "dynamic,64", "guided, 8", "auto", "", ",", "static,",
+		"STATIC,1", "guided,99999999999999999999", "dynamic,-1", "x,y,z",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, v string) {
+		kind, chunk, err := ParseScheduleEnv(v)
+		if err != nil {
+			return
+		}
+		if chunk < 0 {
+			t.Fatalf("accepted negative chunk %d from %q", chunk, v)
+		}
+		switch kind.String() {
+		case "static", "dynamic", "guided", "default":
+		default:
+			t.Fatalf("accepted invalid kind %v from %q", kind, v)
+		}
+	})
+}

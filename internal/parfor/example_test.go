@@ -1,0 +1,45 @@
+package parfor_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"arcs/internal/parfor"
+)
+
+// For runs a loop body across goroutines with OpenMP-style scheduling.
+func ExampleFor() {
+	var sum int64
+	_, err := parfor.For(1000, parfor.Options{
+		Threads:  4,
+		Schedule: parfor.Guided,
+	}, func(i int) {
+		atomic.AddInt64(&sum, int64(i))
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(sum)
+	// Output:
+	// 499500
+}
+
+// ForChunk processes ranges instead of single indices — the fast form for
+// cheap loop bodies.
+func ExampleForChunk() {
+	data := make([]float64, 1<<12)
+	_, err := parfor.ForChunk(len(data), parfor.Options{Schedule: parfor.Dynamic, Chunk: 256},
+		func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				data[i] = float64(i) * 0.5
+			}
+		})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(data[100])
+	// Output:
+	// 50
+}

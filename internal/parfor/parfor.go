@@ -1,0 +1,217 @@
+// Package parfor is a native, goroutine-backed parallel-for with
+// OpenMP-style scheduling — the executable counterpart of the simulated
+// runtime in internal/omp. It exists for two reasons: it is the part of
+// the ARCS stack a Go program can actually adopt, and it demonstrates that
+// the ARCS tuner is executor-agnostic: the Runtime in runtime.go exposes
+// the same OMPT surfaces (events + control plane), so ARCS tunes goroutine
+// count, schedule and chunk size against real wall-clock time.
+package parfor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule mirrors OpenMP's loop scheduling kinds.
+type Schedule int
+
+const (
+	// Static pre-assigns chunks to workers round-robin.
+	Static Schedule = iota
+	// Dynamic hands the next chunk to the first free worker.
+	Dynamic
+	// Guided hands out shrinking chunks (remaining/workers, floored at the
+	// chunk parameter).
+	Guided
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Options configures one parallel loop.
+type Options struct {
+	// Threads is the worker count; 0 uses GOMAXPROCS.
+	Threads int
+	// Schedule selects the dispatch policy.
+	Schedule Schedule
+	// Chunk is the iterations per dispatch; 0 selects the OpenMP default
+	// (n/threads for static, 1 for dynamic and guided).
+	Chunk int
+}
+
+// normalize fills defaults and bounds the options for n iterations.
+func (o Options) normalize(n int) (Options, error) {
+	if o.Threads < 0 {
+		return o, fmt.Errorf("parfor: negative thread count %d", o.Threads)
+	}
+	if o.Chunk < 0 {
+		return o, fmt.Errorf("parfor: negative chunk %d", o.Chunk)
+	}
+	if o.Threads == 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.Threads > n && n > 0 {
+		o.Threads = n
+	}
+	if o.Chunk == 0 {
+		if o.Schedule == Static {
+			o.Chunk = (n + o.Threads - 1) / o.Threads
+		} else {
+			o.Chunk = 1
+		}
+	}
+	if o.Chunk < 1 {
+		o.Chunk = 1
+	}
+	switch o.Schedule {
+	case Static, Dynamic, Guided:
+	default:
+		return o, fmt.Errorf("parfor: unknown schedule %v", o.Schedule)
+	}
+	return o, nil
+}
+
+// Stats reports what one loop execution did, for tools and tuners.
+type Stats struct {
+	Threads int
+	Chunks  int64
+}
+
+// For runs body(i) for every i in [0, n) using the given options. It
+// blocks until all iterations complete. A panic in the body is recovered
+// on the worker, and the first one is re-thrown on the caller's goroutine
+// after all workers stop, so no goroutines leak.
+func For(n int, opts Options, body func(i int)) (Stats, error) {
+	return ForChunk(n, opts, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunk is the chunk-at-a-time variant: body(lo, hi) processes the
+// half-open range [lo, hi). It is the faster form for cheap iterations.
+func ForChunk(n int, opts Options, body func(lo, hi int)) (Stats, error) {
+	if n < 0 {
+		return Stats{}, fmt.Errorf("parfor: negative iteration count %d", n)
+	}
+	if n == 0 {
+		return Stats{}, nil
+	}
+	o, err := opts.normalize(n)
+	if err != nil {
+		return Stats{}, err
+	}
+	if o.Threads == 1 {
+		body(0, n)
+		return Stats{Threads: 1, Chunks: 1}, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		panicked atomic.Value
+		chunks   int64
+	)
+	run := func(lo, hi int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, r)
+			}
+		}()
+		body(lo, hi)
+	}
+
+	switch o.Schedule {
+	case Static:
+		// Worker w takes chunks w, w+T, w+2T, ...
+		wg.Add(o.Threads)
+		nChunks := (n + o.Chunk - 1) / o.Chunk
+		atomic.AddInt64(&chunks, int64(nChunks))
+		for w := 0; w < o.Threads; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for c := w; c < nChunks; c += o.Threads {
+					lo := c * o.Chunk
+					hi := lo + o.Chunk
+					if hi > n {
+						hi = n
+					}
+					run(lo, hi)
+				}
+			}(w)
+		}
+	case Dynamic:
+		var next int64
+		wg.Add(o.Threads)
+		for w := 0; w < o.Threads; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					lo := int(atomic.AddInt64(&next, int64(o.Chunk))) - o.Chunk
+					if lo >= n {
+						return
+					}
+					hi := lo + o.Chunk
+					if hi > n {
+						hi = n
+					}
+					atomic.AddInt64(&chunks, 1)
+					run(lo, hi)
+				}
+			}()
+		}
+	case Guided:
+		var mu sync.Mutex
+		pos := 0
+		grab := func() (int, int, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			remaining := n - pos
+			if remaining <= 0 {
+				return 0, 0, false
+			}
+			sz := (remaining + o.Threads - 1) / o.Threads
+			if sz < o.Chunk {
+				sz = o.Chunk
+			}
+			if sz > remaining {
+				sz = remaining
+			}
+			lo := pos
+			pos += sz
+			return lo, lo + sz, true
+		}
+		wg.Add(o.Threads)
+		for w := 0; w < o.Threads; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					lo, hi, ok := grab()
+					if !ok {
+						return
+					}
+					atomic.AddInt64(&chunks, 1)
+					run(lo, hi)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+	return Stats{Threads: o.Threads, Chunks: atomic.LoadInt64(&chunks)}, nil
+}

@@ -1,0 +1,170 @@
+package parfor
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// coverage checks that every index in [0, n) is visited exactly once.
+func coverage(t *testing.T, n int, opts Options) {
+	t.Helper()
+	counts := make([]int32, n)
+	_, err := For(n, opts, func(i int) {
+		atomic.AddInt32(&counts[i], 1)
+	})
+	if err != nil {
+		t.Fatalf("%+v: %v", opts, err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("%+v: index %d visited %d times", opts, i, c)
+		}
+	}
+}
+
+func TestForCoversAllSchedules(t *testing.T) {
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		for _, threads := range []int{1, 2, 4, 7} {
+			for _, chunk := range []int{0, 1, 3, 16, 1000} {
+				coverage(t, 257, Options{Threads: threads, Schedule: sched, Chunk: chunk})
+			}
+		}
+	}
+}
+
+func TestForEdgeCases(t *testing.T) {
+	st, err := For(0, Options{}, func(int) { t.Error("body called for n=0") })
+	if err != nil || st.Chunks != 0 {
+		t.Errorf("n=0: %+v, %v", st, err)
+	}
+	if _, err := For(-1, Options{}, func(int) {}); err == nil {
+		t.Errorf("negative n must error")
+	}
+	if _, err := For(10, Options{Threads: -1}, func(int) {}); err == nil {
+		t.Errorf("negative threads must error")
+	}
+	if _, err := For(10, Options{Chunk: -1}, func(int) {}); err == nil {
+		t.Errorf("negative chunk must error")
+	}
+	if _, err := For(10, Options{Schedule: Schedule(9)}, func(int) {}); err == nil {
+		t.Errorf("bad schedule must error")
+	}
+	coverage(t, 1, Options{Threads: 8}) // more threads than iterations
+}
+
+func TestForChunkRanges(t *testing.T) {
+	var total int64
+	st, err := ForChunk(1000, Options{Threads: 4, Schedule: Dynamic, Chunk: 7}, func(lo, hi int) {
+		if lo < 0 || hi > 1000 || lo >= hi {
+			t.Errorf("bad range [%d, %d)", lo, hi)
+		}
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 1000 {
+		t.Errorf("covered %d iterations, want 1000", total)
+	}
+	if st.Chunks < 1000/7 {
+		t.Errorf("chunks = %d, want >= %d", st.Chunks, 1000/7)
+	}
+}
+
+func TestGuidedDispatchesFewerChunksThanDynamic(t *testing.T) {
+	opts := func(s Schedule) Options { return Options{Threads: 4, Schedule: s, Chunk: 1} }
+	dynStats, err := For(10000, opts(Dynamic), func(int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guiStats, err := For(10000, opts(Guided), func(int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guiStats.Chunks >= dynStats.Chunks {
+		t.Errorf("guided chunks %d should be far fewer than dynamic %d", guiStats.Chunks, dynStats.Chunks)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("expected propagated panic, got %v", r)
+		}
+	}()
+	_, _ = For(100, Options{Threads: 4, Schedule: Dynamic}, func(i int) {
+		if i == 42 {
+			panic("boom")
+		}
+	})
+	t.Errorf("should have panicked")
+}
+
+func TestSingleThreadFastPath(t *testing.T) {
+	st, err := For(100, Options{Threads: 1}, func(int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Threads != 1 || st.Chunks != 1 {
+		t.Errorf("single-thread stats = %+v", st)
+	}
+}
+
+// Property: every (schedule, threads, chunk, n) covers all indices once.
+func TestCoverageProperty(t *testing.T) {
+	f := func(sched uint8, threads uint8, chunk uint8, nRaw uint16) bool {
+		n := int(nRaw%3000) + 1
+		opts := Options{
+			Threads:  int(threads%8) + 1,
+			Schedule: Schedule(sched % 3),
+			Chunk:    int(chunk % 64),
+		}
+		counts := make([]int32, n)
+		if _, err := For(n, opts, func(i int) { atomic.AddInt32(&counts[i], 1) }); err != nil {
+			return false
+		}
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || Guided.String() != "guided" {
+		t.Errorf("schedule names wrong")
+	}
+}
+
+func BenchmarkStatic(b *testing.B) {
+	benchSchedule(b, Static, 0)
+}
+
+func BenchmarkDynamicChunk64(b *testing.B) {
+	benchSchedule(b, Dynamic, 64)
+}
+
+func BenchmarkGuided(b *testing.B) {
+	benchSchedule(b, Guided, 8)
+}
+
+func benchSchedule(b *testing.B, s Schedule, chunk int) {
+	data := make([]float64, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := ForChunk(len(data), Options{Schedule: s, Chunk: chunk}, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				data[j] += float64(j)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package parfor
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"arcs/internal/ompt"
+)
+
+// Runtime exposes native parallel loops through the same OMPT surfaces as
+// the simulated OpenMP runtime: region events for tools and an ICV control
+// plane for tuners. Attaching an APEX instance with an ARCS tuner to this
+// runtime tunes goroutine count, schedule and chunk size against measured
+// wall-clock time.
+type Runtime struct {
+	tools   ompt.Mux
+	icv     Options
+	nextID  ompt.RegionID
+	regions map[string]*Region
+	maxT    int
+}
+
+// Region is an interned native parallel region.
+type Region struct {
+	info ompt.RegionInfo
+}
+
+// Name returns the region label.
+func (r *Region) Name() string { return r.info.Name }
+
+// NewRuntime creates a native runtime. maxThreads bounds SetNumThreads;
+// 0 selects 2x GOMAXPROCS (mild oversubscription allowed, as the Go
+// scheduler multiplexes goroutines).
+func NewRuntime(maxThreads int) *Runtime {
+	if maxThreads <= 0 {
+		maxThreads = 2 * runtime.GOMAXPROCS(0)
+	}
+	return &Runtime{regions: make(map[string]*Region), maxT: maxThreads}
+}
+
+// RegisterTool attaches an OMPT tool (APEX, a tracer, ...).
+func (rt *Runtime) RegisterTool(t ompt.Tool) { rt.tools.Register(t) }
+
+// Region interns a region by name.
+func (rt *Runtime) Region(name string) *Region {
+	if r, ok := rt.regions[name]; ok {
+		return r
+	}
+	rt.nextID++
+	r := &Region{info: ompt.RegionInfo{ID: rt.nextID, Name: name}}
+	rt.regions[name] = r
+	return r
+}
+
+// --- ompt.ControlPlane ---
+
+// SetNumThreads implements the control plane.
+func (rt *Runtime) SetNumThreads(n int) error {
+	if n < 0 || n > rt.maxT {
+		return fmt.Errorf("parfor: num_threads %d out of range [0, %d]", n, rt.maxT)
+	}
+	rt.icv.Threads = n
+	return nil
+}
+
+// SetSchedule implements the control plane.
+func (rt *Runtime) SetSchedule(kind ompt.ScheduleKind, chunk int) error {
+	if chunk < 0 {
+		return fmt.Errorf("parfor: negative chunk %d", chunk)
+	}
+	switch kind {
+	case ompt.ScheduleDefault, ompt.ScheduleStatic:
+		rt.icv.Schedule = Static
+	case ompt.ScheduleDynamic:
+		rt.icv.Schedule = Dynamic
+	case ompt.ScheduleGuided:
+		rt.icv.Schedule = Guided
+	default:
+		return fmt.Errorf("parfor: unknown schedule kind %v", kind)
+	}
+	rt.icv.Chunk = chunk
+	return nil
+}
+
+// NumThreads implements the control plane.
+func (rt *Runtime) NumThreads() int { return rt.icv.Threads }
+
+// Schedule implements the control plane.
+func (rt *Runtime) Schedule() (ompt.ScheduleKind, int) {
+	switch rt.icv.Schedule {
+	case Dynamic:
+		return ompt.ScheduleDynamic, rt.icv.Chunk
+	case Guided:
+		return ompt.ScheduleGuided, rt.icv.Chunk
+	default:
+		return ompt.ScheduleStatic, rt.icv.Chunk
+	}
+}
+
+// MaxThreads implements the control plane.
+func (rt *Runtime) MaxThreads() int { return rt.maxT }
+
+var _ ompt.ControlPlane = (*Runtime)(nil)
+
+// ParallelFor executes body over [0, n) under the current ICVs, firing
+// OMPT events with real measured time.
+func (rt *Runtime) ParallelFor(r *Region, n int, body func(i int)) (ompt.Metrics, error) {
+	return rt.run(r, n, func(opts Options) (Stats, error) {
+		return For(n, opts, body)
+	})
+}
+
+// ParallelForChunk is the chunk-at-a-time variant.
+func (rt *Runtime) ParallelForChunk(r *Region, n int, body func(lo, hi int)) (ompt.Metrics, error) {
+	return rt.run(r, n, func(opts Options) (Stats, error) {
+		return ForChunk(n, opts, body)
+	})
+}
+
+func (rt *Runtime) run(r *Region, n int, exec func(Options) (Stats, error)) (ompt.Metrics, error) {
+	if r == nil {
+		return ompt.Metrics{}, fmt.Errorf("parfor: nil region")
+	}
+	r.info.Invocation++
+	rt.tools.ParallelBegin(r.info, rt)
+
+	opts := rt.icv
+	start := time.Now()
+	stats, err := exec(opts)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		return ompt.Metrics{}, err
+	}
+
+	kind, chunk := rt.Schedule()
+	m := ompt.Metrics{
+		TimeS:    elapsed,
+		Threads:  stats.Threads,
+		Schedule: kind,
+		Chunk:    chunk,
+	}
+	rt.tools.ParallelEnd(r.info, m)
+	return m, nil
+}

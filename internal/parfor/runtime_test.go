@@ -1,0 +1,176 @@
+package parfor
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"arcs/internal/apex"
+	arcs "arcs/internal/core"
+	"arcs/internal/ompt"
+	"arcs/internal/sim"
+)
+
+func TestRuntimeControlPlane(t *testing.T) {
+	rt := NewRuntime(16)
+	if rt.MaxThreads() != 16 {
+		t.Errorf("MaxThreads = %d", rt.MaxThreads())
+	}
+	if err := rt.SetNumThreads(8); err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumThreads() != 8 {
+		t.Errorf("NumThreads = %d", rt.NumThreads())
+	}
+	if err := rt.SetNumThreads(17); err == nil {
+		t.Errorf("beyond max must fail")
+	}
+	if err := rt.SetSchedule(ompt.ScheduleGuided, 4); err != nil {
+		t.Fatal(err)
+	}
+	k, c := rt.Schedule()
+	if k != ompt.ScheduleGuided || c != 4 {
+		t.Errorf("Schedule = %v,%d", k, c)
+	}
+	if err := rt.SetSchedule(ompt.ScheduleKind(77), 1); err != nil {
+		if rt.icv.Schedule == Schedule(77) {
+			t.Errorf("bad kind must not be stored")
+		}
+	} else {
+		t.Errorf("bad kind must fail")
+	}
+	if err := rt.SetSchedule(ompt.ScheduleStatic, -1); err == nil {
+		t.Errorf("negative chunk must fail")
+	}
+}
+
+func TestRuntimeDefaultMax(t *testing.T) {
+	rt := NewRuntime(0)
+	if rt.MaxThreads() < 2 {
+		t.Errorf("default max threads = %d", rt.MaxThreads())
+	}
+}
+
+func TestParallelForFiresEvents(t *testing.T) {
+	rt := NewRuntime(8)
+	var begins, ends int
+	rt.RegisterTool(toolFuncs{
+		begin: func(r ompt.RegionInfo, cp ompt.ControlPlane) {
+			begins++
+			_ = cp.SetNumThreads(4)
+		},
+		end: func(r ompt.RegionInfo, m ompt.Metrics) {
+			ends++
+			if m.TimeS <= 0 {
+				t.Errorf("metrics time = %v", m.TimeS)
+			}
+			if m.Threads != 4 {
+				t.Errorf("tool reconfiguration not applied: %d threads", m.Threads)
+			}
+		},
+	})
+	var sum int64
+	m, err := rt.ParallelFor(rt.Region("work"), 10000, func(i int) {
+		atomic.AddInt64(&sum, int64(i))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if begins != 1 || ends != 1 {
+		t.Errorf("events: %d begins, %d ends", begins, ends)
+	}
+	if sum != 10000*9999/2 {
+		t.Errorf("sum = %d", sum)
+	}
+	if m.Threads != 4 {
+		t.Errorf("metrics threads = %d", m.Threads)
+	}
+}
+
+func TestParallelForNilRegion(t *testing.T) {
+	rt := NewRuntime(4)
+	if _, err := rt.ParallelFor(nil, 10, func(int) {}); err == nil {
+		t.Errorf("nil region must error")
+	}
+}
+
+func TestRegionInterning(t *testing.T) {
+	rt := NewRuntime(4)
+	a := rt.Region("x")
+	b := rt.Region("x")
+	if a != b {
+		t.Errorf("regions must intern")
+	}
+	if a.Name() != "x" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+type toolFuncs struct {
+	begin func(ompt.RegionInfo, ompt.ControlPlane)
+	end   func(ompt.RegionInfo, ompt.Metrics)
+}
+
+func (t toolFuncs) ParallelBegin(r ompt.RegionInfo, cp ompt.ControlPlane) {
+	if t.begin != nil {
+		t.begin(r, cp)
+	}
+}
+func (t toolFuncs) ParallelEnd(r ompt.RegionInfo, m ompt.Metrics) {
+	if t.end != nil {
+		t.end(r, m)
+	}
+}
+
+// End-to-end: ARCS tunes a real goroutine-backed loop through APEX with
+// wall-clock objective. We only assert the plumbing (sessions advance and
+// converge toward something valid); real time on shared CI machines is too
+// noisy to assert speedups.
+func TestARCSTunesNativeRuntime(t *testing.T) {
+	rt := NewRuntime(8)
+	apx := apex.New()
+	rt.RegisterTool(apex.NewTool(apx))
+
+	space := arcs.SearchSpace{
+		Threads:   []int{1, 2, 4, 8},
+		Schedules: []ompt.ScheduleKind{ompt.ScheduleStatic, ompt.ScheduleDynamic, ompt.ScheduleGuided},
+		Chunks:    []int{0, 64, 1024},
+	}
+	tuner, err := arcs.New(apx, sim.Crill(), arcs.Options{
+		Strategy: arcs.StrategyOnline,
+		Space:    space,
+		MaxEvals: 20,
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, 1<<15)
+	region := rt.Region("daxpy")
+	for iter := 0; iter < 30; iter++ {
+		if _, err := rt.ParallelForChunk(region, len(data), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				data[i] = data[i]*1.000001 + 2.5
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = tuner.Finish()
+	reps := tuner.Report()
+	if len(reps) != 1 || reps[0].Region != "daxpy" {
+		t.Fatalf("reports = %+v", reps)
+	}
+	if reps[0].Evals < 5 {
+		t.Errorf("tuner barely searched: %d evals", reps[0].Evals)
+	}
+	cfg := reps[0].Config
+	found := false
+	for _, th := range space.Threads {
+		if cfg.Threads == th {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("chosen config %v outside the space", cfg)
+	}
+}

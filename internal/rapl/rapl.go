@@ -1,0 +1,186 @@
+// Package rapl exposes the simulated machine's power state through an
+// interface modelled on Intel's Running Average Power Limit (RAPL) MSRs as
+// wrapped by libmsr, the library the paper uses for capping and energy
+// measurement (§IV-B). It reproduces the "known issues of RAPL" the paper
+// had to work around (§IV-D): the energy status counter is a wrapping
+// 32-bit register in fixed energy units, and it only updates about once per
+// millisecond, so naive short-interval reads see stale or wrapped values.
+package rapl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"arcs/internal/sim"
+)
+
+// Domain identifies a RAPL power domain. Only the package domain is
+// cappable in this model, matching the paper ("We only limited the
+// processor power (package power). We used maximum power for other
+// components").
+type Domain int
+
+const (
+	// Package is the processor package domain (cores + caches + uncore).
+	Package Domain = iota
+	// DRAM is modelled read-only: present, never capped.
+	DRAM
+)
+
+// String implements fmt.Stringer.
+func (d Domain) String() string {
+	switch d {
+	case Package:
+		return "package"
+	case DRAM:
+		return "dram"
+	default:
+		return fmt.Sprintf("Domain(%d)", int(d))
+	}
+}
+
+// Errors reported by the interface.
+var (
+	ErrNoCapPrivilege  = errors.New("rapl: no power-capping privilege on this host")
+	ErrNoEnergyCounter = errors.New("rapl: energy counters not accessible on this host")
+	ErrBadDomain       = errors.New("rapl: unsupported domain")
+)
+
+// EnergyUnitJ is the energy counter resolution: 15.3 µJ, the common Sandy
+// Bridge value (MSR_RAPL_POWER_UNIT energy status unit = 2^-16 J).
+const EnergyUnitJ = 1.0 / 65536.0
+
+// counterUpdateS is the counter refresh period (~1 ms on real hardware).
+const counterUpdateS = 0.001
+
+// wrapUnits is the 32-bit wrap point of the energy status register.
+const wrapUnits = 1 << 32
+
+// Interface is a libmsr-style handle onto one simulated machine.
+type Interface struct {
+	m *sim.Machine
+}
+
+// Open attaches to a machine.
+func Open(m *sim.Machine) *Interface { return &Interface{m: m} }
+
+// SetPowerLimit programs the package power limit in watts. Zero clears the
+// limit. On hosts without capping privilege (Minotaur) it fails, matching
+// the paper's experimental constraint.
+func (r *Interface) SetPowerLimit(d Domain, watts float64) error {
+	switch d {
+	case Package:
+	case DRAM:
+		return fmt.Errorf("%w: DRAM capping not available", ErrBadDomain)
+	default:
+		return ErrBadDomain
+	}
+	if watts != 0 && !r.m.Arch().CanCap {
+		return ErrNoCapPrivilege
+	}
+	return r.m.SetPowerCap(watts)
+}
+
+// PowerLimit reads back the effective package limit in watts.
+func (r *Interface) PowerLimit(d Domain) (float64, error) {
+	if d != Package {
+		return 0, ErrBadDomain
+	}
+	return r.m.PowerCap(), nil
+}
+
+// EnergyStatus returns the raw energy counter for a domain: cumulative
+// energy in EnergyUnitJ units, truncated to 32 bits (it wraps!), and
+// quantised to the counter update period. Use an EnergyReader for safe
+// deltas. The DRAM domain is read-only (never cappable) and models the
+// paper's future-work memory-power accounting.
+func (r *Interface) EnergyStatus(d Domain) (uint32, error) {
+	var total float64
+	switch d {
+	case Package:
+		total = r.m.EnergyJ()
+	case DRAM:
+		total = r.m.DRAMEnergyJ()
+	default:
+		return 0, ErrBadDomain
+	}
+	if !r.m.Arch().HasEnergyCtr {
+		return 0, ErrNoEnergyCounter
+	}
+	j := r.quantisedEnergyJ(total)
+	units := uint64(j / EnergyUnitJ)
+	return uint32(units % wrapUnits), nil
+}
+
+// quantisedEnergyJ models the ~1 ms refresh: the visible energy is the
+// value at the last update boundary, interpolated from average power.
+func (r *Interface) quantisedEnergyJ(totalJ float64) float64 {
+	now := r.m.Now()
+	if now <= 0 {
+		return 0
+	}
+	lastUpdate := math.Floor(now/counterUpdateS) * counterUpdateS
+	// Average power over the whole run approximates the trailing interval;
+	// exact interior history is not retained by the machine.
+	avgP := totalJ / now
+	return avgP * lastUpdate
+}
+
+// EnergyReader accumulates wrap-corrected energy deltas, the way libmsr
+// clients must on real hardware.
+type EnergyReader struct {
+	r    *Interface
+	d    Domain
+	last uint32
+	accJ float64
+	init bool
+}
+
+// NewEnergyReader creates a reader positioned at the current counter value.
+func (r *Interface) NewEnergyReader(d Domain) (*EnergyReader, error) {
+	er := &EnergyReader{r: r, d: d}
+	v, err := r.EnergyStatus(d)
+	if err != nil {
+		return nil, err
+	}
+	er.last = v
+	er.init = true
+	return er, nil
+}
+
+// Sample reads the counter, corrects for at most one wrap, and returns the
+// total joules accumulated since the reader was created.
+func (er *EnergyReader) Sample() (float64, error) {
+	v, err := er.r.EnergyStatus(er.d)
+	if err != nil {
+		return 0, err
+	}
+	delta := uint64(v) - uint64(er.last)
+	if v < er.last { // wrapped
+		delta = uint64(v) + wrapUnits - uint64(er.last)
+	}
+	er.accJ += float64(delta) * EnergyUnitJ
+	er.last = v
+	return er.accJ, nil
+}
+
+// Capabilities describes what this host exposes, mirroring the asymmetry
+// between Crill and Minotaur in the paper.
+type Capabilities struct {
+	CanCap       bool
+	HasEnergyCtr bool
+	TDPW         float64
+	MinLimitW    float64
+}
+
+// Caps reports the host capabilities.
+func (r *Interface) Caps() Capabilities {
+	a := r.m.Arch()
+	return Capabilities{
+		CanCap:       a.CanCap,
+		HasEnergyCtr: a.HasEnergyCtr,
+		TDPW:         a.TDPW,
+		MinLimitW:    a.StaticW,
+	}
+}

@@ -1,0 +1,159 @@
+package rapl
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"arcs/internal/sim"
+)
+
+func crill(t *testing.T) *sim.Machine {
+	t.Helper()
+	m, err := sim.NewMachine(sim.Crill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func minotaur(t *testing.T) *sim.Machine {
+	t.Helper()
+	m, err := sim.NewMachine(sim.Minotaur())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSetPowerLimit(t *testing.T) {
+	r := Open(crill(t))
+	if err := r.SetPowerLimit(Package, 70); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.PowerLimit(Package)
+	if err != nil || got != 70 {
+		t.Errorf("PowerLimit = %v, %v; want 70", got, err)
+	}
+	if err := r.SetPowerLimit(Package, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = r.PowerLimit(Package)
+	if got != 115 {
+		t.Errorf("cleared limit should read TDP, got %v", got)
+	}
+}
+
+func TestDomainErrors(t *testing.T) {
+	r := Open(crill(t))
+	if err := r.SetPowerLimit(DRAM, 20); !errors.Is(err, ErrBadDomain) {
+		t.Errorf("DRAM capping must be unsupported, got %v", err)
+	}
+	if err := r.SetPowerLimit(Domain(9), 20); !errors.Is(err, ErrBadDomain) {
+		t.Errorf("unknown domain must fail, got %v", err)
+	}
+	if _, err := r.PowerLimit(DRAM); !errors.Is(err, ErrBadDomain) {
+		t.Errorf("PowerLimit(DRAM) must fail, got %v", err)
+	}
+	if _, err := r.EnergyStatus(Domain(9)); !errors.Is(err, ErrBadDomain) {
+		t.Errorf("EnergyStatus(unknown) must fail, got %v", err)
+	}
+}
+
+func TestMinotaurPrivileges(t *testing.T) {
+	r := Open(minotaur(t))
+	if err := r.SetPowerLimit(Package, 200); !errors.Is(err, ErrNoCapPrivilege) {
+		t.Errorf("Minotaur capping should fail with ErrNoCapPrivilege, got %v", err)
+	}
+	if _, err := r.EnergyStatus(Package); !errors.Is(err, ErrNoEnergyCounter) {
+		t.Errorf("Minotaur energy read should fail, got %v", err)
+	}
+	if _, err := r.NewEnergyReader(Package); err == nil {
+		t.Errorf("Minotaur energy reader should fail to open")
+	}
+	caps := r.Caps()
+	if caps.CanCap || caps.HasEnergyCtr {
+		t.Errorf("Minotaur caps wrong: %+v", caps)
+	}
+}
+
+func TestEnergyCounterQuantisation(t *testing.T) {
+	m := crill(t)
+	r := Open(m)
+	v0, err := r.EnergyStatus(Package)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0 != 0 {
+		t.Errorf("fresh counter = %d, want 0", v0)
+	}
+	// Advance by less than one update period: counter must not move.
+	m.Account(0.0004, 100)
+	v1, _ := r.EnergyStatus(Package)
+	if v1 != 0 {
+		t.Errorf("counter updated mid-period: %d", v1)
+	}
+	// Cross the period boundary.
+	m.Account(0.0007, 100)
+	v2, _ := r.EnergyStatus(Package)
+	if v2 == 0 {
+		t.Errorf("counter should have updated after 1.1 ms")
+	}
+}
+
+func TestEnergyReaderTracksMachine(t *testing.T) {
+	m := crill(t)
+	r := Open(m)
+	er, err := r.NewEnergyReader(Package)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Account(2.0, 80) // 160 J
+	got, err := er.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-160) > 0.5 { // quantisation slack
+		t.Errorf("sampled energy = %v J, want ~160", got)
+	}
+	m.Account(1.0, 50) // +50 J
+	got2, _ := er.Sample()
+	if math.Abs(got2-210) > 0.5 {
+		t.Errorf("cumulative energy = %v J, want ~210", got2)
+	}
+}
+
+func TestEnergyReaderWrap(t *testing.T) {
+	m := crill(t)
+	r := Open(m)
+	er, err := r.NewEnergyReader(Package)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 32-bit counter wraps at 2^32 * 15.3 µJ = 65536 J. Drive past it
+	// in two samples so the wrap correction is exercised.
+	m.Account(400, 100) // 40 kJ
+	if _, err := er.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	m.Account(400, 100) // 80 kJ total: raw register has wrapped
+	got, err := er.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-80000) > 5 {
+		t.Errorf("wrap-corrected energy = %v J, want ~80000", got)
+	}
+	raw, _ := r.EnergyStatus(Package)
+	if float64(raw)*EnergyUnitJ > 65536 {
+		t.Errorf("raw register should have wrapped below 65536 J")
+	}
+}
+
+func TestCapsCrill(t *testing.T) {
+	r := Open(crill(t))
+	caps := r.Caps()
+	if !caps.CanCap || !caps.HasEnergyCtr || caps.TDPW != 115 {
+		t.Errorf("Crill caps wrong: %+v", caps)
+	}
+}

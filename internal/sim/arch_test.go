@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestArchPresetsValid(t *testing.T) {
+	for _, a := range []*Arch{Crill(), Minotaur()} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestCrillTopology(t *testing.T) {
+	a := Crill()
+	if a.Cores() != 16 {
+		t.Errorf("Crill cores = %d, want 16", a.Cores())
+	}
+	if a.HWThreads() != 32 {
+		t.Errorf("Crill hw threads = %d, want 32", a.HWThreads())
+	}
+	if !a.CanCap || !a.HasEnergyCtr {
+		t.Errorf("Crill must support capping and energy counters")
+	}
+}
+
+func TestMinotaurTopology(t *testing.T) {
+	a := Minotaur()
+	if a.Cores() != 20 {
+		t.Errorf("Minotaur cores = %d, want 20", a.Cores())
+	}
+	if a.HWThreads() != 160 {
+		t.Errorf("Minotaur hw threads = %d, want 160", a.HWThreads())
+	}
+	if a.CanCap || a.HasEnergyCtr {
+		t.Errorf("Minotaur must not support capping or energy counters (paper §IV-A)")
+	}
+}
+
+func TestTDPSustainsAllCores(t *testing.T) {
+	// The model assumes TDP runs all cores at base frequency; Validate
+	// enforces it, and FreqAt must return base at TDP with all cores busy.
+	for _, a := range []*Arch{Crill(), Minotaur()} {
+		m, err := NewMachine(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, duty := m.FreqAt(a.Cores())
+		if f != a.BaseGHz || duty != 1 {
+			t.Errorf("%s at TDP, all cores: f=%g duty=%g, want base %g duty 1", a.Name, f, duty, a.BaseGHz)
+		}
+	}
+}
+
+func TestValidateRejectsBadArch(t *testing.T) {
+	bad := Crill()
+	bad.TDPW = 50 // cannot sustain 16 cores
+	if err := bad.Validate(); err == nil {
+		t.Errorf("undersized TDP should fail validation")
+	}
+	bad2 := Crill()
+	bad2.SMTYield = []float64{1.0}
+	if err := bad2.Validate(); err == nil {
+		t.Errorf("SMTYield length mismatch should fail")
+	}
+	bad3 := Crill()
+	bad3.SMTYield = []float64{1.0, 1.2}
+	if err := bad3.Validate(); err == nil {
+		t.Errorf("increasing SMTYield should fail")
+	}
+	bad4 := Crill()
+	bad4.MinGHz = 3.0
+	if err := bad4.Validate(); err == nil {
+		t.Errorf("MinGHz > BaseGHz should fail")
+	}
+}
+
+func TestPlaceScatterFirst(t *testing.T) {
+	a := Crill()
+	p, err := a.Place(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ActiveCores != 16 {
+		t.Errorf("16 threads should activate 16 cores, got %d", p.ActiveCores)
+	}
+	for i, k := range p.Occupancy {
+		if k != 1 {
+			t.Errorf("thread %d occupancy = %d, want 1", i, k)
+		}
+	}
+
+	p24, err := a.Place(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p24.ActiveCores != 16 {
+		t.Errorf("24 threads should still use 16 cores, got %d", p24.ActiveCores)
+	}
+	ones, twos := 0, 0
+	for _, k := range p24.Occupancy {
+		switch k {
+		case 1:
+			ones++
+		case 2:
+			twos++
+		default:
+			t.Errorf("unexpected occupancy %d", k)
+		}
+	}
+	// 8 doubled cores hold 16 threads, 8 single cores hold 8.
+	if ones != 8 || twos != 16 {
+		t.Errorf("24-thread placement: %d singles, %d doubled; want 8/16", ones, twos)
+	}
+
+	p2, err := a.Place(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.ActiveCores != 2 {
+		t.Errorf("2 threads should activate 2 cores, got %d", p2.ActiveCores)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	a := Crill()
+	if _, err := a.Place(0); err == nil {
+		t.Errorf("zero threads should error")
+	}
+	_, err := a.Place(33)
+	if !errors.Is(err, ErrTooManyThreads) {
+		t.Errorf("oversubscription should return ErrTooManyThreads, got %v", err)
+	}
+}
+
+func TestPlaceMinotaurSMT8(t *testing.T) {
+	a := Minotaur()
+	p, err := a.Place(160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range p.Occupancy {
+		if k != 8 {
+			t.Fatalf("thread %d occupancy = %d, want 8", i, k)
+		}
+	}
+	p40, err := a.Place(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range p40.Occupancy {
+		if k != 2 {
+			t.Fatalf("40 threads on 20 cores: occupancy %d, want 2", k)
+		}
+	}
+}
+
+func TestPlaceClose(t *testing.T) {
+	a := Crill()
+	p, err := a.PlaceWith(16, BindClose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 threads packed 2-per-core occupy only 8 cores.
+	if p.ActiveCores != 8 {
+		t.Errorf("close placement of 16 threads: %d active cores, want 8", p.ActiveCores)
+	}
+	for i, k := range p.Occupancy {
+		if k != 2 {
+			t.Errorf("thread %d occupancy = %d, want 2", i, k)
+		}
+	}
+	// Odd counts leave the last core partially filled.
+	p3, err := a.PlaceWith(3, BindClose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.ActiveCores != 2 {
+		t.Errorf("close placement of 3 threads: %d cores, want 2", p3.ActiveCores)
+	}
+	if p3.Occupancy[0] != 2 || p3.Occupancy[2] != 1 {
+		t.Errorf("occupancy = %v", p3.Occupancy)
+	}
+	if _, err := a.PlaceWith(4, BindPolicy(9)); err == nil {
+		t.Errorf("unknown policy must fail")
+	}
+}
+
+// Under a tight cap, close binding concentrates the budget on fewer cores
+// (higher frequency) at the price of SMT sharing — the placement trade-off.
+func TestClosePlacementFrequencyTradeOff(t *testing.T) {
+	m := newCrill(t)
+	if err := m.SetPowerCap(55); err != nil {
+		t.Fatal(err)
+	}
+	lm := balancedLoop()
+	spread := probe(t, m, lm, Config{Threads: 16, Sched: SchedStatic})
+	close_ := probe(t, m, lm, Config{Threads: 16, Sched: SchedStatic, Bind: BindClose})
+	if close_.FreqGHz <= spread.FreqGHz {
+		t.Errorf("close binding must clock higher under a cap: %v vs %v", close_.FreqGHz, spread.FreqGHz)
+	}
+	if close_.AvgPowerW > 55*1.02 {
+		t.Errorf("close binding must still respect the cap: %v", close_.AvgPowerW)
+	}
+}

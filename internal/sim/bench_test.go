@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// Micro-benchmarks for the simulator hot paths: one region execution under
+// each scheduling policy, at NPB-like and LULESH-like iteration counts.
+// These bound the cost of the experiment harness (an offline search is
+// ~250 of these per region).
+
+func benchLoop(iters int) *LoopModel {
+	return &LoopModel{
+		Name:          "bench",
+		Iters:         iters,
+		CompNSPerIter: 15000,
+		Imbalance:     Imbalance{Kind: Ramp, Param: 0.8},
+		Mem: CacheSpec{
+			AccessesPerIter:  4000,
+			BytesPerIter:     8192,
+			TemporalWindowKB: 600,
+			FootprintMB:      250,
+			BoundaryLines:    64,
+			PassesPerChunk:   3,
+			L3Contention:     0.9,
+			MLP:              2,
+		},
+	}
+}
+
+func benchProbe(b *testing.B, iters int, cfg Config) {
+	b.Helper()
+	m, err := NewMachine(Crill())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lm := benchLoop(iters)
+	lm.Weights() // exclude one-time weight materialisation
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ProbeLoop(lm, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProbeStaticNPB(b *testing.B) {
+	benchProbe(b, 10404, Config{Threads: 32, Sched: SchedStatic})
+}
+
+func BenchmarkProbeDynamicChunk1NPB(b *testing.B) {
+	benchProbe(b, 10404, Config{Threads: 32, Sched: SchedDynamic, Chunk: 1})
+}
+
+func BenchmarkProbeGuidedNPB(b *testing.B) {
+	benchProbe(b, 10404, Config{Threads: 32, Sched: SchedGuided, Chunk: 1})
+}
+
+func BenchmarkProbeDynamicLULESH(b *testing.B) {
+	benchProbe(b, 91125, Config{Threads: 32, Sched: SchedDynamic, Chunk: 1})
+}
+
+func BenchmarkWeightSum(b *testing.B) {
+	lm := benchLoop(91125)
+	lm.Weights()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = lm.WeightSum(i%1000, i%1000+4096)
+	}
+}
+
+func BenchmarkMissRates(b *testing.B) {
+	a := Crill()
+	spec := benchLoop(1).Mem
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.missRates(spec, 32, 8, 2)
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+// cache.go implements the analytic cache-hierarchy model. For a loop with a
+// given CacheSpec running under a configuration (threads T, chunk C, SMT
+// occupancy k, frequency f) it produces per-level miss rates and the average
+// memory stall time per iteration. The model is deliberately analytic and
+// monotone in its inputs so that the configuration landscape is smooth
+// enough for Nelder-Mead, while still producing the qualitative effects the
+// paper measures in Figs. 3, 6 and 10:
+//
+//   - long-stride access defeats spatial locality (BT compute_rhs, §V-B);
+//   - tiny chunks reload boundary lines and break locality, huge chunks
+//     with imbalance cost barrier time, so a sweet spot exists;
+//   - SMT siblings halve the private caches;
+//   - more threads raise shared-L3 competition (the paper's "maximise use
+//     of the shared L3" observation);
+//   - power caps slow the uncore, raising effective L3 latency.
+
+// MissRates carries per-level miss ratios (fraction of accesses that miss
+// that level, conditional on reaching it) plus the derived DRAM traffic.
+type MissRates struct {
+	L1 float64 // of all accesses
+	L2 float64 // of L1 misses
+	L3 float64 // of L2 misses
+	// BytesPerIter is the DRAM traffic one iteration generates.
+	BytesPerIter float64
+}
+
+// fit is the classic capacity-fit curve: the probability that a working set
+// of ws bytes is retained by a cache of cap bytes. It is 1/2 at ws == cap
+// and falls smoothly as the set outgrows the cache.
+func fit(capBytes, wsBytes float64) float64 {
+	if wsBytes <= 0 {
+		return 1
+	}
+	if capBytes <= 0 {
+		return 0
+	}
+	return capBytes / (capBytes + wsBytes)
+}
+
+// missRates evaluates the model for chunk size c, thread count t, and SMT
+// occupancy k (threads sharing the private caches).
+func (a *Arch) missRates(spec CacheSpec, t, c, k int) MissRates {
+	s := spec.normalized()
+	if c < 1 {
+		c = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	line := float64(a.LineBytes)
+
+	// Spatial term: lines touched per access. Unit stride shares a line
+	// across line/8 accesses; long strides touch a new line every access.
+	linesPerAccess := 8 * float64(s.StrideElems) / line
+	if linesPerAccess > 1 {
+		linesPerAccess = 1
+	}
+	if floor := 8 / line; linesPerAccess < floor {
+		linesPerAccess = floor
+	}
+
+	// Private caches are shared among SMT siblings.
+	effL1 := float64(a.L1KB) * 1024 / float64(k)
+	effL2 := float64(a.L2KB) * 1024 / float64(k)
+	tw := s.TemporalWindowKB * 1024
+
+	// The effective re-reference window blends the loop's intrinsic
+	// temporal window with the chunk's data set, weighted by how many
+	// passes the loop makes over a chunk: multi-pass kernels keep a chunk
+	// resident, so smaller chunks shrink the window (tiling). This single
+	// window drives all three levels, which is what lets thread count,
+	// schedule chunking and SMT placement all move the measured miss rates
+	// the way the paper's Figs. 3/6/10 show.
+	chunkBytes := float64(c) * s.BytesPerIter
+	tw2 := (tw + chunkBytes*(s.PassesPerChunk-1)) / s.PassesPerChunk
+
+	// L1: an access misses if it opens a new line and the reuse window has
+	// outgrown L1. Chunk boundaries reload BoundaryLines lines each.
+	hit1 := fit(effL1, tw2)
+	m1 := linesPerAccess * (1 - hit1)
+	if s.AccessesPerIter > 0 {
+		m1 += s.BoundaryLines / (float64(c) * s.AccessesPerIter)
+	}
+	if m1 > 1 {
+		m1 = 1
+	}
+	if m1 < 0 {
+		m1 = 0
+	}
+
+	// L2 capacity fit against the blended window.
+	m2 := 1 - fit(effL2, tw2)
+	if m2 < 0 {
+		m2 = 0
+	}
+
+	// L3: data streamed beyond the shared capacity is cold (must come from
+	// DRAM on first touch); the re-referenced window survives only in the
+	// thread's effective share of L3, which shrinks as concurrent threads
+	// compete. L3Contention in [0,1] sets the partitioning strength: 1
+	// means threads effectively split L3 evenly, 0 means the window is
+	// fully shared (read-shared data).
+	foot := s.FootprintMB * 1024 * 1024
+	cold := 1 - fit(a.L3Bytes(), foot)
+	cont := s.L3Contention
+	if cont < 0 {
+		cont = 0
+	}
+	if cont > 1 {
+		cont = 1
+	}
+	share := a.L3Bytes() * ((1 - cont) + cont/float64(t))
+	m3 := cold * (1 - fit(share, tw2))
+	if m3 > 1 {
+		m3 = 1
+	}
+	if m3 < 0 {
+		m3 = 0
+	}
+
+	return MissRates{
+		L1:           m1,
+		L2:           m2,
+		L3:           m3,
+		BytesPerIter: s.AccessesPerIter * m1 * m2 * m3 * line,
+	}
+}
+
+// memStall returns the average memory stall nanoseconds per iteration at
+// frequency f (GHz), before bandwidth saturation. L1/L2 latencies are core
+// cycles (scale inversely with f), L3 is uncore (mild cap sensitivity), and
+// DRAM latency is fixed — the physical reason memory-bound loops tolerate
+// power caps better than compute-bound ones.
+func (a *Arch) memStall(spec CacheSpec, mr MissRates, fGHz float64, chunk int) float64 {
+	s := spec.normalized()
+	if chunk < 1 {
+		chunk = 1
+	}
+	scale := a.BaseGHz / fGHz
+	l1 := a.L1LatNS * scale
+	l2 := a.L2LatNS * scale
+	l3 := a.L3LatNS * (1 + a.UncoreCapSlope*(1-fGHz/a.BaseGHz))
+	mem := a.MemLatNS
+	perAccess := (1-mr.L1)*l1 + mr.L1*((1-mr.L2)*l2+mr.L2*((1-mr.L3)*l3+mr.L3*mem))
+	// Chunk-seam coherence: the BoundaryLines shared at each chunk boundary
+	// ping between writers at snoop latency (~2x L3) and do not overlap
+	// with other misses — the physical cost that makes chunk=1 scheduling
+	// expensive even for cache-friendly loops (false sharing).
+	coherence := s.BoundaryLines / float64(chunk) * 2 * l3
+	return s.AccessesPerIter*perAccess/s.MLP + coherence
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func specCompute() CacheSpec {
+	return CacheSpec{
+		AccessesPerIter:  100,
+		BytesPerIter:     256,
+		StrideElems:      1,
+		TemporalWindowKB: 16,
+		FootprintMB:      4,
+		BoundaryLines:    2,
+		PassesPerChunk:   1,
+		L3Contention:     0.2,
+		MLP:              4,
+	}
+}
+
+func TestFitCurve(t *testing.T) {
+	if fit(100, 0) != 1 {
+		t.Errorf("empty working set always fits")
+	}
+	if fit(0, 100) != 0 {
+		t.Errorf("zero cache never fits")
+	}
+	if got := fit(100, 100); got != 0.5 {
+		t.Errorf("fit at capacity = %v, want 0.5", got)
+	}
+	if fit(100, 10) <= fit(100, 1000) {
+		t.Errorf("fit must decrease with working set")
+	}
+}
+
+func TestStrideRaisesL1Miss(t *testing.T) {
+	a := Crill()
+	unit := specCompute()
+	strided := specCompute()
+	strided.StrideElems = 64 // 512-byte stride: every access a new line
+	mUnit := a.missRates(unit, 16, 8, 1)
+	mStr := a.missRates(strided, 16, 8, 1)
+	if mStr.L1 <= mUnit.L1 {
+		t.Errorf("long stride must raise L1 miss rate: %v vs %v", mStr.L1, mUnit.L1)
+	}
+}
+
+func TestSMTSharingRaisesMisses(t *testing.T) {
+	a := Crill()
+	s := specCompute()
+	s.TemporalWindowKB = 24 // close to L1 so halving matters
+	m1 := a.missRates(s, 16, 8, 1)
+	m2 := a.missRates(s, 32, 8, 2)
+	if m2.L1 <= m1.L1 {
+		t.Errorf("SMT sibling must raise L1 miss (halved cache): %v vs %v", m2.L1, m1.L1)
+	}
+	if m2.L2 < m1.L2 {
+		t.Errorf("SMT sibling must not lower L2 miss: %v vs %v", m2.L2, m1.L2)
+	}
+}
+
+func TestTinyChunksBoundaryPenalty(t *testing.T) {
+	a := Crill()
+	s := specCompute()
+	small := a.missRates(s, 16, 1, 1)
+	big := a.missRates(s, 16, 64, 1)
+	if small.L1 <= big.L1 {
+		t.Errorf("chunk=1 must pay boundary reloads: %v vs %v", small.L1, big.L1)
+	}
+}
+
+func TestChunkTilingHelpsL2(t *testing.T) {
+	a := Crill()
+	s := specCompute()
+	s.PassesPerChunk = 4
+	s.BytesPerIter = 4096
+	s.TemporalWindowKB = 2048            // without tiling, window >> L2
+	mSmall := a.missRates(s, 16, 16, 1)  // 64 KB chunk fits L2
+	mHuge := a.missRates(s, 16, 2048, 1) // 8 MB chunk does not
+	if mSmall.L2 >= mHuge.L2 {
+		t.Errorf("L2-resident chunks should hit more: %v vs %v", mSmall.L2, mHuge.L2)
+	}
+}
+
+func TestThreadsRaiseL3Competition(t *testing.T) {
+	a := Crill()
+	s := specCompute()
+	s.FootprintMB = 60 // larger than L3 so the term matters
+	s.L3Contention = 0.8
+	m8 := a.missRates(s, 8, 32, 1)
+	m32 := a.missRates(s, 32, 32, 2)
+	if m32.L3 <= m8.L3 {
+		t.Errorf("more threads must raise L3 miss under contention: %v vs %v", m32.L3, m8.L3)
+	}
+}
+
+func TestMemStallFrequencyScaling(t *testing.T) {
+	a := Crill()
+	s := specCompute()
+	mr := a.missRates(s, 16, 8, 1)
+	atBase := a.memStall(s, mr, a.BaseGHz, 8)
+	atHalf := a.memStall(s, mr, a.BaseGHz/2, 8)
+	if atHalf <= atBase {
+		t.Errorf("lower frequency must raise core-clocked latency: %v vs %v", atHalf, atBase)
+	}
+	// But far less than 2x, because DRAM latency is fixed: check the
+	// memory-bound share dampens the scaling.
+	if atHalf >= 2*atBase {
+		t.Errorf("memory stall must not scale fully with frequency: %v vs %v", atHalf, atBase)
+	}
+}
+
+func TestMissRatesBounded(t *testing.T) {
+	f := func(acc, bytes, twKB, foot, bl, passes, cont float64, stride uint8, tt, c, k uint8) bool {
+		s := CacheSpec{
+			AccessesPerIter:  mod(acc, 1e4),
+			BytesPerIter:     mod(bytes, 1e6),
+			StrideElems:      int(stride%100) + 1,
+			TemporalWindowKB: mod(twKB, 1e5),
+			FootprintMB:      mod(foot, 1e4),
+			BoundaryLines:    mod(bl, 100),
+			PassesPerChunk:   1 + mod(passes, 10),
+			L3Contention:     mod(cont, 1),
+			MLP:              2,
+		}
+		a := Crill()
+		threads := int(tt%32) + 1
+		chunk := int(c)*3 + 1
+		occ := int(k%2) + 1
+		mr := a.missRates(s, threads, chunk, occ)
+		ok := mr.L1 >= 0 && mr.L1 <= 1 && mr.L2 >= 0 && mr.L2 <= 1 && mr.L3 >= 0 && mr.L3 <= 1
+		return ok && mr.BytesPerIter >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod(x, m float64) float64 {
+	if x != x || x > 1e300 || x < -1e300 { // NaN/huge guard
+		return m / 2
+	}
+	if x < 0 {
+		x = -x
+	}
+	for x >= m {
+		x /= 2
+	}
+	return x
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSetUserFreq(t *testing.T) {
+	m := newCrill(t)
+	a := m.Arch()
+	if err := m.SetUserFreqGHz(1.8); err != nil {
+		t.Fatal(err)
+	}
+	if m.UserFreqGHz() != 1.8 {
+		t.Errorf("UserFreqGHz = %v", m.UserFreqGHz())
+	}
+	f, duty := m.FreqAt(16)
+	if f != 1.8 || duty != 1 {
+		t.Errorf("user request must cap the governor at TDP: f=%v duty=%v", f, duty)
+	}
+	// Under a tight cap the governor may already be below the request.
+	if err := m.SetPowerCap(55); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetUserFreqGHz(2.2); err != nil {
+		t.Fatal(err)
+	}
+	f55, _ := m.FreqAt(16)
+	if f55 >= 2.2 {
+		t.Errorf("cap-bound frequency %v must stay below a higher user request", f55)
+	}
+	// Clearing restores governor control.
+	if err := m.SetPowerCap(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetUserFreqGHz(0); err != nil {
+		t.Fatal(err)
+	}
+	f, _ = m.FreqAt(16)
+	if f != a.BaseGHz {
+		t.Errorf("cleared request must restore base frequency, got %v", f)
+	}
+}
+
+func TestSetUserFreqValidation(t *testing.T) {
+	m := newCrill(t)
+	if err := m.SetUserFreqGHz(0.5); err == nil {
+		t.Errorf("below MinGHz must fail")
+	}
+	if err := m.SetUserFreqGHz(3.5); err == nil {
+		t.Errorf("above BaseGHz must fail")
+	}
+}
+
+func TestFreqLadder(t *testing.T) {
+	a := Crill()
+	ladder := a.FreqLadder()
+	if len(ladder) != 6 {
+		t.Fatalf("ladder = %v", ladder)
+	}
+	if ladder[0] != a.MinGHz || math.Abs(ladder[len(ladder)-1]-a.BaseGHz) > 1e-12 {
+		t.Errorf("ladder endpoints wrong: %v", ladder)
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] <= ladder[i-1] {
+			t.Errorf("ladder must ascend: %v", ladder)
+		}
+	}
+}
+
+func TestUserFreqSavesEnergy(t *testing.T) {
+	// A memory-leaning loop at reduced frequency: small time penalty, big
+	// package-energy saving (cubic power law) — the §VII DVFS story.
+	m := newCrill(t)
+	lm := memLoop()
+	cfg := Config{Threads: 16, Sched: SchedStatic}
+	base := probe(t, m, lm, cfg)
+	if err := m.SetUserFreqGHz(1.68); err != nil {
+		t.Fatal(err)
+	}
+	slow := probe(t, m, lm, cfg)
+	if slow.FreqGHz != 1.68 {
+		t.Fatalf("frequency not applied: %v", slow.FreqGHz)
+	}
+	timePenalty := slow.TimeS/base.TimeS - 1
+	energyGain := 1 - slow.EnergyJ/base.EnergyJ
+	if timePenalty > 0.35 {
+		t.Errorf("memory-bound loop slowed too much: +%.0f%%", timePenalty*100)
+	}
+	if energyGain < 0.10 {
+		t.Errorf("reduced frequency should save energy: %.0f%%", energyGain*100)
+	}
+}
+
+func TestDRAMAccounting(t *testing.T) {
+	m := newCrill(t)
+	m.AccountDRAM(2.0, 1e9)
+	want := 2.0*m.Arch().DRAMStaticW + 1e9*m.Arch().DRAMEnergyPerByte
+	if math.Abs(m.DRAMEnergyJ()-want) > 1e-9 {
+		t.Errorf("DRAM energy = %v, want %v", m.DRAMEnergyJ(), want)
+	}
+	m.AccountDRAM(-1, 1e9) // ignored
+	if math.Abs(m.DRAMEnergyJ()-want) > 1e-9 {
+		t.Errorf("negative dt must be ignored")
+	}
+	m.Reset()
+	if m.DRAMEnergyJ() != 0 {
+		t.Errorf("Reset must clear DRAM energy")
+	}
+}
+
+func TestExecuteLoopAccountsDRAM(t *testing.T) {
+	m := newCrill(t)
+	res, err := m.ExecuteLoop(memLoop(), Config{Threads: 16, Sched: SchedStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAMBytes <= 0 || res.DRAMEnergyJ <= 0 {
+		t.Errorf("memory-bound loop must generate DRAM traffic: %+v", res.DRAMBytes)
+	}
+	if math.Abs(m.DRAMEnergyJ()-res.DRAMEnergyJ) > 1e-9 {
+		t.Errorf("machine DRAM accounting %v != result %v", m.DRAMEnergyJ(), res.DRAMEnergyJ)
+	}
+	// A cache-resident loop moves far less DRAM data per unit work.
+	m2 := newCrill(t)
+	res2, err := m2.ExecuteLoop(balancedLoop(), Config{Threads: 16, Sched: SchedStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DRAMBytes >= res.DRAMBytes {
+		t.Errorf("cache-friendly loop should stream less: %v vs %v", res2.DRAMBytes, res.DRAMBytes)
+	}
+}

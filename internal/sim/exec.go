@@ -1,0 +1,416 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule enumerates loop scheduling policies, mirroring OpenMP's
+// schedule(static|dynamic|guided, chunk) clause semantics.
+type Schedule int
+
+const (
+	// SchedStatic pre-assigns chunks round-robin; zero dispatch cost but no
+	// load balancing beyond the interleave.
+	SchedStatic Schedule = iota
+	// SchedDynamic hands the next chunk to the first idle thread; perfect
+	// balancing at the cost of one dispatch per chunk.
+	SchedDynamic
+	// SchedGuided hands out exponentially shrinking chunks (remaining/T,
+	// floored at the chunk parameter).
+	SchedGuided
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case SchedStatic:
+		return "static"
+	case SchedDynamic:
+		return "dynamic"
+	case SchedGuided:
+		return "guided"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Config is one point of the ARCS search space as seen by the simulator:
+// thread count, schedule kind and chunk size. Chunk 0 requests the OpenMP
+// default (iterations/threads for static, 1 for dynamic and guided).
+type Config struct {
+	Threads int
+	Sched   Schedule
+	Chunk   int
+	// Bind is the thread placement policy (OMP_PROC_BIND); the zero value
+	// is spread, the paper's configuration.
+	Bind BindPolicy
+}
+
+// String renders the config the way the paper writes them: "16, guided, 8".
+func (c Config) String() string {
+	ch := "default"
+	if c.Chunk > 0 {
+		ch = fmt.Sprintf("%d", c.Chunk)
+	}
+	return fmt.Sprintf("%d, %s, %s", c.Threads, c.Sched, ch)
+}
+
+// ExecResult reports everything the OMPT/APEX layers observe about one
+// region execution.
+type ExecResult struct {
+	TimeS     float64 // wall time of the region (fork to join)
+	EnergyJ   float64 // package energy including static share
+	AvgPowerW float64 // EnergyJ / TimeS
+	FreqGHz   float64 // DVFS point used
+	Duty      float64 // duty factor (<1 only under extreme caps)
+
+	Miss MissRates // modelled miss rates (occupancy-weighted)
+
+	// DRAMBytes is the memory traffic of the execution; DRAMEnergyJ the
+	// corresponding DRAM energy (outside the package domain).
+	DRAMBytes   float64
+	DRAMEnergyJ float64
+
+	LoopS     float64 // longest per-thread busy time (the critical path)
+	SerialS   float64 // master-only section time
+	BarrierS  float64 // total wait time across the team
+	DispatchS float64 // total dispatch overhead across the team
+	Chunks    int     // chunks dispatched
+
+	PerThreadBusyS []float64 // busy (work+dispatch) seconds per thread
+	PerThreadWaitS []float64 // barrier wait seconds per thread
+}
+
+// BarrierFrac returns barrier time as a fraction of total thread-seconds,
+// the load-balance metric plotted in Figs. 3d, 6 and 10.
+func (r *ExecResult) BarrierFrac() float64 {
+	total := r.TimeS * float64(len(r.PerThreadBusyS))
+	if total <= 0 {
+		return 0
+	}
+	return r.BarrierS / total
+}
+
+// threadState is a heap entry for dynamic/guided dispatch.
+type threadState struct {
+	avail float64 // time the thread becomes idle
+	id    int
+}
+
+// threadHeap is a hand-rolled min-heap (by avail, ties by id for
+// determinism). container/heap's interface{} boxing allocates on every
+// push/pop, which dominates chunk-per-iteration simulations; this version
+// is allocation free on the hot path.
+type threadHeap []threadState
+
+func (h threadHeap) less(i, j int) bool {
+	if h[i].avail != h[j].avail {
+		return h[i].avail < h[j].avail
+	}
+	return h[i].id < h[j].id
+}
+
+func (h threadHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// fixRoot restores the heap property after the root's avail increased
+// (pop-modify-push collapses into one sift).
+func (h threadHeap) fixRoot() { h.siftDown(0) }
+
+func (h threadHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// ResolveChunk applies OpenMP defaulting rules for a chunk parameter of 0.
+func ResolveChunk(sched Schedule, chunk, iters, threads int) int {
+	if chunk > 0 {
+		return chunk
+	}
+	if sched == SchedStatic {
+		c := (iters + threads - 1) / threads
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	return 1
+}
+
+// ProbeLoop simulates one execution of lm under cfg without advancing the
+// machine clock or energy counter. ExecuteLoop is Probe + Account; tests
+// and calibration tools use Probe directly.
+func (m *Machine) ProbeLoop(lm *LoopModel, cfg Config) (ExecResult, error) {
+	if err := lm.Validate(); err != nil {
+		return ExecResult{}, err
+	}
+	place, err := m.arch.PlaceWith(cfg.Threads, cfg.Bind)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	a := m.arch
+	t := cfg.Threads
+	f, duty := m.FreqAt(place.ActiveCores)
+
+	// Per-occupancy-class iteration cost (nanoseconds).
+	maxOcc := 1
+	for _, k := range place.Occupancy {
+		if k > maxOcc {
+			maxOcc = k
+		}
+	}
+	missByOcc := make([]MissRates, maxOcc+1)
+	compByOcc := make([]float64, maxOcc+1)
+	memByOcc := make([]float64, maxOcc+1)
+	chunk := ResolveChunk(cfg.Sched, cfg.Chunk, lm.Iters, t)
+	for k := 1; k <= maxOcc; k++ {
+		mr := a.missRates(lm.Mem, t, chunk, k)
+		missByOcc[k] = mr
+		compByOcc[k] = lm.CompNSPerIter * (a.BaseGHz / f) / (a.SMTYield[k-1] * duty)
+		memByOcc[k] = a.memStall(lm.Mem, mr, f, chunk)
+	}
+
+	// Memory-bandwidth saturation: scale the stall component until the
+	// aggregate DRAM demand fits. A few fixed-point rounds converge because
+	// higher stalls lower the demand monotonically.
+	bwScale := 1.0
+	for round := 0; round < 4; round++ {
+		demand := 0.0 // GB/s
+		for _, k := range place.Occupancy {
+			iterNS := compByOcc[k] + memByOcc[k]*bwScale
+			if iterNS <= 0 {
+				continue
+			}
+			demand += missByOcc[k].BytesPerIter / iterNS // bytes/ns == GB/s
+		}
+		if demand <= a.MemBWGBs {
+			break
+		}
+		bwScale *= demand / a.MemBWGBs
+	}
+	iterNSByOcc := make([]float64, maxOcc+1)
+	for k := 1; k <= maxOcc; k++ {
+		iterNSByOcc[k] = compByOcc[k] + memByOcc[k]*bwScale
+	}
+
+	// Fork: threads start staggered.
+	start := make([]float64, t)
+	for i := range start {
+		start[i] = (a.ForkBaseUS + a.ForkStaggerUS*float64(i)) * 1e-6
+	}
+
+	dispatchNS := a.DispatchUS * 1000 * (1 + a.DispatchScale*float64(t-1))
+	finish := make([]float64, t)
+	busy := make([]float64, t)
+	copy(finish, start)
+	chunksDispatched := 0
+	totalDispatchS := 0.0
+
+	chunkCostS := func(tid, lo, hi int) float64 {
+		k := place.Occupancy[tid]
+		return lm.WeightSum(lo, hi) * iterNSByOcc[k] * 1e-9
+	}
+
+	switch cfg.Sched {
+	case SchedStatic:
+		// Round-robin pre-assignment, no dispatch cost.
+		for pos, turn := 0, 0; pos < lm.Iters; turn++ {
+			tid := turn % t
+			hi := pos + chunk
+			if hi > lm.Iters {
+				hi = lm.Iters
+			}
+			c := chunkCostS(tid, pos, hi)
+			finish[tid] += c
+			busy[tid] += c
+			pos = hi
+			chunksDispatched++
+		}
+	case SchedDynamic, SchedGuided:
+		h := make(threadHeap, t)
+		for i := 0; i < t; i++ {
+			h[i] = threadState{avail: start[i], id: i}
+		}
+		h.init()
+		remaining := lm.Iters
+		pos := 0
+		dS := dispatchNS * 1e-9
+		for remaining > 0 {
+			id := h[0].id // earliest-idle thread grabs the next chunk
+			sz := chunk
+			if cfg.Sched == SchedGuided {
+				g := (remaining + t - 1) / t
+				if g > sz {
+					sz = g
+				}
+			}
+			if sz > remaining {
+				sz = remaining
+			}
+			c := dS + chunkCostS(id, pos, pos+sz)
+			busy[id] += c
+			totalDispatchS += dS
+			h[0].avail += c
+			finish[id] = h[0].avail
+			h.fixRoot()
+			pos += sz
+			remaining -= sz
+			chunksDispatched++
+		}
+	default:
+		return ExecResult{}, fmt.Errorf("sim: unknown schedule %v", cfg.Sched)
+	}
+
+	loopEnd := 0.0
+	for _, ft := range finish {
+		if ft > loopEnd {
+			loopEnd = ft
+		}
+	}
+
+	// Master-only serial section: runs after the master drains its chunks,
+	// possibly overlapping other threads' tails.
+	serialS := lm.SerialNS * (a.BaseGHz / f) / duty * 1e-9
+	masterDone := finish[0] + serialS
+	regionEnd := loopEnd
+	if masterDone > regionEnd {
+		regionEnd = masterDone
+	}
+
+	waits := make([]float64, t)
+	var barrierS float64
+	for i := 0; i < t; i++ {
+		end := finish[i]
+		if i == 0 {
+			end = masterDone
+		}
+		w := regionEnd - end
+		if w < 0 {
+			w = 0
+		}
+		waits[i] = w
+		barrierS += w
+	}
+
+	// Energy. Static power runs for the whole region; each busy thread
+	// draws its share of its core's dynamic power; barrier waits spin for
+	// SpinWindow then sleep.
+	corePower := m.CorePowerAt(f, duty)
+	energy := a.StaticW * regionEnd
+	for i := 0; i < t; i++ {
+		share := corePower / float64(place.Occupancy[i])
+		b := busy[i]
+		if i == 0 {
+			b += serialS
+		}
+		energy += share * b
+		spin := waits[i]
+		if spin > a.SpinWindowS {
+			energy += share * a.SpinPowerFrac * a.SpinWindowS
+			energy += share * a.SleepPowerFrac * (waits[i] - a.SpinWindowS)
+		} else {
+			energy += share * a.SpinPowerFrac * spin
+		}
+	}
+
+	// Occupancy-weighted miss rates for reporting.
+	var rep MissRates
+	for _, k := range place.Occupancy {
+		rep.L1 += missByOcc[k].L1
+		rep.L2 += missByOcc[k].L2
+		rep.L3 += missByOcc[k].L3
+		rep.BytesPerIter += missByOcc[k].BytesPerIter
+	}
+	inv := 1 / float64(t)
+	rep.L1 *= inv
+	rep.L2 *= inv
+	rep.L3 *= inv
+	rep.BytesPerIter *= inv
+
+	maxBusy := 0.0
+	for _, b := range busy {
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+
+	// Run-to-run measurement noise (1 unless enabled): scales the whole
+	// execution uniformly, leaving power and miss rates unchanged.
+	nf := m.noiseFactor()
+	if nf != 1 {
+		regionEnd *= nf
+		energy *= nf
+		loopEnd *= nf
+		serialS *= nf
+		barrierS *= nf
+		totalDispatchS *= nf
+		maxBusy *= nf
+		for i := range busy {
+			busy[i] *= nf
+			waits[i] *= nf
+		}
+	}
+
+	dramBytes := rep.BytesPerIter * float64(lm.Iters) * nf
+
+	res := ExecResult{
+		TimeS:          regionEnd,
+		EnergyJ:        energy,
+		AvgPowerW:      energy / math.Max(regionEnd, 1e-12),
+		DRAMBytes:      dramBytes,
+		DRAMEnergyJ:    a.DRAMStaticW*regionEnd + a.DRAMEnergyPerByte*dramBytes,
+		FreqGHz:        f,
+		Duty:           duty,
+		Miss:           rep,
+		LoopS:          maxBusy,
+		SerialS:        serialS,
+		BarrierS:       barrierS,
+		DispatchS:      totalDispatchS,
+		Chunks:         chunksDispatched,
+		PerThreadBusyS: busy,
+		PerThreadWaitS: waits,
+	}
+	return res, nil
+}
+
+// ExecuteLoop simulates one execution of lm under cfg and advances the
+// machine clock and energy counter accordingly.
+func (m *Machine) ExecuteLoop(lm *LoopModel, cfg Config) (ExecResult, error) {
+	res, err := m.ProbeLoop(lm, cfg)
+	if err != nil {
+		return res, err
+	}
+	m.Account(res.TimeS, res.AvgPowerW)
+	m.AccountDRAM(res.TimeS, res.DRAMBytes)
+	return res, nil
+}
+
+// AccountOverhead charges dt seconds of single-core runtime overhead
+// (configuration changes, instrumentation) to the machine: static power
+// plus one busy core at the current single-core DVFS point.
+func (m *Machine) AccountOverhead(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	f, duty := m.FreqAt(1)
+	m.Account(dt, m.arch.StaticW+m.CorePowerAt(f, duty))
+	m.AccountDRAM(dt, 0)
+}

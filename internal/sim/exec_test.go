@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// balancedLoop is a compute-leaning, well-balanced kernel.
+func balancedLoop() *LoopModel {
+	return &LoopModel{
+		Name:          "balanced",
+		Iters:         2048,
+		CompNSPerIter: 50000,
+		Imbalance:     Imbalance{Kind: Uniform},
+		Mem: CacheSpec{
+			AccessesPerIter:  500,
+			BytesPerIter:     2048,
+			StrideElems:      1,
+			TemporalWindowKB: 24,
+			FootprintMB:      8,
+			BoundaryLines:    2,
+			MLP:              4,
+		},
+	}
+}
+
+// rampLoop is imbalanced: late iterations cost ~3x early ones.
+func rampLoop() *LoopModel {
+	lm := balancedLoop()
+	lm.Name = "ramp"
+	lm.Imbalance = Imbalance{Kind: Ramp, Param: 1.4}
+	return lm
+}
+
+// memLoop is strongly memory-bound.
+func memLoop() *LoopModel {
+	return &LoopModel{
+		Name:          "membound",
+		Iters:         2048,
+		CompNSPerIter: 1000,
+		Imbalance:     Imbalance{Kind: Uniform},
+		Mem: CacheSpec{
+			AccessesPerIter:  4000,
+			BytesPerIter:     32768,
+			StrideElems:      8,
+			TemporalWindowKB: 65536, // streaming: no short re-reference window
+			FootprintMB:      256,
+			BoundaryLines:    4,
+			L3Contention:     0.6,
+			MLP:              12, // streaming: hardware prefetchers hide most latency
+		},
+	}
+}
+
+func probe(t *testing.T, m *Machine, lm *LoopModel, cfg Config) ExecResult {
+	t.Helper()
+	res, err := m.ProbeLoop(lm, cfg)
+	if err != nil {
+		t.Fatalf("ProbeLoop(%v): %v", cfg, err)
+	}
+	return res
+}
+
+func TestProbeBasicInvariants(t *testing.T) {
+	m := newCrill(t)
+	for _, cfg := range []Config{
+		{Threads: 1, Sched: SchedStatic},
+		{Threads: 16, Sched: SchedStatic},
+		{Threads: 16, Sched: SchedDynamic, Chunk: 8},
+		{Threads: 32, Sched: SchedGuided, Chunk: 4},
+		{Threads: 24, Sched: SchedDynamic, Chunk: 1},
+	} {
+		res := probe(t, m, balancedLoop(), cfg)
+		if res.TimeS <= 0 || res.EnergyJ <= 0 {
+			t.Errorf("%v: non-positive time/energy", cfg)
+		}
+		if res.AvgPowerW < m.Arch().StaticW*0.99 {
+			t.Errorf("%v: average power %v below static", cfg, res.AvgPowerW)
+		}
+		if res.AvgPowerW > m.Arch().TDPW*1.05 {
+			t.Errorf("%v: average power %v above TDP", cfg, res.AvgPowerW)
+		}
+		if len(res.PerThreadBusyS) != cfg.Threads || len(res.PerThreadWaitS) != cfg.Threads {
+			t.Errorf("%v: per-thread slices sized wrong", cfg)
+		}
+		if res.LoopS > res.TimeS {
+			t.Errorf("%v: busy time exceeds region time", cfg)
+		}
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	m := newCrill(t)
+	t1 := probe(t, m, balancedLoop(), Config{Threads: 1, Sched: SchedStatic}).TimeS
+	t8 := probe(t, m, balancedLoop(), Config{Threads: 8, Sched: SchedStatic}).TimeS
+	t16 := probe(t, m, balancedLoop(), Config{Threads: 16, Sched: SchedStatic}).TimeS
+	if s := t1 / t8; s < 6 || s > 8.2 {
+		t.Errorf("8-thread speedup = %v, want near-linear for a balanced compute loop", s)
+	}
+	if t16 >= t8 {
+		t.Errorf("16 threads should beat 8 for a compute loop: %v vs %v", t16, t8)
+	}
+}
+
+func TestSMTYieldLimitsSpeedup(t *testing.T) {
+	m := newCrill(t)
+	t16 := probe(t, m, balancedLoop(), Config{Threads: 16, Sched: SchedStatic}).TimeS
+	t32 := probe(t, m, balancedLoop(), Config{Threads: 32, Sched: SchedStatic}).TimeS
+	s := t16 / t32
+	// 32 threads use SMT siblings at 0.62 yield: total throughput 1.24x.
+	if s < 1.0 || s > 1.4 {
+		t.Errorf("SMT speedup 16->32 = %v, want within (1.0, 1.4)", s)
+	}
+}
+
+func TestImbalanceSchedules(t *testing.T) {
+	m := newCrill(t)
+	lm := rampLoop()
+	static := probe(t, m, lm, Config{Threads: 16, Sched: SchedStatic}) // default chunk: one block each
+	dyn := probe(t, m, lm, Config{Threads: 16, Sched: SchedDynamic, Chunk: 16})
+	guided := probe(t, m, lm, Config{Threads: 16, Sched: SchedGuided, Chunk: 8})
+	if dyn.TimeS >= static.TimeS {
+		t.Errorf("dynamic should beat static on a ramp: %v vs %v", dyn.TimeS, static.TimeS)
+	}
+	if guided.TimeS >= static.TimeS {
+		t.Errorf("guided should beat static on a ramp: %v vs %v", guided.TimeS, static.TimeS)
+	}
+	if static.BarrierS <= dyn.BarrierS {
+		t.Errorf("static barrier time should exceed dynamic: %v vs %v", static.BarrierS, dyn.BarrierS)
+	}
+}
+
+func TestDispatchOverheadTinyChunks(t *testing.T) {
+	m := newCrill(t)
+	lm := &LoopModel{ // very cheap iterations
+		Name:          "cheap",
+		Iters:         200000,
+		CompNSPerIter: 40,
+		Imbalance:     Imbalance{Kind: Uniform},
+		Mem:           CacheSpec{AccessesPerIter: 4, BytesPerIter: 32, TemporalWindowKB: 8, FootprintMB: 2, MLP: 4},
+	}
+	c1 := probe(t, m, lm, Config{Threads: 16, Sched: SchedDynamic, Chunk: 1})
+	c256 := probe(t, m, lm, Config{Threads: 16, Sched: SchedDynamic, Chunk: 256})
+	if c1.TimeS <= c256.TimeS {
+		t.Errorf("chunk=1 dynamic must drown in dispatch for cheap iterations: %v vs %v", c1.TimeS, c256.TimeS)
+	}
+	if c1.DispatchS <= c256.DispatchS {
+		t.Errorf("dispatch seconds must grow with chunk count")
+	}
+	if c1.Chunks != 200000 {
+		t.Errorf("chunk=1 should dispatch one chunk per iteration, got %d", c1.Chunks)
+	}
+}
+
+func TestGuidedDispatchesFewerChunks(t *testing.T) {
+	m := newCrill(t)
+	lm := balancedLoop()
+	dyn := probe(t, m, lm, Config{Threads: 16, Sched: SchedDynamic, Chunk: 1})
+	gui := probe(t, m, lm, Config{Threads: 16, Sched: SchedGuided, Chunk: 1})
+	if gui.Chunks >= dyn.Chunks {
+		t.Errorf("guided must dispatch fewer chunks than dynamic,1: %d vs %d", gui.Chunks, dyn.Chunks)
+	}
+}
+
+func TestPowerCapSlowsComputeMoreThanMemory(t *testing.T) {
+	m := newCrill(t)
+	comp, mem := balancedLoop(), memLoop()
+	cfg := Config{Threads: 16, Sched: SchedStatic}
+
+	compBase := probe(t, m, comp, cfg).TimeS
+	memBase := probe(t, m, mem, cfg).TimeS
+	if err := m.SetPowerCap(55); err != nil {
+		t.Fatal(err)
+	}
+	compCap := probe(t, m, comp, cfg).TimeS
+	memCap := probe(t, m, mem, cfg).TimeS
+
+	compSlow := compCap / compBase
+	memSlow := memCap / memBase
+	if compSlow <= 1.05 {
+		t.Errorf("a 55W cap must visibly slow a compute loop, slowdown %v", compSlow)
+	}
+	if memSlow >= compSlow {
+		t.Errorf("memory-bound loop must tolerate caps better: %v vs %v", memSlow, compSlow)
+	}
+}
+
+func TestCapReducesPower(t *testing.T) {
+	m := newCrill(t)
+	cfg := Config{Threads: 16, Sched: SchedStatic}
+	base := probe(t, m, balancedLoop(), cfg)
+	if err := m.SetPowerCap(55); err != nil {
+		t.Fatal(err)
+	}
+	capped := probe(t, m, balancedLoop(), cfg)
+	if capped.AvgPowerW >= base.AvgPowerW {
+		t.Errorf("cap must reduce average power: %v vs %v", capped.AvgPowerW, base.AvgPowerW)
+	}
+	if capped.AvgPowerW > 55*1.02 {
+		t.Errorf("average power %v must respect the 55W cap", capped.AvgPowerW)
+	}
+	if capped.FreqGHz >= base.FreqGHz {
+		t.Errorf("cap must reduce frequency: %v vs %v", capped.FreqGHz, base.FreqGHz)
+	}
+}
+
+func TestBandwidthSaturation(t *testing.T) {
+	m := newCrill(t)
+	lm := memLoop()
+	t8 := probe(t, m, lm, Config{Threads: 8, Sched: SchedStatic}).TimeS
+	t16 := probe(t, m, lm, Config{Threads: 16, Sched: SchedStatic}).TimeS
+	s := t8 / t16
+	if s > 1.6 {
+		t.Errorf("memory-bound loop should not scale 8->16 threads, speedup %v", s)
+	}
+}
+
+func TestSerialSectionBecomesBarrier(t *testing.T) {
+	m := newCrill(t)
+	lm := balancedLoop()
+	lm.SerialNS = 5e7 // 50 ms of master-only work
+	res := probe(t, m, lm, Config{Threads: 16, Sched: SchedStatic})
+	if res.SerialS <= 0 {
+		t.Fatalf("serial time missing")
+	}
+	// The other 15 threads wait out most of the serial section.
+	if res.BarrierS < 0.8*res.SerialS*15 {
+		t.Errorf("barrier %v should absorb the serial section (%v x 15)", res.BarrierS, res.SerialS)
+	}
+	if f := res.BarrierFrac(); f < 0.3 {
+		t.Errorf("barrier fraction %v should dominate for a serial-heavy region", f)
+	}
+}
+
+func TestExecuteLoopAccounts(t *testing.T) {
+	m := newCrill(t)
+	res, err := m.ExecuteLoop(balancedLoop(), Config{Threads: 16, Sched: SchedStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Now()-res.TimeS) > 1e-12 {
+		t.Errorf("clock %v != region time %v", m.Now(), res.TimeS)
+	}
+	if math.Abs(m.EnergyJ()-res.EnergyJ) > 1e-9 {
+		t.Errorf("energy %v != region energy %v", m.EnergyJ(), res.EnergyJ)
+	}
+}
+
+func TestProbeDoesNotAccount(t *testing.T) {
+	m := newCrill(t)
+	if _, err := m.ProbeLoop(balancedLoop(), Config{Threads: 4, Sched: SchedStatic}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Now() != 0 || m.EnergyJ() != 0 {
+		t.Errorf("ProbeLoop must not advance machine state")
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	m := newCrill(t)
+	if _, err := m.ProbeLoop(balancedLoop(), Config{Threads: 0, Sched: SchedStatic}); err == nil {
+		t.Errorf("zero threads must error")
+	}
+	if _, err := m.ProbeLoop(balancedLoop(), Config{Threads: 64, Sched: SchedStatic}); err == nil {
+		t.Errorf("oversubscription must error")
+	}
+	if _, err := m.ProbeLoop(&LoopModel{Name: "bad", Iters: 0}, Config{Threads: 1, Sched: SchedStatic}); err == nil {
+		t.Errorf("invalid loop must error")
+	}
+	if _, err := m.ProbeLoop(balancedLoop(), Config{Threads: 4, Sched: Schedule(99)}); err == nil {
+		t.Errorf("unknown schedule must error")
+	}
+}
+
+func TestResolveChunk(t *testing.T) {
+	if got := ResolveChunk(SchedStatic, 0, 100, 16); got != 7 {
+		t.Errorf("static default chunk = %d, want ceil(100/16)=7", got)
+	}
+	if got := ResolveChunk(SchedDynamic, 0, 100, 16); got != 1 {
+		t.Errorf("dynamic default chunk = %d, want 1", got)
+	}
+	if got := ResolveChunk(SchedGuided, 0, 100, 16); got != 1 {
+		t.Errorf("guided default chunk = %d, want 1", got)
+	}
+	if got := ResolveChunk(SchedStatic, 42, 100, 16); got != 42 {
+		t.Errorf("explicit chunk must pass through, got %d", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() ExecResult {
+		m, err := NewMachine(Crill())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lm := rampLoop()
+		return probe(t, m, lm, Config{Threads: 24, Sched: SchedGuided, Chunk: 2})
+	}
+	a, b := run(), run()
+	if a.TimeS != b.TimeS || a.EnergyJ != b.EnergyJ || a.BarrierS != b.BarrierS {
+		t.Errorf("simulation must be deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{Threads: 16, Sched: SchedGuided, Chunk: 8}
+	if got := c.String(); got != "16, guided, 8" {
+		t.Errorf("Config.String = %q", got)
+	}
+	d := Config{Threads: 32, Sched: SchedStatic}
+	if got := d.String(); got != "32, static, default" {
+		t.Errorf("Config.String = %q", got)
+	}
+}
+
+func TestFewThreadsHigherFreqUnderCap(t *testing.T) {
+	// Under a tight cap, a mostly-memory-bound loop can run as fast or
+	// faster with fewer threads at higher frequency — the Fig. 1 effect.
+	m := newCrill(t)
+	if err := m.SetPowerCap(55); err != nil {
+		t.Fatal(err)
+	}
+	lm := memLoop()
+	t32 := probe(t, m, lm, Config{Threads: 32, Sched: SchedStatic})
+	t8 := probe(t, m, lm, Config{Threads: 8, Sched: SchedStatic})
+	if t8.FreqGHz <= t32.FreqGHz {
+		t.Fatalf("8 threads must clock higher than 32 under 55W: %v vs %v", t8.FreqGHz, t32.FreqGHz)
+	}
+	if t8.TimeS > t32.TimeS*1.5 {
+		t.Errorf("8 threads at high frequency should stay competitive: %v vs %v", t8.TimeS, t32.TimeS)
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightsMeanOne(t *testing.T) {
+	cases := []Imbalance{
+		{Kind: Uniform},
+		{Kind: Ramp, Param: 1.2},
+		{Kind: Blocks, Param: 4, Blocks: 3},
+		{Kind: Random, Param: 0.5, Seed: 42},
+		{Kind: Sawtooth, Param: 1.0, Blocks: 5},
+	}
+	for _, im := range cases {
+		lm := &LoopModel{Name: "w", Iters: 1000, CompNSPerIter: 100, Imbalance: im}
+		ws := lm.Weights()
+		var sum float64
+		for _, w := range ws {
+			if w <= 0 {
+				t.Errorf("%v: non-positive weight %v", im.Kind, w)
+			}
+			sum += w
+		}
+		mean := sum / float64(len(ws))
+		if math.Abs(mean-1) > 1e-9 {
+			t.Errorf("%v: mean weight = %v, want 1", im.Kind, mean)
+		}
+	}
+}
+
+func TestWeightSumPrefix(t *testing.T) {
+	lm := &LoopModel{Name: "p", Iters: 100, CompNSPerIter: 1, Imbalance: Imbalance{Kind: Ramp, Param: 1}}
+	ws := lm.Weights()
+	var direct float64
+	for i := 10; i < 37; i++ {
+		direct += ws[i]
+	}
+	if got := lm.WeightSum(10, 37); math.Abs(got-direct) > 1e-9 {
+		t.Errorf("WeightSum = %v, want %v", got, direct)
+	}
+	// Clamping.
+	if got := lm.WeightSum(-5, 200); math.Abs(got-float64(lm.Iters)) > 1e-6 {
+		t.Errorf("full clamped WeightSum = %v, want ~%d", got, lm.Iters)
+	}
+	if lm.WeightSum(50, 50) != 0 || lm.WeightSum(60, 40) != 0 {
+		t.Errorf("empty ranges must sum to 0")
+	}
+}
+
+func TestRandomWeightsDeterministic(t *testing.T) {
+	mk := func() []float64 {
+		lm := &LoopModel{Name: "r", Iters: 64, CompNSPerIter: 1,
+			Imbalance: Imbalance{Kind: Random, Param: 0.7, Seed: 7}}
+		return lm.Weights()
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed must give same weights (index %d: %v vs %v)", i, a[i], b[i])
+		}
+	}
+	lm2 := &LoopModel{Name: "r2", Iters: 64, CompNSPerIter: 1,
+		Imbalance: Imbalance{Kind: Random, Param: 0.7, Seed: 8}}
+	c := lm2.Weights()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds should give different weights")
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	bal := &LoopModel{Name: "b", Iters: 100, CompNSPerIter: 1, Imbalance: Imbalance{Kind: Uniform}}
+	if r := bal.ImbalanceRatio(); math.Abs(r-1) > 1e-9 {
+		t.Errorf("uniform imbalance ratio = %v, want 1", r)
+	}
+	im := &LoopModel{Name: "i", Iters: 100, CompNSPerIter: 1, Imbalance: Imbalance{Kind: Blocks, Param: 5, Blocks: 2}}
+	if r := im.ImbalanceRatio(); r <= 1.5 {
+		t.Errorf("blocky loop should be noticeably imbalanced, ratio = %v", r)
+	}
+}
+
+func TestLoopValidate(t *testing.T) {
+	if err := (&LoopModel{Name: "x", Iters: 0}).Validate(); err == nil {
+		t.Errorf("zero iterations should fail")
+	}
+	if err := (&LoopModel{Name: "x", Iters: 10, CompNSPerIter: -1}).Validate(); err == nil {
+		t.Errorf("negative cost should fail")
+	}
+	if err := (&LoopModel{Name: "x", Iters: 10, CompNSPerIter: 5}).Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestTotalWork(t *testing.T) {
+	lm := &LoopModel{Name: "t", Iters: 50, CompNSPerIter: 3}
+	if got := lm.TotalWork(); got != 150 {
+		t.Errorf("TotalWork = %v, want 150", got)
+	}
+}
+
+// Property: for any valid imbalance spec, WeightSum over the full range
+// equals Iters (mean-1 normalisation) and all partial sums are monotone.
+func TestWeightSumProperty(t *testing.T) {
+	f := func(kind uint8, param float64, blocks uint8, seed int64, n uint16) bool {
+		iters := int(n%2000) + 1
+		lm := &LoopModel{
+			Name:          "q",
+			Iters:         iters,
+			CompNSPerIter: 1,
+			Imbalance: Imbalance{
+				Kind:   ImbalanceKind(kind % 5),
+				Param:  math.Mod(math.Abs(param), 3),
+				Blocks: int(blocks%8) + 1,
+				Seed:   seed,
+			},
+		}
+		total := lm.WeightSum(0, iters)
+		if math.Abs(total-float64(iters)) > 1e-6*float64(iters) {
+			return false
+		}
+		prev := 0.0
+		for _, cut := range []int{0, iters / 3, 2 * iters / 3, iters} {
+			s := lm.WeightSum(0, cut)
+			if s < prev-1e-9 {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateMemProfile(t *testing.T) {
+	base := func() *LoopModel {
+		return &LoopModel{Name: "m", Iters: 8, CompNSPerIter: 1,
+			Mem: CacheSpec{AccessesPerIter: 10, BytesPerIter: 64, L3Contention: 0.5}}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	bad := base()
+	bad.Mem.AccessesPerIter = -1
+	if err := bad.Validate(); err == nil {
+		t.Errorf("negative accesses must fail")
+	}
+	bad = base()
+	bad.Mem.L3Contention = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Errorf("contention > 1 must fail")
+	}
+	bad = base()
+	bad.Mem.FootprintMB = -4
+	if err := bad.Validate(); err == nil {
+		t.Errorf("negative footprint must fail")
+	}
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func newCrill(t *testing.T) *Machine {
+	t.Helper()
+	m, err := NewMachine(Crill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSetPowerCap(t *testing.T) {
+	m := newCrill(t)
+	if m.PowerCap() != 115 {
+		t.Errorf("uncapped PowerCap = %g, want TDP 115", m.PowerCap())
+	}
+	if m.Capped() {
+		t.Errorf("fresh machine should be uncapped")
+	}
+	if err := m.SetPowerCap(70); err != nil {
+		t.Fatal(err)
+	}
+	if m.PowerCap() != 70 || !m.Capped() {
+		t.Errorf("cap not applied")
+	}
+	if err := m.SetPowerCap(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Capped() {
+		t.Errorf("cap 0 should remove the limit")
+	}
+	if err := m.SetPowerCap(-5); err == nil {
+		t.Errorf("negative cap should error")
+	}
+	// Limits above TDP clamp, like RAPL.
+	if err := m.SetPowerCap(500); err != nil {
+		t.Fatal(err)
+	}
+	if m.PowerCap() != 115 {
+		t.Errorf("cap above TDP should clamp to TDP, got %g", m.PowerCap())
+	}
+}
+
+func TestMinotaurCannotCap(t *testing.T) {
+	m, err := NewMachine(Minotaur())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPowerCap(200); err == nil {
+		t.Errorf("Minotaur capping should be rejected (no privilege)")
+	}
+	if err := m.SetPowerCap(0); err != nil {
+		t.Errorf("removing a cap is always allowed: %v", err)
+	}
+}
+
+func TestFreqAtCubicLaw(t *testing.T) {
+	m := newCrill(t)
+	a := m.Arch()
+	if err := m.SetPowerCap(55); err != nil {
+		t.Fatal(err)
+	}
+	f16, _ := m.FreqAt(16)
+	// budget = 55-32 = 23 W over 16 cores = 1.4375 W/core; ratio vs
+	// 5.1875 W -> f = 2.4 * cbrt(0.27711) = 1.565 GHz.
+	want := a.BaseGHz * math.Cbrt((55.0-32.0)/16.0/a.DynCoreW)
+	if math.Abs(f16-want) > 1e-9 {
+		t.Errorf("FreqAt(16)@55W = %v, want %v", f16, want)
+	}
+
+	// Fewer active cores get more budget each, hence higher frequency —
+	// the mechanism behind reduced thread counts under caps (Fig. 1).
+	f8, _ := m.FreqAt(8)
+	if f8 <= f16 {
+		t.Errorf("8 active cores should clock higher than 16 under a cap: %v vs %v", f8, f16)
+	}
+	f4, _ := m.FreqAt(4)
+	if f4 < f8 {
+		t.Errorf("frequency must be non-increasing in active cores: f4=%v f8=%v", f4, f8)
+	}
+	// With few enough cores the cap stops binding.
+	f1, duty := m.FreqAt(1)
+	if f1 != a.BaseGHz || duty != 1 {
+		t.Errorf("single core under 55W should hit base frequency, got %v (duty %v)", f1, duty)
+	}
+}
+
+func TestFreqAtDutyCycling(t *testing.T) {
+	m := newCrill(t)
+	if err := m.SetPowerCap(40); err != nil { // 8W dynamic budget over 16 cores
+		t.Fatal(err)
+	}
+	f, duty := m.FreqAt(16)
+	if f != m.Arch().MinGHz {
+		t.Errorf("starved cores should pin MinGHz, got %v", f)
+	}
+	if duty >= 1 || duty < 0.05 {
+		t.Errorf("duty = %v, want in [0.05, 1)", duty)
+	}
+}
+
+func TestFreqMonotoneInCap(t *testing.T) {
+	m := newCrill(t)
+	prev := 0.0
+	for _, cap := range []float64{45, 55, 70, 85, 100, 115} {
+		if err := m.SetPowerCap(cap); err != nil {
+			t.Fatal(err)
+		}
+		f, duty := m.FreqAt(16)
+		eff := f * duty
+		if eff < prev {
+			t.Errorf("effective frequency must not decrease with cap: %gW -> %v after %v", cap, eff, prev)
+		}
+		prev = eff
+	}
+}
+
+func TestAccountAndReset(t *testing.T) {
+	m := newCrill(t)
+	m.Account(2.0, 50)
+	m.Account(1.0, 100)
+	if m.Now() != 3.0 {
+		t.Errorf("Now = %v, want 3", m.Now())
+	}
+	if m.EnergyJ() != 200 {
+		t.Errorf("EnergyJ = %v, want 200", m.EnergyJ())
+	}
+	m.Account(-1, 10) // negative durations ignored
+	if m.Now() != 3.0 {
+		t.Errorf("negative dt must be ignored")
+	}
+	m.Reset()
+	if m.Now() != 0 || m.EnergyJ() != 0 {
+		t.Errorf("Reset did not clear")
+	}
+}
+
+func TestCorePower(t *testing.T) {
+	m := newCrill(t)
+	a := m.Arch()
+	if got := m.CorePowerAt(a.BaseGHz, 1); math.Abs(got-a.DynCoreW) > 1e-12 {
+		t.Errorf("core power at base = %v, want %v", got, a.DynCoreW)
+	}
+	half := m.CorePowerAt(a.BaseGHz/2, 1)
+	if math.Abs(half-a.DynCoreW/8) > 1e-12 {
+		t.Errorf("cubic law: half frequency should be 1/8 power, got %v", half)
+	}
+}
+
+func TestAccountOverhead(t *testing.T) {
+	m := newCrill(t)
+	m.AccountOverhead(0.001)
+	if m.Now() != 0.001 {
+		t.Errorf("overhead must advance the clock")
+	}
+	if m.EnergyJ() <= 0.001*m.Arch().StaticW*0.99 {
+		t.Errorf("overhead energy must include at least static power")
+	}
+	before := m.Now()
+	m.AccountOverhead(0)
+	m.AccountOverhead(-1)
+	if m.Now() != before {
+		t.Errorf("zero/negative overhead must be a no-op")
+	}
+}

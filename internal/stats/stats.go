@@ -1,0 +1,225 @@
+// Package stats provides the small statistical toolkit used throughout the
+// ARCS reproduction: summary statistics, normalization helpers, and online
+// accumulators. All functions operate on float64 slices and are allocation
+// conscious so they can be used inside simulation inner loops.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot operate on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Sum returns the sum of xs. An empty slice sums to zero.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs. It returns NaN for empty input so
+// callers that forget to check do not silently read a plausible value.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Min returns the smallest element of xs, NaN if empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, NaN if empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMin returns the index of the smallest element, -1 if empty. Ties go to
+// the earliest index, which keeps exhaustive-search results deterministic.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Variance returns the unbiased (n-1) sample variance, NaN if len < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// Stddev returns the sample standard deviation, NaN if len < 2.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// GeoMean returns the geometric mean of xs. All elements must be positive;
+// otherwise it returns NaN.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var ls float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		ls += math.Log(x)
+	}
+	return math.Exp(ls / float64(len(xs)))
+}
+
+// Median returns the median of xs without mutating the input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Normalize divides every element by base, returning a new slice. This is
+// how the paper's "normalized" figures are produced (default config = 1.0).
+// A zero base yields +Inf/NaN elements rather than panicking.
+func Normalize(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// Improvement returns the fractional improvement of measured over baseline:
+// (baseline-measured)/baseline. Positive means measured is better (smaller).
+func Improvement(baseline, measured float64) float64 {
+	if baseline == 0 {
+		return math.NaN()
+	}
+	return (baseline - measured) / baseline
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// Welford is an online mean/variance accumulator (Welford's algorithm).
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples added.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean, NaN if no samples.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the running unbiased variance, NaN if fewer than 2 samples.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the running sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest sample seen, NaN if none.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.min
+}
+
+// Max returns the largest sample seen, NaN if none.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.max
+}
+
+// Reset returns the accumulator to its zero state.
+func (w *Welford) Reset() { *w = Welford{} }

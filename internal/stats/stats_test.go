@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestSumMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Sum(xs); got != 10 {
+		t.Errorf("Sum = %v, want 10", got)
+	}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Errorf("Mean(nil) should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Errorf("Min/Max of empty should be NaN")
+	}
+}
+
+func TestArgMin(t *testing.T) {
+	if got := ArgMin([]float64{5, 2, 9, 2}); got != 1 {
+		t.Errorf("ArgMin tie should pick earliest index, got %d", got)
+	}
+	if got := ArgMin(nil); got != -1 {
+		t.Errorf("ArgMin(nil) = %d, want -1", got)
+	}
+}
+
+func TestVarianceStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Known population variance 4; sample variance = 32/7.
+	if got := Variance(xs); !almostEq(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := Stddev(xs); !almostEq(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("Stddev = %v", got)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Errorf("Variance of single element should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); !almostEq(got, 4, 1e-12) {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Errorf("GeoMean with nonpositive input should be NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Errorf("GeoMean(nil) should be NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %v", got)
+	}
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Errorf("Median must not mutate input, got %v", in)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4, 6}, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("Normalize[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(100, 60); !almostEq(got, 0.4, 1e-12) {
+		t.Errorf("Improvement = %v, want 0.4", got)
+	}
+	if got := Improvement(100, 120); !almostEq(got, -0.2, 1e-12) {
+		t.Errorf("Improvement = %v, want -0.2", got)
+	}
+	if !math.IsNaN(Improvement(0, 1)) {
+		t.Errorf("Improvement with zero baseline should be NaN")
+	}
+}
+
+func TestClampLerp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Errorf("Clamp wrong")
+	}
+	if Lerp(0, 10, 0.25) != 2.5 {
+		t.Errorf("Lerp wrong")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	xs := []float64{1.5, 2.5, 3.5, 10, -4, 0.25}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEq(w.Mean(), Mean(xs), 1e-12) {
+		t.Errorf("Welford mean %v != batch %v", w.Mean(), Mean(xs))
+	}
+	if !almostEq(w.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("Welford var %v != batch %v", w.Variance(), Variance(xs))
+	}
+	if w.Min() != Min(xs) || w.Max() != Max(xs) {
+		t.Errorf("Welford min/max mismatch")
+	}
+	w.Reset()
+	if w.N() != 0 || !math.IsNaN(w.Mean()) {
+		t.Errorf("Reset did not clear state")
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Variance()) || !math.IsNaN(w.Min()) || !math.IsNaN(w.Max()) {
+		t.Errorf("empty Welford should report NaN everywhere")
+	}
+}
+
+// Property: Welford mean/variance agree with the batch computation for
+// arbitrary inputs.
+func TestWelfordProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		scale := math.Max(1, math.Abs(Mean(xs)))
+		return almostEq(w.Mean(), Mean(xs), 1e-6*scale) &&
+			almostEq(w.Variance(), Variance(xs), 1e-4*math.Max(1, Variance(xs)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalize(xs, b)[i] * b == xs[i] (up to fp round-off).
+func TestNormalizeProperty(t *testing.T) {
+	f := func(xs []float64, b float64) bool {
+		if b == 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		out := Normalize(xs, b)
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			if !almostEq(out[i]*b, x, 1e-6*math.Max(1, math.Abs(x))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: min <= mean <= max for any non-empty finite input.
+func TestOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return Min(xs) <= m+1e-9*math.Abs(m)+1e-9 && m <= Max(xs)+1e-9*math.Abs(m)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"arcs/internal/ompt"
+)
+
+// Timeline records every region invocation as an interval on the
+// application's measured-time axis and exports it in the Chrome trace-event
+// format (chrome://tracing, Perfetto), giving the region-level timeline
+// view TAU/Vampir would provide on a real system.
+type Timeline struct {
+	clockS float64
+	events []timelineEvent
+}
+
+type timelineEvent struct {
+	name     string
+	startS   float64
+	durS     float64
+	threads  int
+	schedule string
+	chunk    int
+	barrierS float64
+	freqGHz  float64
+}
+
+// NewTimeline creates an empty recorder.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// ParallelBegin implements ompt.Tool.
+func (t *Timeline) ParallelBegin(ompt.RegionInfo, ompt.ControlPlane) {}
+
+// ParallelEnd implements ompt.Tool.
+func (t *Timeline) ParallelEnd(ri ompt.RegionInfo, m ompt.Metrics) {
+	t.events = append(t.events, timelineEvent{
+		name:     ri.Name,
+		startS:   t.clockS,
+		durS:     m.TimeS,
+		threads:  m.Threads,
+		schedule: m.Schedule.String(),
+		chunk:    m.Chunk,
+		barrierS: m.MeanWaitS,
+		freqGHz:  m.FreqGHz,
+	})
+	t.clockS += m.TimeS
+}
+
+// Len returns the number of recorded invocations.
+func (t *Timeline) Len() int { return len(t.events) }
+
+// chromeEvent is the trace-event JSON schema (complete events, "ph":"X").
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`  // microseconds
+	Dur  float64                `json:"dur"` // microseconds
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serialises the timeline.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	evs := make([]chromeEvent, 0, len(t.events))
+	for _, e := range t.events {
+		evs = append(evs, chromeEvent{
+			Name: e.name,
+			Ph:   "X",
+			Ts:   e.startS * 1e6,
+			Dur:  e.durS * 1e6,
+			PID:  1,
+			TID:  1,
+			Args: map[string]interface{}{
+				"threads":        e.threads,
+				"schedule":       e.schedule,
+				"chunk":          e.chunk,
+				"mean_barrier_s": e.barrierS,
+				"freq_ghz":       e.freqGHz,
+			},
+		})
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: evs, DisplayUnit: "ms"}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("trace: encode chrome trace: %w", err)
+	}
+	return nil
+}
+
+var _ ompt.Tool = (*Timeline)(nil)

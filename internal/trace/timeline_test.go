@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"arcs/internal/omp"
+	"arcs/internal/ompt"
+	"arcs/internal/sim"
+)
+
+func TestTimelineRecordsIntervals(t *testing.T) {
+	tl := NewTimeline()
+	ri := ompt.RegionInfo{ID: 1, Name: "a"}
+	tl.ParallelEnd(ri, ompt.Metrics{TimeS: 0.5, Threads: 8, Schedule: ompt.ScheduleGuided, Chunk: 4})
+	tl.ParallelEnd(ompt.RegionInfo{ID: 2, Name: "b"}, ompt.Metrics{TimeS: 0.25, Threads: 16})
+	if tl.Len() != 2 {
+		t.Fatalf("Len = %d", tl.Len())
+	}
+	if tl.events[1].startS != 0.5 {
+		t.Errorf("second event must start after the first: %v", tl.events[1].startS)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	m, err := sim.NewMachine(sim.Crill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := omp.NewRuntime(m)
+	tl := NewTimeline()
+	rt.RegisterTool(tl)
+	lm := &sim.LoopModel{
+		Name: "loop", Iters: 128, CompNSPerIter: 10000,
+		Mem: sim.CacheSpec{AccessesPerIter: 10, BytesPerIter: 64, TemporalWindowKB: 8, FootprintMB: 1, MLP: 4},
+	}
+	region := rt.Region("hot", lm)
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Run(region); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Ts   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want 3", len(doc.TraceEvents))
+	}
+	prevEnd := 0.0
+	for i, e := range doc.TraceEvents {
+		if e.Name != "hot" || e.Ph != "X" || e.Dur <= 0 {
+			t.Errorf("event %d malformed: %+v", i, e)
+		}
+		if e.Ts < prevEnd-1e-9 {
+			t.Errorf("event %d overlaps its predecessor", i)
+		}
+		prevEnd = e.Ts + e.Dur
+		if _, ok := e.Args["threads"]; !ok {
+			t.Errorf("event %d missing args", i)
+		}
+	}
+	if doc.DisplayUnit != "ms" {
+		t.Errorf("display unit = %q", doc.DisplayUnit)
+	}
+}

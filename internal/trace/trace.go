@@ -1,0 +1,126 @@
+// Package trace implements a TAU-style OMPT event profiler (§V-C of the
+// paper): it subscribes to the synthetic per-thread OMPT event stream and
+// accumulates, per region, the inclusive time of the three events the
+// paper's Fig. 9 plots — OpenMP_IMPLICIT_TASK (a thread's whole
+// participation), OpenMP_LOOP (time in the loop body) and OpenMP_BARRIER
+// (time waiting at the implicit barrier). Totals are summed over threads
+// and invocations, as TAU reports them.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"arcs/internal/ompt"
+)
+
+// RegionProfile is the accumulated event breakdown of one region.
+type RegionProfile struct {
+	Name      string
+	Calls     int
+	ImplicitS float64 // OpenMP_IMPLICIT_TASK total (thread-seconds)
+	LoopS     float64 // OpenMP_LOOP total
+	BarrierS  float64 // OpenMP_BARRIER total
+	// TimePerCallS is the mean region wall time per invocation, the
+	// quantity the paper compares against the configuration-change
+	// overhead in §V-C.
+	TimePerCallS float64
+
+	wallS float64
+}
+
+// BarrierFrac returns barrier thread-seconds over implicit-task
+// thread-seconds: the share of region time spent waiting.
+func (r *RegionProfile) BarrierFrac() float64 {
+	if r.ImplicitS <= 0 {
+		return 0
+	}
+	return r.BarrierS / r.ImplicitS
+}
+
+// Profiler is an ompt.Tool + EventListener that builds region profiles.
+type Profiler struct {
+	regions map[string]*RegionProfile
+}
+
+// New creates an empty profiler.
+func New() *Profiler {
+	return &Profiler{regions: make(map[string]*RegionProfile)}
+}
+
+func (p *Profiler) region(name string) *RegionProfile {
+	r, ok := p.regions[name]
+	if !ok {
+		r = &RegionProfile{Name: name}
+		p.regions[name] = r
+	}
+	return r
+}
+
+// ParallelBegin implements ompt.Tool.
+func (p *Profiler) ParallelBegin(ompt.RegionInfo, ompt.ControlPlane) {}
+
+// ParallelEnd implements ompt.Tool.
+func (p *Profiler) ParallelEnd(ri ompt.RegionInfo, m ompt.Metrics) {
+	r := p.region(ri.Name)
+	r.Calls++
+	r.wallS += m.TimeS
+	r.TimePerCallS = r.wallS / float64(r.Calls)
+}
+
+// Event implements ompt.EventListener.
+func (p *Profiler) Event(ri ompt.RegionInfo, e ompt.Event, _ int, durS float64) {
+	r := p.region(ri.Name)
+	switch e {
+	case ompt.EventImplicitTask:
+		r.ImplicitS += durS
+	case ompt.EventLoop:
+		r.LoopS += durS
+	case ompt.EventBarrier:
+		r.BarrierS += durS
+	}
+}
+
+// Top returns the n regions with the largest total (inclusive) time, the
+// paper's "top five regions based on total time" selection.
+func (p *Profiler) Top(n int) []RegionProfile {
+	out := make([]RegionProfile, 0, len(p.regions))
+	for _, r := range p.regions {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ImplicitS != out[j].ImplicitS {
+			return out[i].ImplicitS > out[j].ImplicitS
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Region returns a copy of one region's profile, ok=false if never seen.
+func (p *Profiler) Region(name string) (RegionProfile, bool) {
+	r, ok := p.regions[name]
+	if !ok {
+		return RegionProfile{}, false
+	}
+	return *r, true
+}
+
+// Write renders the Fig. 9-style report.
+func (p *Profiler) Write(w io.Writer, n int) {
+	fmt.Fprintf(w, "%-36s %6s %14s %14s %14s %12s\n",
+		"region", "calls", "IMPLICIT(s)", "LOOP(s)", "BARRIER(s)", "per-call(ms)")
+	for _, r := range p.Top(n) {
+		fmt.Fprintf(w, "%-36s %6d %14.4f %14.4f %14.4f %12.4f\n",
+			r.Name, r.Calls, r.ImplicitS, r.LoopS, r.BarrierS, r.TimePerCallS*1e3)
+	}
+}
+
+var (
+	_ ompt.Tool          = (*Profiler)(nil)
+	_ ompt.EventListener = (*Profiler)(nil)
+)

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"arcs/internal/omp"
+	"arcs/internal/ompt"
+	"arcs/internal/sim"
+)
+
+func TestEventAccumulation(t *testing.T) {
+	p := New()
+	ri := ompt.RegionInfo{ID: 1, Name: "r"}
+	p.Event(ri, ompt.EventImplicitTask, 0, 2.0)
+	p.Event(ri, ompt.EventImplicitTask, 1, 2.0)
+	p.Event(ri, ompt.EventLoop, 0, 1.5)
+	p.Event(ri, ompt.EventBarrier, 1, 0.5)
+	p.ParallelEnd(ri, ompt.Metrics{TimeS: 2.0})
+
+	r, ok := p.Region("r")
+	if !ok {
+		t.Fatal("region missing")
+	}
+	if r.ImplicitS != 4.0 || r.LoopS != 1.5 || r.BarrierS != 0.5 {
+		t.Errorf("accumulation wrong: %+v", r)
+	}
+	if r.Calls != 1 || r.TimePerCallS != 2.0 {
+		t.Errorf("call accounting wrong: %+v", r)
+	}
+	if got := r.BarrierFrac(); got != 0.125 {
+		t.Errorf("BarrierFrac = %v, want 0.125", got)
+	}
+}
+
+func TestTopOrdering(t *testing.T) {
+	p := New()
+	for i, name := range []string{"small", "big", "mid"} {
+		ri := ompt.RegionInfo{ID: ompt.RegionID(i), Name: name}
+		dur := []float64{1, 10, 5}[i]
+		p.Event(ri, ompt.EventImplicitTask, 0, dur)
+	}
+	top := p.Top(2)
+	if len(top) != 2 || top[0].Name != "big" || top[1].Name != "mid" {
+		t.Errorf("Top = %+v", top)
+	}
+	all := p.Top(0)
+	if len(all) != 3 {
+		t.Errorf("Top(0) should return all, got %d", len(all))
+	}
+}
+
+func TestRegionMissing(t *testing.T) {
+	p := New()
+	if _, ok := p.Region("nope"); ok {
+		t.Errorf("missing region must report ok=false")
+	}
+}
+
+func TestBarrierFracEmpty(t *testing.T) {
+	r := RegionProfile{}
+	if r.BarrierFrac() != 0 {
+		t.Errorf("empty profile BarrierFrac should be 0")
+	}
+}
+
+// Integration: profile a real runtime execution and check consistency
+// between the event stream and the region metrics.
+func TestProfilerIntegration(t *testing.T) {
+	m, err := sim.NewMachine(sim.Crill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := omp.NewRuntime(m)
+	p := New()
+	rt.RegisterTool(p)
+	if err := rt.SetNumThreads(8); err != nil {
+		t.Fatal(err)
+	}
+	lm := &sim.LoopModel{
+		Name: "loop", Iters: 512, CompNSPerIter: 20000, SerialNS: 1e6,
+		Mem: sim.CacheSpec{AccessesPerIter: 100, BytesPerIter: 512, TemporalWindowKB: 16, FootprintMB: 4, MLP: 4},
+	}
+	region := rt.Region("hot", lm)
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Run(region); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, ok := p.Region("hot")
+	if !ok || r.Calls != 3 {
+		t.Fatalf("profile = %+v", r)
+	}
+	// Implicit-task thread-seconds ≈ 8 threads × 3 calls × region time.
+	if r.ImplicitS <= r.LoopS || r.ImplicitS <= r.BarrierS {
+		t.Errorf("implicit task must dominate loop and barrier: %+v", r)
+	}
+	// The serial section makes barrier time visible.
+	if r.BarrierS <= 0 {
+		t.Errorf("barrier time missing despite serial section")
+	}
+	var buf bytes.Buffer
+	p.Write(&buf, 5)
+	out := buf.String()
+	if !strings.Contains(out, "hot") || !strings.Contains(out, "IMPLICIT") {
+		t.Errorf("Write output missing content:\n%s", out)
+	}
+}
