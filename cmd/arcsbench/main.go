@@ -5,17 +5,25 @@
 //
 // Usage:
 //
-//	arcsbench              # run all experiments
+//	arcsbench              # run all experiments (parallel, -j GOMAXPROCS)
+//	arcsbench -j 1         # fully serial, streaming output
 //	arcsbench -list        # list experiment IDs
 //	arcsbench fig4 fig8    # run a selection
+//
+// With -j N > 1 the suite runs experiments (and the sweeps nested inside
+// them) through a bounded worker pool; each experiment's output is
+// buffered and printed in paper order, so every artifact is byte-identical
+// to a -j 1 run.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"arcs/internal/bench"
@@ -25,6 +33,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	charts := flag.Bool("charts", false, "render figures as ASCII bar charts where available")
 	outDir := flag.String("o", "", "also write each experiment's output to DIR/<id>.txt")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0),
+		"max concurrent units of work across the suite (1 = fully serial)")
 	flag.Parse()
 
 	if *outDir != "" {
@@ -56,29 +66,44 @@ func main() {
 		}
 	}
 
+	bench.SetParallelism(*jobs)
+	suiteStart := time.Now()
+	durs := make([]time.Duration, len(todo))
+
+	if bench.Parallelism() > 1 {
+		runParallel(todo, durs, *charts, *outDir)
+	} else {
+		runSerial(todo, durs, *charts, *outDir)
+	}
+
+	fmt.Println()
+	fmt.Printf("[suite: %d experiment(s) in %.1fs at -j %d]\n",
+		len(todo), time.Since(suiteStart).Seconds(), bench.Parallelism())
+	for i, e := range todo {
+		fmt.Printf("  %-20s %6.1fs\n", e.ID, durs[i].Seconds())
+	}
+}
+
+// runSerial streams each experiment's output as it is produced — exactly
+// the historical -j 1 behaviour.
+func runSerial(todo []bench.Experiment, durs []time.Duration, charts bool, outDir string) {
 	for i, e := range todo {
 		if i > 0 {
-			fmt.Println()
-			fmt.Println("================================================================")
-			fmt.Println()
+			printSeparator()
 		}
 		start := time.Now()
-		run := e.Run
-		if *charts && e.RunChart != nil {
-			run = e.RunChart
-		}
 		var w io.Writer = os.Stdout
 		var f *os.File
-		if *outDir != "" {
+		if outDir != "" {
 			var err error
-			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
+			f, err = os.Create(filepath.Join(outDir, e.ID+".txt"))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "arcsbench:", err)
 				os.Exit(1)
 			}
 			w = io.MultiWriter(os.Stdout, f)
 		}
-		if err := run(w); err != nil {
+		if err := runOne(e, charts, w); err != nil {
 			fmt.Fprintf(os.Stderr, "arcsbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
@@ -88,6 +113,54 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("[%s completed in %.1fs]\n", e.ID, time.Since(start).Seconds())
+		durs[i] = time.Since(start)
+		fmt.Printf("[%s completed in %.1fs]\n", e.ID, durs[i].Seconds())
 	}
+}
+
+// runParallel executes the experiments through the harness pool, buffering
+// each one's output, then prints the buffers in paper order. The printed
+// artifacts (and -o files) are byte-identical to a serial run.
+func runParallel(todo []bench.Experiment, durs []time.Duration, charts bool, outDir string) {
+	bufs := make([]bytes.Buffer, len(todo))
+	err := bench.ForEach(len(todo), func(i int) error {
+		start := time.Now()
+		if err := runOne(todo[i], charts, &bufs[i]); err != nil {
+			return fmt.Errorf("%s: %w", todo[i].ID, err)
+		}
+		durs[i] = time.Since(start)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arcsbench:", err)
+		os.Exit(1)
+	}
+	for i, e := range todo {
+		if i > 0 {
+			printSeparator()
+		}
+		os.Stdout.Write(bufs[i].Bytes())
+		if outDir != "" {
+			path := filepath.Join(outDir, e.ID+".txt")
+			if err := os.WriteFile(path, bufs[i].Bytes(), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "arcsbench:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s completed in %.1fs]\n", e.ID, durs[i].Seconds())
+	}
+}
+
+func runOne(e bench.Experiment, charts bool, w io.Writer) error {
+	run := e.Run
+	if charts && e.RunChart != nil {
+		run = e.RunChart
+	}
+	return run(w)
+}
+
+func printSeparator() {
+	fmt.Println()
+	fmt.Println("================================================================")
+	fmt.Println()
 }

@@ -1,0 +1,88 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// object mapping benchmark name to ns/op (plus B/op and allocs/op when
+// -benchmem was used). CI pipes the benchmark step through it to publish
+// BENCH_arcs.json, giving the repository a machine-readable perf
+// trajectory across commits.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson > BENCH_arcs.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+func main() {
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	// encoding/json renders map keys sorted, so the artifact is stable.
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark lines of the form
+//
+//	BenchmarkName-8   1234   5678 ns/op   90 B/op   1 allocs/op
+//
+// from standard `go test -bench` output; all other lines pass through.
+func parse(sc *bufio.Scanner) (map[string]Entry, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	results := make(map[string]Entry)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the -GOMAXPROCS suffix so names are stable across runners.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		if e.NsPerOp > 0 {
+			results[name] = e
+		}
+	}
+	return results, sc.Err()
+}

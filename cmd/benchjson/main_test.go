@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: arcs/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkProbeStaticNPB-8         	  721844	      1606 ns/op	     523 B/op	       2 allocs/op
+BenchmarkProbeGrid/Static/Chunk1/Uniform-8  	 1000000	      1041 ns/op	     557 B/op	       2 allocs/op
+BenchmarkMissRates                	  500000	      2212 ns/op
+not a benchmark line
+PASS
+ok  	arcs/internal/sim	12.3s
+`
+	got, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %v", len(got), got)
+	}
+	e, ok := got["BenchmarkProbeStaticNPB"]
+	if !ok {
+		t.Fatalf("missing BenchmarkProbeStaticNPB (GOMAXPROCS suffix not stripped?): %v", got)
+	}
+	if e.NsPerOp != 1606 || e.BytesPerOp != 523 || e.AllocsPerOp != 2 || e.Iterations != 721844 {
+		t.Fatalf("unexpected entry: %+v", e)
+	}
+	if _, ok := got["BenchmarkProbeGrid/Static/Chunk1/Uniform"]; !ok {
+		t.Fatalf("missing sub-benchmark entry: %v", got)
+	}
+	e = got["BenchmarkMissRates"]
+	if e.NsPerOp != 2212 || e.BytesPerOp != 0 {
+		t.Fatalf("plain entry without -benchmem wrong: %+v", e)
+	}
+}

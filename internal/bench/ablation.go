@@ -29,19 +29,28 @@ func AblationOverhead() (*AblationOverheadResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &AblationOverheadResult{}
-	for _, ov := range []float64{-1, 0.0002, 0.0008, 0.0016, 0.0032} {
+	overheads := []float64{-1, 0.0002, 0.0008, 0.0016, 0.0032}
+	res := &AblationOverheadResult{
+		OverheadMS: make([]float64, len(overheads)),
+		TimeNorm:   make([]float64, len(overheads)),
+	}
+	err = forEach(len(overheads), func(i int) error {
+		ov := overheads[i]
 		out, err := Measure(RunSpec{
 			Arch: arch, App: app, Arm: ArmOffline, Seed: 20, ConfigChangeS: ov,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if ov < 0 {
 			ov = 0
 		}
-		res.OverheadMS = append(res.OverheadMS, ov*1e3)
-		res.TimeNorm = append(res.TimeNorm, Normalized(out.TimeS, base.TimeS))
+		res.OverheadMS[i] = ov * 1e3
+		res.TimeNorm[i] = Normalized(out.TimeS, base.TimeS)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -88,16 +97,24 @@ func AblationSelective() (*AblationSelectiveResult, error) {
 		{"ARCS-Offline", ArmOffline, 0},
 		{"ARCS-Offline + selective(2ms)", ArmOffline, 0.002},
 	}
-	for _, c := range cases {
+	res.Arms = make([]string, len(cases))
+	res.TimeNorm = make([]float64, len(cases))
+	res.EnergyNorm = make([]float64, len(cases))
+	err = forEach(len(cases), func(i int) error {
+		c := cases[i]
 		out, err := Measure(RunSpec{
 			Arch: arch, App: app, Arm: c.arm, Seed: 21, MinRegionS: c.minS,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Arms = append(res.Arms, c.label)
-		res.TimeNorm = append(res.TimeNorm, Normalized(out.TimeS, base.TimeS))
-		res.EnergyNorm = append(res.EnergyNorm, Normalized(out.EnergyJ, base.EnergyJ))
+		res.Arms[i] = c.label
+		res.TimeNorm[i] = Normalized(out.TimeS, base.TimeS)
+		res.EnergyNorm[i] = Normalized(out.EnergyJ, base.EnergyJ)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -131,23 +148,30 @@ func AblationSearch() (*AblationSearchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &AblationSearchResult{}
-	for _, algo := range []arcs.SearchAlgo{arcs.AlgoNelderMead, arcs.AlgoCoordinate, arcs.AlgoPRO, arcs.AlgoRandom, arcs.AlgoExhaustive} {
+	algos := []arcs.SearchAlgo{arcs.AlgoNelderMead, arcs.AlgoCoordinate, arcs.AlgoPRO, arcs.AlgoRandom, arcs.AlgoExhaustive}
+	res := &AblationSearchResult{
+		Algos:    make([]string, len(algos)),
+		TimeNorm: make([]float64, len(algos)),
+		Evals:    make([]int, len(algos)),
+	}
+	err = forEach(len(algos), func(i int) error {
 		out, err := Measure(RunSpec{
-			Arch: arch, App: app, Arm: ArmOnline, Seed: 22, Algo: algo,
+			Arch: arch, App: app, Arm: ArmOnline, Seed: 22, Algo: algos[i],
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		evals := 0
 		for _, rep := range out.Reports {
 			if rep.Region == "compute_rhs" {
-				evals = rep.Evals
+				res.Evals[i] = rep.Evals
 			}
 		}
-		res.Algos = append(res.Algos, algo.String())
-		res.TimeNorm = append(res.TimeNorm, Normalized(out.TimeS, base.TimeS))
-		res.Evals = append(res.Evals, evals)
+		res.Algos[i] = algos[i].String()
+		res.TimeNorm[i] = Normalized(out.TimeS, base.TimeS)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -177,27 +201,34 @@ func AblationPowerLaw() (*AblationPowerLawResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &AblationPowerLawResult{}
-	for _, exp := range []float64{1, 2, 3} {
+	exps := []float64{1, 2, 3}
+	res := &AblationPowerLawResult{
+		Exponents: make([]float64, len(exps)),
+		TimeNorm:  make([]float64, len(exps)),
+		RhsConfig: make([]string, len(exps)),
+	}
+	err = forEach(len(exps), func(i int) error {
 		arch := sim.Crill()
-		arch.PowerLawExp = exp
+		arch.PowerLawExp = exps[i]
 		base, err := Measure(RunSpec{Arch: arch, App: app, CapW: 55, Arm: ArmDefault, Seed: 23})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out, err := Measure(RunSpec{Arch: arch, App: app, CapW: 55, Arm: ArmOffline, Seed: 23})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		cfg := ""
 		for _, rep := range out.Reports {
 			if rep.Region == "compute_rhs" {
-				cfg = rep.Config.String()
+				res.RhsConfig[i] = rep.Config.String()
 			}
 		}
-		res.Exponents = append(res.Exponents, exp)
-		res.TimeNorm = append(res.TimeNorm, Normalized(out.TimeS, base.TimeS))
-		res.RhsConfig = append(res.RhsConfig, cfg)
+		res.Exponents[i] = exps[i]
+		res.TimeNorm[i] = Normalized(out.TimeS, base.TimeS)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

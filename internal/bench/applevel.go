@@ -35,16 +35,31 @@ func MeasureAppLevel(title string, arch *sim.Arch, app *kernels.App, caps []floa
 		Caps:  caps,
 		Arms:  []Arm{ArmDefault, ArmOnline, ArmOffline},
 	}
-	for _, capW := range caps {
+	// Every (cap, arm) cell is an independent Measure call; run the flat
+	// cell grid through the worker pool, then fold into cap-major tables
+	// and normalise against each cap's ArmDefault cell. The fold is serial
+	// and index-ordered, so the tables are identical to a serial sweep.
+	nArms := len(res.Arms)
+	cells := make([]Outcome, len(caps)*nArms)
+	err := forEach(len(cells), func(i int) error {
+		capW, arm := caps[i/nArms], res.Arms[i%nArms]
+		out, err := Measure(RunSpec{
+			Arch: arch, App: app, CapW: capW, Arm: arm, Seed: seed,
+		})
+		if err != nil {
+			return fmt.Errorf("bench: %s %s at %s: %w", app, arm, CapLabel(capW, arch), err)
+		}
+		cells[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci := range caps {
 		var times, energies, tnorm, enorm []float64
 		var baseT, baseE float64
-		for _, arm := range res.Arms {
-			out, err := Measure(RunSpec{
-				Arch: arch, App: app, CapW: capW, Arm: arm, Seed: seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s %s at %s: %w", app, arm, CapLabel(capW, arch), err)
-			}
+		for ai, arm := range res.Arms {
+			out := cells[ci*nArms+ai]
 			if arm == ArmDefault {
 				baseT, baseE = out.TimeS, out.EnergyJ
 			}

@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"testing"
+
+	"arcs/internal/kernels"
+	"arcs/internal/sim"
+)
+
+// BenchmarkMeasureOffline times one full ARCS-Offline experiment arm — the
+// unmeasured exhaustive search run plus the three measured repetitions —
+// which is the unit every figure sweep is made of. It exercises the whole
+// stack (kernels -> omp -> OMPT -> APEX -> ARCS -> simulator), so it is
+// the end-to-end number the ProbeLoop fast paths must move.
+func BenchmarkMeasureOffline(b *testing.B) {
+	app, err := kernels.SP(kernels.ClassB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := RunSpec{Arch: sim.Crill(), App: app, CapW: 70, Arm: ArmOffline, Seed: 99}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Measure(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

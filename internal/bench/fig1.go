@@ -53,10 +53,15 @@ func Fig1() (*Fig1Result, error) {
 		res.Configs = append(res.Configs, f.label)
 	}
 
-	for _, capW := range res.Caps {
-		mach, err := newMachine(arch, capW)
+	// Each power level sweeps the space on its own Machine; the levels are
+	// independent, so they run through the worker pool into cap-indexed
+	// rows (identical tables regardless of parallelism).
+	res.TimesMS = make([][]float64, len(res.Caps))
+	res.BestConfig = make([]string, len(res.Caps))
+	err = forEach(len(res.Caps), func(ci int) error {
+		mach, err := newMachine(arch, res.Caps[ci])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Best configuration: full sweep of the Table I space.
 		bestT := -1.0
@@ -67,7 +72,7 @@ func Fig1() (*Fig1Result, error) {
 					cfg := resolveConfig(arch, th, sk, ch)
 					r, err := mach.ProbeLoop(region.Model, cfg)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					if bestT < 0 || r.TimeS < bestT {
 						bestT = r.TimeS
@@ -80,12 +85,16 @@ func Fig1() (*Fig1Result, error) {
 		for _, f := range fixed {
 			r, err := mach.ProbeLoop(region.Model, f.cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row = append(row, r.TimeS*1e3)
 		}
-		res.TimesMS = append(res.TimesMS, row)
-		res.BestConfig = append(res.BestConfig, bestCfg)
+		res.TimesMS[ci] = row
+		res.BestConfig[ci] = bestCfg
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -76,17 +76,23 @@ func Fig8() (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	crill, err := MeasureAppLevel("Fig. 8a/8b — LULESH mesh 45 on Crill, five power levels",
-		sim.Crill(), appC, CrillCaps(), 8)
-	if err != nil {
-		return nil, err
-	}
 	appM, err := kernels.LULESH(45)
 	if err != nil {
 		return nil, err
 	}
-	mino, err := MeasureAppLevel("Fig. 8c — LULESH mesh 45 on Minotaur at TDP",
-		sim.Minotaur(), appM, []float64{0}, 8)
+	// The two platforms are independent; run both panels concurrently.
+	var crill, mino *AppLevel
+	err = forEach(2, func(i int) error {
+		var e error
+		if i == 0 {
+			crill, e = MeasureAppLevel("Fig. 8a/8b — LULESH mesh 45 on Crill, five power levels",
+				sim.Crill(), appC, CrillCaps(), 8)
+		} else {
+			mino, e = MeasureAppLevel("Fig. 8c — LULESH mesh 45 on Minotaur at TDP",
+				sim.Minotaur(), appM, []float64{0}, 8)
+		}
+		return e
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -147,17 +153,23 @@ func CrossArch() (*CrossArchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	spRes, err := MeasureAppLevel("Cross-architecture — SP class B on Minotaur at TDP",
-		sim.Minotaur(), sp, []float64{0}, 11)
-	if err != nil {
-		return nil, err
-	}
 	bt, err := kernels.BT(kernels.ClassB)
 	if err != nil {
 		return nil, err
 	}
-	btRes, err := MeasureAppLevel("Cross-architecture — BT class B on Minotaur at TDP",
-		sim.Minotaur(), bt, []float64{0}, 12)
+	// The two benchmarks are independent; run both tables concurrently.
+	var spRes, btRes *AppLevel
+	err = forEach(2, func(i int) error {
+		var e error
+		if i == 0 {
+			spRes, e = MeasureAppLevel("Cross-architecture — SP class B on Minotaur at TDP",
+				sim.Minotaur(), sp, []float64{0}, 11)
+		} else {
+			btRes, e = MeasureAppLevel("Cross-architecture — BT class B on Minotaur at TDP",
+				sim.Minotaur(), bt, []float64{0}, 12)
+		}
+		return e
+	})
 	if err != nil {
 		return nil, err
 	}

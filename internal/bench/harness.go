@@ -133,11 +133,19 @@ func Measure(spec RunSpec) (Outcome, error) {
 		hist = h
 	}
 
-	var out Outcome
-	for run := 0; run < sp.Runs; run++ {
+	// The Runs repetitions are independent (each builds its own Machine,
+	// runtime, and tuner; an offline history is only read during replay),
+	// so they run through the harness worker pool. Results land in
+	// run-indexed slots so the aggregation below is order-independent.
+	type runResult struct {
+		timeS, energyJ, dramJ float64
+		reports               []arcs.RegionReport
+	}
+	results := make([]runResult, sp.Runs)
+	runErr := forEach(sp.Runs, func(run int) error {
 		mach, err := newMachine(arch, capW)
 		if err != nil {
-			return Outcome{}, err
+			return err
 		}
 		mach.SetNoise(sp.Noise, sp.Seed+int64(run)*7919+1)
 		rt := omp.NewRuntime(mach)
@@ -166,23 +174,37 @@ func Measure(spec RunSpec) (Outcome, error) {
 			}
 			tuner, err = arcs.New(apx, arch, opts)
 			if err != nil {
-				return Outcome{}, err
+				return err
 			}
 		}
 
 		res, err := sp.App.Run(rt)
 		if err != nil {
-			return Outcome{}, err
+			return err
 		}
 		if tuner != nil {
 			if err := tuner.Finish(); err != nil {
-				return Outcome{}, err
+				return err
 			}
-			out.Reports = tuner.Report()
+			results[run].reports = tuner.Report()
 		}
-		out.Times = append(out.Times, res.TimeS)
-		out.Energies = append(out.Energies, res.EnergyJ)
-		out.DRAMs = append(out.DRAMs, res.DRAMEnergyJ)
+		results[run].timeS = res.TimeS
+		results[run].energyJ = res.EnergyJ
+		results[run].dramJ = res.DRAMEnergyJ
+		return nil
+	})
+	if runErr != nil {
+		return Outcome{}, runErr
+	}
+
+	var out Outcome
+	for run := range results {
+		out.Times = append(out.Times, results[run].timeS)
+		out.Energies = append(out.Energies, results[run].energyJ)
+		out.DRAMs = append(out.DRAMs, results[run].dramJ)
+		if results[run].reports != nil {
+			out.Reports = results[run].reports // keep the last run's reports
+		}
 	}
 
 	// Aggregation protocol: min on shared machines, mean on dedicated.

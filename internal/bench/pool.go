@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The harness parallelises independent units of work — experiments in the
+// registry, per-cap levels inside a sweep, the Runs repetitions inside
+// Measure — with a single bounded worker pool. One global token semaphore
+// caps the TOTAL number of concurrent units across all nesting levels
+// (an experiment, its sweep caps, and their repetitions all draw from the
+// same budget), so -j N never oversubscribes no matter how the layers
+// compose. The calling goroutine always participates without holding a
+// token, which makes nested forEach calls deadlock-free: a caller that
+// cannot borrow extra workers simply runs its items serially.
+
+var (
+	poolMu     sync.Mutex
+	poolWidth  = 1
+	poolTokens chan struct{} // nil when poolWidth == 1
+)
+
+// SetParallelism fixes the harness-wide concurrency budget. n <= 0 selects
+// runtime.GOMAXPROCS(0). n == 1 makes every forEach fully serial and
+// in-order — bit-for-bit today's behaviour. It is meant to be called once,
+// before experiments start (cmd/arcsbench does this from the -j flag).
+func SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	poolWidth = n
+	if n > 1 {
+		// n-1 borrowable tokens: the caller is always the n-th worker.
+		poolTokens = make(chan struct{}, n-1)
+	} else {
+		poolTokens = nil
+	}
+}
+
+// Parallelism returns the current harness-wide concurrency budget.
+func Parallelism() int {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return poolWidth
+}
+
+// ForEach exposes the harness worker pool to command-line drivers:
+// cmd/arcsbench runs whole experiments through it so that top-level
+// experiments and the sweeps nested inside them share one budget.
+func ForEach(n int, fn func(i int) error) error { return forEach(n, fn) }
+
+// forEach runs fn(0..n-1), returning the lowest-index error (if any).
+//
+// With parallelism 1 it runs serially in index order and stops at the
+// first error, exactly like the loops it replaces. Otherwise items are
+// claimed from an atomic counter by the caller plus however many extra
+// workers can be borrowed from the global token budget; all items are
+// attempted (no early stop) and the lowest-index error is reported, which
+// keeps the outcome deterministic regardless of interleaving.
+func forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	poolMu.Lock()
+	tokens := poolTokens
+	poolMu.Unlock()
+	if tokens == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			errs[i] = fn(i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Borrow up to n-1 extra workers; never block waiting for a token —
+	// under contention the caller alone still makes progress.
+borrow:
+	for extra := 0; extra < n-1; extra++ {
+		select {
+		case tokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-tokens
+					wg.Done()
+				}()
+				work()
+			}()
+		default:
+			break borrow
+		}
+	}
+	work() // the caller is always a worker
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

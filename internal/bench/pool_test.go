@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func withParallelism(t *testing.T, n int) {
+	t.Helper()
+	prev := Parallelism()
+	SetParallelism(n)
+	t.Cleanup(func() { SetParallelism(prev) })
+}
+
+func TestForEachSerialOrderAndEarlyStop(t *testing.T) {
+	withParallelism(t, 1)
+	var order []int
+	errBoom := errors.New("boom")
+	err := forEach(10, func(i int) error {
+		order = append(order, i)
+		if i == 4 {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Serial mode stops at the first error, like the loops it replaces.
+	if len(order) != 5 {
+		t.Fatalf("ran %d items, want 5 (early stop)", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (serial must be in-order)", i, v, i)
+		}
+	}
+}
+
+func TestForEachParallelCoversAllItems(t *testing.T) {
+	withParallelism(t, 4)
+	const n = 100
+	var hits [n]atomic.Int32
+	if err := forEach(n, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("item %d executed %d times, want exactly 1", i, got)
+		}
+	}
+}
+
+func TestForEachParallelReportsLowestIndexError(t *testing.T) {
+	withParallelism(t, 8)
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	err := forEach(50, func(i int) error {
+		switch i {
+		case 7:
+			return errLow
+		case 31:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want lowest-index error", err)
+	}
+}
+
+func TestForEachNestedDoesNotDeadlockAndBoundsWorkers(t *testing.T) {
+	withParallelism(t, 3)
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	observe := func() {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+	}
+	err := forEach(6, func(i int) error {
+		return forEach(6, func(j int) error {
+			observe()
+			defer cur.Add(-1)
+			for k := 0; k < 1000; k++ { // widen the overlap window
+				_ = k
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget is global across nesting levels: never more than 3 units in
+	// flight even though 6*6 inner items were available.
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds budget 3", p)
+	}
+}
+
+func TestSetParallelismDefaults(t *testing.T) {
+	withParallelism(t, 0) // <=0 selects GOMAXPROCS
+	if Parallelism() < 1 {
+		t.Fatalf("Parallelism() = %d, want >= 1", Parallelism())
+	}
+}

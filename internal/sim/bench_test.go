@@ -1,18 +1,25 @@
 package sim
 
-import "testing"
+import (
+	"strconv"
+	"testing"
+)
 
 // Micro-benchmarks for the simulator hot paths: one region execution under
 // each scheduling policy, at NPB-like and LULESH-like iteration counts.
 // These bound the cost of the experiment harness (an offline search is
 // ~250 of these per region).
 
-func benchLoop(iters int) *LoopModel {
+func benchLoopKind(iters int, kind ImbalanceKind) *LoopModel {
+	im := Imbalance{Kind: kind}
+	if kind == Ramp {
+		im.Param = 0.8
+	}
 	return &LoopModel{
 		Name:          "bench",
 		Iters:         iters,
 		CompNSPerIter: 15000,
-		Imbalance:     Imbalance{Kind: Ramp, Param: 0.8},
+		Imbalance:     im,
 		Mem: CacheSpec{
 			AccessesPerIter:  4000,
 			BytesPerIter:     8192,
@@ -25,6 +32,8 @@ func benchLoop(iters int) *LoopModel {
 		},
 	}
 }
+
+func benchLoop(iters int) *LoopModel { return benchLoopKind(iters, Ramp) }
 
 func benchProbe(b *testing.B, iters int, cfg Config) {
 	b.Helper()
@@ -57,6 +66,46 @@ func BenchmarkProbeGuidedNPB(b *testing.B) {
 
 func BenchmarkProbeDynamicLULESH(b *testing.B) {
 	benchProbe(b, 91125, Config{Threads: 32, Sched: SchedDynamic, Chunk: 1})
+}
+
+// BenchmarkProbeGrid covers the full {schedule} × {chunk} × {weight kind}
+// matrix at NPB scale. The Uniform rows hit the closed-form/batched fast
+// paths; the Ramp rows hit the reference heap simulator, so the grid shows
+// both the fast-path win and that the reference path did not regress.
+func BenchmarkProbeGrid(b *testing.B) {
+	scheds := []struct {
+		name string
+		s    Schedule
+	}{{"Static", SchedStatic}, {"Dynamic", SchedDynamic}, {"Guided", SchedGuided}}
+	kinds := []struct {
+		name string
+		k    ImbalanceKind
+	}{{"Uniform", Uniform}, {"Ramp", Ramp}}
+	for _, sc := range scheds {
+		for _, chunk := range []int{1, 8, 128} {
+			for _, kd := range kinds {
+				name := sc.name + "/Chunk" + strconv.Itoa(chunk) + "/" + kd.name
+				b.Run(name, func(b *testing.B) {
+					m, err := NewMachine(Crill())
+					if err != nil {
+						b.Fatal(err)
+					}
+					lm := benchLoopKind(10404, kd.k)
+					cfg := Config{Threads: 32, Sched: sc.s, Chunk: chunk}
+					if kd.k != Uniform {
+						lm.Weights() // exclude one-time weight materialisation
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := m.ProbeLoop(lm, cfg); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
 }
 
 func BenchmarkWeightSum(b *testing.B) {

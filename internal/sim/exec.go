@@ -140,6 +140,185 @@ func (h threadHeap) siftDown(i int) {
 	}
 }
 
+// probeScratch holds the reusable per-Machine buffers behind ProbeLoop, so
+// the hot probe path allocates nothing beyond the two exported per-thread
+// slices copied into each ExecResult. A Machine (and therefore ProbeLoop)
+// is not safe for concurrent use; the experiment harness gives every
+// worker goroutine its own Machine.
+type probeScratch struct {
+	missByOcc   []MissRates
+	compByOcc   []float64
+	memByOcc    []float64
+	iterNSByOcc []float64
+	start       []float64
+	finish      []float64
+	busy        []float64
+	waits       []float64
+	heap        threadHeap
+	counts      []int
+}
+
+// growF returns s resized to n, reusing capacity when possible. Contents
+// are unspecified; callers overwrite every element.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// scratchHeap initialises the machine's reusable dispatch heap with the
+// given per-thread next-idle times.
+func (m *Machine) scratchHeap(avail []float64) threadHeap {
+	t := len(avail)
+	if cap(m.scratch.heap) < t {
+		m.scratch.heap = make(threadHeap, t)
+	}
+	h := m.scratch.heap[:t]
+	for i := 0; i < t; i++ {
+		h[i] = threadState{avail: avail[i], id: i}
+	}
+	h.init()
+	return h
+}
+
+// dispatchEqualChunks assigns n chunks of identical cost cS (the final,
+// possibly partial, chunk costing cLastS) to the threads whose next-idle
+// times are finish[i], exactly as the reference heap dispatcher would:
+// the earliest-idle thread (ties by lower id) grabs each chunk in turn.
+// Because every chunk costs the same, thread i's dispatch instants form the
+// arithmetic progression finish[i] + k*cS, and the greedy assignment is the
+// n smallest elements of the union of those t progressions. The split is
+// found by bisecting the instant threshold — O(t log n) instead of
+// O(n log t) heap operations. busy and finish are updated in place; it
+// reports false (leaving them untouched) in degenerate cases the bisection
+// cannot resolve, and the caller falls back to the reference heap.
+func (m *Machine) dispatchEqualChunks(busy, finish []float64, n int, cS, cLastS float64) bool {
+	t := len(finish)
+	if n <= 0 || cS <= 0 {
+		return false
+	}
+	// count(T): dispatch instants <= T, with per-thread contributions capped
+	// at n to keep the arithmetic in range.
+	count := func(T float64) int {
+		total := 0
+		for _, a := range finish {
+			if T >= a {
+				k := (T - a) / cS
+				if k >= float64(n) {
+					total += n
+				} else {
+					total += int(k) + 1
+				}
+				if total >= (1 << 40) {
+					return 1 << 40
+				}
+			}
+		}
+		return total
+	}
+	lo := finish[0]
+	for _, a := range finish {
+		if a < lo {
+			lo = a
+		}
+	}
+	hi := lo + float64(n)*cS // the min-avail thread alone reaches n instants by here
+	if math.IsInf(hi, 0) || math.IsNaN(hi) {
+		return false
+	}
+	if count(lo) < n {
+		// Invariant: count(lo) < n <= count(hi); bisect to float precision.
+		for iter := 0; iter < 128; iter++ {
+			mid := lo + (hi-lo)/2
+			if mid <= lo || mid >= hi {
+				break
+			}
+			if count(mid) >= n {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+	} else {
+		hi = lo
+	}
+	// Per-thread counts at the threshold, then trim the overshoot by
+	// removing the latest-dispatched chunks (largest instant; ties resolved
+	// against the higher id, the reverse of the heap's dispatch order).
+	if cap(m.scratch.counts) < t {
+		m.scratch.counts = make([]int, t)
+	}
+	k := m.scratch.counts[:t]
+	total := 0
+	for i := range k {
+		k[i] = 0
+	}
+	for i, a := range finish {
+		if hi >= a {
+			q := (hi - a) / cS
+			if q >= float64(n) {
+				k[i] = n
+			} else {
+				k[i] = int(q) + 1
+			}
+			total += k[i]
+		}
+	}
+	if total < n {
+		return false // numerical corner; let the heap handle it
+	}
+	for guard := 0; total > n; guard++ {
+		if guard > 4*t+64 {
+			return false
+		}
+		drop, found := -1, false
+		var worst float64
+		for i := 0; i < t; i++ {
+			if k[i] == 0 {
+				continue
+			}
+			last := finish[i] + float64(k[i]-1)*cS
+			if !found || last > worst || (last == worst && i > drop) {
+				drop, worst, found = i, last, true
+			}
+		}
+		if !found {
+			return false
+		}
+		k[drop]--
+		total--
+	}
+	// The final (partial) chunk belongs to the thread holding the largest
+	// assigned instant (ties by higher id — it was dispatched last).
+	owner, found := -1, false
+	var worst float64
+	for i := 0; i < t; i++ {
+		if k[i] == 0 {
+			continue
+		}
+		last := finish[i] + float64(k[i]-1)*cS
+		if !found || last > worst || (last == worst && i > owner) {
+			owner, worst, found = i, last, true
+		}
+	}
+	if !found {
+		return false
+	}
+	for i := 0; i < t; i++ {
+		if k[i] == 0 {
+			continue
+		}
+		c := float64(k[i]) * cS
+		busy[i] += c
+		finish[i] += c
+	}
+	adj := cLastS - cS
+	busy[owner] += adj
+	finish[owner] += adj
+	return true
+}
+
 // ResolveChunk applies OpenMP defaulting rules for a chunk parameter of 0.
 func ResolveChunk(sched Schedule, chunk, iters, threads int) int {
 	if chunk > 0 {
@@ -162,13 +341,14 @@ func (m *Machine) ProbeLoop(lm *LoopModel, cfg Config) (ExecResult, error) {
 	if err := lm.Validate(); err != nil {
 		return ExecResult{}, err
 	}
-	place, err := m.arch.PlaceWith(cfg.Threads, cfg.Bind)
+	place, err := m.placement(cfg.Threads, cfg.Bind)
 	if err != nil {
 		return ExecResult{}, err
 	}
 	a := m.arch
 	t := cfg.Threads
 	f, duty := m.FreqAt(place.ActiveCores)
+	sc := &m.scratch
 
 	// Per-occupancy-class iteration cost (nanoseconds).
 	maxOcc := 1
@@ -177,9 +357,14 @@ func (m *Machine) ProbeLoop(lm *LoopModel, cfg Config) (ExecResult, error) {
 			maxOcc = k
 		}
 	}
-	missByOcc := make([]MissRates, maxOcc+1)
-	compByOcc := make([]float64, maxOcc+1)
-	memByOcc := make([]float64, maxOcc+1)
+	if cap(sc.missByOcc) < maxOcc+1 {
+		sc.missByOcc = make([]MissRates, maxOcc+1)
+	}
+	missByOcc := sc.missByOcc[:maxOcc+1]
+	sc.compByOcc = growF(sc.compByOcc, maxOcc+1)
+	sc.memByOcc = growF(sc.memByOcc, maxOcc+1)
+	sc.iterNSByOcc = growF(sc.iterNSByOcc, maxOcc+1)
+	compByOcc, memByOcc := sc.compByOcc, sc.memByOcc
 	chunk := ResolveChunk(cfg.Sched, cfg.Chunk, lm.Iters, t)
 	for k := 1; k <= maxOcc; k++ {
 		mr := a.missRates(lm.Mem, t, chunk, k)
@@ -206,74 +391,166 @@ func (m *Machine) ProbeLoop(lm *LoopModel, cfg Config) (ExecResult, error) {
 		}
 		bwScale *= demand / a.MemBWGBs
 	}
-	iterNSByOcc := make([]float64, maxOcc+1)
+	iterNSByOcc := sc.iterNSByOcc
 	for k := 1; k <= maxOcc; k++ {
 		iterNSByOcc[k] = compByOcc[k] + memByOcc[k]*bwScale
 	}
 
 	// Fork: threads start staggered.
-	start := make([]float64, t)
+	sc.start = growF(sc.start, t)
+	start := sc.start
 	for i := range start {
 		start[i] = (a.ForkBaseUS + a.ForkStaggerUS*float64(i)) * 1e-6
 	}
 
 	dispatchNS := a.DispatchUS * 1000 * (1 + a.DispatchScale*float64(t-1))
-	finish := make([]float64, t)
-	busy := make([]float64, t)
+	sc.finish = growF(sc.finish, t)
+	sc.busy = growF(sc.busy, t)
+	finish, busy := sc.finish, sc.busy
 	copy(finish, start)
+	for i := range busy {
+		busy[i] = 0
+	}
 	chunksDispatched := 0
 	totalDispatchS := 0.0
 
-	chunkCostS := func(tid, lo, hi int) float64 {
-		k := place.Occupancy[tid]
-		return lm.WeightSum(lo, hi) * iterNSByOcc[k] * 1e-9
+	// Dispatch cost hoisting: the weight of chunk [lo, hi) is hi-lo for
+	// uniform loops (no weight vector needed) and a prefix-sum difference
+	// otherwise; both are multiplied by the occupancy-class iteration cost.
+	uniform := lm.uniform()
+	var prefix []float64
+	if !uniform {
+		lm.buildWeights()
+		prefix = lm.prefix
+	}
+	// occUniform: every thread runs at the same occupancy, so every equal
+	// size chunk costs the same no matter which thread grabs it — the
+	// precondition for the batched dynamic/guided fast paths.
+	occUniform := true
+	for _, k := range place.Occupancy {
+		if k != place.Occupancy[0] {
+			occUniform = false
+			break
+		}
 	}
 
 	switch cfg.Sched {
 	case SchedStatic:
-		// Round-robin pre-assignment, no dispatch cost.
-		for pos, turn := 0, 0; pos < lm.Iters; turn++ {
-			tid := turn % t
-			hi := pos + chunk
-			if hi > lm.Iters {
-				hi = lm.Iters
+		if uniform {
+			// Closed form: chunk turn goes to thread turn%t, so per-thread
+			// iteration totals are pure arithmetic over iters/chunk — no
+			// per-chunk loop.
+			nChunks := (lm.Iters + chunk - 1) / chunk
+			lastSz := lm.Iters - (nChunks-1)*chunk
+			lastTid := (nChunks - 1) % t
+			for tid := 0; tid < t; tid++ {
+				nc := nChunks / t
+				if tid < nChunks%t {
+					nc++
+				}
+				if nc == 0 {
+					continue
+				}
+				iters := nc * chunk
+				if tid == lastTid {
+					iters += lastSz - chunk
+				}
+				c := float64(iters) * iterNSByOcc[place.Occupancy[tid]] * 1e-9
+				finish[tid] += c
+				busy[tid] += c
 			}
-			c := chunkCostS(tid, pos, hi)
-			finish[tid] += c
-			busy[tid] += c
-			pos = hi
-			chunksDispatched++
+			chunksDispatched = nChunks
+		} else {
+			// Reference path: round-robin pre-assignment, no dispatch cost.
+			for pos, turn := 0, 0; pos < lm.Iters; turn++ {
+				tid := turn % t
+				hi := pos + chunk
+				if hi > lm.Iters {
+					hi = lm.Iters
+				}
+				c := (prefix[hi] - prefix[pos]) * iterNSByOcc[place.Occupancy[tid]] * 1e-9
+				finish[tid] += c
+				busy[tid] += c
+				pos = hi
+				chunksDispatched++
+			}
 		}
 	case SchedDynamic, SchedGuided:
-		h := make(threadHeap, t)
-		for i := 0; i < t; i++ {
-			h[i] = threadState{avail: start[i], id: i}
-		}
-		h.init()
-		remaining := lm.Iters
-		pos := 0
 		dS := dispatchNS * 1e-9
-		for remaining > 0 {
-			id := h[0].id // earliest-idle thread grabs the next chunk
-			sz := chunk
+		remaining := lm.Iters
+		if uniform && occUniform {
+			iterS := iterNSByOcc[place.Occupancy[0]] * 1e-9
 			if cfg.Sched == SchedGuided {
-				g := (remaining + t - 1) / t
-				if g > sz {
-					sz = g
+				// Guided decay phase: exponentially shrinking chunks until
+				// the floor is reached. O(t log(iters/chunk)) chunks; the
+				// constant-size tail below is batched.
+				h := m.scratchHeap(start)
+				for remaining > 0 {
+					g := (remaining + t - 1) / t
+					if g <= chunk {
+						break
+					}
+					sz := g
+					id := h[0].id
+					c := dS + float64(sz)*iterS
+					busy[id] += c
+					totalDispatchS += dS
+					h[0].avail += c
+					finish[id] = h[0].avail
+					h.fixRoot()
+					remaining -= sz
+					chunksDispatched++
 				}
 			}
-			if sz > remaining {
-				sz = remaining
+			if remaining > 0 {
+				// Batched equal-cost dispatch: all remaining chunks have
+				// size chunk (the last one possibly smaller) and identical
+				// cost, so the greedy earliest-idle assignment reduces to
+				// selecting the n smallest dispatch instants across t
+				// arithmetic progressions.
+				n := (remaining + chunk - 1) / chunk
+				rem := remaining - (n-1)*chunk
+				cS := dS + float64(chunk)*iterS
+				cLastS := dS + float64(rem)*iterS
+				if cS > 0 && m.dispatchEqualChunks(busy, finish, n, cS, cLastS) {
+					chunksDispatched += n
+					totalDispatchS += float64(n) * dS
+					remaining = 0
+				}
 			}
-			c := dS + chunkCostS(id, pos, pos+sz)
-			busy[id] += c
-			totalDispatchS += dS
-			h[0].avail += c
-			finish[id] = h[0].avail
-			h.fixRoot()
-			pos += sz
-			remaining -= sz
-			chunksDispatched++
+		}
+		if remaining > 0 {
+			// Reference path: one heap operation per dispatched chunk.
+			h := m.scratchHeap(finish)
+			pos := lm.Iters - remaining
+			for remaining > 0 {
+				id := h[0].id // earliest-idle thread grabs the next chunk
+				sz := chunk
+				if cfg.Sched == SchedGuided {
+					g := (remaining + t - 1) / t
+					if g > sz {
+						sz = g
+					}
+				}
+				if sz > remaining {
+					sz = remaining
+				}
+				var w float64
+				if uniform {
+					w = float64(sz)
+				} else {
+					w = prefix[pos+sz] - prefix[pos]
+				}
+				c := dS + w*iterNSByOcc[place.Occupancy[id]]*1e-9
+				busy[id] += c
+				totalDispatchS += dS
+				h[0].avail += c
+				finish[id] = h[0].avail
+				h.fixRoot()
+				pos += sz
+				remaining -= sz
+				chunksDispatched++
+			}
 		}
 	default:
 		return ExecResult{}, fmt.Errorf("sim: unknown schedule %v", cfg.Sched)
@@ -295,7 +572,8 @@ func (m *Machine) ProbeLoop(lm *LoopModel, cfg Config) (ExecResult, error) {
 		regionEnd = masterDone
 	}
 
-	waits := make([]float64, t)
+	sc.waits = growF(sc.waits, t)
+	waits := sc.waits
 	var barrierS float64
 	for i := 0; i < t; i++ {
 		end := finish[i]
@@ -371,6 +649,13 @@ func (m *Machine) ProbeLoop(lm *LoopModel, cfg Config) (ExecResult, error) {
 
 	dramBytes := rep.BytesPerIter * float64(lm.Iters) * nf
 
+	// Copy-on-return: busy and waits live in the machine's scratch and are
+	// reused by the next probe; only the exported slices are allocated.
+	outBusy := make([]float64, t)
+	outWaits := make([]float64, t)
+	copy(outBusy, busy)
+	copy(outWaits, waits)
+
 	res := ExecResult{
 		TimeS:          regionEnd,
 		EnergyJ:        energy,
@@ -385,8 +670,8 @@ func (m *Machine) ProbeLoop(lm *LoopModel, cfg Config) (ExecResult, error) {
 		BarrierS:       barrierS,
 		DispatchS:      totalDispatchS,
 		Chunks:         chunksDispatched,
-		PerThreadBusyS: busy,
-		PerThreadWaitS: waits,
+		PerThreadBusyS: outBusy,
+		PerThreadWaitS: outWaits,
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -94,6 +95,165 @@ func TestExecInvariantsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// relClose reports |a-b| <= tol * max(|a|, |b|, 1e-30).
+func relClose(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1e-30 {
+		scale = 1e-30
+	}
+	return d <= tol*scale
+}
+
+// Differential property: for uniform-weight loops the closed-form/batched
+// dispatch fast paths must agree with the reference heap simulator. A Ramp
+// imbalance with Param 0 produces the exact same constant-1 weight vector
+// but is classified as weighted, so it runs the reference path — probing
+// the same loop both ways compares fast path against reference directly.
+func TestFastPathMatchesReference(t *testing.T) {
+	const tol = 1e-9
+	for _, arch := range []*Arch{Crill(), Minotaur()} {
+		fast, err := NewMachine(arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewMachine(arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(iters uint16, compUS uint16, serialUS uint16,
+			acc uint16, twKB uint16, footMB uint8, stride, boundary uint8,
+			threadSel uint8, sched uint8, chunk uint16, bind, capSel uint8) bool {
+
+			mem := CacheSpec{
+				AccessesPerIter:  float64(acc % 2000),
+				BytesPerIter:     float64(twKB%4096) + 8,
+				StrideElems:      int(stride%64) + 1,
+				TemporalWindowKB: float64(twKB),
+				FootprintMB:      float64(footMB),
+				BoundaryLines:    float64(boundary % 64),
+				PassesPerChunk:   1 + float64(stride%3),
+				L3Contention:     float64(bind%10) / 10,
+				MLP:              1 + float64(stride%8),
+			}
+			mk := func(kind ImbalanceKind) *LoopModel {
+				return &LoopModel{
+					Name:          "diff",
+					Iters:         int(iters%50000) + 1,
+					CompNSPerIter: float64(compUS) * 10,
+					SerialNS:      float64(serialUS) * 100,
+					Imbalance:     Imbalance{Kind: kind}, // Ramp keeps Param 0: constant weights
+					Mem:           mem,
+				}
+			}
+			// Mix of occupancy-uniform and non-uniform team sizes.
+			threads := []int{1, 2, 3, 8, arch.Cores(), arch.Cores() + arch.Cores()/2, arch.HWThreads()}[int(threadSel)%7]
+			cfg := Config{
+				Threads: threads,
+				Sched:   Schedule(sched % 3),
+				Chunk:   int(chunk % 600),
+				Bind:    BindPolicy(bind % 2),
+			}
+			caps := []float64{0, 55, 70, 85, 100}
+			capW := caps[int(capSel)%len(caps)]
+			if !arch.CanCap {
+				capW = 0
+			}
+			if err := fast.SetPowerCap(capW); err != nil {
+				return false
+			}
+			if err := ref.SetPowerCap(capW); err != nil {
+				return false
+			}
+			fr, err1 := fast.ProbeLoop(mk(Uniform), cfg)
+			rr, err2 := ref.ProbeLoop(mk(Ramp), cfg)
+			if (err1 == nil) != (err2 == nil) {
+				t.Errorf("%s %v: error mismatch: %v vs %v", arch.Name, cfg, err1, err2)
+				return false
+			}
+			if err1 != nil {
+				return true // both rejected the config identically
+			}
+			if fr.Chunks != rr.Chunks {
+				t.Errorf("%s %v: chunks %d != %d", arch.Name, cfg, fr.Chunks, rr.Chunks)
+				return false
+			}
+			scalars := [][2]float64{
+				{fr.TimeS, rr.TimeS}, {fr.EnergyJ, rr.EnergyJ},
+				{fr.LoopS, rr.LoopS}, {fr.SerialS, rr.SerialS},
+				{fr.BarrierS, rr.BarrierS}, {fr.DispatchS, rr.DispatchS},
+				{fr.DRAMBytes, rr.DRAMBytes}, {fr.DRAMEnergyJ, rr.DRAMEnergyJ},
+			}
+			for i, s := range scalars {
+				if !relClose(s[0], s[1], tol) {
+					t.Errorf("%s %v: scalar %d: fast %v != ref %v", arch.Name, cfg, i, s[0], s[1])
+					return false
+				}
+			}
+			for i := range fr.PerThreadBusyS {
+				if !relClose(fr.PerThreadBusyS[i], rr.PerThreadBusyS[i], tol) ||
+					!relClose(fr.PerThreadWaitS[i], rr.PerThreadWaitS[i], tol) {
+					t.Errorf("%s %v: thread %d: busy/wait fast (%v, %v) != ref (%v, %v)",
+						arch.Name, cfg, i, fr.PerThreadBusyS[i], fr.PerThreadWaitS[i],
+						rr.PerThreadBusyS[i], rr.PerThreadWaitS[i])
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("%s: %v", arch.Name, err)
+		}
+	}
+}
+
+// Deterministic fast-path differential coverage of the benchmark grid
+// (every schedule × chunk used by the perf benchmarks, LULESH-scale).
+func TestFastPathMatchesReferenceGrid(t *testing.T) {
+	arch := Crill()
+	fast, err := NewMachine(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewMachine(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := CacheSpec{
+		AccessesPerIter: 4000, BytesPerIter: 8192, TemporalWindowKB: 600,
+		FootprintMB: 250, BoundaryLines: 64, PassesPerChunk: 3, L3Contention: 0.9, MLP: 2,
+	}
+	for _, iters := range []int{1, 7, 10404, 91125} {
+		for _, sched := range []Schedule{SchedStatic, SchedDynamic, SchedGuided} {
+			for _, chunk := range []int{0, 1, 8, 128} {
+				for _, threads := range []int{1, 16, 24, 32} {
+					cfg := Config{Threads: threads, Sched: sched, Chunk: chunk}
+					u := &LoopModel{Name: "u", Iters: iters, CompNSPerIter: 15000, Mem: mem}
+					r := &LoopModel{Name: "r", Iters: iters, CompNSPerIter: 15000,
+						Imbalance: Imbalance{Kind: Ramp}, Mem: mem}
+					fr, err := fast.ProbeLoop(u, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rr, err := ref.ProbeLoop(r, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fr.Chunks != rr.Chunks {
+						t.Errorf("%v iters=%d: chunks %d != %d", cfg, iters, fr.Chunks, rr.Chunks)
+					}
+					if !relClose(fr.TimeS, rr.TimeS, 1e-9) || !relClose(fr.EnergyJ, rr.EnergyJ, 1e-9) ||
+						!relClose(fr.BarrierS, rr.BarrierS, 1e-9) || !relClose(fr.DispatchS, rr.DispatchS, 1e-9) {
+						t.Errorf("%v iters=%d: fast (%v J=%v B=%v D=%v) != ref (%v J=%v B=%v D=%v)",
+							cfg, iters, fr.TimeS, fr.EnergyJ, fr.BarrierS, fr.DispatchS,
+							rr.TimeS, rr.EnergyJ, rr.BarrierS, rr.DispatchS)
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // ImbalanceKind enumerates the per-iteration cost patterns used to model the
@@ -100,8 +101,24 @@ type LoopModel struct {
 	Imbalance     Imbalance
 	Mem           CacheSpec
 
-	weights []float64 // lazily built, mean 1
-	prefix  []float64 // prefix[i] = sum(weights[:i]); len Iters+1
+	weightsOnce sync.Once // guards the lazy build (models are shared across harness goroutines)
+	weights     []float64 // lazily built, mean 1
+	prefix      []float64 // prefix[i] = sum(weights[:i]); len Iters+1
+}
+
+// uniform reports whether every iteration carries weight exactly 1, i.e.
+// the weight vector is the constant 1 and never needs materialising. The
+// executor's closed-form dispatch fast paths key off this: for uniform
+// loops WeightSum(lo, hi) is simply hi-lo, saving O(Iters) memory and the
+// prefix-sum build per region.
+func (lm *LoopModel) uniform() bool {
+	switch lm.Imbalance.Kind {
+	case Ramp, Blocks, Random, Sawtooth:
+		return false
+	}
+	// Uniform and unknown kinds both produce the constant-1 vector (see
+	// buildWeights' default branch).
+	return true
 }
 
 // Validate reports whether the model is usable.
@@ -125,11 +142,13 @@ func (lm *LoopModel) Validate() error {
 
 // buildWeights materialises the per-iteration weight vector and its prefix
 // sums. Weights are normalised to mean exactly 1 so that total work is
-// independent of the imbalance pattern.
+// independent of the imbalance pattern. The build is guarded by a sync.Once
+// because LoopModels are shared read-mostly across harness goroutines.
 func (lm *LoopModel) buildWeights() {
-	if lm.weights != nil {
-		return
-	}
+	lm.weightsOnce.Do(lm.materializeWeights)
+}
+
+func (lm *LoopModel) materializeWeights() {
 	n := lm.Iters
 	w := make([]float64, n)
 	im := lm.Imbalance
@@ -217,9 +236,11 @@ func (lm *LoopModel) buildWeights() {
 }
 
 // WeightSum returns the sum of iteration weights in [lo, hi) in O(1) after
-// the first call (prefix sums). The executor uses it to cost chunks.
+// the first call (prefix sums). The executor uses it to cost chunks. For
+// uniform loops the sum is hi-lo by construction and no weight vector is
+// ever built (exactly equivalent: uniform weights normalise to 1.0 and the
+// prefix sums are exact small integers).
 func (lm *LoopModel) WeightSum(lo, hi int) float64 {
-	lm.buildWeights()
 	if lo < 0 {
 		lo = 0
 	}
@@ -229,6 +250,10 @@ func (lm *LoopModel) WeightSum(lo, hi int) float64 {
 	if lo >= hi {
 		return 0
 	}
+	if lm.uniform() {
+		return float64(hi - lo)
+	}
+	lm.buildWeights()
 	return lm.prefix[hi] - lm.prefix[lo]
 }
 
@@ -248,6 +273,9 @@ func (lm *LoopModel) TotalWork() float64 {
 // ImbalanceRatio returns max weight / mean weight, a scalar measure of how
 // imbalanced the loop is (1 = perfectly balanced).
 func (lm *LoopModel) ImbalanceRatio() float64 {
+	if lm.uniform() {
+		return 1
+	}
 	lm.buildWeights()
 	m := 0.0
 	for _, w := range lm.weights {

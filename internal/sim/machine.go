@@ -10,8 +10,18 @@ import (
 // power cap, the simulated clock, and the accumulated package energy. The
 // internal/rapl package exposes this state through a libmsr-style
 // interface; the internal/omp runtime advances it as regions execute.
+//
+// A Machine is NOT safe for concurrent use: probes reuse per-machine
+// scratch buffers and the noise RNG is stateful. Concurrent harness code
+// must give each goroutine its own Machine (they are cheap to build).
 type Machine struct {
 	arch *Arch
+
+	// scratch holds the reusable ProbeLoop buffers; placeCache memoises
+	// Placement by (threads, bind), both keeping the probe hot path
+	// allocation free.
+	scratch    probeScratch
+	placeCache map[int]Placement
 
 	capW    float64 // 0 = uncapped (TDP)
 	userGHz float64 // user-requested frequency ceiling (0 = none)
@@ -57,6 +67,28 @@ func NewMachine(arch *Arch) (*Machine, error) {
 
 // Arch returns the immutable architecture description.
 func (m *Machine) Arch() *Arch { return m.arch }
+
+// placement returns the (cached) placement of t threads under bind.
+// Placements depend only on (arch, t, bind), so each distinct configuration
+// is computed once per machine and reused allocation-free afterwards.
+func (m *Machine) placement(t int, bind BindPolicy) (Placement, error) {
+	if bind != BindSpread && bind != BindClose {
+		return m.arch.PlaceWith(t, bind) // unknown policy: let it error, uncached
+	}
+	key := t<<1 | int(bind)
+	if p, ok := m.placeCache[key]; ok {
+		return p, nil
+	}
+	p, err := m.arch.PlaceWith(t, bind)
+	if err != nil {
+		return Placement{}, err
+	}
+	if m.placeCache == nil {
+		m.placeCache = make(map[int]Placement)
+	}
+	m.placeCache[key] = p
+	return p, nil
+}
 
 // SetPowerCap sets the package power limit in watts. A cap of 0 removes the
 // limit (run at TDP). Architectures without capping privilege (Minotaur)
