@@ -1,0 +1,103 @@
+// Command arcsd is the ARCS tuning service: a daemon serving
+// best-configuration lookups from a persistent, versioned knowledge store
+// (internal/store) over HTTP (internal/server).
+//
+// The paper's history file lets "later executions use the saved values
+// instead of repeating the search process" within one machine; arcsd
+// turns that into shared infrastructure — every arcsrun (-server) in a
+// cluster reads and feeds one store, exact misses fall back to the
+// nearest power cap, and a total miss can trigger one (deduplicated)
+// bounded search on the server's simulator.
+//
+// Usage:
+//
+//	arcsd -addr :8090 -store /var/lib/arcsd -snapshot-every 1024 -search-budget 40
+//	arcsrun -app SP -workload B -cap 70 -strategy online -server http://localhost:8090
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"arcs/internal/server"
+	"arcs/internal/store"
+)
+
+func main() {
+	var cfg daemonCfg
+	flag.StringVar(&cfg.addr, "addr", ":8090", "listen address")
+	flag.StringVar(&cfg.storeDir, "store", "arcsd-store", "knowledge store directory (created if missing)")
+	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", store.DefaultSnapshotEvery,
+		"WAL records between compacted snapshots (negative disables)")
+	flag.IntVar(&cfg.searchBudget, "search-budget", 40,
+		"max evaluations per region for server-side searches on total misses (0 disables)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, cfg, log.Default(), nil); err != nil {
+		fmt.Fprintln(os.Stderr, "arcsd:", err)
+		os.Exit(1)
+	}
+}
+
+// daemonCfg carries the parsed command line.
+type daemonCfg struct {
+	addr          string
+	storeDir      string
+	snapshotEvery int
+	searchBudget  int
+}
+
+// serve runs the daemon until ctx is cancelled. ready, when non-nil, is
+// called with the bound address once the listener is up (tests bind
+// ":0").
+func serve(ctx context.Context, cfg daemonCfg, logger *log.Logger, ready func(addr string)) error {
+	st, err := store.Open(cfg.storeDir, store.Options{SnapshotEvery: cfg.snapshotEvery})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	logger.Printf("store %s: %d entries", cfg.storeDir, st.Len())
+
+	srv := server.New(server.Config{Store: st, SearchBudget: cfg.searchBudget})
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	logger.Printf("listening on %s", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := st.Err(); err != nil {
+		logger.Printf("store reported: %v", err)
+	}
+	return st.Close()
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"testing"
+	"time"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/storeclient"
+)
+
+// startDaemon runs serve in a goroutine and returns the bound base URL, a
+// stop function (simulating SIGTERM), and the exit channel.
+func startDaemon(t *testing.T, cfg daemonCfg) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	logger := log.New(io.Discard, "", 0)
+	go func() {
+		done <- serve(ctx, cfg, logger, func(addr string) { addrc <- addr })
+	}()
+	select {
+	case addr := <-addrc:
+		return "http://" + addr, cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("daemon exited early: %v", err)
+		return "", nil, nil
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never came up")
+		return "", nil, nil
+	}
+}
+
+func stopDaemon(t *testing.T, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never shut down")
+	}
+}
+
+// TestDaemonRestartServesWALReplay is the arcsd end-to-end test: start
+// the daemon on a temp store, POST reports, kill and restart it, and
+// verify lookups survive the restart through WAL replay.
+func TestDaemonRestartServesWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfg := daemonCfg{addr: "127.0.0.1:0", storeDir: dir, snapshotEvery: -1, searchBudget: 0}
+
+	base, cancel, done := startDaemon(t, cfg)
+	c := storeclient.New(base, WithTestTimeouts()...)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	k1 := arcs.HistoryKey{App: "SP", Workload: "B", CapW: 70, Region: "x_solve"}
+	k2 := arcs.HistoryKey{App: "SP", Workload: "B", CapW: 55, Region: "x_solve"}
+	cfg1 := arcs.ConfigValues{Threads: 16, Chunk: 8}
+	cfg2 := arcs.ConfigValues{Threads: 4, Chunk: 32}
+	if err := c.Report(ctx, k1, cfg1, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report(ctx, k2, cfg2, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	stopDaemon(t, cancel, done)
+
+	// Restart on the same store directory: snapshots are disabled, so
+	// everything must come back through WAL replay.
+	base2, cancel2, done2 := startDaemon(t, cfg)
+	defer stopDaemon(t, cancel2, done2)
+	c2 := storeclient.New(base2, WithTestTimeouts()...)
+	res, err := c2.Lookup(ctx, k1, storeclient.LookupOpts{})
+	if err != nil || res.Config != cfg1 || res.Source != "exact" {
+		t.Fatalf("lookup after restart = %+v, %v", res, err)
+	}
+	// The nearest-cap fallback works across the restart too.
+	res, err = c2.Lookup(ctx, arcs.HistoryKey{App: "SP", Workload: "B", CapW: 60, Region: "x_solve"},
+		storeclient.LookupOpts{Fallback: true})
+	if err != nil || res.Source != "fallback" || res.CapDistance != 5 || res.Config != cfg2 {
+		t.Fatalf("fallback after restart = %+v, %v", res, err)
+	}
+	entries, err := c2.Dump(ctx)
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("dump after restart: %d entries, %v", len(entries), err)
+	}
+}
+
+// WithTestTimeouts keeps client retries snappy in tests.
+func WithTestTimeouts() []storeclient.Option {
+	return []storeclient.Option{storeclient.WithBackoff(time.Millisecond), storeclient.WithRetries(1)}
+}

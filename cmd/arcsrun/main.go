@@ -10,12 +10,20 @@
 // With -history FILE, an offline search run saves the best configurations
 // to FILE (ARCS's history file); -strategy replay loads them from FILE
 // instead of searching.
+//
+// With -server URL, the history lives in an arcsd tuning service instead
+// of a local file: online runs warm-start from served configurations
+// (exact hits skip the search entirely; nearest-cap hits seed it) and
+// report their search results back, offline runs save to and replay from
+// the service, and -strategy replay needs no -history file.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"arcs/internal/apex"
 	"arcs/internal/cli"
@@ -23,6 +31,7 @@ import (
 	"arcs/internal/kernels"
 	"arcs/internal/omp"
 	"arcs/internal/sim"
+	"arcs/internal/storeclient"
 	"arcs/internal/trace"
 )
 
@@ -36,6 +45,7 @@ func main() {
 		steps    = flag.Int("steps", 0, "override time steps (0 = benchmark default)")
 		seed     = flag.Int64("seed", 1, "search seed")
 		histPath = flag.String("history", "", "history file to save (offline) or load (replay)")
+		server   = flag.String("server", "", "arcsd URL serving the configuration store (e.g. http://localhost:8090)")
 		profCSV  = flag.String("profile", "", "write the APEX profile of the tuned run to this CSV file")
 		traceOut = flag.String("trace", "", "write a Chrome trace of the tuned run to this JSON file")
 	)
@@ -43,7 +53,7 @@ func main() {
 	if err := run(runCfg{
 		app: *appName, workload: *workload, arch: *archName, capW: *capW,
 		strategy: *strategy, steps: *steps, seed: *seed, histPath: *histPath,
-		profCSV: *profCSV, traceOut: *traceOut,
+		server: *server, profCSV: *profCSV, traceOut: *traceOut,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "arcsrun:", err)
 		os.Exit(1)
@@ -52,101 +62,46 @@ func main() {
 
 // runCfg carries the parsed command line.
 type runCfg struct {
-	app, workload, arch, strategy, histPath, profCSV, traceOut string
-	capW                                                       float64
-	steps                                                      int
-	seed                                                       int64
+	app, workload, arch, strategy, histPath, server, profCSV, traceOut string
+	capW                                                               float64
+	steps                                                              int
+	seed                                                               int64
+}
+
+// runResult carries the measured outcome of one arcsrun invocation so
+// tests can assert on it without parsing stdout.
+type runResult struct {
+	baseT, baseE   float64
+	tunedT, tunedE float64
+	reports        []arcs.RegionReport
+	arch           *sim.Arch
 }
 
 func run(cfg runCfg) error {
-	appName, workload, archName := cfg.app, cfg.workload, cfg.arch
-	capW, strategy, steps, seed, histPath := cfg.capW, cfg.strategy, cfg.steps, cfg.seed, cfg.histPath
-	app, err := cli.BuildApp(appName, workload)
+	res, err := doRun(cfg)
 	if err != nil {
 		return err
 	}
-	if steps > 0 {
-		app = app.WithSteps(steps)
-	}
-	arch, err := cli.BuildArch(archName)
-	if err != nil {
-		return err
-	}
-
-	// Baseline run for comparison.
-	baseT, baseE, err := execute(arch, app, capW, nil)
-	if err != nil {
-		return err
-	}
-
-	var tunedT, tunedE float64
-	var reports []arcs.RegionReport
-	outputs := runOutputs{profCSV: cfg.profCSV, traceOut: cfg.traceOut}
-	switch strategy {
-	case "default":
-		tunedT, tunedE = baseT, baseE
-	case "online":
-		tunedT, tunedE, reports, err = tunedRun(arch, app, capW, arcs.Options{
-			Strategy: arcs.StrategyOnline, Seed: seed,
-		}, outputs)
-	case "offline":
-		hist := arcs.NewMemHistory()
-		// Unmeasured search execution.
-		_, _, _, err = tunedRun(arch, app.WithSteps(searchSteps(arch, app)), capW, arcs.Options{
-			Strategy: arcs.StrategyOfflineSearch, Seed: seed,
-			History: hist, Key: keyFn(app, arch, capW),
-		}, runOutputs{})
-		if err != nil {
-			return err
-		}
-		if histPath != "" {
-			if err := hist.SaveFile(histPath); err != nil {
-				return err
-			}
-			fmt.Printf("history: saved %d entries to %s\n", hist.Len(), histPath)
-		}
-		tunedT, tunedE, reports, err = tunedRun(arch, app, capW, arcs.Options{
-			Strategy: arcs.StrategyOfflineReplay, Seed: seed,
-			History: hist, Key: keyFn(app, arch, capW),
-		}, outputs)
-	case "replay":
-		if histPath == "" {
-			return fmt.Errorf("-strategy replay requires -history FILE")
-		}
-		hist, lerr := arcs.LoadHistoryFile(histPath)
-		if lerr != nil {
-			return lerr
-		}
-		tunedT, tunedE, reports, err = tunedRun(arch, app, capW, arcs.Options{
-			Strategy: arcs.StrategyOfflineReplay, Seed: seed,
-			History: hist, Key: keyFn(app, arch, capW),
-		}, outputs)
-	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
-	}
-	if err != nil {
-		return err
-	}
-
-	capLabel := fmt.Sprintf("%.0fW", capW)
-	if capW == 0 {
+	arch := res.arch
+	capLabel := fmt.Sprintf("%.0fW", cfg.capW)
+	if cfg.capW == 0 {
 		capLabel = fmt.Sprintf("TDP(%.0fW)", arch.TDPW)
 	}
-	fmt.Printf("%s.%s on %s at %s, strategy %s\n", appName, workload, arch.Name, capLabel, strategy)
-	fmt.Printf("default : %8.3f s", baseT)
+	fmt.Printf("%s.%s on %s at %s, strategy %s\n", cfg.app, cfg.workload, arch.Name, capLabel, cfg.strategy)
+	fmt.Printf("default : %8.3f s", res.baseT)
 	if arch.HasEnergyCtr {
-		fmt.Printf("  %10.1f J", baseE)
+		fmt.Printf("  %10.1f J", res.baseE)
 	}
 	fmt.Println()
-	fmt.Printf("%-8s: %8.3f s", strategy, tunedT)
+	fmt.Printf("%-8s: %8.3f s", cfg.strategy, res.tunedT)
 	if arch.HasEnergyCtr {
-		fmt.Printf("  %10.1f J", tunedE)
+		fmt.Printf("  %10.1f J", res.tunedE)
 	}
 	fmt.Println()
-	fmt.Printf("speedup : %8.3fx  time improvement %.1f%%\n", baseT/tunedT, (1-tunedT/baseT)*100)
-	if len(reports) > 0 {
+	fmt.Printf("speedup : %8.3fx  time improvement %.1f%%\n", res.baseT/res.tunedT, (1-res.tunedT/res.baseT)*100)
+	if len(res.reports) > 0 {
 		fmt.Println("\nper-region configurations:")
-		for _, r := range reports {
+		for _, r := range res.reports {
 			status := ""
 			if r.Skipped {
 				status = " [skipped]"
@@ -157,6 +112,114 @@ func run(cfg runCfg) error {
 		}
 	}
 	return nil
+}
+
+// doRun executes the baseline and tuned runs for cfg and returns the
+// measurements; run() does the printing.
+func doRun(cfg runCfg) (runResult, error) {
+	appName, workload, archName := cfg.app, cfg.workload, cfg.arch
+	capW, strategy, steps, seed, histPath := cfg.capW, cfg.strategy, cfg.steps, cfg.seed, cfg.histPath
+	var res runResult
+	app, err := cli.BuildApp(appName, workload)
+	if err != nil {
+		return res, err
+	}
+	if steps > 0 {
+		app = app.WithSteps(steps)
+	}
+	arch, err := cli.BuildArch(archName)
+	if err != nil {
+		return res, err
+	}
+	res.arch = arch
+
+	// A served knowledge store replaces the local history file.
+	var srvHist *storeclient.History
+	if cfg.server != "" {
+		if histPath != "" {
+			return res, fmt.Errorf("-history and -server are mutually exclusive")
+		}
+		client := storeclient.New(cfg.server)
+		hctx, hcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		herr := client.Health(hctx)
+		hcancel()
+		if herr != nil {
+			return res, fmt.Errorf("server %s unreachable: %w", cfg.server, herr)
+		}
+		srvHist = storeclient.NewHistory(client)
+	}
+
+	// Baseline run for comparison.
+	res.baseT, res.baseE, err = execute(arch, app, capW, nil)
+	if err != nil {
+		return res, err
+	}
+
+	outputs := runOutputs{profCSV: cfg.profCSV, traceOut: cfg.traceOut}
+	switch strategy {
+	case "default":
+		res.tunedT, res.tunedE = res.baseT, res.baseE
+	case "online":
+		opts := arcs.Options{Strategy: arcs.StrategyOnline, Seed: seed}
+		if srvHist != nil {
+			// Warm-start from the service: exact hits skip the search,
+			// nearest-cap hits seed it, and Finish reports bests back.
+			opts.History, opts.Key, opts.WarmStart = srvHist, keyFn(app, arch, capW), true
+		}
+		res.tunedT, res.tunedE, res.reports, err = tunedRun(arch, app, capW, opts, outputs)
+	case "offline":
+		var hist arcs.History = arcs.NewMemHistory()
+		if srvHist != nil {
+			hist = srvHist
+		}
+		// Unmeasured search execution.
+		_, _, _, err = tunedRun(arch, app.WithSteps(searchSteps(arch, app)), capW, arcs.Options{
+			Strategy: arcs.StrategyOfflineSearch, Seed: seed,
+			History: hist, Key: keyFn(app, arch, capW),
+		}, runOutputs{})
+		if err != nil {
+			return res, err
+		}
+		if histPath != "" {
+			mem := hist.(*arcs.MemHistory)
+			if err := mem.SaveFile(histPath); err != nil {
+				return res, err
+			}
+			fmt.Printf("history: saved %d entries to %s\n", mem.Len(), histPath)
+		}
+		res.tunedT, res.tunedE, res.reports, err = tunedRun(arch, app, capW, arcs.Options{
+			Strategy: arcs.StrategyOfflineReplay, Seed: seed,
+			History: hist, Key: keyFn(app, arch, capW),
+		}, outputs)
+	case "replay":
+		var hist arcs.History
+		if srvHist != nil {
+			hist = srvHist
+		} else {
+			if histPath == "" {
+				return res, fmt.Errorf("-strategy replay requires -history FILE or -server URL")
+			}
+			hist, err = arcs.LoadHistoryFile(histPath)
+			if err != nil {
+				return res, err
+			}
+		}
+		res.tunedT, res.tunedE, res.reports, err = tunedRun(arch, app, capW, arcs.Options{
+			Strategy: arcs.StrategyOfflineReplay, Seed: seed,
+			History: hist, Key: keyFn(app, arch, capW),
+		}, outputs)
+	default:
+		return res, fmt.Errorf("unknown strategy %q", strategy)
+	}
+	if err != nil {
+		return res, err
+	}
+	if srvHist != nil {
+		if serr := srvHist.Err(); serr != nil {
+			fmt.Fprintf(os.Stderr, "arcsrun: server degraded mid-run (local search used): %v\n", serr)
+		}
+	}
+	return res, nil
 }
 
 // execute runs the app once on a fresh machine, optionally wiring ARCS.

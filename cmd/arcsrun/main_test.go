@@ -1,10 +1,14 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"arcs/internal/server"
+	"arcs/internal/store"
 )
 
 // End-to-end command tests: the offline strategy writes a history file the
@@ -83,5 +87,93 @@ func TestRunErrors(t *testing.T) {
 func TestRunDefaultStrategy(t *testing.T) {
 	if err := run(runCfg{app: "BT", workload: "B", arch: "crill", strategy: "default", steps: 3}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunServerWarmStart is the -server acceptance test: a cold online
+// run against a fresh arcsd store searches and reports its bests; a
+// second identical run warm-starts from the served configurations and
+// needs strictly fewer search evaluations (exact hits need none).
+func TestRunServerWarmStart(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := httptest.NewServer(server.New(server.Config{Store: st}))
+	defer ts.Close()
+
+	cfg := runCfg{
+		app: "SP", workload: "B", arch: "crill", capW: 70,
+		strategy: "online", steps: 12, seed: 1, server: ts.URL,
+	}
+	evals := func(cfg runCfg) int {
+		res, err := doRun(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, r := range res.reports {
+			n += r.Evals
+		}
+		return n
+	}
+
+	cold := evals(cfg)
+	if cold == 0 {
+		t.Fatal("cold run performed no search evaluations")
+	}
+	if st.Len() == 0 {
+		t.Fatal("cold run reported nothing back to the store")
+	}
+	warm := evals(cfg)
+	if warm >= cold {
+		t.Errorf("warm run evals = %d, want < cold %d", warm, cold)
+	}
+
+	// -history and -server cannot be combined.
+	bad := cfg
+	bad.histPath = "x.json"
+	if _, err := doRun(bad); err == nil {
+		t.Errorf("-history with -server must fail")
+	}
+	// An unreachable server fails fast instead of silently tuning cold.
+	bad = cfg
+	bad.server = "http://127.0.0.1:1"
+	if _, err := doRun(bad); err == nil {
+		t.Errorf("unreachable server must fail")
+	}
+}
+
+// TestRunServerOfflineReplay: the offline strategy persists to the
+// service and a later replay run needs only the service.
+func TestRunServerOfflineReplay(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := httptest.NewServer(server.New(server.Config{Store: st}))
+	defer ts.Close()
+
+	cfg := runCfg{
+		app: "SP", workload: "B", arch: "crill", capW: 70,
+		strategy: "offline", steps: 8, seed: 1, server: ts.URL,
+	}
+	if _, err := doRun(cfg); err != nil {
+		t.Fatalf("offline via server: %v", err)
+	}
+	if st.Len() == 0 {
+		t.Fatal("offline run saved nothing to the store")
+	}
+	cfg.strategy = "replay"
+	res, err := doRun(cfg)
+	if err != nil {
+		t.Fatalf("replay via server: %v", err)
+	}
+	for _, r := range res.reports {
+		if r.Evals != 0 {
+			t.Errorf("replay region %s searched (%d evals)", r.Region, r.Evals)
+		}
 	}
 }

@@ -3,8 +3,10 @@ package arcs
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
+	"strings"
 )
 
 // HistoryKey identifies one tuned context: the paper observes that optimal
@@ -17,21 +19,53 @@ type HistoryKey struct {
 	Region   string  `json:"region"`
 }
 
-// String renders the canonical key form used in history files.
+// keyFieldEscaper makes the canonical form injective: `|` separates the
+// fields, so a literal `|` (and the escape character itself) inside a
+// field must be escaped or distinct keys would collide.
+var keyFieldEscaper = strings.NewReplacer(`\`, `\\`, `|`, `\|`)
+
+func escapeKeyField(s string) string {
+	if !strings.ContainsAny(s, `|\`) {
+		return s
+	}
+	return keyFieldEscaper.Replace(s)
+}
+
+// String renders the canonical key form used in history files and as the
+// map key of every History implementation. The form is injective: `|`
+// and `\` inside App, Workload or Region are escaped.
 func (k HistoryKey) String() string {
-	return fmt.Sprintf("%s|%s|%g|%s", k.App, k.Workload, k.CapW, k.Region)
+	return fmt.Sprintf("%s|%s|%g|%s",
+		escapeKeyField(k.App), escapeKeyField(k.Workload), k.CapW, escapeKeyField(k.Region))
 }
 
 // History stores the best configurations found by search runs so that
 // later executions "can use the saved values instead of repeating the
 // search process" (§III-B).
 type History interface {
-	// Save records the best configuration for a context.
+	// Save records the best configuration for a context. A duplicate Save
+	// keeps whichever entry has the better (lower) perf, so merging
+	// histories or repeating searches can only improve the store; on a
+	// perf tie the existing entry is retained.
 	Save(k HistoryKey, cfg ConfigValues, perf float64)
 	// Load retrieves a previously saved configuration.
 	Load(k HistoryKey) (ConfigValues, bool)
 	// Len reports the number of stored entries.
 	Len() int
+}
+
+// FallbackHistory is an optional History extension that can answer an
+// exact-key miss with the entry for the closest power cap in the same
+// app/workload/region context — the optimum drifts smoothly with the cap
+// (§II), so a near-cap configuration is a far better search seed than the
+// default.
+type FallbackHistory interface {
+	History
+	// LoadNearest returns the entry whose key matches App, Workload and
+	// Region exactly and whose CapW is closest to k's. dist is the
+	// absolute cap difference in watts (0 for an exact hit); on a distance
+	// tie the lower cap wins, deterministically.
+	LoadNearest(k HistoryKey) (cfg ConfigValues, dist float64, ok bool)
 }
 
 // historyEntry is the serialised record.
@@ -52,15 +86,43 @@ func NewMemHistory() *MemHistory {
 	return &MemHistory{entries: make(map[string]historyEntry)}
 }
 
-// Save implements History.
+// Save implements History: duplicate keys keep the best (lowest) perf.
 func (h *MemHistory) Save(k HistoryKey, cfg ConfigValues, perf float64) {
-	h.entries[k.String()] = historyEntry{Key: k, Cfg: cfg, Perf: perf}
+	ck := k.String()
+	if old, ok := h.entries[ck]; ok && old.Perf <= perf {
+		return
+	}
+	h.entries[ck] = historyEntry{Key: k, Cfg: cfg, Perf: perf}
 }
 
 // Load implements History.
 func (h *MemHistory) Load(k HistoryKey) (ConfigValues, bool) {
 	e, ok := h.entries[k.String()]
 	return e.Cfg, ok
+}
+
+// LoadNearest implements FallbackHistory with a linear scan (in-memory
+// histories are small — one entry per tuned region).
+func (h *MemHistory) LoadNearest(k HistoryKey) (ConfigValues, float64, bool) {
+	if cfg, ok := h.Load(k); ok {
+		return cfg, 0, true
+	}
+	var best historyEntry
+	bestDist := math.Inf(1)
+	found := false
+	for _, e := range h.entries {
+		if e.Key.App != k.App || e.Key.Workload != k.Workload || e.Key.Region != k.Region {
+			continue
+		}
+		d := math.Abs(e.Key.CapW - k.CapW)
+		if d < bestDist || (d == bestDist && e.Key.CapW < best.Key.CapW) {
+			best, bestDist, found = e, d, true
+		}
+	}
+	if !found {
+		return ConfigValues{}, 0, false
+	}
+	return best.Cfg, bestDist, true
 }
 
 // Len implements History.
@@ -129,9 +191,11 @@ func LoadHistoryFile(path string) (*MemHistory, error) {
 	}
 	h := NewMemHistory()
 	for _, e := range list {
-		h.entries[e.Key.String()] = e
+		// Save, not direct assignment: duplicate keys in the file resolve
+		// by the same keep-best rule as live saves.
+		h.Save(e.Key, e.Cfg, e.Perf)
 	}
 	return h, nil
 }
 
-var _ History = (*MemHistory)(nil)
+var _ FallbackHistory = (*MemHistory)(nil)

@@ -1,0 +1,17 @@
+package arcs_test
+
+import (
+	"testing"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/core/historytest"
+)
+
+// TestMemHistoryConformance runs the shared History contract suite against
+// the in-memory implementation. internal/store and internal/storeclient
+// run the same suite, keeping all implementations semantically identical.
+func TestMemHistoryConformance(t *testing.T) {
+	historytest.Run(t, func(t *testing.T) arcs.History {
+		return arcs.NewMemHistory()
+	})
+}

@@ -97,3 +97,51 @@ func TestHistoryKeyString(t *testing.T) {
 		t.Errorf("key = %q", got)
 	}
 }
+
+// Regression: keys containing the separator in app/workload/region names
+// used to collide in the canonical form ("a|b","c" vs "a","b|c").
+func TestHistoryKeyStringInjective(t *testing.T) {
+	pairs := [][2]HistoryKey{
+		{{App: "a|b", Workload: "c", CapW: 70, Region: "r"},
+			{App: "a", Workload: "b|c", CapW: 70, Region: "r"}},
+		{{App: "a", Workload: "b", CapW: 70, Region: "r|s"},
+			{App: "a", Workload: "b|", CapW: 70, Region: "r|s"}},
+		{{App: `a\`, Workload: "b", CapW: 70, Region: "r"},
+			{App: "a", Workload: `\b`, CapW: 70, Region: "r"}},
+		{{App: `a\|b`, Workload: "c", CapW: 70, Region: "r"},
+			{App: `a\`, Workload: "b|c", CapW: 70, Region: "r"}},
+	}
+	for _, p := range pairs {
+		if p[0].String() == p[1].String() {
+			t.Errorf("keys %+v and %+v collide as %q", p[0], p[1], p[0].String())
+		}
+	}
+	if got := (HistoryKey{App: "a|b", Workload: "c", CapW: 70, Region: "r"}).String(); got != `a\|b|c|70|r` {
+		t.Errorf("escaped key = %q", got)
+	}
+}
+
+func TestMemHistoryLoadNearest(t *testing.T) {
+	h := NewMemHistory()
+	mk := func(cap float64) HistoryKey {
+		return HistoryKey{App: "SP", Workload: "B", CapW: cap, Region: "x_solve"}
+	}
+	h.Save(mk(55), ConfigValues{Threads: 8}, 1.0)
+	h.Save(mk(85), ConfigValues{Threads: 16}, 1.0)
+	h.Save(HistoryKey{App: "BT", Workload: "B", CapW: 70, Region: "x_solve"}, ConfigValues{Threads: 2}, 1.0)
+
+	if cfg, d, ok := h.LoadNearest(mk(85)); !ok || d != 0 || cfg.Threads != 16 {
+		t.Errorf("exact hit: %v, %v, %v", cfg, d, ok)
+	}
+	if cfg, d, ok := h.LoadNearest(mk(80)); !ok || d != 5 || cfg.Threads != 16 {
+		t.Errorf("nearest 80->85: %v, %v, %v", cfg, d, ok)
+	}
+	// Equidistant 55/85 from 70: the lower cap wins deterministically.
+	if cfg, d, ok := h.LoadNearest(mk(70)); !ok || d != 15 || cfg.Threads != 8 {
+		t.Errorf("tie-break: %v, %v, %v", cfg, d, ok)
+	}
+	// A different context never falls back across app/workload/region.
+	if _, _, ok := h.LoadNearest(HistoryKey{App: "LU", Workload: "B", CapW: 70, Region: "x_solve"}); ok {
+		t.Errorf("fallback must not cross contexts")
+	}
+}

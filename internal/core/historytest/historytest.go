@@ -1,0 +1,117 @@
+// Package historytest is a conformance suite for arcs.History
+// implementations. Every implementation — the in-memory MemHistory, the
+// persistent internal/store, and the network-backed internal/storeclient —
+// must expose identical Save/Load/Len semantics; running them all through
+// this suite keeps the contract from drifting.
+package historytest
+
+import (
+	"testing"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/ompt"
+)
+
+// Factory returns a fresh, empty History for one subtest. Implementations
+// needing cleanup should register it on t.
+type Factory func(t *testing.T) arcs.History
+
+// Run exercises the History contract: round-trips, key isolation, the
+// keep-best-perf-on-duplicate-Save rule, and canonical-key injectivity.
+func Run(t *testing.T, newHistory Factory) {
+	k := arcs.HistoryKey{App: "SP", Workload: "B", CapW: 70, Region: "x_solve"}
+	cfgA := arcs.ConfigValues{Threads: 16, Schedule: ompt.ScheduleGuided, Chunk: 8}
+	cfgB := arcs.ConfigValues{Threads: 4, Schedule: ompt.ScheduleStatic, Chunk: 32}
+
+	t.Run("RoundTrip", func(t *testing.T) {
+		h := newHistory(t)
+		if h.Len() != 0 {
+			t.Fatalf("fresh history Len = %d", h.Len())
+		}
+		h.Save(k, cfgA, 1.5)
+		got, ok := h.Load(k)
+		if !ok || got != cfgA {
+			t.Errorf("Load = %v, %v; want %v, true", got, ok, cfgA)
+		}
+		if h.Len() != 1 {
+			t.Errorf("Len = %d, want 1", h.Len())
+		}
+	})
+
+	t.Run("KeyIsolation", func(t *testing.T) {
+		h := newHistory(t)
+		h.Save(k, cfgA, 1.5)
+		for _, other := range []arcs.HistoryKey{
+			{App: "BT", Workload: "B", CapW: 70, Region: "x_solve"},
+			{App: "SP", Workload: "C", CapW: 70, Region: "x_solve"},
+			{App: "SP", Workload: "B", CapW: 85, Region: "x_solve"},
+			{App: "SP", Workload: "B", CapW: 70, Region: "y_solve"},
+		} {
+			if _, ok := h.Load(other); ok {
+				t.Errorf("key %v must not alias %v", other, k)
+			}
+		}
+	})
+
+	t.Run("KeepBestOnDuplicate", func(t *testing.T) {
+		h := newHistory(t)
+		h.Save(k, cfgA, 2.0)
+		h.Save(k, cfgB, 3.0) // worse perf: ignored
+		if got, _ := h.Load(k); got != cfgA {
+			t.Errorf("worse duplicate overwrote the best entry: %v", got)
+		}
+		h.Save(k, cfgB, 1.0) // better perf: replaces
+		if got, _ := h.Load(k); got != cfgB {
+			t.Errorf("better duplicate was not stored: %v", got)
+		}
+		if h.Len() != 1 {
+			t.Errorf("duplicate Saves changed Len: %d", h.Len())
+		}
+	})
+
+	t.Run("TieKeepsExisting", func(t *testing.T) {
+		h := newHistory(t)
+		h.Save(k, cfgA, 2.0)
+		h.Save(k, cfgB, 2.0)
+		if got, _ := h.Load(k); got != cfgA {
+			t.Errorf("perf tie must keep the existing entry, got %v", got)
+		}
+	})
+
+	t.Run("PipeInKeyFields", func(t *testing.T) {
+		h := newHistory(t)
+		k1 := arcs.HistoryKey{App: "a|b", Workload: "c", CapW: 70, Region: "r"}
+		k2 := arcs.HistoryKey{App: "a", Workload: "b|c", CapW: 70, Region: "r"}
+		h.Save(k1, cfgA, 1.0)
+		h.Save(k2, cfgB, 2.0)
+		if h.Len() != 2 {
+			t.Fatalf("keys with | in fields collided: Len = %d", h.Len())
+		}
+		if got, ok := h.Load(k1); !ok || got != cfgA {
+			t.Errorf("k1 = %v, %v", got, ok)
+		}
+		if got, ok := h.Load(k2); !ok || got != cfgB {
+			t.Errorf("k2 = %v, %v", got, ok)
+		}
+	})
+
+	t.Run("ZeroValueConfig", func(t *testing.T) {
+		h := newHistory(t)
+		h.Save(k, arcs.ConfigValues{}, 1.0)
+		got, ok := h.Load(k)
+		if !ok || got != (arcs.ConfigValues{}) {
+			t.Errorf("default config must round-trip: %v, %v", got, ok)
+		}
+	})
+
+	t.Run("LenCountsDistinctKeys", func(t *testing.T) {
+		h := newHistory(t)
+		for i, region := range []string{"r1", "r2", "r3"} {
+			h.Save(arcs.HistoryKey{App: "SP", Workload: "B", CapW: 70, Region: region},
+				cfgA, float64(i+1))
+		}
+		if h.Len() != 3 {
+			t.Errorf("Len = %d, want 3", h.Len())
+		}
+	})
+}

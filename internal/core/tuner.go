@@ -95,6 +95,15 @@ type Options struct {
 	History History
 	Key     func(region string) HistoryKey
 
+	// WarmStart lets the online strategy consult History before searching:
+	// an exact hit is applied directly (the paper's "use the saved values
+	// instead of repeating the search process", with zero evaluations),
+	// and when History implements FallbackHistory a nearest-cap hit seeds
+	// the search at the served configuration instead of the default point.
+	// Requires History and Key. This is how a shared knowledge store
+	// (internal/store, cmd/arcsd) amortises searches across runs.
+	WarmStart bool
+
 	// ReTuneOnCapChange makes the tuner restart its searches (and re-read
 	// the history, whose Key may be cap-dependent) whenever the package
 	// power cap changes mid-run — the paper's §II scenario where "the
@@ -151,6 +160,7 @@ type regionState struct {
 	replayCfg ConfigValues
 	replayOK  bool
 	lookedUp  bool
+	warmSeed  harmony.Point // nearest-cap warm-start point (nil = none)
 }
 
 // New creates a Tuner and registers its policies with the APEX instance.
@@ -172,6 +182,9 @@ func New(apx *apex.Instance, arch *sim.Arch, opts Options) (*Tuner, error) {
 	}
 	switch opts.Strategy {
 	case StrategyOnline:
+		if opts.WarmStart && (opts.History == nil || opts.Key == nil) {
+			return nil, fmt.Errorf("arcs: WarmStart requires History and Key")
+		}
 	case StrategyOfflineSearch, StrategyOfflineReplay:
 		if opts.History == nil || opts.Key == nil {
 			return nil, fmt.Errorf("arcs: %v requires History and Key", opts.Strategy)
@@ -209,8 +222,10 @@ func (t *Tuner) region(name string) *regionState {
 	return rs
 }
 
-// newSession builds the Active Harmony session for one region.
-func (t *Tuner) newSession(name string) *harmony.Session {
+// newSession builds the Active Harmony session for one region. A
+// warm-started region begins its search at the served nearest-cap
+// configuration instead of the default point.
+func (t *Tuner) newSession(name string, rs *regionState) *harmony.Session {
 	algo := t.opts.Algo
 	if algo == AlgoAuto {
 		if t.opts.Strategy == StrategyOfflineSearch {
@@ -220,6 +235,9 @@ func (t *Tuner) newSession(name string) *harmony.Session {
 		}
 	}
 	start := t.opts.Space.DefaultPoint()
+	if rs != nil && rs.warmSeed != nil {
+		start = rs.warmSeed
+	}
 	seed := t.opts.Seed ^ hashName(name)
 	var strat harmony.Strategy
 	switch algo {
@@ -276,8 +294,21 @@ func (t *Tuner) onStart(ctx apex.Context) {
 			t.apply(ctx.CP, rs.replayCfg, rs)
 		}
 	default: // Online and OfflineSearch both search
+		if rs.sess == nil && t.opts.Strategy == StrategyOnline && t.opts.WarmStart && !rs.lookedUp {
+			t.warmLookup(ctx.Timer, rs)
+		}
+		if rs.replayOK {
+			// Warm exact hit: serve the stored configuration and never
+			// open a search session for this region.
+			if !rs.converged {
+				rs.converged = true
+				t.apx.IncrCounter("arcs.warm_hits", 1)
+			}
+			t.apply(ctx.CP, rs.replayCfg, rs)
+			return
+		}
 		if rs.sess == nil {
-			rs.sess = t.newSession(ctx.Timer)
+			rs.sess = t.newSession(ctx.Timer, rs)
 		}
 		p, done := rs.sess.Fetch()
 		cfg, err := t.opts.Space.Decode(p)
@@ -323,7 +354,30 @@ func (t *Tuner) checkCapChange(ctx apex.Context) {
 		rs.converged = false
 		rs.lookedUp = false
 		rs.replayOK = false
+		rs.warmSeed = nil
 	}
+}
+
+// warmLookup consults the history once per region before an online search
+// starts: an exact hit replaces the search outright; a nearest-cap hit
+// becomes the search's starting point.
+func (t *Tuner) warmLookup(name string, rs *regionState) {
+	rs.lookedUp = true
+	k := t.opts.Key(name)
+	if cfg, ok := t.opts.History.Load(k); ok {
+		rs.replayCfg, rs.replayOK = cfg, true
+		return
+	}
+	if fh, ok := t.opts.History.(FallbackHistory); ok {
+		if cfg, _, ok := fh.LoadNearest(k); ok {
+			if p, enc := t.opts.Space.Encode(cfg); enc {
+				rs.warmSeed = p
+				t.apx.IncrCounter("arcs.warm_seeds", 1)
+				return
+			}
+		}
+	}
+	t.apx.IncrCounter("arcs.warm_misses", 1)
 }
 
 // apply sets the ICVs through the control plane — the two runtime calls

@@ -1,0 +1,101 @@
+package arcs
+
+import (
+	"testing"
+
+	"arcs/internal/sim"
+)
+
+// TestWarmStartExactHitSkipsSearch: an online tuner warm-started from a
+// history that already holds this exact context applies the stored
+// configuration with zero search evaluations.
+func TestWarmStartExactHitSkipsSearch(t *testing.T) {
+	regions := map[string]*sim.LoopModel{"alpha": imbalancedLoop()}
+	hist := NewMemHistory()
+
+	// Cold online run populates the history through Finish.
+	cold := newRig(t)
+	ct, err := New(cold.apx, cold.mach.Arch(), Options{
+		Strategy: StrategyOnline, Seed: 1, History: hist, Key: key("app"), WarmStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.runApp(t, 60, regions)
+	if err := ct.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	coldEvals := ct.Report()[0].Evals
+	if coldEvals == 0 {
+		t.Fatalf("cold run should have searched")
+	}
+	if hist.Len() != 1 {
+		t.Fatalf("cold run saved %d entries", hist.Len())
+	}
+	if got := cold.apx.Counter("arcs.warm_misses"); got != 1 {
+		t.Errorf("warm misses = %v, want 1", got)
+	}
+
+	// Warm run: exact hit, no search at all.
+	warm := newRig(t)
+	wt, err := New(warm.apx, warm.mach.Arch(), Options{
+		Strategy: StrategyOnline, Seed: 1, History: hist, Key: key("app"), WarmStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.runApp(t, 60, regions)
+	if err := wt.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rep := wt.Report()[0]
+	if rep.Evals != 0 {
+		t.Errorf("warm run evaluated %d configurations, want 0", rep.Evals)
+	}
+	if !rep.Converged {
+		t.Errorf("warm run must report converged")
+	}
+	want, _ := hist.Load(key("app")("alpha"))
+	if rep.Config != want {
+		t.Errorf("warm run config %v, want served %v", rep.Config, want)
+	}
+	if got := warm.apx.Counter("arcs.warm_hits"); got != 1 {
+		t.Errorf("warm hits = %v, want 1", got)
+	}
+}
+
+// TestWarmStartNearestCapSeedsSearch: a miss at this cap with a hit at a
+// nearby cap seeds the online search at the served configuration.
+func TestWarmStartNearestCapSeedsSearch(t *testing.T) {
+	regions := map[string]*sim.LoopModel{"alpha": imbalancedLoop()}
+	hist := NewMemHistory()
+	// Pretend a prior run at a neighbouring cap (110 W vs the rig's 115 W
+	// key) found a good configuration.
+	hist.Save(HistoryKey{App: "app", Workload: "test", CapW: 110, Region: "alpha"},
+		ConfigValues{Threads: 16, Chunk: 8}, 1.0)
+
+	r := newRig(t)
+	tuner, err := New(r.apx, r.mach.Arch(), Options{
+		Strategy: StrategyOnline, Seed: 1, History: hist, Key: key("app"), WarmStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.runApp(t, 60, regions)
+	if err := tuner.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.apx.Counter("arcs.warm_seeds"); got != 1 {
+		t.Errorf("warm seeds = %v, want 1", got)
+	}
+	if tuner.Report()[0].Evals == 0 {
+		t.Errorf("a seeded search must still evaluate configurations")
+	}
+}
+
+func TestWarmStartRequiresHistory(t *testing.T) {
+	r := newRig(t)
+	if _, err := New(r.apx, r.mach.Arch(), Options{Strategy: StrategyOnline, WarmStart: true}); err == nil {
+		t.Errorf("WarmStart without History/Key must fail")
+	}
+}

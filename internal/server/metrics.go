@@ -1,0 +1,91 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// reqKey labels one requests-counter series.
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+// metrics is a dependency-free Prometheus-text exporter: request counts
+// and latency sums per endpoint/status, lookup outcome counters, and the
+// store size gauge.
+type metrics struct {
+	hits, misses, fallbacks atomic.Uint64
+	searches, searchDeduped atomic.Uint64
+	searchErrors, reported  atomic.Uint64
+
+	mu       sync.Mutex
+	requests map[reqKey]uint64
+	latSum   map[string]float64 // endpoint -> seconds
+	latCount map[string]uint64  // endpoint -> observations
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[reqKey]uint64),
+		latSum:   make(map[string]float64),
+		latCount: make(map[string]uint64),
+	}
+}
+
+func (m *metrics) observe(endpoint string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{endpoint, code}]++
+	m.latSum[endpoint] += seconds
+	m.latCount[endpoint]++
+}
+
+// write renders the Prometheus text exposition format, deterministically
+// ordered so scrapes and tests are stable.
+func (m *metrics) write(w io.Writer, storeLen int) {
+	fmt.Fprintln(w, "# HELP arcsd_requests_total HTTP requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE arcsd_requests_total counter")
+	m.mu.Lock()
+	reqKeys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].endpoint != reqKeys[j].endpoint {
+			return reqKeys[i].endpoint < reqKeys[j].endpoint
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "arcsd_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+	fmt.Fprintln(w, "# HELP arcsd_request_seconds Cumulative request latency by endpoint.")
+	fmt.Fprintln(w, "# TYPE arcsd_request_seconds summary")
+	latKeys := make([]string, 0, len(m.latCount))
+	for k := range m.latCount {
+		latKeys = append(latKeys, k)
+	}
+	sort.Strings(latKeys)
+	for _, k := range latKeys {
+		fmt.Fprintf(w, "arcsd_request_seconds_sum{endpoint=%q} %g\n", k, m.latSum[k])
+		fmt.Fprintf(w, "arcsd_request_seconds_count{endpoint=%q} %d\n", k, m.latCount[k])
+	}
+	m.mu.Unlock()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("arcsd_lookup_hits_total", "Exact-key lookup hits.", m.hits.Load())
+	counter("arcsd_lookup_fallbacks_total", "Lookups answered by the nearest-cap fallback.", m.fallbacks.Load())
+	counter("arcsd_lookup_misses_total", "Lookups with no answer at all.", m.misses.Load())
+	counter("arcsd_searches_total", "Server-side searches executed.", m.searches.Load())
+	counter("arcsd_search_dedup_total", "Searches avoided by single-flight deduplication.", m.searchDeduped.Load())
+	counter("arcsd_search_errors_total", "Server-side searches that failed.", m.searchErrors.Load())
+	counter("arcsd_reported_entries_total", "Entries ingested through /v1/report.", m.reported.Load())
+	fmt.Fprintf(w, "# HELP arcsd_store_entries Current number of stored configurations.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_store_entries gauge\narcsd_store_entries %d\n", storeLen)
+}

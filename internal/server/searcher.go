@@ -1,0 +1,107 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"arcs/internal/apex"
+	"arcs/internal/cli"
+	arcs "arcs/internal/core"
+	"arcs/internal/omp"
+	"arcs/internal/sim"
+)
+
+// SearchRequest describes one server-side search: an app-level context
+// whose every region gets a bounded Harmony search.
+type SearchRequest struct {
+	App      string
+	Workload string
+	Arch     string
+	CapW     float64 // 0 = run at TDP
+	MaxEvals int     // per-region evaluation budget
+}
+
+// SearchResult is one region's best configuration from a search.
+type SearchResult struct {
+	Region string
+	CapW   float64 // effective cap the search ran at (TDP when req.CapW=0)
+	Cfg    arcs.ConfigValues
+	Perf   float64
+}
+
+// Searcher answers total misses. Implementations must be safe for
+// concurrent use; the server's single-flight layer only deduplicates
+// identical keys.
+type Searcher interface {
+	Search(ctx context.Context, req SearchRequest) ([]SearchResult, error)
+}
+
+// SimSearcher runs a bounded Nelder-Mead search per region against the
+// analytic simulator — the paper's unmeasured offline search execution
+// (§III-B), hosted server-side so the cost is paid once per context
+// instead of once per client.
+type SimSearcher struct{}
+
+// Search implements Searcher.
+func (SimSearcher) Search(ctx context.Context, req SearchRequest) ([]SearchResult, error) {
+	if req.MaxEvals <= 0 {
+		return nil, fmt.Errorf("server: search budget must be positive, got %d", req.MaxEvals)
+	}
+	app, err := cli.BuildApp(req.App, req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := cli.BuildArch(req.Arch)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := sim.NewMachine(arch)
+	if err != nil {
+		return nil, err
+	}
+	if req.CapW > 0 {
+		if err := mach.SetPowerCap(req.CapW); err != nil {
+			return nil, err
+		}
+	}
+	effCap := req.CapW
+	if effCap == 0 {
+		effCap = arch.TDPW
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rt := omp.NewRuntime(mach)
+	apx := apex.New()
+	apx.SetPowerSource(mach)
+	rt.RegisterTool(apex.NewTool(apx))
+	hist := arcs.NewMemHistory()
+	tuner, err := arcs.New(apx, arch, arcs.Options{
+		// OfflineSearch semantics (search + save best) with a bounded
+		// algorithm instead of the exhaustive default.
+		Strategy: arcs.StrategyOfflineSearch,
+		Algo:     arcs.AlgoNelderMead,
+		MaxEvals: req.MaxEvals,
+		History:  hist,
+		Key: func(region string) arcs.HistoryKey {
+			return arcs.HistoryKey{App: app.Name, Workload: app.Workload, CapW: effCap, Region: region}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Enough invocations for every region to spend its budget, plus slack
+	// to exploit the winner.
+	if _, err := app.WithSteps(req.MaxEvals + 8).Run(rt); err != nil {
+		return nil, err
+	}
+	if err := tuner.Finish(); err != nil {
+		return nil, err
+	}
+	out := make([]SearchResult, 0, hist.Len())
+	for _, e := range hist.Entries() {
+		out = append(out, SearchResult{Region: e.Key.Region, CapW: e.Key.CapW, Cfg: e.Cfg, Perf: e.Perf})
+	}
+	return out, nil
+}

@@ -1,0 +1,306 @@
+// Package server implements arcsd's HTTP API: best-configuration lookups
+// served from a persistent knowledge store (internal/store), ingest of
+// search results, and — on a total miss — a bounded server-side Harmony
+// search against the simulator, deduplicated so N concurrent clients of
+// the same cold key trigger exactly one search.
+//
+// Endpoints:
+//
+//	GET  /v1/config?app=&workload=&cap=&region=[&arch=][&fallback=0][&search=0]
+//	POST /v1/report   {"key":{...},"config":{...},"perf":N} or an array
+//	GET  /v1/dump     full entry set with versions
+//	GET  /healthz
+//	GET  /metrics     Prometheus text format
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/store"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store is the backing knowledge store (required).
+	Store *store.Store
+	// Searcher answers total misses; nil selects the simulator-backed
+	// SimSearcher.
+	Searcher Searcher
+	// SearchBudget caps the evaluations per region of a server-side
+	// search; 0 disables server-side searching entirely.
+	SearchBudget int
+}
+
+// Server is the arcsd HTTP handler.
+type Server struct {
+	st       *store.Store
+	searcher Searcher
+	budget   int
+	mux      *http.ServeMux
+	met      *metrics
+
+	sfMu     sync.Mutex
+	inflight map[string]*flight
+}
+
+// flight is one in-progress server-side search; latecomers for the same
+// key wait on done instead of searching again.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// New builds a Server; panics on a nil store (a programming error, not a
+// runtime condition).
+func New(cfg Config) *Server {
+	if cfg.Store == nil {
+		panic("server: nil store")
+	}
+	s := &Server{
+		st:       cfg.Store,
+		searcher: cfg.Searcher,
+		budget:   cfg.SearchBudget,
+		mux:      http.NewServeMux(),
+		met:      newMetrics(),
+		inflight: make(map[string]*flight),
+	}
+	if s.searcher == nil {
+		s.searcher = SimSearcher{}
+	}
+	s.mux.HandleFunc("/v1/config", s.instrument("config", s.handleConfig))
+	s.mux.HandleFunc("/v1/report", s.instrument("report", s.handleReport))
+	s.mux.HandleFunc("/v1/dump", s.instrument("dump", s.handleDump))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ConfigResponse is the GET /v1/config payload.
+type ConfigResponse struct {
+	Key     arcs.HistoryKey   `json:"key"`
+	Config  arcs.ConfigValues `json:"config"`
+	Perf    float64           `json:"perf"`
+	Version uint64            `json:"version"`
+	// Source is how the answer was found: "exact", "fallback" (nearest
+	// cap) or "searched" (server-side search just ran).
+	Source string `json:"source"`
+	// CapDistance is the |Δcap| in watts for fallback answers (0 exact).
+	CapDistance float64 `json:"cap_distance,omitempty"`
+}
+
+// ReportRequest is one POST /v1/report record.
+type ReportRequest struct {
+	Key  arcs.HistoryKey   `json:"key"`
+	Cfg  arcs.ConfigValues `json:"config"`
+	Perf float64           `json:"perf"`
+}
+
+// errorJSON writes a JSON error body with the given status.
+func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		errorJSON(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	key := arcs.HistoryKey{
+		App:      q.Get("app"),
+		Workload: q.Get("workload"),
+		Region:   q.Get("region"),
+	}
+	if key.App == "" || key.Region == "" {
+		errorJSON(w, http.StatusBadRequest, "app and region are required")
+		return
+	}
+	if capStr := q.Get("cap"); capStr != "" {
+		capW, err := strconv.ParseFloat(capStr, 64)
+		if err != nil || math.IsNaN(capW) || math.IsInf(capW, 0) {
+			errorJSON(w, http.StatusBadRequest, "bad cap %q", capStr)
+			return
+		}
+		key.CapW = capW
+	}
+	allowFallback := q.Get("fallback") != "0"
+	allowSearch := q.Get("search") != "0"
+
+	if e, ok := s.st.Get(key); ok {
+		s.met.hits.Add(1)
+		writeJSON(w, http.StatusOK, ConfigResponse{
+			Key: e.Key, Config: e.Cfg, Perf: e.Perf, Version: e.Version, Source: "exact",
+		})
+		return
+	}
+	if allowFallback {
+		if e, dist, ok := s.st.GetNearest(key); ok {
+			s.met.fallbacks.Add(1)
+			writeJSON(w, http.StatusOK, ConfigResponse{
+				Key: e.Key, Config: e.Cfg, Perf: e.Perf, Version: e.Version,
+				Source: "fallback", CapDistance: dist,
+			})
+			return
+		}
+	}
+	// Total miss: optionally search server-side.
+	arch := q.Get("arch")
+	if allowSearch && s.budget > 0 && arch != "" {
+		if err := s.searchOnce(r.Context(), SearchRequest{
+			App: key.App, Workload: key.Workload, Arch: arch, CapW: key.CapW, MaxEvals: s.budget,
+		}); err != nil {
+			s.met.searchErrors.Add(1)
+			errorJSON(w, http.StatusBadGateway, "server-side search: %v", err)
+			return
+		}
+		if e, ok := s.st.Get(key); ok {
+			writeJSON(w, http.StatusOK, ConfigResponse{
+				Key: e.Key, Config: e.Cfg, Perf: e.Perf, Version: e.Version, Source: "searched",
+			})
+			return
+		}
+		// The search ran but this region never executed (wrong region
+		// name, or app has fewer regions): an honest miss.
+	}
+	s.met.misses.Add(1)
+	errorJSON(w, http.StatusNotFound, "no configuration for %v", key)
+}
+
+// searchOnce runs the bounded server-side search for an app-level context
+// with single-flight deduplication: concurrent misses on the same
+// app/workload/arch/cap share one search (which covers every region of
+// the app, so region-granular callers collapse too).
+func (s *Server) searchOnce(ctx context.Context, req SearchRequest) error {
+	key := fmt.Sprintf("%s|%s|%s|%g", req.App, req.Workload, req.Arch, req.CapW)
+	s.sfMu.Lock()
+	if f, ok := s.inflight[key]; ok {
+		s.sfMu.Unlock()
+		s.met.searchDeduped.Add(1)
+		select {
+		case <-f.done:
+			return f.err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.sfMu.Unlock()
+
+	// Detach from the first caller's context: the search result benefits
+	// every waiter (and the store), so one impatient client must not
+	// cancel it for the rest.
+	results, err := s.searcher.Search(context.WithoutCancel(ctx), req)
+	if err == nil {
+		s.met.searches.Add(1)
+		for _, res := range results {
+			s.st.Save(arcs.HistoryKey{
+				App: req.App, Workload: req.Workload, CapW: res.CapW, Region: res.Region,
+			}, res.Cfg, res.Perf)
+		}
+	}
+	f.err = err
+	close(f.done)
+	s.sfMu.Lock()
+	delete(s.inflight, key)
+	s.sfMu.Unlock()
+	return err
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		errorJSON(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "read report body: %v", err)
+		return
+	}
+	var reports []ReportRequest
+	if err := json.Unmarshal(body, &reports); err != nil {
+		// One-shot clients may post a single object instead of an array.
+		var one ReportRequest
+		if err2 := json.Unmarshal(body, &one); err2 != nil {
+			errorJSON(w, http.StatusBadRequest, "bad report body: %v", err)
+			return
+		}
+		reports = []ReportRequest{one}
+	}
+	saved := 0
+	for _, rep := range reports {
+		if rep.Key.App == "" || rep.Key.Region == "" {
+			errorJSON(w, http.StatusBadRequest, "report %d: app and region are required", saved)
+			return
+		}
+		if math.IsNaN(rep.Perf) || math.IsInf(rep.Perf, 0) {
+			errorJSON(w, http.StatusBadRequest, "report %d: non-finite perf", saved)
+			return
+		}
+		s.st.Save(rep.Key, rep.Cfg, rep.Perf)
+		saved++
+	}
+	s.met.reported.Add(uint64(saved))
+	writeJSON(w, http.StatusOK, map[string]any{"saved": saved, "store_len": s.st.Len()})
+}
+
+func (s *Server) handleDump(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		errorJSON(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	entries := s.st.Entries()
+	if entries == nil {
+		entries = []store.Entry{}
+	}
+	writeJSON(w, http.StatusOK, entries)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.write(w, s.st.Len())
+}
+
+// instrument wraps a handler with request counting and latency tracking.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.met.observe(endpoint, sw.code, time.Since(start).Seconds())
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,65 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	arcs "arcs/internal/core"
+)
+
+// FuzzStoreWAL mirrors core's FuzzLoadHistoryFile for the persistent
+// store: arbitrary bytes in the WAL and snapshot must never panic replay,
+// and whatever replay accepts must round-trip through snapshot + reload.
+func FuzzStoreWAL(f *testing.F) {
+	f.Add([]byte(`{"key":{"app":"SP","workload":"B","cap_w":70,"region":"x"},`+
+		`"config":{"threads":16,"schedule":3,"chunk":1},"perf":1.5,"version":1}`+"\n"),
+		[]byte(`[]`))
+	f.Add([]byte("{torn"), []byte(`[{"key":{},"config":{},"perf":2,"version":7}]`))
+	f.Add([]byte("\n\n\x00\xff garbage\n"), []byte(`{not json`))
+	f.Add([]byte(`{"key":{"app":"a|b"},"config":{},"perf":1,"version":2}`+"\n"+
+		`{"key":{"app":"a|b"},"config":{"threads":4},"perf":9,"version":1}`+"\n"), []byte(``))
+	f.Add([]byte(``), []byte(``))
+	f.Fuzz(func(t *testing.T, wal, snapshot []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walFile), wal, 0o644); err != nil {
+			t.Skip()
+		}
+		if err := os.WriteFile(filepath.Join(dir, snapshotFile), snapshot, 0o644); err != nil {
+			t.Skip()
+		}
+		s, err := Open(dir, Options{SnapshotEvery: -1})
+		if err != nil {
+			return
+		}
+		// The store must stay writable whatever it replayed.
+		k := arcs.HistoryKey{App: "fuzz", Workload: "w", CapW: 70, Region: "r"}
+		s.Save(k, arcs.ConfigValues{Threads: 8}, 0.5)
+		if _, ok := s.Load(k); !ok {
+			t.Fatalf("store not writable after replaying fuzz input")
+		}
+		accepted := s.Entries()
+		// Round trip: snapshot, reload, compare entry-for-entry.
+		if err := s.Snapshot(); err != nil {
+			t.Fatalf("snapshot of replayed store failed: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("close failed: %v", err)
+		}
+		s2, err := Open(dir, Options{SnapshotEvery: -1})
+		if err != nil {
+			t.Fatalf("reload failed: %v", err)
+		}
+		defer s2.Close()
+		reloaded := s2.Entries()
+		if len(reloaded) != len(accepted) {
+			t.Fatalf("round trip changed entry count: %d -> %d", len(accepted), len(reloaded))
+		}
+		for _, e := range accepted {
+			got, ok := s2.Get(e.Key)
+			if !ok || got != e {
+				t.Fatalf("entry %v lost or changed in round trip: %+v vs %+v", e.Key, e, got)
+			}
+		}
+	})
+}

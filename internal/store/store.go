@@ -1,0 +1,406 @@
+// Package store implements the persistent, versioned configuration
+// knowledge store behind the arcsd tuning service. It is the
+// production-scale evolution of the paper's single-process history file
+// (§III-B, "later executions can use the saved values instead of
+// repeating the search process"): a sharded in-memory map serving
+// concurrent lookups, backed by an append-only JSON-lines write-ahead log
+// with periodic compacted snapshots so the knowledge survives restarts
+// and crashes.
+//
+// Durability model: every accepted Save appends one JSON line to the WAL
+// before returning. Replay tolerates arbitrary corruption — torn tails
+// from a crash, truncated snapshots, or garbage bytes — by skipping
+// records it cannot decode; a record carries its own per-key monotonic
+// version, so replay order does not matter and a record duplicated across
+// snapshot and WAL is idempotent. Snapshots are written to a temporary
+// file, fsynced and renamed, so a crash mid-snapshot never loses the
+// previous one.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	arcs "arcs/internal/core"
+)
+
+const (
+	snapshotFile = "snapshot.json"
+	walFile      = "wal.jsonl"
+
+	// numShards bounds lock contention under concurrent serving; keys are
+	// distributed by FNV-1a hash of the canonical form.
+	numShards = 16
+
+	// DefaultSnapshotEvery is the number of WAL appends between automatic
+	// compactions when Options.SnapshotEvery is zero.
+	DefaultSnapshotEvery = 1024
+
+	// maxWALLine bounds a single replayed record; longer lines are
+	// corruption by construction (entries marshal to well under 1 KiB).
+	maxWALLine = 1 << 20
+)
+
+// Entry is one stored record: a tuned configuration, the performance that
+// earned it, and a per-key monotonic version (bumped on every accepted
+// update, never reused).
+type Entry struct {
+	Key     arcs.HistoryKey   `json:"key"`
+	Cfg     arcs.ConfigValues `json:"config"`
+	Perf    float64           `json:"perf"`
+	Version uint64            `json:"version"`
+}
+
+// Options tunes a Store.
+type Options struct {
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// appended records. Zero selects DefaultSnapshotEvery; negative
+	// disables automatic snapshots (explicit Snapshot still works).
+	SnapshotEvery int
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// Store is a concurrent, persistent History. It implements
+// arcs.FallbackHistory: exact-key misses can be answered with the entry
+// for the closest power cap in the same app/workload/region context.
+type Store struct {
+	dir    string
+	shards [numShards]shard
+
+	walMu         sync.Mutex
+	wal           *os.File
+	walRecords    int // records appended since the last snapshot
+	snapshotEvery int
+	closed        bool
+
+	errMu   sync.Mutex
+	lastErr error
+}
+
+// Open loads (or creates) a store rooted at dir, replaying the snapshot
+// and WAL found there. Corrupt or torn records are skipped, never fatal:
+// a crash-interrupted WAL must not take the service down.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	s := &Store{dir: dir, snapshotEvery: opts.SnapshotEvery}
+	if s.snapshotEvery == 0 {
+		s.snapshotEvery = DefaultSnapshotEvery
+	}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string]Entry)
+	}
+	s.replaySnapshot()
+	s.walRecords = s.replayWAL()
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	s.wal = wal
+	return s, nil
+}
+
+func (s *Store) walPath() string      { return filepath.Join(s.dir, walFile) }
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, snapshotFile) }
+
+func (s *Store) shard(canonicalKey string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(canonicalKey))
+	return &s.shards[h.Sum32()%numShards]
+}
+
+// replaySnapshot loads the compacted snapshot, ignoring a missing or
+// undecodable file (the WAL is the source of truth for anything newer).
+func (s *Store) replaySnapshot() {
+	data, err := os.ReadFile(s.snapshotPath())
+	if err != nil {
+		return
+	}
+	var list []Entry
+	if err := json.Unmarshal(data, &list); err != nil {
+		return
+	}
+	for _, e := range list {
+		s.applyReplay(e)
+	}
+}
+
+// replayWAL applies every decodable WAL line and returns the count, so a
+// store reopened with a fat WAL compacts on schedule.
+func (s *Store) replayWAL() int {
+	f, err := os.Open(s.walPath())
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), maxWALLine)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue // torn tail or corruption: skip, keep replaying
+		}
+		s.applyReplay(e)
+		n++
+	}
+	return n
+}
+
+// applyReplay merges one replayed record: higher version wins; equal
+// versions (hand-edited or duplicated records) resolve by keep-best perf.
+func (s *Store) applyReplay(e Entry) {
+	ck := e.Key.String()
+	sh := s.shard(ck)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, ok := sh.entries[ck]
+	if ok && (old.Version > e.Version || (old.Version == e.Version && old.Perf <= e.Perf)) {
+		return
+	}
+	sh.entries[ck] = e
+}
+
+// Save implements arcs.History: duplicate keys keep the best (lowest)
+// perf; an accepted update bumps the entry's version and is appended to
+// the WAL before Save returns. Non-finite perf values are rejected (they
+// cannot be serialised and cannot be meaningfully compared).
+func (s *Store) Save(k arcs.HistoryKey, cfg arcs.ConfigValues, perf float64) {
+	if math.IsNaN(perf) || math.IsInf(perf, 0) {
+		s.setErr(fmt.Errorf("store: non-finite perf %v for %v rejected", perf, k))
+		return
+	}
+	ck := k.String()
+	sh := s.shard(ck)
+	sh.mu.Lock()
+	old, ok := sh.entries[ck]
+	if ok && old.Perf <= perf {
+		sh.mu.Unlock()
+		return
+	}
+	e := Entry{Key: k, Cfg: cfg, Perf: perf, Version: old.Version + 1}
+	sh.entries[ck] = e
+	sh.mu.Unlock()
+	s.appendWAL(e)
+}
+
+// Load implements arcs.History.
+func (s *Store) Load(k arcs.HistoryKey) (arcs.ConfigValues, bool) {
+	e, ok := s.Get(k)
+	return e.Cfg, ok
+}
+
+// Get returns the full stored record for a key.
+func (s *Store) Get(k arcs.HistoryKey) (Entry, bool) {
+	ck := k.String()
+	sh := s.shard(ck)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entries[ck]
+	return e, ok
+}
+
+// Len implements arcs.History.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// LoadNearest implements arcs.FallbackHistory: an exact miss is answered
+// with the entry for the closest power cap in the same context (distance
+// ties break toward the lower cap). The full entry is available through
+// GetNearest.
+func (s *Store) LoadNearest(k arcs.HistoryKey) (arcs.ConfigValues, float64, bool) {
+	e, dist, ok := s.GetNearest(k)
+	return e.Cfg, dist, ok
+}
+
+// GetNearest is LoadNearest returning the full record.
+func (s *Store) GetNearest(k arcs.HistoryKey) (Entry, float64, bool) {
+	if e, ok := s.Get(k); ok {
+		return e, 0, true
+	}
+	var best Entry
+	bestDist := math.Inf(1)
+	found := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			if e.Key.App != k.App || e.Key.Workload != k.Workload || e.Key.Region != k.Region {
+				continue
+			}
+			d := math.Abs(e.Key.CapW - k.CapW)
+			if d < bestDist || (d == bestDist && e.Key.CapW < best.Key.CapW) {
+				best, bestDist, found = e, d, true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if !found {
+		return Entry{}, 0, false
+	}
+	return best, bestDist, true
+}
+
+// Entries returns every stored record sorted by canonical key
+// (deterministic dumps and snapshots).
+func (s *Store) Entries() []Entry {
+	var out []Entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			out = append(out, e)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// appendWAL serialises one accepted update as a single line. Whole-line
+// writes under walMu keep concurrent appends from interleaving; replay
+// handles a torn final line after a crash.
+func (s *Store) appendWAL(e Entry) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		s.setErr(fmt.Errorf("store: encode wal record: %w", err))
+		return
+	}
+	data = append(data, '\n')
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.closed || s.wal == nil {
+		s.setErr(fmt.Errorf("store: save after Close dropped for %v", e.Key))
+		return
+	}
+	if _, err := s.wal.Write(data); err != nil {
+		s.setErr(fmt.Errorf("store: append wal: %w", err))
+		return
+	}
+	s.walRecords++
+	if s.snapshotEvery > 0 && s.walRecords >= s.snapshotEvery {
+		if err := s.snapshotLocked(); err != nil {
+			s.setErr(err)
+		}
+	}
+}
+
+// Snapshot compacts the store: the full entry set is written atomically
+// to the snapshot file and the WAL is truncated.
+func (s *Store) Snapshot() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: snapshot after Close")
+	}
+	return s.snapshotLocked()
+}
+
+// snapshotLocked requires walMu (no appends can race the WAL swap; map
+// readers and writers are unaffected — a Save landing between the entry
+// collection and the truncation re-appends to the fresh WAL with a higher
+// version, which replay resolves).
+func (s *Store) snapshotLocked() error {
+	data, err := json.MarshalIndent(s.Entries(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	tmp := s.snapshotPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	// The snapshot now holds everything; start a fresh WAL.
+	if s.wal != nil {
+		s.wal.Close()
+	}
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		s.wal = nil
+		return fmt.Errorf("store: reset wal: %w", err)
+	}
+	s.wal = wal
+	s.walRecords = 0
+	return nil
+}
+
+// Close flushes and closes the WAL. It deliberately does not snapshot:
+// the WAL already holds every accepted update, and keeping replay on the
+// reopen path means a clean shutdown and a crash recover identically.
+func (s *Store) Close() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	if err != nil {
+		return fmt.Errorf("store: close wal: %w", err)
+	}
+	return nil
+}
+
+// Err returns the first background error (WAL append failure, rejected
+// perf) since the last call, and clears it. History.Save cannot return
+// errors, so persistence failures surface here.
+func (s *Store) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	err := s.lastErr
+	s.lastErr = nil
+	return err
+}
+
+func (s *Store) setErr(err error) {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	if s.lastErr == nil {
+		s.lastErr = err
+	}
+}
+
+var _ arcs.FallbackHistory = (*Store)(nil)

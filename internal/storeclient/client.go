@@ -1,0 +1,217 @@
+// Package storeclient is the client side of the arcsd tuning service: a
+// small HTTP client with timeout/retry/backoff, plus a History adapter
+// that lets the ARCS tuner warm-start directly from a served knowledge
+// store (arcsrun -server).
+package storeclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/store"
+)
+
+// ErrNotFound reports a lookup with no stored (or derivable) answer.
+var ErrNotFound = errors.New("storeclient: no configuration found")
+
+// Client talks to one arcsd instance. Idempotent requests (lookups, and
+// reports — the store's keep-best rule makes re-posting harmless) are
+// retried with exponential backoff on network errors and 5xx responses.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a failed request is retried (default 2).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the initial retry backoff, doubled per attempt
+// (default 50ms).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New creates a client for the arcsd at base (e.g. "http://localhost:8090").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		retries: 2,
+		backoff: 50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// LookupOpts refines a Lookup.
+type LookupOpts struct {
+	// Arch names the architecture for a server-side search on a total
+	// miss; empty disables searching.
+	Arch string
+	// Fallback allows a nearest-cap answer.
+	Fallback bool
+	// Search allows the server to run a search on a total miss (requires
+	// Arch and a server-side budget).
+	Search bool
+}
+
+// Result is a served configuration.
+type Result struct {
+	Config      arcs.ConfigValues
+	Perf        float64
+	Version     uint64
+	Source      string // "exact", "fallback" or "searched"
+	CapDistance float64
+}
+
+// Lookup fetches the best configuration for a key. Returns ErrNotFound
+// when the server has no answer.
+func (c *Client) Lookup(ctx context.Context, k arcs.HistoryKey, opts LookupOpts) (Result, error) {
+	q := url.Values{}
+	q.Set("app", k.App)
+	q.Set("workload", k.Workload)
+	q.Set("cap", strconv.FormatFloat(k.CapW, 'g', -1, 64))
+	q.Set("region", k.Region)
+	if opts.Arch != "" {
+		q.Set("arch", opts.Arch)
+	}
+	if !opts.Fallback {
+		q.Set("fallback", "0")
+	}
+	if !opts.Search {
+		q.Set("search", "0")
+	}
+	var out struct {
+		Config      arcs.ConfigValues `json:"config"`
+		Perf        float64           `json:"perf"`
+		Version     uint64            `json:"version"`
+		Source      string            `json:"source"`
+		CapDistance float64           `json:"cap_distance"`
+	}
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/config?"+q.Encode(), nil, &out); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Config: out.Config, Perf: out.Perf, Version: out.Version,
+		Source: out.Source, CapDistance: out.CapDistance,
+	}, nil
+}
+
+// Report ingests one search result into the served store.
+func (c *Client) Report(ctx context.Context, k arcs.HistoryKey, cfg arcs.ConfigValues, perf float64) error {
+	body := []map[string]any{{"key": k, "config": cfg, "perf": perf}}
+	return c.doJSON(ctx, http.MethodPost, "/v1/report", body, nil)
+}
+
+// Dump retrieves the full entry set.
+func (c *Client) Dump(ctx context.Context) ([]store.Entry, error) {
+	var out []store.Entry
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/dump", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Health checks the daemon is up.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// doJSON runs do, decoding a JSON response into out (when non-nil).
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+	var encoded []byte
+	if body != nil {
+		var err error
+		if encoded, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("storeclient: encode request: %w", err)
+		}
+	}
+	return c.do(ctx, method, path, encoded, out)
+}
+
+// do issues one request with the retry/backoff policy. 4xx responses are
+// terminal (404 maps to ErrNotFound); network errors and 5xx retry.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff << (attempt - 1)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return fmt.Errorf("storeclient: build request: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			return ErrNotFound
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("storeclient: %s %s: status %d: %s", method, path, resp.StatusCode, firstLine(data))
+			continue
+		case resp.StatusCode >= 400:
+			return fmt.Errorf("storeclient: %s %s: status %d: %s", method, path, resp.StatusCode, firstLine(data))
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("storeclient: decode response: %w", err)
+		}
+		return nil
+	}
+	return fmt.Errorf("storeclient: %s %s failed after %d attempts: %w", method, path, c.retries+1, lastErr)
+}
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

@@ -1,0 +1,187 @@
+package storeclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/core/historytest"
+	"arcs/internal/server"
+	"arcs/internal/store"
+)
+
+// newServed spins a real store + server and returns a client for it: the
+// full serving stack minus the daemon binary.
+func newServed(t *testing.T, cfg server.Config) *Client {
+	t.Helper()
+	if cfg.Store == nil {
+		st, err := store.Open(t.TempDir(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		cfg.Store = st
+	}
+	ts := httptest.NewServer(server.New(cfg))
+	t.Cleanup(ts.Close)
+	return New(ts.URL, WithBackoff(time.Millisecond))
+}
+
+// TestHistoryConformance runs the shared History contract suite over the
+// wire: client -> HTTP server -> persistent store must be
+// indistinguishable from MemHistory.
+func TestHistoryConformance(t *testing.T) {
+	historytest.Run(t, func(t *testing.T) arcs.History {
+		return NewHistory(newServed(t, server.Config{}))
+	})
+}
+
+func TestLookupReportRoundTrip(t *testing.T) {
+	c := newServed(t, server.Config{})
+	ctx := context.Background()
+	k := arcs.HistoryKey{App: "SP", Workload: "B", CapW: 70, Region: "x_solve"}
+	cfg := arcs.ConfigValues{Threads: 16, Chunk: 8}
+
+	if _, err := c.Lookup(ctx, k, LookupOpts{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store lookup: %v, want ErrNotFound", err)
+	}
+	if err := c.Report(ctx, k, cfg, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Lookup(ctx, k, LookupOpts{})
+	if err != nil || res.Config != cfg || res.Source != "exact" || res.Version != 1 {
+		t.Errorf("lookup = %+v, %v", res, err)
+	}
+	// Nearest-cap via LookupOpts.Fallback.
+	res, err = c.Lookup(ctx, arcs.HistoryKey{App: "SP", Workload: "B", CapW: 80, Region: "x_solve"},
+		LookupOpts{Fallback: true})
+	if err != nil || res.Source != "fallback" || res.CapDistance != 10 {
+		t.Errorf("fallback lookup = %+v, %v", res, err)
+	}
+	entries, err := c.Dump(ctx)
+	if err != nil || len(entries) != 1 {
+		t.Errorf("dump = %v, %v", entries, err)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Errorf("health: %v", err)
+	}
+}
+
+// TestRetryOn5xx: transient server errors are retried with backoff until
+// success.
+func TestRetryOn5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "try later", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(3), WithBackoff(time.Millisecond))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health after retries: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3", calls.Load())
+	}
+}
+
+// TestRetriesExhausted: a persistently failing server surfaces the last
+// error; 4xx is terminal without retries.
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("want error after exhausted retries")
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3 (1 + 2 retries)", calls.Load())
+	}
+
+	calls.Store(0)
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "nope", http.StatusBadRequest)
+	}))
+	defer ts2.Close()
+	c2 := New(ts2.URL, WithRetries(5), WithBackoff(time.Millisecond))
+	if err := c2.Health(context.Background()); err == nil {
+		t.Fatal("want error on 400")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("4xx retried: %d calls", calls.Load())
+	}
+}
+
+// TestContextCancelStopsRetries: cancellation wins over the backoff loop.
+func TestContextCancelStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(100), WithBackoff(50*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("want error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation ignored: took %v", elapsed)
+	}
+}
+
+// TestHistoryNetworkDegradesToMiss: an unreachable server makes the
+// adapter answer misses (the tuner falls back to local search), and the
+// error is retained for inspection.
+func TestHistoryNetworkDegradesToMiss(t *testing.T) {
+	c := New("http://127.0.0.1:1", WithRetries(0), WithBackoff(time.Millisecond),
+		WithHTTPClient(&http.Client{Timeout: 200 * time.Millisecond}))
+	h := NewHistory(c, WithTimeout(300*time.Millisecond))
+	k := arcs.HistoryKey{App: "SP", Workload: "B", CapW: 70, Region: "r"}
+	if _, ok := h.Load(k); ok {
+		t.Errorf("unreachable server must read as a miss")
+	}
+	if err := h.Err(); err == nil {
+		t.Errorf("network failure must be retained in Err")
+	}
+	h.Save(k, arcs.ConfigValues{}, 1.0)
+	if err := h.Err(); err == nil {
+		t.Errorf("failed save must be retained in Err")
+	}
+	if n := h.Len(); n != 0 {
+		t.Errorf("Len on unreachable server = %d", n)
+	}
+}
+
+// TestHistorySearchArch: with a search arch configured, LoadNearest on a
+// cold store triggers a server-side search.
+func TestHistorySearchArch(t *testing.T) {
+	c := newServed(t, server.Config{SearchBudget: 6})
+	h := NewHistory(c, WithSearchArch("crill"))
+	k := arcs.HistoryKey{App: "SYNTH", Workload: "3", CapW: 70, Region: "synth_00"}
+	cfg, dist, ok := h.LoadNearest(k)
+	if !ok {
+		t.Fatal("search-backed LoadNearest missed")
+	}
+	if dist != 0 {
+		t.Errorf("searched answer distance = %v", dist)
+	}
+	_ = cfg
+	// And the result is now an exact hit.
+	if _, ok := h.Load(k); !ok {
+		t.Errorf("search result not persisted")
+	}
+}

@@ -1,0 +1,123 @@
+package storeclient
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	arcs "arcs/internal/core"
+)
+
+// History adapts a Client to arcs.FallbackHistory, so the tuner can
+// warm-start from (and report back to) a served knowledge store exactly
+// as it would a local one. Load answers with exact hits only — replay
+// semantics — while LoadNearest accepts nearest-cap and server-searched
+// answers.
+//
+// The History interface cannot return errors, so network failures degrade
+// to misses (the tuner just searches locally, the paper's cold-start
+// path) and Save failures are dropped; the first error is retained and
+// available through Err.
+type History struct {
+	c *Client
+	// arch enables server-side searches on total misses; empty disables.
+	arch    string
+	timeout time.Duration
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// HistoryOption configures a History.
+type HistoryOption func(*History)
+
+// WithSearchArch names the architecture the server may search on a total
+// miss.
+func WithSearchArch(arch string) HistoryOption { return func(h *History) { h.arch = arch } }
+
+// WithTimeout bounds each request issued by the adapter (default 30s).
+func WithTimeout(d time.Duration) HistoryOption { return func(h *History) { h.timeout = d } }
+
+// NewHistory wraps a client as a History.
+func NewHistory(c *Client, opts ...HistoryOption) *History {
+	h := &History{c: c, timeout: 30 * time.Second}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+func (h *History) ctx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), h.timeout)
+}
+
+// Save implements arcs.History: best-effort POST (the server applies the
+// same keep-best rule, so duplicates and retries are harmless).
+func (h *History) Save(k arcs.HistoryKey, cfg arcs.ConfigValues, perf float64) {
+	ctx, cancel := h.ctx()
+	defer cancel()
+	if err := h.c.Report(ctx, k, cfg, perf); err != nil {
+		h.setErr(err)
+	}
+}
+
+// Load implements arcs.History: exact hits only.
+func (h *History) Load(k arcs.HistoryKey) (arcs.ConfigValues, bool) {
+	ctx, cancel := h.ctx()
+	defer cancel()
+	res, err := h.c.Lookup(ctx, k, LookupOpts{Fallback: false, Search: false})
+	if err != nil {
+		if !errors.Is(err, ErrNotFound) {
+			h.setErr(err)
+		}
+		return arcs.ConfigValues{}, false
+	}
+	return res.Config, true
+}
+
+// LoadNearest implements arcs.FallbackHistory: accepts nearest-cap
+// fallbacks and, when an arch was configured, server-searched answers.
+func (h *History) LoadNearest(k arcs.HistoryKey) (arcs.ConfigValues, float64, bool) {
+	ctx, cancel := h.ctx()
+	defer cancel()
+	res, err := h.c.Lookup(ctx, k, LookupOpts{Fallback: true, Search: h.arch != "", Arch: h.arch})
+	if err != nil {
+		if !errors.Is(err, ErrNotFound) {
+			h.setErr(err)
+		}
+		return arcs.ConfigValues{}, 0, false
+	}
+	return res.Config, res.CapDistance, true
+}
+
+// Len implements arcs.History (a full dump; diagnostic use only).
+func (h *History) Len() int {
+	ctx, cancel := h.ctx()
+	defer cancel()
+	entries, err := h.c.Dump(ctx)
+	if err != nil {
+		h.setErr(err)
+		return 0
+	}
+	return len(entries)
+}
+
+// Err returns the first network error since the last call, clearing it.
+func (h *History) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	err := h.lastErr
+	h.lastErr = nil
+	return err
+}
+
+func (h *History) setErr(err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lastErr == nil {
+		h.lastErr = err
+	}
+}
+
+var _ arcs.FallbackHistory = (*History)(nil)
