@@ -40,6 +40,8 @@ func main() {
 		"WAL records between compacted snapshots (negative disables)")
 	flag.IntVar(&cfg.searchBudget, "search-budget", 40,
 		"max evaluations per region for server-side searches on total misses (0 disables)")
+	flag.IntVar(&cfg.searchParallelism, "search-parallelism", 0,
+		"concurrent candidate probes per server-side search (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -52,10 +54,11 @@ func main() {
 
 // daemonCfg carries the parsed command line.
 type daemonCfg struct {
-	addr          string
-	storeDir      string
-	snapshotEvery int
-	searchBudget  int
+	addr              string
+	storeDir          string
+	snapshotEvery     int
+	searchBudget      int
+	searchParallelism int
 }
 
 // serve runs the daemon until ctx is cancelled. ready, when non-nil, is
@@ -69,7 +72,11 @@ func serve(ctx context.Context, cfg daemonCfg, logger *log.Logger, ready func(ad
 	defer st.Close()
 	logger.Printf("store %s: %d entries", cfg.storeDir, st.Len())
 
-	srv := server.New(server.Config{Store: st, SearchBudget: cfg.searchBudget})
+	srv := server.New(server.Config{
+		Store:             st,
+		SearchBudget:      cfg.searchBudget,
+		SearchParallelism: cfg.searchParallelism,
+	})
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err

@@ -24,6 +24,9 @@ type Entry struct {
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	Iterations  int64   `json:"iterations"`
+	// Extra holds custom b.ReportMetric units (evals/s, hit-rate, ...)
+	// keyed by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -71,13 +74,19 @@ func parse(sc *bufio.Scanner) (map[string]Entry, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				e.NsPerOp = v
 			case "B/op":
 				e.BytesPerOp = v
 			case "allocs/op":
 				e.AllocsPerOp = v
+			default:
+				// Custom b.ReportMetric units (evals/s, hit-rate, ...).
+				if e.Extra == nil {
+					e.Extra = make(map[string]float64)
+				}
+				e.Extra[unit] = v
 			}
 		}
 		if e.NsPerOp > 0 {

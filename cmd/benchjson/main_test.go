@@ -14,6 +14,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
 BenchmarkProbeStaticNPB-8         	  721844	      1606 ns/op	     523 B/op	       2 allocs/op
 BenchmarkProbeGrid/Static/Chunk1/Uniform-8  	 1000000	      1041 ns/op	     557 B/op	       2 allocs/op
 BenchmarkMissRates                	  500000	      2212 ns/op
+BenchmarkSimSearcherCold/parallel8-8  	     100	   1925880 ns/op	     54521 evals/s	       0.75 hit-rate
 not a benchmark line
 PASS
 ok  	arcs/internal/sim	12.3s
@@ -22,8 +23,8 @@ ok  	arcs/internal/sim	12.3s
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 {
-		t.Fatalf("parsed %d entries, want 3: %v", len(got), got)
+	if len(got) != 4 {
+		t.Fatalf("parsed %d entries, want 4: %v", len(got), got)
 	}
 	e, ok := got["BenchmarkProbeStaticNPB"]
 	if !ok {
@@ -38,5 +39,15 @@ ok  	arcs/internal/sim	12.3s
 	e = got["BenchmarkMissRates"]
 	if e.NsPerOp != 2212 || e.BytesPerOp != 0 {
 		t.Fatalf("plain entry without -benchmem wrong: %+v", e)
+	}
+	e, ok = got["BenchmarkSimSearcherCold/parallel8"]
+	if !ok {
+		t.Fatalf("missing custom-metric entry (only the trailing GOMAXPROCS suffix should strip): %v", got)
+	}
+	if e.Extra["evals/s"] != 54521 || e.Extra["hit-rate"] != 0.75 {
+		t.Fatalf("custom b.ReportMetric units not captured: %+v", e)
+	}
+	if e.NsPerOp != 1925880 {
+		t.Fatalf("standard units lost alongside custom ones: %+v", e)
 	}
 }

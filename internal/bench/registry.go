@@ -186,6 +186,14 @@ func Experiments() []Experiment {
 			r.Print(w)
 			return nil
 		}},
+		{ID: "searchcache", Title: "Eval cache — cold/warm batched region searches (SP class B)", Run: func(w io.Writer) error {
+			r, err := SearchCache()
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
 		{ID: "dynamic-cap", Title: "§II — dynamic power-cap adjustment mid-run", Run: func(w io.Writer) error {
 			r, err := DynamicCap()
 			if err != nil {

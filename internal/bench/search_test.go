@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The searchcache experiment must be fully deterministic — counts only,
+// no wall times — so its artifact is byte-identical under `arcs-bench -j`.
+func TestSearchCacheDeterministic(t *testing.T) {
+	a, err := SearchCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SearchCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(a.Rows) != 4 {
+		t.Fatalf("want 4 rows (cold/warm at 2 caps), got %d", len(a.Rows))
+	}
+	for i, row := range a.Rows {
+		if row.Evals <= 0 {
+			t.Errorf("row %d: no evaluations: %+v", i, row)
+		}
+		switch row.Phase {
+		case "cold":
+			// Nelder-Mead speculates, so probes can exceed session evals,
+			// but nothing may come from the cache on a cold pass.
+			if row.Probes < row.Evals || row.Hits != 0 {
+				t.Errorf("cold row %d must probe every eval: %+v", i, row)
+			}
+		case "warm":
+			// The warm trajectory is identical, so every request — including
+			// the speculative ones — is served from the cache.
+			if row.Probes != 0 || row.Hits != a.Rows[i-1].Probes {
+				t.Errorf("warm row %d must replay the cold pass from cache: %+v (cold %+v)", i, row, a.Rows[i-1])
+			}
+		default:
+			t.Errorf("row %d: unknown phase %q", i, row.Phase)
+		}
+	}
+	// The two caps never share cache entries (capW is part of the key), so
+	// the cache holds both cold passes' probes.
+	if want := a.Rows[0].Probes + a.Rows[2].Probes; a.Entries != want {
+		t.Errorf("cache entries = %d, want %d (sum of cold probes)", a.Entries, want)
+	}
+
+	var bufA, bufB strings.Builder
+	a.Print(&bufA)
+	b.Print(&bufB)
+	if bufA.String() != bufB.String() {
+		t.Errorf("artifact not reproducible:\n--- first\n%s--- second\n%s", bufA.String(), bufB.String())
+	}
+}
+
+func TestSearchCacheRegistered(t *testing.T) {
+	e, ok := Lookup("searchcache")
+	if !ok {
+		t.Fatal("searchcache experiment not registered")
+	}
+	var buf strings.Builder
+	if err := e.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cold") || !strings.Contains(buf.String(), "warm") {
+		t.Errorf("artifact missing cold/warm rows:\n%s", buf.String())
+	}
+}

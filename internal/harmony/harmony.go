@@ -10,6 +10,21 @@
 //	perf := measure(pt)
 //	sess.Report(perf)          // feeds the strategy, updates the best
 //
+// Strategies that implement BatchStrategy additionally expose whole rounds
+// of candidates for concurrent evaluation through the batched protocol:
+//
+//	batch, done := sess.FetchBatch(width) // candidates safe to run in parallel
+//	perfs := measureAll(batch)            // any order, results by index
+//	sess.ReportBatch(perfs)               // merged in batch order
+//
+// The batched protocol is a strict superset of the serial one — results
+// are merged in batch order (never completion order) through the same
+// Fetch/Report state machine, so a batched session converges to the
+// identical winner with the identical evaluation count as a serial
+// session over the same strategy and seed. Speculative candidates whose
+// results the strategy never consumes stay in a session-side memo and
+// are reused if the search reaches them later.
+//
 // Points are index vectors into the per-parameter value sets; mapping
 // indices to OpenMP configuration values is the caller's concern.
 package harmony
@@ -135,6 +150,23 @@ type Strategy interface {
 	Name() string
 }
 
+// BatchStrategy is implemented by strategies that can propose a whole
+// round of candidates for concurrent evaluation: PRO's 2d-1 reflections,
+// Nelder-Mead's speculative reflect/expand/contract branches, the next
+// enumeration window of Exhaustive and Random. NextBatch is advisory and
+// must not mutate the strategy's observable Next/Report stream: the
+// serial Fetch/Report protocol remains the source of truth (a strategy
+// driven one point at a time behaves as a batch of 1), which is what
+// makes batched and serial sessions bit-identical.
+type BatchStrategy interface {
+	Strategy
+	// NextBatch returns up to max candidates that can usefully be
+	// evaluated concurrently right now, starting with the point Next
+	// would return. Later entries may be speculative: the strategy may
+	// end up never asking for their results.
+	NextBatch(max int) []Point
+}
+
 // Session drives one tuning search: it deduplicates candidate evaluations
 // (re-reporting cached results to the strategy, as Active Harmony's point
 // rejection does), tracks the global best, and exposes the fetch/report
@@ -151,6 +183,11 @@ type Session struct {
 	hasBest  bool
 	evals    int
 	fetches  int
+
+	// Batched-protocol state: the outstanding FetchBatch (nil when none)
+	// and the memo of measured-but-not-yet-consumed speculative results.
+	batch []Point
+	memo  map[string]float64
 }
 
 // NewSession creates a session for the given space and strategy.
@@ -214,6 +251,91 @@ func (s *Session) Report(perf float64) {
 		s.hasBest = true
 	}
 	s.strat.Report(p, perf)
+}
+
+// FetchBatch returns the next batch of distinct, unevaluated candidates
+// for concurrent evaluation, or done=true once the search has converged.
+// The first element is always the point a serial Fetch would have
+// returned; the rest are the remainder of the strategy's current round
+// (or speculative branches) when it implements BatchStrategy, capped at
+// max. FetchBatch panics if a previous batch was never ReportBatch'ed.
+// Batched and serial calls may be interleaved between (but not within)
+// batches.
+func (s *Session) FetchBatch(max int) (batch []Point, done bool) {
+	if s.batch != nil {
+		panic("harmony: FetchBatch called with a pending unreported batch")
+	}
+	if max < 1 {
+		max = 1
+	}
+	if !s.hasPend {
+		if _, done := s.Fetch(); done {
+			return nil, true
+		}
+	}
+	batch = append(batch, s.pending.Clone())
+	if bs, ok := s.strat.(BatchStrategy); ok && max > 1 {
+		for _, q := range bs.NextBatch(max) {
+			if len(batch) >= max {
+				break
+			}
+			q = s.space.Clamp(q)
+			k := q.Key()
+			if _, seen := s.cache[k]; seen {
+				continue
+			}
+			if _, seen := s.memo[k]; seen {
+				continue
+			}
+			dup := false
+			for _, b := range batch {
+				if b.Key() == k {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				batch = append(batch, q)
+			}
+		}
+	}
+	s.batch = batch
+	return batch, false
+}
+
+// ReportBatch delivers the measured performances of the batch returned by
+// the last FetchBatch, perfs[i] belonging to batch[i]. Results are merged
+// through the serial Fetch/Report state machine in batch order — never in
+// completion order — so the session's winner and evaluation count are
+// identical to a serial session's; results the strategy does not consume
+// remain memoised for later rounds.
+func (s *Session) ReportBatch(perfs []float64) {
+	if s.batch == nil {
+		panic("harmony: ReportBatch without a pending batch")
+	}
+	if len(perfs) != len(s.batch) {
+		panic(fmt.Sprintf("harmony: ReportBatch got %d perfs for a batch of %d", len(perfs), len(s.batch)))
+	}
+	if s.memo == nil {
+		s.memo = make(map[string]float64)
+	}
+	for i, q := range s.batch {
+		s.memo[q.Key()] = perfs[i]
+	}
+	s.batch = nil
+	// Drain: consume memoised results through the serial protocol until a
+	// fetched point needs a fresh evaluation (it becomes the head of the
+	// next batch) or the search converges.
+	for s.hasPend {
+		perf, ok := s.memo[s.pending.Key()]
+		if !ok {
+			return
+		}
+		s.Report(perf)
+		if _, done := s.Fetch(); done {
+			return
+		}
+	}
 }
 
 // Best returns the best point and its performance; ok=false if nothing has

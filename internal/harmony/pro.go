@@ -5,12 +5,16 @@ import (
 	"math/rand"
 )
 
-// PRO implements a (sequentialised) Parallel Rank Order search, the other
-// simplex method Active Harmony ships. It keeps a simplex of 2d vertices;
-// each round reflects every non-best vertex through the best, accepts the
-// reflections that improve, and shrinks toward the best when none do.
-// Although designed for parallel evaluation, ARCS evaluates candidates one
-// region invocation at a time, so the strategy serialises its batches.
+// PRO implements the Parallel Rank Order search, the other simplex method
+// Active Harmony ships. It keeps a simplex of 2d vertices; each round
+// reflects every non-best vertex through the best, accepts the
+// reflections that improve, and shrinks toward the best when none do. PRO
+// was designed for parallel evaluation — the paper picked Harmony
+// precisely because multiple configurations can be evaluated in parallel
+// (§III-A) — and NextBatch exposes each round of 2d-1 reflections (and
+// the initial/shrunk vertex sets) as one batch; driven through the serial
+// Fetch/Report protocol instead, the same rounds evaluate one candidate
+// at a time with identical results.
 type PRO struct {
 	space Space
 	rng   *rand.Rand
@@ -82,6 +86,31 @@ func (p *PRO) Next() (Point, bool) {
 		return nil, false
 	}
 	return p.round(p.want), true
+}
+
+// NextBatch implements BatchStrategy: the not-yet-reported remainder of
+// the current round — initial vertices during seeding, the reflection (or
+// shrink re-evaluation) candidates afterwards. Nothing is speculative:
+// every batched point is one the serial protocol is guaranteed to fetch.
+func (p *PRO) NextBatch(max int) []Point {
+	if p.done || max < 1 {
+		return nil
+	}
+	var rest []nmVertex
+	switch p.phase {
+	case proInit:
+		rest = p.verts[p.idx:]
+	case proEval:
+		rest = p.cands[p.idx:]
+	}
+	if len(rest) > max {
+		rest = rest[:max]
+	}
+	out := make([]Point, 0, len(rest))
+	for _, v := range rest {
+		out = append(out, p.round(v.x))
+	}
+	return out
 }
 
 // Report implements Strategy.
@@ -196,4 +225,7 @@ func (p *PRO) round(x []float64) Point {
 	return p.space.Clamp(pt)
 }
 
-var _ Strategy = (*PRO)(nil)
+var (
+	_ Strategy      = (*PRO)(nil)
+	_ BatchStrategy = (*PRO)(nil)
+)

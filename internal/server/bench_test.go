@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"arcs/internal/evalcache"
+)
+
+// Cold-search latency of SimSearcher on the Table-I space: every
+// iteration uses a fresh eval cache, so each search pays full probe cost.
+// The parallelism sweep is the tentpole speedup measurement — compare
+// p=1 against p=8. The custom evals/s metric surfaces search throughput
+// in cmd/benchjson output.
+func benchmarkSimSearcherCold(b *testing.B, parallelism int) {
+	b.Helper()
+	req := SearchRequest{App: "SP", Workload: "B", Arch: "crill", CapW: 70, MaxEvals: 40}
+	ctx := context.Background()
+	var probes uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := evalcache.New()
+		s := SimSearcher{Parallelism: parallelism, Cache: c}
+		if _, err := s.Search(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		probes += c.Stats().Misses // cold: misses == fresh probes == evals
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "evals/s")
+}
+
+func BenchmarkSimSearcherCold(b *testing.B) {
+	for _, p := range []int{1, 2, 8} {
+		// No trailing -N in the name: benchjson would strip it as a
+		// GOMAXPROCS suffix on single-CPU runners.
+		b.Run(fmt.Sprintf("parallel%d", p), func(b *testing.B) {
+			benchmarkSimSearcherCold(b, p)
+		})
+	}
+}
+
+// Warm-search latency: all iterations share one cache, so after the first
+// search every probe is a hit — the steady state of a long-lived arcsd.
+func BenchmarkSimSearcherWarm(b *testing.B) {
+	req := SearchRequest{App: "SP", Workload: "B", Arch: "crill", CapW: 70, MaxEvals: 40}
+	s := SimSearcher{Parallelism: 8, Cache: evalcache.New()}
+	if _, err := s.Search(context.Background(), req); err != nil {
+		b.Fatal(err) // prime the cache outside the timer
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Search(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := s.Cache.Stats()
+	b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "hit-rate")
+}

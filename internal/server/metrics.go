@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"arcs/internal/evalcache"
 )
 
 // reqKey labels one requests-counter series.
@@ -46,7 +48,7 @@ func (m *metrics) observe(endpoint string, code int, seconds float64) {
 
 // write renders the Prometheus text exposition format, deterministically
 // ordered so scrapes and tests are stable.
-func (m *metrics) write(w io.Writer, storeLen int) {
+func (m *metrics) write(w io.Writer, storeLen int, evc evalcache.Stats) {
 	fmt.Fprintln(w, "# HELP arcsd_requests_total HTTP requests by endpoint and status code.")
 	fmt.Fprintln(w, "# TYPE arcsd_requests_total counter")
 	m.mu.Lock()
@@ -86,6 +88,13 @@ func (m *metrics) write(w io.Writer, storeLen int) {
 	counter("arcsd_search_dedup_total", "Searches avoided by single-flight deduplication.", m.searchDeduped.Load())
 	counter("arcsd_search_errors_total", "Server-side searches that failed.", m.searchErrors.Load())
 	counter("arcsd_reported_entries_total", "Entries ingested through /v1/report.", m.reported.Load())
+	counter("arcsd_evalcache_hits_total", "Probe evaluations served from the eval cache.", evc.Hits)
+	counter("arcsd_evalcache_misses_total", "Probe evaluations computed fresh (cache misses).", evc.Misses)
+	counter("arcsd_evalcache_dedup_total", "Probe evaluations shared with a concurrent in-flight compute.", evc.Dedups)
 	fmt.Fprintf(w, "# HELP arcsd_store_entries Current number of stored configurations.\n")
 	fmt.Fprintf(w, "# TYPE arcsd_store_entries gauge\narcsd_store_entries %d\n", storeLen)
+	fmt.Fprintf(w, "# HELP arcsd_evalcache_entries Resident eval-cache entries.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_evalcache_entries gauge\narcsd_evalcache_entries %d\n", evc.Entries)
+	fmt.Fprintf(w, "# HELP arcsd_evalcache_inflight Probe computations currently running.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_evalcache_inflight gauge\narcsd_evalcache_inflight %d\n", evc.InFlight)
 }

@@ -3,12 +3,11 @@ package server
 import (
 	"context"
 	"fmt"
+	"runtime"
 
-	"arcs/internal/apex"
 	"arcs/internal/cli"
 	arcs "arcs/internal/core"
-	"arcs/internal/omp"
-	"arcs/internal/sim"
+	"arcs/internal/evalcache"
 )
 
 // SearchRequest describes one server-side search: an app-level context
@@ -39,11 +38,20 @@ type Searcher interface {
 // SimSearcher runs a bounded Nelder-Mead search per region against the
 // analytic simulator — the paper's unmeasured offline search execution
 // (§III-B), hosted server-side so the cost is paid once per context
-// instead of once per client.
-type SimSearcher struct{}
+// instead of once per client. Regions are probed directly through
+// arcs.BatchSearch: candidate batches evaluate concurrently on Machine
+// clones, and results are memoised in the eval cache so a repeated search
+// (same app, workload, arch, cap) does no probe work at all.
+type SimSearcher struct {
+	// Parallelism bounds concurrent probes per search; 0 selects
+	// GOMAXPROCS, 1 evaluates serially.
+	Parallelism int
+	// Cache memoises probe results across searches (nil = no memoisation).
+	Cache *evalcache.Cache
+}
 
 // Search implements Searcher.
-func (SimSearcher) Search(ctx context.Context, req SearchRequest) ([]SearchResult, error) {
+func (s SimSearcher) Search(ctx context.Context, req SearchRequest) ([]SearchResult, error) {
 	if req.MaxEvals <= 0 {
 		return nil, fmt.Errorf("server: search budget must be positive, got %d", req.MaxEvals)
 	}
@@ -55,53 +63,29 @@ func (SimSearcher) Search(ctx context.Context, req SearchRequest) ([]SearchResul
 	if err != nil {
 		return nil, err
 	}
-	mach, err := sim.NewMachine(arch)
-	if err != nil {
-		return nil, err
+	regions := make([]arcs.RegionModel, 0, len(app.Regions))
+	for _, spec := range app.Regions {
+		regions = append(regions, arcs.RegionModel{Name: spec.Name, Model: spec.Model})
 	}
-	if req.CapW > 0 {
-		if err := mach.SetPowerCap(req.CapW); err != nil {
-			return nil, err
-		}
+	par := s.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
-	effCap := req.CapW
-	if effCap == 0 {
-		effCap = arch.TDPW
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	rt := omp.NewRuntime(mach)
-	apx := apex.New()
-	apx.SetPowerSource(mach)
-	rt.RegisterTool(apex.NewTool(apx))
-	hist := arcs.NewMemHistory()
-	tuner, err := arcs.New(apx, arch, arcs.Options{
-		// OfflineSearch semantics (search + save best) with a bounded
-		// algorithm instead of the exhaustive default.
-		Strategy: arcs.StrategyOfflineSearch,
-		Algo:     arcs.AlgoNelderMead,
-		MaxEvals: req.MaxEvals,
-		History:  hist,
-		Key: func(region string) arcs.HistoryKey {
-			return arcs.HistoryKey{App: app.Name, Workload: app.Workload, CapW: effCap, Region: region}
-		},
+	results, err := arcs.BatchSearch(ctx, arch, regions, arcs.BatchSearchOptions{
+		Algo:        arcs.AlgoNelderMead,
+		MaxEvals:    req.MaxEvals,
+		CapW:        req.CapW,
+		Parallelism: par,
+		Cache:       s.Cache,
+		App:         app.Name,
+		Workload:    app.Workload,
 	})
 	if err != nil {
 		return nil, err
 	}
-	// Enough invocations for every region to spend its budget, plus slack
-	// to exploit the winner.
-	if _, err := app.WithSteps(req.MaxEvals + 8).Run(rt); err != nil {
-		return nil, err
-	}
-	if err := tuner.Finish(); err != nil {
-		return nil, err
-	}
-	out := make([]SearchResult, 0, hist.Len())
-	for _, e := range hist.Entries() {
-		out = append(out, SearchResult{Region: e.Key.Region, CapW: e.Key.CapW, Cfg: e.Cfg, Perf: e.Perf})
+	out := make([]SearchResult, 0, len(results))
+	for _, r := range results {
+		out = append(out, SearchResult{Region: r.Region, CapW: r.CapW, Cfg: r.Cfg, Perf: r.Perf})
 	}
 	return out, nil
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	arcs "arcs/internal/core"
+	"arcs/internal/evalcache"
 	"arcs/internal/store"
 )
 
@@ -33,11 +34,15 @@ type Config struct {
 	// Store is the backing knowledge store (required).
 	Store *store.Store
 	// Searcher answers total misses; nil selects the simulator-backed
-	// SimSearcher.
+	// SimSearcher with a server-owned eval cache.
 	Searcher Searcher
 	// SearchBudget caps the evaluations per region of a server-side
 	// search; 0 disables server-side searching entirely.
 	SearchBudget int
+	// SearchParallelism bounds concurrent candidate probes inside one
+	// server-side search (the arcsd -search-parallelism flag); 0 selects
+	// GOMAXPROCS, 1 evaluates serially. Ignored when Searcher is set.
+	SearchParallelism int
 }
 
 // Server is the arcsd HTTP handler.
@@ -47,6 +52,7 @@ type Server struct {
 	budget   int
 	mux      *http.ServeMux
 	met      *metrics
+	evc      *evalcache.Cache // probe memoisation for the default searcher
 
 	sfMu     sync.Mutex
 	inflight map[string]*flight
@@ -74,7 +80,8 @@ func New(cfg Config) *Server {
 		inflight: make(map[string]*flight),
 	}
 	if s.searcher == nil {
-		s.searcher = SimSearcher{}
+		s.evc = evalcache.New()
+		s.searcher = SimSearcher{Parallelism: cfg.SearchParallelism, Cache: s.evc}
 	}
 	s.mux.HandleFunc("/v1/config", s.instrument("config", s.handleConfig))
 	s.mux.HandleFunc("/v1/report", s.instrument("report", s.handleReport))
@@ -282,7 +289,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.met.write(w, s.st.Len())
+	s.met.write(w, s.st.Len(), s.evc.Stats())
 }
 
 // instrument wraps a handler with request counting and latency tracking.

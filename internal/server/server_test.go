@@ -382,3 +382,65 @@ func TestConcurrentServing(t *testing.T) {
 		t.Errorf("store error after hammer: %v", err)
 	}
 }
+
+// scrapeMetric reads one un-labelled metric value from /metrics.
+func scrapeMetric(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		var v float64
+		if n, _ := fmt.Sscanf(line, name+" %g", &v); n == 1 && !strings.HasPrefix(line, "#") {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, body)
+	return 0
+}
+
+// TestSearchEvalCacheWarm: a repeated server-side search over the same
+// context is served entirely by the eval cache — the fresh-probe (miss)
+// counter does not move while the hit counter does. The search repeats
+// because the requested region never executes, so the store stays cold.
+func TestSearchEvalCacheWarm(t *testing.T) {
+	ts := newTestServer(t, Config{SearchBudget: 6, SearchParallelism: 4})
+
+	if _, code := getConfig(t, ts.URL, "app=SYNTH&workload=3&cap=70&region=no_such_region&arch=crill"); code != 404 {
+		t.Fatalf("ghost region lookup should 404 after searching, got %d", code)
+	}
+	coldMisses := scrapeMetric(t, ts.URL, "arcsd_evalcache_misses_total")
+	coldHits := scrapeMetric(t, ts.URL, "arcsd_evalcache_hits_total")
+	if coldMisses == 0 {
+		t.Fatal("cold search recorded no cache misses")
+	}
+	if entries := scrapeMetric(t, ts.URL, "arcsd_evalcache_entries"); entries == 0 {
+		t.Fatal("cold search cached nothing")
+	}
+
+	if _, code := getConfig(t, ts.URL, "app=SYNTH&workload=3&cap=70&region=no_such_region&arch=crill"); code != 404 {
+		t.Fatalf("second lookup should 404, got %d", code)
+	}
+	warmMisses := scrapeMetric(t, ts.URL, "arcsd_evalcache_misses_total")
+	warmHits := scrapeMetric(t, ts.URL, "arcsd_evalcache_hits_total")
+	if warmMisses != coldMisses {
+		t.Errorf("repeat search did %g fresh probes, want 0", warmMisses-coldMisses)
+	}
+	if warmHits <= coldHits {
+		t.Error("repeat search never hit the eval cache")
+	}
+	// A different cap is a different context: fresh probes again.
+	getConfig(t, ts.URL, "app=SYNTH&workload=3&cap=55&region=no_such_region&arch=crill")
+	if m := scrapeMetric(t, ts.URL, "arcsd_evalcache_misses_total"); m <= warmMisses {
+		t.Error("different cap reused cache entries; capW must be part of the key")
+	}
+	if inflight := scrapeMetric(t, ts.URL, "arcsd_evalcache_inflight"); inflight != 0 {
+		t.Errorf("inflight gauge = %g at rest", inflight)
+	}
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// clone_test.go: Machine.Clone must hand out machines that are (a) exact
+// behavioural copies and (b) safe to probe concurrently. The concurrent
+// test is part of the CI -race step.
+
+func TestCloneCopiesState(t *testing.T) {
+	m := newCrill(t)
+	if err := m.SetPowerCap(70); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetUserFreqGHz(1.8); err != nil {
+		t.Fatal(err)
+	}
+	m.Account(2.5, 60)
+	m.AccountDRAM(2.5, 1e9)
+	m.SetNoise(0.02, 42)
+
+	c := m.Clone()
+	if c.Arch() != m.Arch() {
+		t.Error("clone does not share the Arch pointer")
+	}
+	if c.PowerCap() != m.PowerCap() || c.Capped() != m.Capped() {
+		t.Errorf("cap: clone %g/%v, parent %g/%v", c.PowerCap(), c.Capped(), m.PowerCap(), m.Capped())
+	}
+	if c.UserFreqGHz() != m.UserFreqGHz() {
+		t.Errorf("userGHz: clone %g, parent %g", c.UserFreqGHz(), m.UserFreqGHz())
+	}
+	if c.Now() != m.Now() || c.EnergyJ() != m.EnergyJ() || c.DRAMEnergyJ() != m.DRAMEnergyJ() {
+		t.Error("clock/energy accumulators not copied")
+	}
+
+	// Divergence after the clone must not leak either way.
+	c.Account(1, 100)
+	if m.Now() != 2.5 {
+		t.Error("clone Account mutated the parent clock")
+	}
+	if err := m.SetPowerCap(55); err != nil {
+		t.Fatal(err)
+	}
+	if c.PowerCap() != 70 {
+		t.Error("parent SetPowerCap mutated the clone")
+	}
+}
+
+// TestCloneNoiseStreamIsFresh: a clone's noise RNG restarts from the
+// recorded seed, matching a machine freshly configured with the same
+// SetNoise call (not the parent's mid-stream state).
+func TestCloneNoiseStreamIsFresh(t *testing.T) {
+	m := newCrill(t)
+	m.SetNoise(0.05, 7)
+	lm := balancedLoop()
+	cfg := Config{Threads: 8, Sched: SchedStatic}
+	probe(t, m, lm, cfg) // advance the parent's stream
+
+	c := m.Clone()
+	fresh := newCrill(t)
+	fresh.SetNoise(0.05, 7)
+	for i := 0; i < 4; i++ {
+		got := probe(t, c, lm, cfg)
+		want := probe(t, fresh, lm, cfg)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("draw %d: clone %+v, fresh machine %+v", i, got, want)
+		}
+	}
+}
+
+// TestCloneConcurrentProbes races many goroutines, each probing its own
+// clone of one parent, and checks every result equals the serial
+// reference. Run under -race this is the probe-path safety proof.
+func TestCloneConcurrentProbes(t *testing.T) {
+	m := newCrill(t)
+	if err := m.SetPowerCap(85); err != nil {
+		t.Fatal(err)
+	}
+	lm := rampLoop()
+	cfgs := []Config{
+		{Threads: 1, Sched: SchedStatic},
+		{Threads: 8, Sched: SchedStatic},
+		{Threads: 16, Sched: SchedDynamic, Chunk: 4},
+		{Threads: 32, Sched: SchedGuided, Chunk: 8},
+		{Threads: 32, Sched: SchedDynamic, Chunk: 1, Bind: BindClose},
+		{Threads: 16, Sched: SchedStatic, Bind: BindClose},
+	}
+
+	// Serial reference on private machines.
+	want := make([]ExecResult, len(cfgs))
+	for i, cfg := range cfgs {
+		want[i] = probe(t, m.Clone(), lm, cfg)
+	}
+
+	const rounds = 8
+	got := make([]ExecResult, rounds*len(cfgs))
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for i, cfg := range cfgs {
+			wg.Add(1)
+			go func(slot int, cfg Config) {
+				defer wg.Done()
+				c := m.Clone()
+				res, err := c.ProbeLoop(lm, cfg)
+				if err != nil {
+					t.Errorf("ProbeLoop(%v): %v", cfg, err)
+					return
+				}
+				got[slot] = res
+			}(r*len(cfgs)+i, cfg)
+		}
+	}
+	wg.Wait()
+	for r := 0; r < rounds; r++ {
+		for i := range cfgs {
+			if !reflect.DeepEqual(got[r*len(cfgs)+i], want[i]) {
+				t.Errorf("round %d cfg %v: concurrent %+v != serial %+v",
+					r, cfgs[i], got[r*len(cfgs)+i], want[i])
+			}
+		}
+	}
+}

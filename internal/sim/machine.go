@@ -34,6 +34,7 @@ type Machine struct {
 	// average of three runs on Crill, minimum of three on shared Minotaur)
 	// observable.
 	noiseSigma float64
+	noiseSeed  int64
 	noiseRNG   *rand.Rand
 }
 
@@ -41,11 +42,37 @@ type Machine struct {
 // given sigma (0 disables). The stream is seeded, so runs are reproducible.
 func (m *Machine) SetNoise(sigma float64, seed int64) {
 	m.noiseSigma = sigma
+	m.noiseSeed = seed
 	if sigma > 0 {
 		m.noiseRNG = rand.New(rand.NewSource(seed))
 	} else {
 		m.noiseRNG = nil
 	}
+}
+
+// Clone returns an independent machine for concurrent probing. The clone
+// shares only the immutable *Arch; the probe scratch buffers, the placement
+// cache (rebuilt lazily), and the noise RNG are private, so probing a clone
+// from one goroutine never races with probes on the original or on sibling
+// clones. Power cap, user frequency request, clock, and energy accumulators
+// are copied. If noise is enabled the clone's RNG restarts from the recorded
+// seed — the clone behaves like a fresh machine configured with the same
+// SetNoise call, not like a fork of the parent mid-stream.
+func (m *Machine) Clone() *Machine {
+	c := &Machine{
+		arch:       m.arch,
+		capW:       m.capW,
+		userGHz:    m.userGHz,
+		clockS:     m.clockS,
+		energyJ:    m.energyJ,
+		dramJ:      m.dramJ,
+		noiseSigma: m.noiseSigma,
+		noiseSeed:  m.noiseSeed,
+	}
+	if c.noiseSigma > 0 {
+		c.noiseRNG = rand.New(rand.NewSource(c.noiseSeed))
+	}
+	return c
 }
 
 // noiseFactor draws the next multiplicative perturbation (1 when disabled).
