@@ -1,0 +1,105 @@
+// Command arcslint runs the repository's domain-specific static
+// analyzers (internal/lint) over the module and exits non-zero on any
+// finding. It is stdlib-only and runs in CI right after `go vet`:
+//
+//	go run ./cmd/arcslint ./...
+//
+// Patterns are module-relative ("./...", "./internal/store",
+// "./internal/...", or full import paths). The per-package check table
+// is lint.DefaultPolicy; -policy overrides it with a file of
+// "<pattern> <check>[,<check>...]" lines, and -list-packages prints
+// which checks apply where without analyzing anything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"arcs/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("arcslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	policyPath := fs.String("policy", "", "policy file overriding the built-in per-package check table")
+	listPkgs := fs.Bool("list-packages", false, "print each package and its enabled checks, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "arcslint:", err)
+		return 2
+	}
+	pol := lint.DefaultPolicy()
+	if *policyPath != "" {
+		data, err := os.ReadFile(*policyPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "arcslint:", err)
+			return 2
+		}
+		pol, err = lint.ParsePolicy(string(data))
+		if err != nil {
+			fmt.Fprintln(stderr, "arcslint:", err)
+			return 2
+		}
+	}
+
+	if *listPkgs {
+		if err := listPackages(root, patterns, pol, stdout); err != nil {
+			fmt.Fprintln(stderr, "arcslint:", err)
+			return 2
+		}
+		return 0
+	}
+
+	findings, err := lint.Run(root, patterns, pol)
+	if err != nil {
+		fmt.Fprintln(stderr, "arcslint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "arcslint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// listPackages prints the resolved policy per package — the mechanical
+// answer to "which packages are under which contract".
+func listPackages(root string, patterns []string, pol lint.Policy, w io.Writer) error {
+	paths, err := lint.ListPackages(root, patterns)
+	if err != nil {
+		return err
+	}
+	for _, path := range paths {
+		checks := pol.ChecksFor(path)
+		if len(checks) == 0 {
+			fmt.Fprintf(w, "%s (no checks)\n", path)
+			continue
+		}
+		fmt.Fprintf(w, "%s ", path)
+		for i, c := range checks {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

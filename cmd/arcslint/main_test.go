@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestListPackagesOutput checks the policy introspection path: every
+// deterministic package must print with its checks, and serving
+// packages must not carry determinism.
+func TestListPackagesOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list-packages", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run -list-packages = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"arcs/internal/sim determinism,floatcmp,guardedby",
+		"arcs/internal/store errcheck-io,floatcmp,guardedby",
+		"arcs/internal/server floatcmp,guardedby",
+		"arcs/cmd/arcslint guardedby",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list-packages output missing %q\ngot:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "arcs/internal/server determinism") {
+		t.Errorf("server must not be under the determinism contract:\n%s", out)
+	}
+}
+
+// TestRunSinglePackage lints one small real package end to end and
+// expects a clean exit.
+func TestRunSinglePackage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./internal/evalcache"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestPolicyOverride points arcslint at a custom policy file that
+// disables everything except guardedby for one package.
+func TestPolicyOverride(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.txt")
+	if err := os.WriteFile(path, []byte("arcs/internal/evalcache guardedby\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-policy", path, "./internal/evalcache"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	if code := run([]string{"-policy", filepath.Join(dir, "missing.txt"), "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run with missing policy file = %d, want 2", code)
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./no/such/package"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run bad pattern = %d, want 2", code)
+	}
+}

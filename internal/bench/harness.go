@@ -81,14 +81,14 @@ func (s *RunSpec) normalize() RunSpec {
 	if out.Runs <= 0 {
 		out.Runs = 3
 	}
-	if out.Noise == 0 {
+	if out.Noise == 0 { //arcslint:ignore floatcmp 0 is the unset sentinel, assigned verbatim, never computed
 		out.Noise = DefaultNoise
 	}
 	if out.Noise < 0 {
 		out.Noise = 0
 	}
 	switch {
-	case out.ConfigChangeS == 0:
+	case out.ConfigChangeS == 0: //arcslint:ignore floatcmp 0 is the unset sentinel, assigned verbatim, never computed
 		out.ConfigChangeS = out.Arch.ConfigChangeS
 	case out.ConfigChangeS < 0:
 		out.ConfigChangeS = 0
@@ -297,7 +297,7 @@ func CrillCaps() []float64 { return []float64{55, 70, 85, 100, 0} }
 
 // CapLabel renders a cap the way the paper's x-axes do.
 func CapLabel(capW float64, arch *sim.Arch) string {
-	if capW == 0 {
+	if capW == 0 { //arcslint:ignore floatcmp 0 is the explicit TDP sentinel in the cap lists
 		return fmt.Sprintf("TDP(%.0fW)", arch.TDPW)
 	}
 	return fmt.Sprintf("%.0fW", capW)
@@ -305,7 +305,7 @@ func CapLabel(capW float64, arch *sim.Arch) string {
 
 // Normalized returns x/base guarding against zero.
 func Normalized(x, base float64) float64 {
-	if base == 0 {
+	if base == 0 { //arcslint:ignore floatcmp exact zero guard before division
 		return math.NaN()
 	}
 	return x / base

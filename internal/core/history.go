@@ -115,6 +115,7 @@ func (h *MemHistory) LoadNearest(k HistoryKey) (ConfigValues, float64, bool) {
 			continue
 		}
 		d := math.Abs(e.Key.CapW - k.CapW)
+		//arcslint:ignore floatcmp exact tie-break between identically computed distances
 		if d < bestDist || (d == bestDist && e.Key.CapW < best.Key.CapW) {
 			best, bestDist, found = e, d, true
 		}

@@ -96,7 +96,7 @@ func BatchSearch(ctx context.Context, arch *sim.Arch, regions []RegionModel, opt
 		}
 	}
 	effCap := opts.CapW
-	if effCap == 0 {
+	if effCap == 0 { //arcslint:ignore floatcmp 0 is the uncapped sentinel, assigned verbatim
 		effCap = arch.TDPW
 	}
 	algo := opts.Algo

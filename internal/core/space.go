@@ -119,6 +119,7 @@ func (ss SearchSpace) Validate(arch *sim.Arch) error {
 		}
 	}
 	for _, f := range ss.Freqs {
+		//arcslint:ignore floatcmp 0 is the no-DVFS sentinel in the frequency list
 		if f != 0 && (f < arch.MinGHz || f > arch.BaseGHz) {
 			return fmt.Errorf("arcs: frequency %g outside [%g, %g] GHz", f, arch.MinGHz, arch.BaseGHz)
 		}
@@ -243,7 +244,7 @@ func (ss SearchSpace) Encode(c ConfigValues) (harmony.Point, bool) {
 	idx := 3
 	if ss.HasDVFS() {
 		for i, f := range ss.Freqs {
-			if f == c.FreqGHz {
+			if f == c.FreqGHz { //arcslint:ignore floatcmp exact lookup of a value copied verbatim from this list
 				p[idx] = i
 				break
 			}

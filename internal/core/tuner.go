@@ -369,7 +369,7 @@ func (t *Tuner) onStart(ctx apex.Context) {
 // replay lookups are repeated against the new cap's history key.
 func (t *Tuner) checkCapChange(ctx apex.Context) {
 	cap := ctx.Apex.PowerCap()
-	if cap == 0 {
+	if cap == 0 { //arcslint:ignore floatcmp 0 is the no-power-source sentinel
 		return // no power source attached
 	}
 	if !t.capSeen {
@@ -377,7 +377,7 @@ func (t *Tuner) checkCapChange(ctx apex.Context) {
 		t.lastCapW = cap
 		return
 	}
-	if cap == t.lastCapW {
+	if cap == t.lastCapW { //arcslint:ignore floatcmp change detection on values read verbatim from one source
 		return
 	}
 	t.lastCapW = cap

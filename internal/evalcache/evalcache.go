@@ -74,13 +74,13 @@ type call struct {
 // single-flight deduplication. The zero value is NOT ready; use New.
 type Cache struct {
 	mu      sync.Mutex
-	vals    map[string]float64
-	flights map[string]*call
+	vals    map[string]float64 // guarded by mu
+	flights map[string]*call   // guarded by mu
 
-	hits   uint64
-	misses uint64
-	dedups uint64
-	errs   uint64
+	hits   uint64 // guarded by mu
+	misses uint64 // guarded by mu
+	dedups uint64 // guarded by mu
+	errs   uint64 // guarded by mu
 }
 
 // New returns an empty cache.

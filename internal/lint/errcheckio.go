@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runErrcheckIO flags durability-critical I/O calls whose error result
+// is silently dropped: a Write/Flush/Sync/Close/Rename used as a bare
+// statement (including defer and go). An explicit `_ = f.Close()` is an
+// acknowledged discard and passes; so do receivers whose writes are
+// documented never to fail (bytes.Buffer, strings.Builder, hash.Hash).
+// The WAL and snapshot paths survive crashes only if every failed
+// append and sync is observed — a dropped error there converts a full
+// disk into silent data loss.
+func runErrcheckIO(p *pass) {
+	for _, file := range p.pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = stmt.Call
+			case *ast.GoStmt:
+				call = stmt.Call
+			}
+			if call == nil {
+				return true
+			}
+			name, ok := ioCallName(p, call)
+			if !ok {
+				return true
+			}
+			p.report(call.Pos(), CheckErrcheckIO,
+				"error result of %s discarded; check it or acknowledge with `_ =`", name)
+			return true
+		})
+	}
+}
+
+// checkedIONames are the methods/functions whose errors guard
+// durability: WAL appends, snapshot syncs and renames, artifact writes.
+var checkedIONames = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"Flush":       true,
+	"Sync":        true,
+	"Close":       true,
+	"Rename":      true,
+}
+
+// neverFailingReceivers accumulate in memory and document that their
+// write methods always return a nil error.
+var neverFailingReceivers = map[string]bool{
+	"bytes.Buffer":      true,
+	"strings.Builder":   true,
+	"hash.Hash":         true,
+	"hash.Hash32":       true,
+	"hash.Hash64":       true,
+	"hash/maphash.Hash": true,
+}
+
+// ioCallName reports whether call is a checked-IO call returning an
+// error, and renders its name for the diagnostic.
+func ioCallName(p *pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !checkedIONames[sel.Sel.Name] {
+		return "", false
+	}
+	fn, ok := p.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return "", false
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if neverFailingReceivers[t.String()] {
+			return "", false
+		}
+		return typeShortName(t) + "." + fn.Name(), true
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		return pkg.Name() + "." + fn.Name(), true
+	}
+	return fn.Name(), true
+}
+
+// returnsError reports whether the signature's last result is error.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return res.At(res.Len()-1).Type().String() == "error"
+}
+
+// typeShortName renders a receiver type compactly (last path element).
+func typeShortName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return t.String()
+}

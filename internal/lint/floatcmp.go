@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runFloatCmp flags == and != between float-typed operands. The tuner's
+// keep-best logic and the store's version/perf merges must compare
+// floats with ordered operators or an explicit epsilon: exact equality
+// on computed floats silently diverges across optimization levels and
+// architectures, which breaks the byte-identical-results contract.
+// Intentional exact comparisons (sentinel values, tie-breaks on values
+// produced by identical arithmetic) carry an
+// `arcslint:ignore floatcmp <reason>` suppression.
+func runFloatCmp(p *pass) {
+	for _, file := range p.pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.pkg.Info.TypeOf(be.X)) && !isFloat(p.pkg.Info.TypeOf(be.Y)) {
+				return true
+			}
+			// Two untyped constants compare at compile time.
+			if p.pkg.Info.Types[be.X].Value != nil && p.pkg.Info.Types[be.Y].Value != nil {
+				return true
+			}
+			p.report(be.OpPos, CheckFloatCmp,
+				"%s between float operands; use an ordered comparison or an epsilon (or suppress with a reason)", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

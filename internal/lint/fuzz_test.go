@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDirective hardens the suppression-directive parser: whatever
+// bytes appear after //arcslint:, the parser must return a structured
+// directive or an error — never panic, and never both.
+func FuzzParseDirective(f *testing.F) {
+	seeds := []string{
+		"// ordinary comment",
+		"//arcslint:ignore floatcmp exact tie-break",
+		"//arcslint:ignore all harness-controlled",
+		"//arcslint:ignore guardedby constructor; not escaped",
+		"//arcslint:locked mu",
+		"//arcslint:locked walMu caller holds it",
+		"//arcslint:ignore",
+		"//arcslint:ignore floatcmp",
+		"//arcslint:ignore nosuch reason",
+		"//arcslint:locked 9bad",
+		"//arcslint:",
+		"//arcslint:\x00\xff",
+		"//arcslint:ignore\tfloatcmp\ttabbed reason",
+		"//arcslint:locked µtex",
+		strings.Repeat("//arcslint:ignore floatcmp ", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := parseDirective(text)
+		if d != nil && err != nil {
+			t.Fatalf("parseDirective(%q) returned both a directive and an error", text)
+		}
+		if !strings.HasPrefix(text, directivePrefix) {
+			if d != nil || err != nil {
+				t.Fatalf("parseDirective(%q): non-directive comment produced output", text)
+			}
+			return
+		}
+		if d == nil {
+			return // malformed: reported as a finding by the driver
+		}
+		switch d.verb {
+		case verbIgnore:
+			if d.check != "all" && !validChecks[d.check] {
+				t.Fatalf("parseDirective(%q) accepted unknown check %q", text, d.check)
+			}
+			if d.reason == "" {
+				t.Fatalf("parseDirective(%q) accepted an ignore without a reason", text)
+			}
+		case verbLocked:
+			if !isIdent(d.mu) {
+				t.Fatalf("parseDirective(%q) accepted invalid mutex name %q", text, d.mu)
+			}
+		default:
+			t.Fatalf("parseDirective(%q) returned unknown verb %q", text, d.verb)
+		}
+	})
+}
+
+// FuzzParsePolicy hardens the policy-table parser the same way:
+// arbitrary input must yield a valid table or an error, and the
+// resulting table must answer ChecksFor without panicking.
+func FuzzParsePolicy(f *testing.F) {
+	seeds := []string{
+		"",
+		"# just a comment\n",
+		"arcs/... guardedby",
+		"arcs/internal/sim determinism,floatcmp\narcs/internal/store errcheck-io",
+		"... guardedby",
+		"arcs/internal/sim",
+		"arcs/internal/sim nosuchcheck",
+		"a b c",
+		"arcs/inter...nal floatcmp",
+		"\x00 \xff",
+		"arcs/... determinism,determinism,determinism",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		pol, err := ParsePolicy(src)
+		if err != nil {
+			if len(pol.Rules) != 0 {
+				t.Fatalf("ParsePolicy error carried a non-empty table")
+			}
+			return
+		}
+		for _, r := range pol.Rules {
+			if len(r.Checks) == 0 {
+				t.Fatalf("ParsePolicy accepted rule with no checks: %+v", r)
+			}
+			for _, c := range r.Checks {
+				if !validChecks[c] {
+					t.Fatalf("ParsePolicy accepted unknown check %q", c)
+				}
+			}
+		}
+		for _, path := range []string{"arcs", "arcs/internal/sim", "x/y/z", ""} {
+			_ = pol.ChecksFor(path)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// runGuardedBy enforces the mutex-annotation convention: a struct field
+// whose doc or trailing comment says "guarded by <mu>" may only be
+// accessed in functions that lock <mu> (Lock or RLock, on any path —
+// this is a convention check, not a path-sensitive race prover), or in
+// functions whose doc comment carries an `arcslint:locked <mu>`
+// directive declaring that the caller holds the lock. Composite-literal
+// construction (e.g. &Cache{vals: ...}) is exempt: a value that has not
+// escaped yet cannot be raced on.
+func runGuardedBy(p *pass) {
+	guarded := collectGuardedFields(p)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, file := range p.pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			locked := make(map[string]bool)
+			for _, mu := range lockedMutexes(fd.Doc) {
+				locked[mu] = true
+			}
+			collectLockCalls(p, fd.Body, locked)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := p.pkg.Info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				mu, ok := guarded[s.Obj()]
+				if !ok || locked[mu] {
+					return true
+				}
+				p.report(sel.Sel.Pos(), CheckGuardedBy,
+					"field %s is guarded by %s, but %s neither locks it nor declares arcslint:locked %s",
+					s.Obj().Name(), mu, fd.Name.Name, mu)
+				return true
+			})
+		}
+	}
+}
+
+var guardedByRe = regexp.MustCompile(`(?i)\bguarded by (\w+)`)
+
+// collectGuardedFields maps each annotated struct field object to the
+// name of the mutex that guards it.
+func collectGuardedFields(p *pass) map[types.Object]string {
+	guarded := make(map[types.Object]string)
+	for _, file := range p.pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardAnnotation(fld.Doc)
+				if mu == "" {
+					mu = guardAnnotation(fld.Comment)
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := p.pkg.Info.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func guardAnnotation(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+// collectLockCalls records the names of mutex fields (or local mutex
+// variables) on which the body calls Lock or RLock.
+func collectLockCalls(p *pass, body *ast.BlockStmt, locked map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if !isMutexType(p.pkg.Info.TypeOf(sel.X)) {
+			return true
+		}
+		switch recv := sel.X.(type) {
+		case *ast.SelectorExpr:
+			locked[recv.Sel.Name] = true
+		case *ast.Ident:
+			locked[recv.Name] = true
+		}
+		return true
+	})
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	s := t.String()
+	return s == "sync.Mutex" || s == "sync.RWMutex" ||
+		strings.HasSuffix(s, "/sync.Mutex") || strings.HasSuffix(s, "/sync.RWMutex")
+}

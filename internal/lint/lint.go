@@ -1,0 +1,246 @@
+// Package lint implements arcslint, the repository's domain-specific
+// static analyzer. The simulator/search stack makes two promises the Go
+// compiler cannot check: results are deterministic (byte-identical
+// winners, eval counts, and BENCH artifacts at any batch width — the
+// analogue of the paper's repeatable per-region measurements), and the
+// concurrent layers (sharded store, single-flight eval cache, server
+// metrics) are data-race free by convention, not merely under whatever
+// schedule `-race` happens to execute. arcslint turns those conventions
+// into mechanical rules enforced in CI.
+//
+// Four analyzers ship today (see DESIGN.md §9 for the full contract):
+//
+//   - determinism: in deterministic packages, forbids wall-clock reads
+//     (time.Now/Since/Until), the global math/rand functions (seeded
+//     *rand.Rand instances are fine), and map iteration feeding an
+//     order-sensitive sink (append/Fprintf/Encode) without a sort.
+//   - guardedby: struct fields annotated `// guarded by <mu>` may only
+//     be touched by functions that lock <mu> or that carry an
+//     `arcslint:locked <mu>` annotation declaring the caller holds it.
+//   - errcheck-io: Write/Flush/Sync/Close/Rename error results in the
+//     WAL/snapshot/artifact paths must be checked or explicitly
+//     discarded with `_ =`.
+//   - floatcmp: == and != between float operands (tuner and keep-best
+//     comparisons must be ordered or epsilon-based).
+//
+// Findings are suppressed line-by-line with a trailing (or
+// immediately-preceding) comment of the form
+//
+//	//arcslint:ignore <check> <reason>
+//
+// and which checks run in which package is decided by the Policy table
+// (see policy.go). A malformed arcslint: directive is itself a finding
+// (check "directive"): a typo must fail CI, not silently suppress
+// nothing.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a position, the check that fired, and a
+// human-readable message. The rendered form is
+// "file:line:col: [check] message".
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// pass is the per-package context handed to each analyzer.
+type pass struct {
+	pkg    *Package
+	report func(pos token.Pos, check, format string, args ...any)
+}
+
+func (p *pass) position(pos token.Pos) token.Position {
+	return p.pkg.Fset.Position(pos)
+}
+
+// analyzer is one named check.
+type analyzer struct {
+	name string
+	run  func(*pass)
+}
+
+// analyzers is the registry, in reporting-priority order.
+var analyzers = []analyzer{
+	{CheckDeterminism, runDeterminism},
+	{CheckGuardedBy, runGuardedBy},
+	{CheckErrcheckIO, runErrcheckIO},
+	{CheckFloatCmp, runFloatCmp},
+}
+
+// Run lints the module rooted at root. Patterns are module-relative:
+// "./..." selects every package; "./internal/store" one package;
+// "./internal/..." a subtree; a full import path works too. Findings
+// come back sorted by file, line, column.
+func Run(root string, patterns []string, pol Policy) ([]Finding, error) {
+	ld, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := ld.resolve(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, path := range paths {
+		checks := pol.ChecksFor(path)
+		if len(checks) == 0 {
+			continue
+		}
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: load %s: %w", path, err)
+		}
+		out = append(out, Analyze(pkg, checks)...)
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+// Analyze runs the named checks over one loaded package, applies the
+// package's arcslint:ignore suppressions, and appends a "directive"
+// finding for every malformed arcslint: comment.
+func Analyze(pkg *Package, checks []string) []Finding {
+	enabled := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		enabled[c] = true
+	}
+	var raw []Finding
+	p := &pass{
+		pkg: pkg,
+		report: func(pos token.Pos, check, format string, args ...any) {
+			raw = append(raw, Finding{
+				Pos:     pkg.Fset.Position(pos),
+				Check:   check,
+				Message: fmt.Sprintf(format, args...),
+			})
+		},
+	}
+	for _, a := range analyzers {
+		if enabled[a.name] {
+			a.run(p)
+		}
+	}
+	ignores, malformed := scanDirectives(pkg)
+	out := malformed
+	for _, f := range raw {
+		if !ignores.suppresses(f) {
+			out = append(out, f)
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+}
+
+// ignoreSet indexes arcslint:ignore directives by file and line.
+type ignoreSet map[string]map[int]map[string]bool // file -> line -> check set
+
+func (s ignoreSet) add(file string, line int, check string) {
+	lines := s[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		s[file] = lines
+	}
+	checks := lines[line]
+	if checks == nil {
+		checks = make(map[string]bool)
+		lines[line] = checks
+	}
+	checks[check] = true
+}
+
+// suppresses reports whether a directive covers the finding: an ignore
+// for its check (or "all") on the finding's own line (trailing comment)
+// or the line above (standalone comment).
+func (s ignoreSet) suppresses(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		if checks := lines[line]; checks != nil && (checks[f.Check] || checks["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanDirectives walks every comment in the package, indexing
+// well-formed ignore directives and reporting malformed ones. The
+// "directive" check cannot be suppressed: a broken suppression must
+// surface, not hide itself.
+func scanDirectives(pkg *Package) (ignoreSet, []Finding) {
+	ignores := make(ignoreSet)
+	var malformed []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				d, err := parseDirective(c.Text)
+				if err != nil {
+					malformed = append(malformed, Finding{
+						Pos:     pkg.Fset.Position(c.Pos()),
+						Check:   CheckDirective,
+						Message: err.Error(),
+					})
+					continue
+				}
+				if d.verb == verbIgnore {
+					pos := pkg.Fset.Position(c.Pos())
+					ignores.add(pos.Filename, pos.Line, d.check)
+				}
+				// locked directives are consumed by the guardedby
+				// analyzer, which re-parses function doc comments.
+			}
+		}
+	}
+	return ignores, malformed
+}
+
+// lockedMutexes returns the mutex names a function declares as held by
+// its caller via arcslint:locked directives in its doc comment.
+func lockedMutexes(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		d, err := parseDirective(c.Text)
+		if err != nil || d == nil {
+			continue // malformed ones are reported by scanDirectives
+		}
+		if d.verb == verbLocked {
+			out = append(out, d.mu)
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, with the type
+// information the analyzers consume.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader discovers and type-checks the packages of one module. It is
+// itself the types.Importer for module-internal imports, so every
+// package in the module is type-checked exactly once and shared; the
+// standard library is delegated to the stdlib source importer (no
+// dependency on compiled export data, no new go.mod entries).
+type loader struct {
+	fset    *token.FileSet
+	std     types.Importer
+	modRoot string
+	modPath string
+	pkgs    map[string]*Package
+	loading map[string]bool // import-cycle guard
+}
+
+var moduleDirective = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// FindModuleRoot walks up from dir to the directory holding go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+func newLoader(modRoot string) (*loader, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: read go.mod: %w", err)
+	}
+	m := moduleDirective.FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", modRoot)
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		modRoot: modRoot,
+		modPath: string(m[1]),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Import implements types.Importer: module-internal paths are loaded by
+// this loader (shared with the analysis passes), everything else goes
+// to the stdlib source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one module package by import path.
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.modRoot
+	if path != l.modPath {
+		rel := strings.TrimPrefix(path, l.modPath+"/")
+		dir = filepath.Join(l.modRoot, filepath.FromSlash(rel))
+	}
+	pkg, err := loadDir(l.fset, l, dir, path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path, resolving imports against the standard library
+// only. Tests use it to load analyzer corpus packages from testdata
+// (which the module's own package walk deliberately skips).
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	return loadDir(fset, importer.ForCompiler(fset, "source", nil), dir, importPath)
+}
+
+func loadDir(fset *token.FileSet, imp types.Importer, dir, importPath string) (*Package, error) {
+	names, err := goSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no non-test Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// goSources lists the buildable non-test Go files in dir, sorted.
+func goSources(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ListPackages resolves patterns against the module rooted at root and
+// returns the matching import paths without type-checking anything
+// (used by cmd/arcslint -list-packages to introspect the policy).
+func ListPackages(root string, patterns []string) ([]string, error) {
+	ld, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	return ld.resolve(patterns)
+}
+
+// listPackages walks the module tree and returns the import path of
+// every package directory, skipping testdata, vendor, hidden and
+// underscore directories.
+func (l *loader) listPackages() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.modRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.modRoot && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goSources(path)
+		if err != nil || len(names) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.modRoot, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, l.modPath)
+		} else {
+			out = append(out, l.modPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// resolve expands the command-line patterns into import paths.
+// "./..." (or "...") selects the whole module; "./x/..." a subtree;
+// "./x/y" or a full import path a single package.
+func (l *loader) resolve(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	all, err := l.listPackages()
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool)
+	for _, pat := range patterns {
+		importPat := pat
+		if pat == "." || pat == "./..." || pat == "..." {
+			importPat = l.modPath + "/..."
+		} else if rest, ok := strings.CutPrefix(pat, "./"); ok {
+			importPat = l.modPath + "/" + strings.TrimSuffix(filepath.ToSlash(rest), "/")
+		}
+		matched := false
+		for _, path := range all {
+			if matchPattern(importPat, path) {
+				set[path] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}

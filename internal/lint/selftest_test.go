@@ -1,0 +1,61 @@
+package lint
+
+import "testing"
+
+// TestRepoIsClean runs the full arcslint suite over the real module
+// with the CI policy and requires zero findings — the same gate CI
+// applies with `go run ./cmd/arcslint ./...`. A failure here means a
+// change broke one of the static contracts (or needs an explicit,
+// reasoned suppression).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	findings, err := Run(root, []string{"./..."}, DefaultPolicy())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestListPackagesCoversConcurrentPackages pins the policy table to the
+// packages whose concurrency contracts CI must exercise: if one of
+// these ever drops out of the module walk, the race gate in CI would
+// silently shrink.
+func TestListPackagesCoversConcurrentPackages(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	paths, err := ListPackages(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("ListPackages: %v", err)
+	}
+	have := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		have[p] = true
+	}
+	for _, want := range []string{
+		"arcs/internal/store",
+		"arcs/internal/evalcache",
+		"arcs/internal/server",
+		"arcs/internal/harmony",
+		"arcs/internal/lint",
+		"arcs/cmd/arcslint",
+	} {
+		if !have[want] {
+			t.Errorf("module walk lost package %s", want)
+		}
+	}
+	for _, p := range paths {
+		if len(DefaultPolicy().ChecksFor(p)) == 0 {
+			t.Errorf("package %s matches no policy rule; every module package must at least carry guardedby", p)
+		}
+	}
+}

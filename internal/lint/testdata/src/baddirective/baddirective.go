@@ -1,0 +1,29 @@
+// Package baddirective is the directive-parser corpus: malformed
+// arcslint: comments must surface as findings instead of silently
+// suppressing nothing.
+package baddirective
+
+func missingEverything() int {
+	//arcslint:ignore
+	return 1
+}
+
+func unknownCheck() int {
+	//arcslint:ignore nosuchcheck some reason
+	return 2
+}
+
+func missingReason() int {
+	//arcslint:ignore floatcmp
+	return 3
+}
+
+func unknownVerb() int {
+	//arcslint:frobnicate all day
+	return 4
+}
+
+//arcslint:locked
+func missingMutex() int {
+	return 5
+}

@@ -1,0 +1,49 @@
+// Package errio is the errcheck-io corpus: dropped Write/Flush/Sync/
+// Close/Rename errors must be caught; checked, blank-assigned,
+// never-failing, and suppressed calls pass.
+package errio
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+)
+
+func drops(f *os.File) {
+	f.Close() // want errcheck-io
+}
+
+func deferredDrop(f *os.File) {
+	defer f.Sync() // want errcheck-io
+}
+
+func flushDrop(w *bufio.Writer) {
+	w.Flush() // want errcheck-io
+}
+
+func renameDrop() {
+	os.Rename("a", "b") // want errcheck-io
+}
+
+func checked(f *os.File) error {
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func acknowledged(f *os.File) {
+	_ = f.Close() // ok: explicit discard
+}
+
+func neverFails(b *bytes.Buffer) {
+	b.WriteString("in-memory writes cannot fail") // ok: bytes.Buffer
+}
+
+func noErrorResult(f *os.File) {
+	f.Name() // ok: not a checked method
+}
+
+func suppressed(f *os.File) {
+	f.Close() //arcslint:ignore errcheck-io corpus: best-effort close on an error path
+}

@@ -1,0 +1,36 @@
+// Package fcmp is the floatcmp corpus: ==/!= between float operands
+// must be caught; ordered comparisons, integer equality, epsilon
+// patterns, and suppressed lines pass.
+package fcmp
+
+func eq(a, b float64) bool {
+	return a == b // want floatcmp
+}
+
+func ne(a, b float32) bool {
+	return a != b // want floatcmp
+}
+
+func zeroSentinel(a float64) bool {
+	return a == 0 // want floatcmp
+}
+
+func ordered(a, b float64) bool {
+	return a <= b // ok
+}
+
+func ints(a, b int) bool {
+	return a == b // ok: integer equality is exact
+}
+
+func epsilon(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9 // ok
+}
+
+func suppressed(a, b float64) bool {
+	return a == b //arcslint:ignore floatcmp corpus: exact tie-break is intentional
+}

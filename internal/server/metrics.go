@@ -25,9 +25,9 @@ type metrics struct {
 	searchErrors, reported  atomic.Uint64
 
 	mu       sync.Mutex
-	requests map[reqKey]uint64
-	latSum   map[string]float64 // endpoint -> seconds
-	latCount map[string]uint64  // endpoint -> observations
+	requests map[reqKey]uint64  // guarded by mu
+	latSum   map[string]float64 // endpoint -> seconds; guarded by mu
+	latCount map[string]uint64  // endpoint -> observations; guarded by mu
 }
 
 func newMetrics() *metrics {

@@ -55,7 +55,7 @@ type Server struct {
 	evc      *evalcache.Cache // probe memoisation for the default searcher
 
 	sfMu     sync.Mutex
-	inflight map[string]*flight
+	inflight map[string]*flight // guarded by sfMu
 }
 
 // flight is one in-progress server-side search; latecomers for the same

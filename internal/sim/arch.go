@@ -129,6 +129,7 @@ func (a *Arch) Validate() error {
 		return fmt.Errorf("sim: %s: bad cache geometry", a.Name)
 	case len(a.SMTYield) != a.ThreadsPerCore:
 		return fmt.Errorf("sim: %s: SMTYield has %d entries, want %d", a.Name, len(a.SMTYield), a.ThreadsPerCore)
+	//arcslint:ignore floatcmp validating a hand-written table entry against an exact constant
 	case a.SMTYield[0] != 1:
 		return fmt.Errorf("sim: %s: SMTYield[0] must be 1", a.Name)
 	case a.MemBWGBs <= 0:

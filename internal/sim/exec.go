@@ -105,6 +105,7 @@ type threadState struct {
 type threadHeap []threadState
 
 func (h threadHeap) less(i, j int) bool {
+	//arcslint:ignore floatcmp exact equality defines the deterministic tie-break order
 	if h[i].avail != h[j].avail {
 		return h[i].avail < h[j].avail
 	}
@@ -279,6 +280,7 @@ func (m *Machine) dispatchEqualChunks(busy, finish []float64, n int, cS, cLastS 
 				continue
 			}
 			last := finish[i] + float64(k[i]-1)*cS
+			//arcslint:ignore floatcmp exact tie-break between identically computed finish times
 			if !found || last > worst || (last == worst && i > drop) {
 				drop, worst, found = i, last, true
 			}
@@ -298,6 +300,7 @@ func (m *Machine) dispatchEqualChunks(busy, finish []float64, n int, cS, cLastS 
 			continue
 		}
 		last := finish[i] + float64(k[i]-1)*cS
+		//arcslint:ignore floatcmp exact tie-break between identically computed finish times
 		if !found || last > worst || (last == worst && i > owner) {
 			owner, worst, found = i, last, true
 		}
@@ -633,7 +636,7 @@ func (m *Machine) ProbeLoop(lm *LoopModel, cfg Config) (ExecResult, error) {
 	// Run-to-run measurement noise (1 unless enabled): scales the whole
 	// execution uniformly, leaving power and miss rates unchanged.
 	nf := m.noiseFactor()
-	if nf != 1 {
+	if nf != 1 { //arcslint:ignore floatcmp 1 is the noise-disabled sentinel, returned verbatim
 		regionEnd *= nf
 		energy *= nf
 		loopEnd *= nf

@@ -121,7 +121,7 @@ func (m *Machine) placement(t int, bind BindPolicy) (Placement, error) {
 // limit (run at TDP). Architectures without capping privilege (Minotaur)
 // reject non-zero caps, mirroring the paper's experimental constraints.
 func (m *Machine) SetPowerCap(w float64) error {
-	if w == 0 {
+	if w == 0 { //arcslint:ignore floatcmp 0 is the uncap sentinel, passed verbatim by callers
 		m.capW = 0
 		return nil
 	}
@@ -140,20 +140,22 @@ func (m *Machine) SetPowerCap(w float64) error {
 
 // PowerCap returns the effective package limit in watts (TDP if uncapped).
 func (m *Machine) PowerCap() float64 {
-	if m.capW == 0 {
+	if m.capW == 0 { //arcslint:ignore floatcmp 0 is the uncap sentinel, assigned verbatim
 		return m.arch.TDPW
 	}
 	return m.capW
 }
 
 // Capped reports whether an explicit cap below TDP is in force.
+//
+//arcslint:ignore floatcmp 0 is the uncap sentinel, assigned verbatim
 func (m *Machine) Capped() bool { return m.capW != 0 && m.capW < m.arch.TDPW }
 
 // SetUserFreqGHz requests a frequency ceiling below the DVFS governor's
 // choice — the paper's §VII future-work DVFS policy. Zero clears the
 // request. Requests outside [MinGHz, BaseGHz] are rejected.
 func (m *Machine) SetUserFreqGHz(f float64) error {
-	if f == 0 {
+	if f == 0 { //arcslint:ignore floatcmp 0 is the clear-request sentinel, passed verbatim
 		m.userGHz = 0
 		return nil
 	}

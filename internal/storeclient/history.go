@@ -26,7 +26,7 @@ type History struct {
 	timeout time.Duration
 
 	mu      sync.Mutex
-	lastErr error
+	lastErr error // guarded by mu
 }
 
 // HistoryOption configures a History.
