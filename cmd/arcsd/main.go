@@ -42,6 +42,10 @@ func main() {
 		"max evaluations per region for server-side searches on total misses (0 disables)")
 	flag.IntVar(&cfg.searchParallelism, "search-parallelism", 0,
 		"concurrent candidate probes per server-side search (0 = GOMAXPROCS, 1 = serial)")
+	flag.IntVar(&cfg.maxSearches, "max-searches", server.DefaultMaxConcurrentSearches,
+		"max concurrent server-side searches before requests are shed with 429 (negative = unbounded)")
+	flag.DurationVar(&cfg.searchTimeout, "search-timeout", server.DefaultSearchTimeout,
+		"deadline per server-side search (negative disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -59,6 +63,8 @@ type daemonCfg struct {
 	snapshotEvery     int
 	searchBudget      int
 	searchParallelism int
+	maxSearches       int
+	searchTimeout     time.Duration
 }
 
 // serve runs the daemon until ctx is cancelled. ready, when non-nil, is
@@ -73,9 +79,11 @@ func serve(ctx context.Context, cfg daemonCfg, logger *log.Logger, ready func(ad
 	logger.Printf("store %s: %d entries", cfg.storeDir, st.Len())
 
 	srv := server.New(server.Config{
-		Store:             st,
-		SearchBudget:      cfg.searchBudget,
-		SearchParallelism: cfg.searchParallelism,
+		Store:                 st,
+		SearchBudget:          cfg.searchBudget,
+		SearchParallelism:     cfg.searchParallelism,
+		MaxConcurrentSearches: cfg.maxSearches,
+		SearchTimeout:         cfg.searchTimeout,
 	})
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

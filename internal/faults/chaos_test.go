@@ -1,0 +1,218 @@
+// End-to-end chaos soak: a real store, a real arcsd handler, and a real
+// storeclient wired through the fault-injecting transport. The test
+// walks the full degradation story — healthy serving, a network fault
+// burst that trips the client's circuit breaker, local-fallback serving
+// while the breaker is open, then a half-open probe and reconvergence
+// once the faults lift. Everything is driven by one logged seed
+// (override with ARCS_CHAOS_SEED) and a fake breaker clock, so a run is
+// reproducible byte-for-byte, including under -race.
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/faults"
+	"arcs/internal/server"
+	"arcs/internal/store"
+	"arcs/internal/storeclient"
+)
+
+// fakeClock is a manually advanced clock for the breaker.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestChaosSoakBreakerDegradesAndReconverges(t *testing.T) {
+	seed := faults.SeedFromEnv(42)
+	t.Logf("chaos seed %d (rerun with ARCS_CHAOS_SEED=%d)", seed, seed)
+
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := httptest.NewServer(server.New(server.Config{Store: st}))
+	defer ts.Close()
+
+	inj := faults.New(seed)
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	const openFor = 10 * time.Second
+	client := storeclient.New(ts.URL,
+		storeclient.WithHTTPClient(&http.Client{Transport: faults.NewTransport(inj, nil)}),
+		storeclient.WithRetries(1),
+		storeclient.WithBackoff(time.Millisecond),
+		storeclient.WithMaxBackoff(2*time.Millisecond),
+		storeclient.WithJitterSeed(seed),
+		storeclient.WithBreaker(3, openFor),
+		storeclient.WithBreakerClock(clock.now),
+	)
+	hist := storeclient.NewHistory(client, storeclient.WithTimeout(5*time.Second))
+	k1 := arcs.HistoryKey{App: "SP", Workload: "B", CapW: 70, Region: "r0"}
+	k2 := arcs.HistoryKey{App: "SP", Workload: "B", CapW: 80, Region: "r0"}
+
+	// Phase 1 — healthy: a save round-trips to the server and loads back.
+	hist.Save(k1, arcs.ConfigValues{Threads: 16, Chunk: 8}, 1.5)
+	if cfg, ok := hist.Load(k1); !ok || cfg.Threads != 16 {
+		t.Fatalf("healthy load = %+v ok=%v", cfg, ok)
+	}
+	if err := hist.Err(); err != nil {
+		t.Fatalf("healthy phase recorded error: %v", err)
+	}
+	if state, _ := client.BreakerState(); state != "closed" {
+		t.Fatalf("breaker %s before any fault", state)
+	}
+
+	// Phase 2 — fault burst: every request dies with a connection reset.
+	// k1 is already mirrored locally (every Save is), so the tuner's own
+	// keys still answer; a key this process never saved is a true miss.
+	inj.Add(faults.Rule{Op: faults.OpHTTP, Kind: faults.Reset})
+	foreign := arcs.HistoryKey{App: "BT", Workload: "C", CapW: 90, Region: "zz"}
+	for i := 0; i < 3; i++ {
+		if _, ok := hist.Load(foreign); ok {
+			t.Fatalf("load %d of a never-saved key succeeded through a dead network", i)
+		}
+	}
+	if cfg, ok := hist.Load(k1); !ok || cfg.Threads != 16 {
+		t.Fatalf("own key unavailable during fault burst: %+v ok=%v", cfg, ok)
+	}
+	if err := hist.Err(); !errors.Is(err, faults.ErrReset) {
+		t.Fatalf("fault burst surfaced %v, want a connection reset", err)
+	}
+	if state, opens := client.BreakerState(); state != "open" || opens != 1 {
+		t.Fatalf("breaker %s/%d after 3 consecutive failures, want open/1", state, opens)
+	}
+
+	// Phase 3 — breaker open: the client sheds locally, with zero traffic
+	// reaching the transport, and the tuner keeps working from its own
+	// saves at memory speed.
+	attemptsBefore := inj.Seen(faults.OpHTTP)
+	hist.Save(k2, arcs.ConfigValues{Threads: 24, Chunk: 4}, 1.2)
+	if cfg, ok := hist.Load(k2); !ok || cfg.Threads != 24 {
+		t.Fatalf("local fallback load = %+v ok=%v", cfg, ok)
+	}
+	if cfg, dist, ok := hist.LoadNearest(arcs.HistoryKey{App: "SP", Workload: "B", CapW: 78, Region: "r0"}); !ok || dist != 2 || cfg.Threads != 24 {
+		t.Fatalf("local nearest = %+v dist=%v ok=%v, want the cap-80 entry at distance 2", cfg, dist, ok)
+	}
+	if hist.LocalAnswers() < 2 {
+		t.Fatalf("LocalAnswers = %d, want >= 2", hist.LocalAnswers())
+	}
+	if got := inj.Seen(faults.OpHTTP); got != attemptsBefore {
+		t.Fatalf("breaker-open phase leaked %d requests to the network", got-attemptsBefore)
+	}
+	if err := hist.Err(); err != nil {
+		t.Fatalf("breaker sheds must not be recorded as errors, got %v", err)
+	}
+	if err := client.Health(context.Background()); !errors.Is(err, storeclient.ErrBreakerOpen) {
+		t.Fatalf("direct call while open = %v, want ErrBreakerOpen", err)
+	}
+
+	// Phase 4 — faults lift and the cool-down elapses: the next request is
+	// the half-open probe, it succeeds, and the breaker closes.
+	inj.Clear()
+	clock.advance(openFor)
+	if err := client.Health(context.Background()); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if state, _ := client.BreakerState(); state != "closed" {
+		t.Fatalf("breaker %s after successful probe, want closed", state)
+	}
+
+	// Phase 5 — reconvergence: entries saved while degraded reach the
+	// server on the next save round-trip, and remote serving resumes.
+	hist.Save(k2, arcs.ConfigValues{Threads: 24, Chunk: 4}, 1.2)
+	if e, ok := st.Get(k2); !ok || e.Cfg.Threads != 24 {
+		t.Fatalf("k2 never reached the server after recovery: %+v ok=%v", e, ok)
+	}
+	if cfg, ok := hist.Load(k1); !ok || cfg.Threads != 16 {
+		t.Fatalf("remote load after recovery = %+v ok=%v", cfg, ok)
+	}
+	if err := hist.Err(); err != nil {
+		t.Fatalf("recovered phase recorded error: %v", err)
+	}
+	t.Logf("soak complete: %s", inj)
+}
+
+// TestChaosSoakHalfOpenProbeFailureReopens drives the unhappy half-open
+// branch: the probe itself fails, so the breaker re-opens and keeps
+// shedding until the next cool-down.
+func TestChaosSoakHalfOpenProbeFailureReopens(t *testing.T) {
+	seed := faults.SeedFromEnv(43)
+	t.Logf("chaos seed %d (rerun with ARCS_CHAOS_SEED=%d)", seed, seed)
+
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := httptest.NewServer(server.New(server.Config{Store: st}))
+	defer ts.Close()
+
+	inj := faults.New(seed)
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	const openFor = 10 * time.Second
+	client := storeclient.New(ts.URL,
+		storeclient.WithHTTPClient(&http.Client{Transport: faults.NewTransport(inj, nil)}),
+		storeclient.WithRetries(0),
+		storeclient.WithBackoff(time.Millisecond),
+		storeclient.WithJitterSeed(seed),
+		storeclient.WithBreaker(2, openFor),
+		storeclient.WithBreakerClock(clock.now),
+	)
+
+	// Trip the breaker with synthesized 503 bursts instead of resets —
+	// same outcome, different failure mode.
+	inj.Add(faults.Rule{Op: faults.OpHTTP, Kind: faults.Status5xx, RetryAfter: 1})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := client.Health(ctx); err == nil {
+			t.Fatalf("request %d succeeded through a 503 wall", i)
+		}
+	}
+	if state, _ := client.BreakerState(); state != "open" {
+		t.Fatalf("breaker %s, want open", state)
+	}
+
+	// Cool-down elapses but the server is still broken: the probe fails
+	// and the breaker re-opens without letting other traffic through.
+	clock.advance(openFor)
+	if err := client.Health(ctx); err == nil || errors.Is(err, storeclient.ErrBreakerOpen) {
+		t.Fatalf("half-open probe = %v, want a real request failure", err)
+	}
+	if state, opens := client.BreakerState(); state != "open" || opens != 2 {
+		t.Fatalf("breaker %s/%d after failed probe, want open/2", state, opens)
+	}
+	if err := client.Health(ctx); !errors.Is(err, storeclient.ErrBreakerOpen) {
+		t.Fatalf("post-probe request = %v, want ErrBreakerOpen", err)
+	}
+
+	// Second cool-down with the fault lifted: probe succeeds, breaker
+	// closes, traffic flows.
+	inj.Clear()
+	clock.advance(openFor)
+	if err := client.Health(ctx); err != nil {
+		t.Fatalf("recovery probe failed: %v", err)
+	}
+	if state, _ := client.BreakerState(); state != "closed" {
+		t.Fatalf("breaker %s after recovery, want closed", state)
+	}
+}

@@ -1,0 +1,291 @@
+// Package faults is a deterministic, seeded fault-injection subsystem
+// for torturing the arcsd serving chain. It provides three injectable
+// seams:
+//
+//   - FS, a store.FS implementation that injects I/O errors, short/torn
+//     writes, fsync failures, and crash-at-byte-offset truncation into
+//     the knowledge store's durability path;
+//   - Transport, an http.RoundTripper that injects latency, connection
+//     resets, 5xx bursts, and hangs into the storeclient;
+//   - Searcher, a server.Searcher wrapper that makes server-side
+//     searches slow, failing, or panicking.
+//
+// All injection decisions flow through one Injector: an explicitly
+// seeded PRNG plus an ordered fault schedule (Rules). Two runs with the
+// same seed, schedule, and operation sequence make identical decisions,
+// so every chaos failure reproduces from its logged seed. The package is
+// under the repo's arcslint determinism contract: no wall-clock reads
+// and no global math/rand influence any schedule decision.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op identifies a class of injectable operation sites.
+type Op string
+
+const (
+	OpMkdir  Op = "fs.mkdir"
+	OpOpen   Op = "fs.open"
+	OpRead   Op = "fs.read"
+	OpWrite  Op = "fs.write"
+	OpSync   Op = "fs.sync"
+	OpClose  Op = "fs.close"
+	OpRename Op = "fs.rename"
+	OpRemove Op = "fs.remove"
+	OpHTTP   Op = "http.roundtrip"
+	OpSearch Op = "search"
+)
+
+// Kind is the fault a firing rule injects.
+type Kind int
+
+const (
+	// None is the zero value: no fault (an unset rule is invalid).
+	None Kind = iota
+	// Err makes the operation fail with Rule.Err (ErrInjected when unset).
+	Err
+	// ShortWrite persists only half the buffer and fails the write — a
+	// torn WAL line.
+	ShortWrite
+	// Crash arms machine death at Rule.Offset cumulative bytes written to
+	// the matched file: the write reaching the offset is truncated there
+	// and every later operation on the filesystem fails with ErrCrashed.
+	Crash
+	// Latency delays the operation by Rule.Latency, then lets it proceed.
+	Latency
+	// Hang blocks until the request context is done (FS operations, which
+	// have no context, treat Hang as Err).
+	Hang
+	// Status5xx synthesizes an HTTP error response (Rule.Status, default
+	// 503) without touching the network.
+	Status5xx
+	// Reset fails the request with a connection-reset-shaped error.
+	Reset
+	// Panic makes the operation panic — only meaningful for Searcher.
+	Panic
+	kindEnd
+)
+
+var kindNames = [...]string{
+	None: "none", Err: "err", ShortWrite: "short-write", Crash: "crash",
+	Latency: "latency", Hang: "hang", Status5xx: "5xx", Reset: "reset", Panic: "panic",
+}
+
+func (k Kind) String() string {
+	if k < None || k >= kindEnd {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Sentinel errors injected faults resolve to (match with errors.Is).
+var (
+	ErrInjected = errors.New("faults: injected error")
+	ErrCrashed  = errors.New("faults: filesystem crashed")
+	ErrReset    = errors.New("faults: connection reset")
+)
+
+// Rule is one entry of a fault schedule. Rules are evaluated in the
+// order they were added; the first rule that matches an operation fires.
+type Rule struct {
+	// Op selects the operation class (required).
+	Op Op
+	// Kind selects the fault (required).
+	Kind Kind
+	// Match restricts the rule to operations whose target (file path,
+	// URL path, app name) contains this substring; empty matches all.
+	Match string
+	// After skips the first After matching operations of this Op class.
+	After uint64
+	// Count caps how many times the rule fires; 0 is unlimited.
+	Count uint64
+	// Prob fires the rule with this probability per matching operation,
+	// drawn from the injector's seeded PRNG. 0 means always (the common
+	// deterministic-schedule case); values must lie in [0, 1].
+	Prob float64
+	// Latency is the injected delay for Latency kinds.
+	Latency time.Duration
+	// Err overrides the injected error for Err kinds.
+	Err error
+	// Offset is the cumulative-bytes crash point for Crash kinds.
+	Offset int64
+	// Status is the synthesized response code for Status5xx (default 503).
+	Status int
+	// RetryAfter, when positive, adds a Retry-After header (seconds) to
+	// synthesized Status5xx responses.
+	RetryAfter int
+}
+
+func (r Rule) validate() error {
+	if r.Op == "" {
+		return errors.New("faults: rule needs an Op")
+	}
+	if r.Kind <= None || r.Kind >= kindEnd {
+		return fmt.Errorf("faults: rule for %s needs a valid Kind", r.Op)
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("faults: rule for %s: Prob %v outside [0, 1]", r.Op, r.Prob)
+	}
+	if r.Kind == Crash && r.Offset < 0 {
+		return fmt.Errorf("faults: rule for %s: negative crash offset %d", r.Op, r.Offset)
+	}
+	return nil
+}
+
+// decision is one resolved injection outcome handed to a seam.
+type decision struct {
+	kind       Kind
+	err        error
+	latency    time.Duration
+	offset     int64
+	status     int
+	retryAfter int
+}
+
+// errOr returns the rule's error, or fallback when the rule has none.
+func (d decision) errOr(fallback error) error {
+	if d.err != nil {
+		return d.err
+	}
+	return fallback
+}
+
+type ruleState struct {
+	Rule
+	fired uint64 // guarded by mu (the owning Injector's)
+}
+
+// Injector makes every injection decision from one seeded PRNG and one
+// ordered schedule. It is safe for concurrent use; decisions are
+// serialised, so a single-goroutine operation sequence is perfectly
+// reproducible and a concurrent one is reproducible per interleaving.
+type Injector struct {
+	seed int64
+
+	mu       sync.Mutex
+	rng      *rand.Rand    // guarded by mu
+	rules    []*ruleState  // guarded by mu
+	seen     map[Op]uint64 // operations observed; guarded by mu
+	injected map[Op]uint64 // faults fired; guarded by mu
+}
+
+// New creates an Injector with an explicit seed. The seed is the whole
+// identity of a chaos run: log it on failure, rerun with it to reproduce.
+func New(seed int64) *Injector {
+	return &Injector{
+		seed:     seed,
+		rng:      rand.New(rand.NewSource(seed)),
+		seen:     make(map[Op]uint64),
+		injected: make(map[Op]uint64),
+	}
+}
+
+// Seed returns the seed the injector was built with.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// Add appends a rule to the schedule. It panics on an invalid rule — a
+// malformed chaos schedule is a programming error, not a runtime
+// condition to limp past.
+func (in *Injector) Add(r Rule) {
+	if err := r.validate(); err != nil {
+		panic(err)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &ruleState{Rule: r})
+}
+
+// Clear drops every rule: the faults "lift" and all operations pass
+// through untouched. Counters are retained.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// Seen reports how many operations of a class were observed.
+func (in *Injector) Seen(op Op) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seen[op]
+}
+
+// Injected reports how many faults fired for a class.
+func (in *Injector) Injected(op Op) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected[op]
+}
+
+// String summarises seed and per-op counters (deterministically ordered).
+func (in *Injector) String() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ops := make([]string, 0, len(in.seen))
+	for op := range in.seen {
+		ops = append(ops, string(op))
+	}
+	sort.Strings(ops)
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults.Injector(seed=%d", in.seed)
+	for _, op := range ops {
+		fmt.Fprintf(&b, " %s=%d/%d", op, in.injected[Op(op)], in.seen[Op(op)])
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// decide records one operation and resolves the first matching rule.
+func (in *Injector) decide(op Op, target string) decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seen[op]++
+	n := in.seen[op]
+	for _, rs := range in.rules {
+		if rs.Op != op {
+			continue
+		}
+		if rs.Match != "" && !strings.Contains(target, rs.Match) {
+			continue
+		}
+		if n <= rs.After {
+			continue
+		}
+		if rs.Count > 0 && rs.fired >= rs.Count {
+			continue
+		}
+		if rs.Prob > 0 && rs.Prob < 1 && in.rng.Float64() >= rs.Prob {
+			continue
+		}
+		rs.fired++
+		in.injected[op]++
+		return decision{
+			kind: rs.Kind, err: rs.Err, latency: rs.Latency,
+			offset: rs.Offset, status: rs.Status, retryAfter: rs.RetryAfter,
+		}
+	}
+	return decision{}
+}
+
+// SeedFromEnv returns the chaos seed from $ARCS_CHAOS_SEED, or fallback
+// when the variable is unset or unparsable. CI's chaos job pins the seed
+// for the reproducible pass and logs the randomized one so any failure
+// can be rerun exactly.
+func SeedFromEnv(fallback int64) int64 {
+	if v := os.Getenv("ARCS_CHAOS_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return fallback
+}

@@ -1,0 +1,159 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuleMatchingOrderAndFilters(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Op: OpWrite, Kind: Err, Match: "wal", Count: 1})
+	in.Add(Rule{Op: OpWrite, Kind: ShortWrite})
+
+	// Non-matching target skips the first rule and hits the second.
+	if d := in.decide(OpWrite, "snapshot.json"); d.kind != ShortWrite {
+		t.Fatalf("snapshot write resolved to %v, want short-write", d.kind)
+	}
+	// Matching target hits the first rule, once.
+	if d := in.decide(OpWrite, "wal.jsonl"); d.kind != Err {
+		t.Fatalf("wal write resolved to %v, want err", d.kind)
+	}
+	if d := in.decide(OpWrite, "wal.jsonl"); d.kind != ShortWrite {
+		t.Fatalf("second wal write resolved to %v, want short-write (Count=1 exhausted)", d.kind)
+	}
+	// Other op classes are untouched.
+	if d := in.decide(OpSync, "wal.jsonl"); d.kind != None {
+		t.Fatalf("sync resolved to %v, want none", d.kind)
+	}
+	if got := in.Seen(OpWrite); got != 3 {
+		t.Fatalf("Seen(write) = %d, want 3", got)
+	}
+	if got := in.Injected(OpWrite); got != 3 {
+		t.Fatalf("Injected(write) = %d, want 3", got)
+	}
+}
+
+func TestAfterSkipsEarlyOperations(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Op: OpHTTP, Kind: Reset, After: 2})
+	for i := 0; i < 2; i++ {
+		if d := in.decide(OpHTTP, "/v1/config"); d.kind != None {
+			t.Fatalf("op %d resolved to %v, want none (After=2)", i+1, d.kind)
+		}
+	}
+	if d := in.decide(OpHTTP, "/v1/config"); d.kind != Reset {
+		t.Fatalf("op 3 resolved to %v, want reset", d.kind)
+	}
+}
+
+func TestProbIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []Kind {
+		in := New(seed)
+		in.Add(Rule{Op: OpHTTP, Kind: Status5xx, Prob: 0.5})
+		out := make([]Kind, 64)
+		for i := range out {
+			out[i] = in.decide(OpHTTP, "x").kind
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 64-op schedules; PRNG not wired to seed")
+	}
+	fired := 0
+	for _, k := range a {
+		if k != None {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("Prob=0.5 fired %d/%d times; probability gate not applied", fired, len(a))
+	}
+}
+
+func TestClearLiftsFaults(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Op: OpSearch, Kind: Panic})
+	if d := in.decide(OpSearch, "SP"); d.kind != Panic {
+		t.Fatalf("resolved to %v, want panic", d.kind)
+	}
+	in.Clear()
+	if d := in.decide(OpSearch, "SP"); d.kind != None {
+		t.Fatalf("post-Clear resolved to %v, want none", d.kind)
+	}
+	// Counters survive the clear.
+	if in.Seen(OpSearch) != 2 || in.Injected(OpSearch) != 1 {
+		t.Fatalf("counters = %d seen / %d injected, want 2/1", in.Seen(OpSearch), in.Injected(OpSearch))
+	}
+}
+
+func TestInvalidRulesPanic(t *testing.T) {
+	for _, r := range []Rule{
+		{Kind: Err},                            // no Op
+		{Op: OpWrite},                          // no Kind
+		{Op: OpWrite, Kind: Err, Prob: 1.5},    // bad probability
+		{Op: OpWrite, Kind: Crash, Offset: -1}, // negative offset
+		{Op: OpWrite, Kind: Kind(99)},          // unknown kind
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%+v) did not panic", r)
+				}
+			}()
+			New(1).Add(r)
+		}()
+	}
+}
+
+func TestDecisionErrOrAndString(t *testing.T) {
+	custom := errors.New("disk on fire")
+	in := New(3)
+	in.Add(Rule{Op: OpSync, Kind: Err, Err: custom, Latency: time.Millisecond})
+	d := in.decide(OpSync, "wal.jsonl")
+	if !errors.Is(d.errOr(ErrInjected), custom) {
+		t.Fatalf("errOr = %v, want the rule's error", d.errOr(ErrInjected))
+	}
+	if d := (decision{}); !errors.Is(d.errOr(ErrInjected), ErrInjected) {
+		t.Fatalf("empty decision errOr = %v, want fallback", d.errOr(ErrInjected))
+	}
+	s := in.String()
+	if !strings.Contains(s, "seed=3") || !strings.Contains(s, "fs.sync=1/1") {
+		t.Fatalf("String() = %q, want seed and per-op counters", s)
+	}
+}
+
+func TestSeedFromEnv(t *testing.T) {
+	t.Setenv("ARCS_CHAOS_SEED", "12345")
+	if got := SeedFromEnv(7); got != 12345 {
+		t.Fatalf("SeedFromEnv = %d, want 12345", got)
+	}
+	t.Setenv("ARCS_CHAOS_SEED", "not-a-number")
+	if got := SeedFromEnv(7); got != 7 {
+		t.Fatalf("SeedFromEnv with garbage = %d, want fallback 7", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Crash.String() != "crash" || None.String() != "none" {
+		t.Fatalf("Kind names wrong: %v %v", Crash, None)
+	}
+	if s := Kind(42).String(); !strings.Contains(s, "42") {
+		t.Fatalf("out-of-range Kind String = %q", s)
+	}
+}

@@ -1,0 +1,220 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"arcs/internal/store"
+)
+
+// FS is a fault-injecting store.FS. Every operation consults the
+// injector; a Crash fault arms machine death at a cumulative byte offset
+// of the matched file — the write that reaches the offset is truncated
+// there and every subsequent operation fails with ErrCrashed, exactly
+// like yanking power mid-append. Reopening the directory with a clean FS
+// is the "reboot".
+type FS struct {
+	inj  *Injector
+	base store.FS
+
+	mu      sync.Mutex
+	crashed bool             // machine is dead; guarded by mu
+	written map[string]int64 // cumulative bytes per file; guarded by mu
+	crashAt map[string]int64 // armed crash offsets per file; guarded by mu
+}
+
+// NewFS wraps base (nil = the real filesystem) with fault injection.
+func NewFS(inj *Injector, base store.FS) *FS {
+	if base == nil {
+		base = store.OSFS
+	}
+	return &FS{
+		inj:     inj,
+		base:    base,
+		written: make(map[string]int64),
+		crashAt: make(map[string]int64),
+	}
+}
+
+// Crashed reports whether a Crash fault has fired.
+func (fs *FS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// apply resolves a decision for a contextless FS operation. Hang has no
+// context to wait on here, so it degrades to Err.
+func (fs *FS) apply(op Op, name string) error {
+	fs.mu.Lock()
+	dead := fs.crashed
+	fs.mu.Unlock()
+	if dead {
+		return ErrCrashed
+	}
+	d := fs.inj.decide(op, name)
+	switch d.kind {
+	case None:
+		return nil
+	case Latency:
+		time.Sleep(d.latency)
+		return nil
+	case Crash:
+		fs.mu.Lock()
+		fs.crashed = true
+		fs.mu.Unlock()
+		return ErrCrashed
+	default:
+		return fmt.Errorf("faults: %s %s: %w", op, name, d.errOr(ErrInjected))
+	}
+}
+
+func (fs *FS) MkdirAll(path string, perm os.FileMode) error {
+	if err := fs.apply(OpMkdir, path); err != nil {
+		return err
+	}
+	return fs.base.MkdirAll(path, perm)
+}
+
+func (fs *FS) OpenFile(name string, flag int, perm os.FileMode) (store.File, error) {
+	if err := fs.apply(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := fs.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if flag&os.O_TRUNC != 0 {
+		// The file restarted from zero bytes; restart the crash bookkeeping.
+		fs.mu.Lock()
+		fs.written[name] = 0
+		fs.mu.Unlock()
+	}
+	return &file{fs: fs, name: name, f: f}, nil
+}
+
+func (fs *FS) ReadFile(name string) ([]byte, error) {
+	if err := fs.apply(OpRead, name); err != nil {
+		return nil, err
+	}
+	return fs.base.ReadFile(name)
+}
+
+func (fs *FS) Rename(oldpath, newpath string) error {
+	if err := fs.apply(OpRename, oldpath); err != nil {
+		return err
+	}
+	return fs.base.Rename(oldpath, newpath)
+}
+
+func (fs *FS) Remove(name string) error {
+	if err := fs.apply(OpRemove, name); err != nil {
+		return err
+	}
+	return fs.base.Remove(name)
+}
+
+// file wraps one open file with write/sync/close/read injection.
+type file struct {
+	fs   *FS
+	name string
+	f    store.File
+}
+
+func (f *file) Read(p []byte) (int, error) {
+	if err := f.fs.apply(OpRead, f.name); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+// Write consults the schedule, then the armed crash offset. A crash rule
+// does not fail the write that arms it unless the buffer already crosses
+// the offset — arming on the first write and dying exactly at the byte
+// boundary is what lets the torture test sweep every offset of a
+// recorded WAL.
+func (f *file) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	dead := f.fs.crashed
+	f.fs.mu.Unlock()
+	if dead {
+		return 0, ErrCrashed
+	}
+	d := f.fs.inj.decide(OpWrite, f.name)
+	switch d.kind {
+	case None:
+	case Latency:
+		time.Sleep(d.latency)
+	case ShortWrite:
+		n := len(p) / 2
+		if n > 0 {
+			if wn, err := f.f.Write(p[:n]); err != nil {
+				return wn, err
+			}
+			f.fs.note(f.name, int64(n))
+		}
+		return n, fmt.Errorf("faults: torn write to %s: %w", f.name, io.ErrShortWrite)
+	case Crash:
+		f.fs.mu.Lock()
+		f.fs.crashAt[f.name] = d.offset
+		f.fs.mu.Unlock()
+	default:
+		return 0, fmt.Errorf("faults: %s %s: %w", OpWrite, f.name, d.errOr(ErrInjected))
+	}
+
+	f.fs.mu.Lock()
+	limit, armed := f.fs.crashAt[f.name]
+	already := f.fs.written[f.name]
+	f.fs.mu.Unlock()
+	if armed && already+int64(len(p)) > limit {
+		keep := limit - already
+		if keep < 0 {
+			keep = 0
+		}
+		if keep > 0 {
+			if wn, err := f.f.Write(p[:keep]); err != nil {
+				keep = int64(wn)
+			}
+			f.fs.note(f.name, keep)
+		}
+		f.fs.mu.Lock()
+		f.fs.crashed = true
+		f.fs.mu.Unlock()
+		return int(keep), ErrCrashed
+	}
+	n, err := f.f.Write(p)
+	f.fs.note(f.name, int64(n))
+	return n, err
+}
+
+func (f *file) Sync() error {
+	if err := f.fs.apply(OpSync, f.name); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *file) Close() error {
+	if err := f.fs.apply(OpClose, f.name); err != nil {
+		// A failed (or crashed) injected close still releases the real
+		// descriptor: tests on temp dirs must not leak fds.
+		_ = f.f.Close()
+		return err
+	}
+	return f.f.Close()
+}
+
+// note records bytes actually persisted to a file.
+func (fs *FS) note(name string, n int64) {
+	if n <= 0 {
+		return
+	}
+	fs.mu.Lock()
+	fs.written[name] += n
+	fs.mu.Unlock()
+}
+
+var _ store.FS = (*FS)(nil)

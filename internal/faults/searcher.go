@@ -1,0 +1,61 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"arcs/internal/server"
+)
+
+// Searcher is a fault-injecting server.Searcher: searches can be made
+// slow (Latency), failing (Err), hanging (until ctx is done), or
+// panicking — the last is how the server's panic-containment is proven
+// to turn a dying search into a 500 instead of a dead daemon. Decisions
+// key on the requested app name.
+type Searcher struct {
+	inj  *Injector
+	base server.Searcher
+}
+
+// NewSearcher wraps base with injection; nil base selects a searcher
+// that succeeds with no results (pure fault-behaviour tests).
+func NewSearcher(inj *Injector, base server.Searcher) Searcher {
+	if base == nil {
+		base = emptySearcher{}
+	}
+	return Searcher{inj: inj, base: base}
+}
+
+// emptySearcher finds nothing, successfully.
+type emptySearcher struct{}
+
+func (emptySearcher) Search(context.Context, server.SearchRequest) ([]server.SearchResult, error) {
+	return nil, nil
+}
+
+// Search implements server.Searcher.
+func (s Searcher) Search(ctx context.Context, req server.SearchRequest) ([]server.SearchResult, error) {
+	d := s.inj.decide(OpSearch, req.App)
+	switch d.kind {
+	case None:
+	case Latency:
+		timer := time.NewTimer(d.latency)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	case Hang:
+		<-ctx.Done()
+		return nil, ctx.Err()
+	case Panic:
+		panic(fmt.Sprintf("faults: injected searcher panic (app %s, seed %d)", req.App, s.inj.Seed()))
+	default:
+		return nil, fmt.Errorf("faults: search %s: %w", req.App, d.errOr(ErrInjected))
+	}
+	return s.base.Search(ctx, req)
+}
+
+var _ server.Searcher = Searcher{}

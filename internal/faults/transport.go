@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Transport is a fault-injecting http.RoundTripper for the storeclient:
+// injected latency, connection resets, synthesized 5xx bursts (with
+// optional Retry-After headers), and hangs that block until the request
+// context gives up. Decisions key on the request URL path.
+type Transport struct {
+	inj  *Injector
+	base http.RoundTripper
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with injection.
+func NewTransport(inj *Injector, base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{inj: inj, base: base}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.inj.decide(OpHTTP, req.URL.Path)
+	switch d.kind {
+	case None:
+	case Latency:
+		timer := time.NewTimer(d.latency)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	case Hang:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case Reset:
+		return nil, fmt.Errorf("faults: %s %s: %w", req.Method, req.URL.Path, ErrReset)
+	case Status5xx:
+		return synthesize(req, d), nil
+	default:
+		return nil, fmt.Errorf("faults: %s %s: %w", req.Method, req.URL.Path, d.errOr(ErrInjected))
+	}
+	return t.base.RoundTrip(req)
+}
+
+// synthesize builds an error response without touching the network.
+func synthesize(req *http.Request, d decision) *http.Response {
+	status := d.status
+	if status == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	h := make(http.Header)
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	if d.retryAfter > 0 {
+		h.Set("Retry-After", strconv.Itoa(d.retryAfter))
+	}
+	body := fmt.Sprintf("%d injected by faults.Transport\n", status)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+var _ http.RoundTripper = (*Transport)(nil)

@@ -77,8 +77,10 @@ func matchPattern(pattern, path string) bool {
 
 // deterministicPackages are the packages under the determinism
 // contract: the simulator, the search stack, the tuner core, the eval
-// cache, the kernels, and the benchmark harness must produce
-// byte-identical results for identical inputs at any parallelism.
+// cache, the kernels, the benchmark harness, and the fault-injection
+// subsystem (a chaos run must reproduce exactly from its seed) must
+// produce byte-identical results for identical inputs at any
+// parallelism.
 // Serving and measurement packages (server, parfor, rapl, trace,
 // cmd/arcsbench, examples) legitimately read wall clocks and are
 // exempt — see DESIGN.md §9.
@@ -89,6 +91,7 @@ var deterministicPackages = []string{
 	"arcs/internal/evalcache",
 	"arcs/internal/kernels",
 	"arcs/internal/bench",
+	"arcs/internal/faults",
 }
 
 // DefaultPolicy is the repository contract enforced in CI.

@@ -1,0 +1,216 @@
+// Hardening tests for the serving path: admission control, panic
+// containment, search deadlines, and degraded-store health reporting.
+// External test package: these drive the server through internal/faults,
+// which itself imports this package.
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/faults"
+	"arcs/internal/server"
+	"arcs/internal/store"
+)
+
+// blockingSearcher blocks every Search until released, ignoring its
+// context (the worst-behaved backend admission control must survive).
+type blockingSearcher struct {
+	started chan string
+	release chan struct{}
+}
+
+func (b *blockingSearcher) Search(ctx context.Context, req server.SearchRequest) ([]server.SearchResult, error) {
+	b.started <- req.App
+	<-b.release
+	return nil, nil
+}
+
+func newHardenedServer(t *testing.T, cfg server.Config) (*httptest.Server, *store.Store) {
+	t.Helper()
+	if cfg.Store == nil {
+		st, err := store.Open(t.TempDir(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		cfg.Store = st
+	}
+	ts := httptest.NewServer(server.New(cfg))
+	t.Cleanup(ts.Close)
+	return ts, cfg.Store
+}
+
+func get(t *testing.T, url string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(body)
+}
+
+func metricValue(t *testing.T, body, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return rest
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return ""
+}
+
+func TestSearchAdmissionShedsWith429(t *testing.T) {
+	bs := &blockingSearcher{started: make(chan string, 1), release: make(chan struct{})}
+	ts, _ := newHardenedServer(t, server.Config{
+		Searcher:              bs,
+		SearchBudget:          5,
+		MaxConcurrentSearches: 1,
+		SearchTimeout:         -1,
+	})
+
+	// First cold miss occupies the only admission slot.
+	firstDone := make(chan int, 1)
+	go func() {
+		code, _, _ := get(t, ts.URL+"/v1/config?app=SP&workload=B&cap=70&region=r&arch=x86")
+		firstDone <- code
+	}()
+	select {
+	case <-bs.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first search never started")
+	}
+
+	// A different cold key cannot queue: it is shed immediately.
+	code, hdr, body := get(t, ts.URL+"/v1/config?app=BT&workload=B&cap=70&region=r&arch=x86")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second cold miss = %d (%s), want 429", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 shed without a Retry-After header")
+	}
+
+	close(bs.release)
+	select {
+	case code := <-firstDone:
+		// The search found nothing for this region: an honest 404, not 429.
+		if code != http.StatusNotFound {
+			t.Fatalf("first request finished with %d, want 404", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never finished")
+	}
+
+	_, _, metrics := get(t, ts.URL+"/metrics")
+	if v := metricValue(t, metrics, "arcsd_search_shed_total"); v != "1" {
+		t.Fatalf("arcsd_search_shed_total = %s, want 1", v)
+	}
+}
+
+func TestPanickingSearcherDoesNotKillDaemon(t *testing.T) {
+	inj := faults.New(11)
+	inj.Add(faults.Rule{Op: faults.OpSearch, Kind: faults.Panic})
+	ts, _ := newHardenedServer(t, server.Config{
+		Searcher:     faults.NewSearcher(inj, nil),
+		SearchBudget: 5,
+	})
+
+	code, _, body := get(t, ts.URL+"/v1/config?app=SP&workload=B&cap=70&region=r&arch=x86")
+	if code != http.StatusBadGateway || !strings.Contains(body, "panicked") {
+		t.Fatalf("panicking searcher = %d (%s), want 502 mentioning the panic", code, body)
+	}
+	// The daemon survived and still serves.
+	if code, _, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after panic = %d", code)
+	}
+	_, _, metrics := get(t, ts.URL+"/metrics")
+	if v := metricValue(t, metrics, "arcsd_search_panics_total"); v != "1" {
+		t.Fatalf("arcsd_search_panics_total = %s, want 1", v)
+	}
+}
+
+func TestHungSearcherTimesOutWith504(t *testing.T) {
+	inj := faults.New(12)
+	inj.Add(faults.Rule{Op: faults.OpSearch, Kind: faults.Hang})
+	ts, _ := newHardenedServer(t, server.Config{
+		Searcher:      faults.NewSearcher(inj, nil),
+		SearchBudget:  5,
+		SearchTimeout: 50 * time.Millisecond,
+	})
+	code, _, body := get(t, ts.URL+"/v1/config?app=SP&workload=B&cap=70&region=r&arch=x86")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("hung searcher = %d (%s), want 504", code, body)
+	}
+}
+
+func TestHealthzReportsDegradedStore(t *testing.T) {
+	inj := faults.New(13)
+	fs := faults.NewFS(inj, nil)
+	st, err := store.Open(t.TempDir(), store.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	ts, _ := newHardenedServer(t, server.Config{Store: st})
+
+	code, _, body := get(t, ts.URL+"/healthz")
+	var h server.HealthResponse
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz body %q: %v", body, err)
+	}
+	if code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthy daemon healthz = %d %+v", code, h)
+	}
+
+	// Break the WAL until the store degrades.
+	inj.Add(faults.Rule{Op: faults.OpWrite, Kind: faults.Err, Match: store.WALName})
+	for i := 0; i <= store.DefaultDegradeAfter; i++ {
+		st.Save(arcs.HistoryKey{App: "SP", Workload: "B", CapW: float64(60 + i), Region: "r"},
+			arcs.ConfigValues{Threads: 4}, 1.0)
+	}
+	code, _, body = get(t, ts.URL+"/healthz")
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	// Still 200: a degraded store serves; probes must not restart it.
+	if code != http.StatusOK || h.Status != "degraded" || h.DegradedCause == "" {
+		t.Fatalf("degraded healthz = %d %+v", code, h)
+	}
+	if h.Entries == 0 {
+		t.Fatalf("degraded store should still report served entries: %+v", h)
+	}
+	_, _, metrics := get(t, ts.URL+"/metrics")
+	if v := metricValue(t, metrics, "arcsd_store_degraded"); v != "1" {
+		t.Fatalf("arcsd_store_degraded = %s, want 1", v)
+	}
+
+	// Recovery flips everything back.
+	inj.Clear()
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, body = get(t, ts.URL+"/healthz")
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("healthz after recovery = %+v", h)
+	}
+	_, _, metrics = get(t, ts.URL+"/metrics")
+	if v := metricValue(t, metrics, "arcsd_store_degraded"); v != "0" {
+		t.Fatalf("arcsd_store_degraded after recovery = %s, want 0", v)
+	}
+}

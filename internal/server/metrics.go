@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"arcs/internal/evalcache"
+	"arcs/internal/store"
 )
 
 // reqKey labels one requests-counter series.
@@ -20,9 +21,11 @@ type reqKey struct {
 // and latency sums per endpoint/status, lookup outcome counters, and the
 // store size gauge.
 type metrics struct {
-	hits, misses, fallbacks atomic.Uint64
-	searches, searchDeduped atomic.Uint64
-	searchErrors, reported  atomic.Uint64
+	hits, misses, fallbacks  atomic.Uint64
+	searches, searchDeduped  atomic.Uint64
+	searchErrors, reported   atomic.Uint64
+	searchShed, searchPanics atomic.Uint64
+	handlerPanics            atomic.Uint64
 
 	mu       sync.Mutex
 	requests map[reqKey]uint64  // guarded by mu
@@ -48,7 +51,7 @@ func (m *metrics) observe(endpoint string, code int, seconds float64) {
 
 // write renders the Prometheus text exposition format, deterministically
 // ordered so scrapes and tests are stable.
-func (m *metrics) write(w io.Writer, storeLen int, evc evalcache.Stats) {
+func (m *metrics) write(w io.Writer, health store.Health, evc evalcache.Stats) {
 	fmt.Fprintln(w, "# HELP arcsd_requests_total HTTP requests by endpoint and status code.")
 	fmt.Fprintln(w, "# TYPE arcsd_requests_total counter")
 	m.mu.Lock()
@@ -87,12 +90,27 @@ func (m *metrics) write(w io.Writer, storeLen int, evc evalcache.Stats) {
 	counter("arcsd_searches_total", "Server-side searches executed.", m.searches.Load())
 	counter("arcsd_search_dedup_total", "Searches avoided by single-flight deduplication.", m.searchDeduped.Load())
 	counter("arcsd_search_errors_total", "Server-side searches that failed.", m.searchErrors.Load())
+	counter("arcsd_search_shed_total", "Search requests shed by admission control (429).", m.searchShed.Load())
+	counter("arcsd_search_panics_total", "Searcher panics contained by the recovery wrapper.", m.searchPanics.Load())
+	counter("arcsd_handler_panics_total", "HTTP handler panics converted to 500s.", m.handlerPanics.Load())
 	counter("arcsd_reported_entries_total", "Entries ingested through /v1/report.", m.reported.Load())
 	counter("arcsd_evalcache_hits_total", "Probe evaluations served from the eval cache.", evc.Hits)
 	counter("arcsd_evalcache_misses_total", "Probe evaluations computed fresh (cache misses).", evc.Misses)
 	counter("arcsd_evalcache_dedup_total", "Probe evaluations shared with a concurrent in-flight compute.", evc.Dedups)
 	fmt.Fprintf(w, "# HELP arcsd_store_entries Current number of stored configurations.\n")
-	fmt.Fprintf(w, "# TYPE arcsd_store_entries gauge\narcsd_store_entries %d\n", storeLen)
+	fmt.Fprintf(w, "# TYPE arcsd_store_entries gauge\narcsd_store_entries %d\n", health.Entries)
+	degraded := 0
+	if health.Degraded {
+		degraded = 1
+	}
+	fmt.Fprintf(w, "# HELP arcsd_store_degraded 1 when the store is in degraded memory-only mode.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_store_degraded gauge\narcsd_store_degraded %d\n", degraded)
+	fmt.Fprintf(w, "# HELP arcsd_store_dropped_saves_total Saves accepted in memory but not persisted while degraded.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_store_dropped_saves_total counter\narcsd_store_dropped_saves_total %d\n", health.DroppedSaves)
+	fmt.Fprintf(w, "# HELP arcsd_store_wal_bytes On-disk size of the write-ahead log.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_store_wal_bytes gauge\narcsd_store_wal_bytes %d\n", health.WALBytes)
+	fmt.Fprintf(w, "# HELP arcsd_store_snapshot_bytes On-disk size of the compacted snapshot.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_store_snapshot_bytes gauge\narcsd_store_snapshot_bytes %d\n", health.SnapshotBytes)
 	fmt.Fprintf(w, "# HELP arcsd_evalcache_entries Resident eval-cache entries.\n")
 	fmt.Fprintf(w, "# TYPE arcsd_evalcache_entries gauge\narcsd_evalcache_entries %d\n", evc.Entries)
 	fmt.Fprintf(w, "# HELP arcsd_evalcache_inflight Probe computations currently running.\n")

@@ -16,6 +16,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -27,6 +28,16 @@ import (
 	arcs "arcs/internal/core"
 	"arcs/internal/evalcache"
 	"arcs/internal/store"
+)
+
+const (
+	// DefaultMaxConcurrentSearches is the admission-control bound on
+	// in-flight server-side searches when Config leaves it zero.
+	DefaultMaxConcurrentSearches = 4
+
+	// DefaultSearchTimeout is the per-search deadline when Config leaves
+	// it zero.
+	DefaultSearchTimeout = 30 * time.Second
 )
 
 // Config assembles a Server.
@@ -43,20 +54,43 @@ type Config struct {
 	// server-side search (the arcsd -search-parallelism flag); 0 selects
 	// GOMAXPROCS, 1 evaluates serially. Ignored when Searcher is set.
 	SearchParallelism int
+	// MaxConcurrentSearches bounds in-flight server-side searches. A cold
+	// miss that would need a search beyond the bound is shed with 429 and
+	// a Retry-After header instead of queueing unboundedly (joining an
+	// already-running search for the same key never needs a slot). Zero
+	// selects DefaultMaxConcurrentSearches; negative disables admission
+	// control.
+	MaxConcurrentSearches int
+	// SearchTimeout is the deadline applied around one Searcher.Search
+	// call. A searcher that ignores its context is abandoned at the
+	// deadline (its admission slot stays held until it actually returns,
+	// so hung searches count against MaxConcurrentSearches instead of
+	// piling up goroutines). Zero selects DefaultSearchTimeout; negative
+	// disables the deadline.
+	SearchTimeout time.Duration
 }
 
 // Server is the arcsd HTTP handler.
 type Server struct {
-	st       *store.Store
-	searcher Searcher
-	budget   int
-	mux      *http.ServeMux
-	met      *metrics
-	evc      *evalcache.Cache // probe memoisation for the default searcher
+	st            *store.Store
+	searcher      Searcher
+	budget        int
+	searchTimeout time.Duration
+	searchSem     chan struct{} // admission slots; nil = unbounded
+	start         time.Time     // for /healthz uptime
+	mux           *http.ServeMux
+	met           *metrics
+	evc           *evalcache.Cache // probe memoisation for the default searcher
 
 	sfMu     sync.Mutex
 	inflight map[string]*flight // guarded by sfMu
 }
+
+// Sentinel errors for the search admission path.
+var (
+	errSearchShed    = errors.New("server: search capacity exhausted")
+	errSearchTimeout = errors.New("server: search deadline exceeded")
+)
 
 // flight is one in-progress server-side search; latecomers for the same
 // key wait on done instead of searching again.
@@ -72,12 +106,24 @@ func New(cfg Config) *Server {
 		panic("server: nil store")
 	}
 	s := &Server{
-		st:       cfg.Store,
-		searcher: cfg.Searcher,
-		budget:   cfg.SearchBudget,
-		mux:      http.NewServeMux(),
-		met:      newMetrics(),
-		inflight: make(map[string]*flight),
+		st:            cfg.Store,
+		searcher:      cfg.Searcher,
+		budget:        cfg.SearchBudget,
+		searchTimeout: cfg.SearchTimeout,
+		start:         time.Now(),
+		mux:           http.NewServeMux(),
+		met:           newMetrics(),
+		inflight:      make(map[string]*flight),
+	}
+	if s.searchTimeout == 0 {
+		s.searchTimeout = DefaultSearchTimeout
+	}
+	maxSearches := cfg.MaxConcurrentSearches
+	if maxSearches == 0 {
+		maxSearches = DefaultMaxConcurrentSearches
+	}
+	if maxSearches > 0 {
+		s.searchSem = make(chan struct{}, maxSearches)
 	}
 	if s.searcher == nil {
 		s.evc = evalcache.New()
@@ -176,8 +222,19 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		if err := s.searchOnce(r.Context(), SearchRequest{
 			App: key.App, Workload: key.Workload, Arch: arch, CapW: key.CapW, MaxEvals: s.budget,
 		}); err != nil {
-			s.met.searchErrors.Add(1)
-			errorJSON(w, http.StatusBadGateway, "server-side search: %v", err)
+			switch {
+			case errors.Is(err, errSearchShed):
+				// Load shedding, not failure: tell the client when to come
+				// back instead of queueing it.
+				w.Header().Set("Retry-After", "1")
+				errorJSON(w, http.StatusTooManyRequests, "server busy: %v", err)
+			case errors.Is(err, errSearchTimeout) || errors.Is(err, context.DeadlineExceeded):
+				s.met.searchErrors.Add(1)
+				errorJSON(w, http.StatusGatewayTimeout, "server-side search: %v", err)
+			default:
+				s.met.searchErrors.Add(1)
+				errorJSON(w, http.StatusBadGateway, "server-side search: %v", err)
+			}
 			return
 		}
 		if e, ok := s.st.Get(key); ok {
@@ -196,7 +253,10 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 // searchOnce runs the bounded server-side search for an app-level context
 // with single-flight deduplication: concurrent misses on the same
 // app/workload/arch/cap share one search (which covers every region of
-// the app, so region-granular callers collapse too).
+// the app, so region-granular callers collapse too). Starting a new
+// search requires an admission slot — when all slots are busy the miss
+// is shed with errSearchShed (429 upstream) instead of queueing; joining
+// an existing flight is always free.
 func (s *Server) searchOnce(ctx context.Context, req SearchRequest) error {
 	key := fmt.Sprintf("%s|%s|%s|%g", req.App, req.Workload, req.Arch, req.CapW)
 	s.sfMu.Lock()
@@ -210,14 +270,20 @@ func (s *Server) searchOnce(ctx context.Context, req SearchRequest) error {
 			return ctx.Err()
 		}
 	}
+	if s.searchSem != nil {
+		select {
+		case s.searchSem <- struct{}{}:
+		default:
+			s.sfMu.Unlock()
+			s.met.searchShed.Add(1)
+			return fmt.Errorf("%w (%d in flight)", errSearchShed, cap(s.searchSem))
+		}
+	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[key] = f
 	s.sfMu.Unlock()
 
-	// Detach from the first caller's context: the search result benefits
-	// every waiter (and the store), so one impatient client must not
-	// cancel it for the rest.
-	results, err := s.searcher.Search(context.WithoutCancel(ctx), req)
+	results, err := s.runSearch(ctx, req)
 	if err == nil {
 		s.met.searches.Add(1)
 		for _, res := range results {
@@ -232,6 +298,55 @@ func (s *Server) searchOnce(ctx context.Context, req SearchRequest) error {
 	delete(s.inflight, key)
 	s.sfMu.Unlock()
 	return err
+}
+
+// runSearch executes one search with panic containment and the
+// configured deadline. The searcher runs in its own goroutine, detached
+// from the first caller's context (the result benefits every waiter and
+// the store, so one impatient client must not cancel it for the rest)
+// but bounded by SearchTimeout. A searcher that ignores its context is
+// abandoned at the deadline; its goroutine keeps its admission slot
+// until it actually returns, so a wedged backend saturates the bounded
+// semaphore — surfacing as 429s — rather than growing goroutines without
+// limit. A panicking searcher is converted into an error plus the
+// arcsd_search_panics_total metric instead of killing the daemon.
+func (s *Server) runSearch(ctx context.Context, req SearchRequest) ([]SearchResult, error) {
+	sctx := context.WithoutCancel(ctx)
+	cancel := context.CancelFunc(func() {})
+	if s.searchTimeout > 0 {
+		sctx, cancel = context.WithTimeout(sctx, s.searchTimeout)
+	}
+	type outcome struct {
+		results []SearchResult
+		err     error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			cancel()
+			if s.searchSem != nil {
+				<-s.searchSem
+			}
+			if r := recover(); r != nil {
+				s.met.searchPanics.Add(1)
+				ch <- outcome{err: fmt.Errorf("server: searcher panicked: %v", r)}
+			}
+		}()
+		results, err := s.searcher.Search(sctx, req)
+		ch <- outcome{results: results, err: err}
+	}()
+	if s.searchTimeout > 0 {
+		timer := time.NewTimer(s.searchTimeout + 100*time.Millisecond)
+		defer timer.Stop()
+		select {
+		case o := <-ch:
+			return o.results, o.err
+		case <-timer.C:
+			return nil, fmt.Errorf("%w (%v; searcher ignored its context)", errSearchTimeout, s.searchTimeout)
+		}
+	}
+	o := <-ch
+	return o.results, o.err
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -283,31 +398,81 @@ func (s *Server) handleDump(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, entries)
 }
 
+// HealthResponse is the GET /healthz payload. The endpoint always
+// returns 200 — a degraded store still serves lookups, and liveness
+// probes keyed on the status code must not restart a daemon that is
+// degraded but useful. status distinguishes "ok" from "degraded"; the
+// store fields mirror store.Health.
+type HealthResponse struct {
+	Status        string  `json:"status"` // "ok" or "degraded"
+	Entries       int     `json:"entries"`
+	WALBytes      int64   `json:"wal_bytes"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	WALRecords    int     `json:"wal_records"`
+	DroppedSaves  uint64  `json:"dropped_saves,omitempty"`
+	StoreError    string  `json:"store_error,omitempty"`
+	DegradedCause string  `json:"degraded_cause,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	h := s.st.Health()
+	status := "ok"
+	if h.Degraded {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        status,
+		Entries:       h.Entries,
+		WALBytes:      h.WALBytes,
+		SnapshotBytes: h.SnapshotBytes,
+		WALRecords:    h.WALRecords,
+		DroppedSaves:  h.DroppedSaves,
+		StoreError:    h.LastErr,
+		DegradedCause: h.DegradedCause,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.met.write(w, s.st.Len(), s.evc.Stats())
+	s.met.write(w, s.st.Health(), s.evc.Stats())
 }
 
-// instrument wraps a handler with request counting and latency tracking.
+// instrument wraps a handler with request counting, latency tracking,
+// and panic recovery: a panicking handler becomes a 500 plus the
+// arcsd_handler_panics_total metric, never a dead daemon.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.met.handlerPanics.Add(1)
+					if !sw.wrote {
+						errorJSON(sw, http.StatusInternalServerError, "internal panic: %v", rec)
+					}
+				}
+			}()
+			h(sw, r)
+		}()
 		s.met.observe(endpoint, sw.code, time.Since(start).Seconds())
 	}
 }
 
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
 }

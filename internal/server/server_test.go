@@ -166,10 +166,11 @@ func TestDumpHealthzMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hb, _ := io.ReadAll(resp.Body)
+	var hr HealthResponse
+	err = json.NewDecoder(resp.Body).Decode(&hr)
 	resp.Body.Close()
-	if strings.TrimSpace(string(hb)) != "ok" {
-		t.Errorf("healthz = %q", hb)
+	if err != nil || resp.StatusCode != http.StatusOK || hr.Status != "ok" || hr.Entries != 1 {
+		t.Errorf("healthz = %+v (err %v, code %d)", hr, err, resp.StatusCode)
 	}
 
 	resp, err = http.Get(ts.URL + "/metrics")

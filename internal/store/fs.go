@@ -1,0 +1,48 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the narrow filesystem seam every durability operation of the
+// store goes through. Production uses OSFS (the real filesystem);
+// internal/faults provides a deterministic error/crash-injecting
+// implementation so the WAL, snapshot and degraded-mode paths can be
+// torture-tested without root, loop devices, or flaky disks.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// File is the per-file surface the store needs: sequential reads for
+// replay, appends plus fsync for the WAL and snapshot files.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// OSFS is the real filesystem, the default for Options.FS.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		// Return a nil interface, not a nil *os.File wrapped in one.
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }

@@ -22,10 +22,10 @@ func FuzzStoreWAL(f *testing.F) {
 	f.Add([]byte(``), []byte(``))
 	f.Fuzz(func(t *testing.T, wal, snapshot []byte) {
 		dir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(dir, walFile), wal, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, WALName), wal, 0o644); err != nil {
 			t.Skip()
 		}
-		if err := os.WriteFile(filepath.Join(dir, snapshotFile), snapshot, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, SnapshotName), snapshot, 0o644); err != nil {
 			t.Skip()
 		}
 		s, err := Open(dir, Options{SnapshotEvery: -1})

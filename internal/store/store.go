@@ -7,14 +7,22 @@
 // with periodic compacted snapshots so the knowledge survives restarts
 // and crashes.
 //
-// Durability model: every accepted Save appends one JSON line to the WAL
-// before returning. Replay tolerates arbitrary corruption — torn tails
-// from a crash, truncated snapshots, or garbage bytes — by skipping
-// records it cannot decode; a record carries its own per-key monotonic
-// version, so replay order does not matter and a record duplicated across
-// snapshot and WAL is idempotent. Snapshots are written to a temporary
-// file, fsynced and renamed, so a crash mid-snapshot never loses the
-// previous one.
+// Durability model: every accepted Save appends one CRC32-checksummed
+// JSON line to the WAL before returning. Replay tolerates arbitrary
+// corruption — torn tails from a crash, truncated snapshots, bit flips,
+// or garbage bytes — by skipping records whose checksum or encoding does
+// not verify; a record carries its own per-key monotonic version, so
+// replay order does not matter and a record duplicated across snapshot
+// and WAL is idempotent. Snapshots are written to a temporary file,
+// fsynced and renamed, so a crash mid-snapshot never loses the previous
+// one.
+//
+// Failure model: the store never takes the daemon down. When the WAL
+// keeps failing (full or dead disk), the store switches into a degraded
+// memory-only mode — lookups and Saves keep working, persistence stops,
+// and the condition is surfaced through Err and Health (and from there
+// arcsd's /healthz and /metrics) until an explicit successful Snapshot
+// rebuilds the log. See DESIGN.md §10.
 package store
 
 import (
@@ -22,19 +30,24 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 
 	arcs "arcs/internal/core"
 )
 
 const (
-	snapshotFile = "snapshot.json"
-	walFile      = "wal.jsonl"
+	// SnapshotName and WALName are the file names inside the store
+	// directory (exported for chaos and torture tests that truncate or
+	// corrupt them deliberately).
+	SnapshotName = "snapshot.json"
+	WALName      = "wal.jsonl"
 
 	// numShards bounds lock contention under concurrent serving; keys are
 	// distributed by FNV-1a hash of the canonical form.
@@ -43,6 +56,11 @@ const (
 	// DefaultSnapshotEvery is the number of WAL appends between automatic
 	// compactions when Options.SnapshotEvery is zero.
 	DefaultSnapshotEvery = 1024
+
+	// DefaultDegradeAfter is the number of consecutive WAL-append failures
+	// after which the store degrades to memory-only serving when
+	// Options.DegradeAfter is zero.
+	DefaultDegradeAfter = 3
 
 	// maxWALLine bounds a single replayed record; longer lines are
 	// corruption by construction (entries marshal to well under 1 KiB).
@@ -65,6 +83,16 @@ type Options struct {
 	// appended records. Zero selects DefaultSnapshotEvery; negative
 	// disables automatic snapshots (explicit Snapshot still works).
 	SnapshotEvery int
+
+	// DegradeAfter is the number of consecutive WAL-append failures that
+	// switch the store into degraded memory-only mode. Zero selects
+	// DefaultDegradeAfter; negative disables degradation (every append
+	// keeps retrying the WAL).
+	DegradeAfter int
+
+	// FS substitutes the filesystem (fault injection, tests); nil selects
+	// the real one (OSFS).
+	FS FS
 }
 
 type shard struct {
@@ -77,13 +105,19 @@ type shard struct {
 // for the closest power cap in the same app/workload/region context.
 type Store struct {
 	dir    string
+	fs     FS // immutable after Open
 	shards [numShards]shard
 
 	walMu         sync.Mutex
-	wal           *os.File // guarded by walMu
-	walRecords    int      // records appended since the last snapshot; guarded by walMu
-	snapshotEvery int      // immutable after Open
-	closed        bool     // guarded by walMu
+	wal           File   // guarded by walMu
+	walRecords    int    // records appended since the last snapshot; guarded by walMu
+	snapshotEvery int    // immutable after Open
+	degradeAfter  int    // immutable after Open
+	closed        bool   // guarded by walMu
+	appendFails   int    // consecutive WAL-append failures; guarded by walMu
+	degraded      bool   // memory-only mode; guarded by walMu
+	degradedCause error  // why the store degraded; guarded by walMu
+	droppedSaves  uint64 // Saves accepted in memory but not persisted; guarded by walMu
 
 	errMu   sync.Mutex
 	lastErr error // guarded by errMu
@@ -93,19 +127,30 @@ type Store struct {
 // and WAL found there. Corrupt or torn records are skipped, never fatal:
 // a crash-interrupted WAL must not take the service down.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: create dir: %w", err)
+	s := &Store{
+		dir:           dir,
+		fs:            opts.FS,
+		snapshotEvery: opts.SnapshotEvery,
+		degradeAfter:  opts.DegradeAfter,
 	}
-	s := &Store{dir: dir, snapshotEvery: opts.SnapshotEvery}
+	if s.fs == nil {
+		s.fs = OSFS
+	}
 	if s.snapshotEvery == 0 {
 		s.snapshotEvery = DefaultSnapshotEvery
+	}
+	if s.degradeAfter == 0 {
+		s.degradeAfter = DefaultDegradeAfter
+	}
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
 	for i := range s.shards {
 		s.shards[i].entries = make(map[string]Entry) //arcslint:ignore guardedby constructor; the store has not escaped yet
 	}
 	s.replaySnapshot()
 	s.walRecords = s.replayWAL() //arcslint:ignore guardedby constructor; the store has not escaped yet
-	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := s.fs.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open wal: %w", err)
 	}
@@ -113,8 +158,8 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-func (s *Store) walPath() string      { return filepath.Join(s.dir, walFile) }
-func (s *Store) snapshotPath() string { return filepath.Join(s.dir, snapshotFile) }
+func (s *Store) walPath() string      { return filepath.Join(s.dir, WALName) }
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, SnapshotName) }
 
 func (s *Store) shard(canonicalKey string) *shard {
 	h := fnv.New32a()
@@ -125,7 +170,7 @@ func (s *Store) shard(canonicalKey string) *shard {
 // replaySnapshot loads the compacted snapshot, ignoring a missing or
 // undecodable file (the WAL is the source of truth for anything newer).
 func (s *Store) replaySnapshot() {
-	data, err := os.ReadFile(s.snapshotPath())
+	data, err := s.fs.ReadFile(s.snapshotPath())
 	if err != nil {
 		return
 	}
@@ -138,10 +183,10 @@ func (s *Store) replaySnapshot() {
 	}
 }
 
-// replayWAL applies every decodable WAL line and returns the count, so a
+// replayWAL applies every verifiable WAL line and returns the count, so a
 // store reopened with a fat WAL compacts on schedule.
 func (s *Store) replayWAL() int {
-	f, err := os.Open(s.walPath())
+	f, err := s.fs.OpenFile(s.walPath(), os.O_RDONLY, 0)
 	if err != nil {
 		return 0
 	}
@@ -154,14 +199,57 @@ func (s *Store) replayWAL() int {
 		if len(line) == 0 {
 			continue
 		}
-		var e Entry
-		if err := json.Unmarshal(line, &e); err != nil {
-			continue // torn tail or corruption: skip, keep replaying
+		e, ok := decodeWALLine(line)
+		if !ok {
+			continue // torn tail, bit flip, or garbage: skip, keep replaying
 		}
 		s.applyReplay(e)
 		n++
 	}
 	return n
+}
+
+// encodeWALLine renders one entry in the checksummed v2 line format:
+// eight lowercase hex digits of the IEEE CRC32 of the JSON payload, one
+// space, the payload, a newline. The checksum catches corruption that
+// still parses as JSON — a flipped bit inside a number silently changes
+// the stored perf under the legacy format.
+func encodeWALLine(e Entry) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(payload))
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeWALLine parses either WAL line format. Legacy (pre-checksum)
+// lines start with '{' and are accepted as plain JSON so an existing WAL
+// replays unchanged; checksummed lines must verify their CRC32 before
+// the payload is even parsed.
+func decodeWALLine(line []byte) (Entry, bool) {
+	var e Entry
+	if line[0] != '{' {
+		if len(line) < 10 || line[8] != ' ' {
+			return Entry{}, false
+		}
+		sum, err := strconv.ParseUint(string(line[:8]), 16, 32)
+		if err != nil {
+			return Entry{}, false
+		}
+		payload := line[9:]
+		if crc32.ChecksumIEEE(payload) != uint32(sum) {
+			return Entry{}, false
+		}
+		line = payload
+	}
+	if err := json.Unmarshal(line, &e); err != nil {
+		return Entry{}, false
+	}
+	return e, true
 }
 
 // applyReplay merges one replayed record: higher version wins; equal
@@ -283,26 +371,41 @@ func (s *Store) Entries() []Entry {
 	return out
 }
 
-// appendWAL serialises one accepted update as a single line. Whole-line
-// writes under walMu keep concurrent appends from interleaving; replay
-// handles a torn final line after a crash.
+// appendWAL serialises one accepted update as a single checksummed line.
+// Whole-line writes under walMu keep concurrent appends from
+// interleaving; replay handles a torn final line after a crash. A
+// persistent run of append failures trips the store into degraded
+// memory-only mode instead of hammering a dead disk forever.
 func (s *Store) appendWAL(e Entry) {
-	data, err := json.Marshal(e)
+	line, err := encodeWALLine(e)
 	if err != nil {
 		s.setErr(fmt.Errorf("store: encode wal record: %w", err))
 		return
 	}
-	data = append(data, '\n')
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
 	if s.closed || s.wal == nil {
 		s.setErr(fmt.Errorf("store: save after Close dropped for %v", e.Key))
 		return
 	}
-	if _, err := s.wal.Write(data); err != nil {
-		s.setErr(fmt.Errorf("store: append wal: %w", err))
+	if s.degraded {
+		s.droppedSaves++
 		return
 	}
+	if _, err := s.wal.Write(line); err != nil {
+		s.appendFails++
+		s.setErr(fmt.Errorf("store: append wal: %w", err))
+		if s.degradeAfter > 0 && s.appendFails >= s.degradeAfter {
+			s.degraded = true
+			s.droppedSaves++
+			s.degradedCause = fmt.Errorf(
+				"store: degraded to memory-only after %d consecutive WAL append failures: %w",
+				s.appendFails, err)
+			s.setErr(s.degradedCause)
+		}
+		return
+	}
+	s.appendFails = 0
 	s.walRecords++
 	if s.snapshotEvery > 0 && s.walRecords >= s.snapshotEvery {
 		if err := s.snapshotLocked(); err != nil {
@@ -312,7 +415,9 @@ func (s *Store) appendWAL(e Entry) {
 }
 
 // Snapshot compacts the store: the full entry set is written atomically
-// to the snapshot file and the WAL is truncated.
+// to the snapshot file and the WAL is truncated. A successful Snapshot
+// also recovers a degraded store: the snapshot proved the filesystem
+// writable again and the fresh WAL it installs resumes persistence.
 func (s *Store) Snapshot() error {
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
@@ -325,7 +430,9 @@ func (s *Store) Snapshot() error {
 // snapshotLocked requires walMu (no appends can race the WAL swap; map
 // readers and writers are unaffected — a Save landing between the entry
 // collection and the truncation re-appends to the fresh WAL with a higher
-// version, which replay resolves).
+// version, which replay resolves). Failure anywhere before the rename
+// leaves the previous snapshot and the current WAL byte-identical: there
+// is no window where data exists in neither file.
 //
 //arcslint:locked walMu
 func (s *Store) snapshotLocked() error {
@@ -334,22 +441,26 @@ func (s *Store) snapshotLocked() error {
 		return fmt.Errorf("store: encode snapshot: %w", err)
 	}
 	tmp := s.snapshotPath() + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: create snapshot: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {
-		_ = f.Close() // the write error is the one worth reporting
+		_ = f.Close()        // the write error is the one worth reporting
+		_ = s.fs.Remove(tmp) // best-effort cleanup of the partial temp file
 		return fmt.Errorf("store: write snapshot: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		_ = f.Close() // the sync error is the one worth reporting
+		_ = s.fs.Remove(tmp)
 		return fmt.Errorf("store: sync snapshot: %w", err)
 	}
 	if err := f.Close(); err != nil {
+		_ = s.fs.Remove(tmp)
 		return fmt.Errorf("store: close snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+	if err := s.fs.Rename(tmp, s.snapshotPath()); err != nil {
+		_ = s.fs.Remove(tmp)
 		return fmt.Errorf("store: publish snapshot: %w", err)
 	}
 	// The snapshot now holds everything; start a fresh WAL.
@@ -360,13 +471,18 @@ func (s *Store) snapshotLocked() error {
 			s.setErr(fmt.Errorf("store: close old wal: %w", err))
 		}
 	}
-	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	wal, err := s.fs.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		s.wal = nil
 		return fmt.Errorf("store: reset wal: %w", err)
 	}
 	s.wal = wal
 	s.walRecords = 0
+	// The snapshot and the fresh WAL both succeeded: the filesystem is
+	// healthy again, resume normal persistence.
+	s.degraded = false
+	s.degradedCause = nil
+	s.appendFails = 0
 	return nil
 }
 
@@ -408,6 +524,56 @@ func (s *Store) setErr(err error) {
 	if s.lastErr == nil {
 		s.lastErr = err
 	}
+}
+
+// Health is a point-in-time report of the store's persistence state,
+// served by arcsd's /healthz. Reading it does not clear Err.
+type Health struct {
+	// Entries is the number of served records (memory, degraded or not).
+	Entries int `json:"entries"`
+	// Degraded reports memory-only mode: serving works, persistence is
+	// stopped until a successful Snapshot.
+	Degraded bool `json:"degraded"`
+	// DegradedCause is why the store degraded (empty when healthy).
+	DegradedCause string `json:"degraded_cause,omitempty"`
+	// LastErr is the pending background error Err would return (without
+	// consuming it).
+	LastErr string `json:"last_err,omitempty"`
+	// WALRecords is the number of records appended since the last
+	// compaction.
+	WALRecords int `json:"wal_records"`
+	// DroppedSaves counts Saves accepted in memory but not persisted
+	// while degraded.
+	DroppedSaves uint64 `json:"dropped_saves,omitempty"`
+	// WALBytes and SnapshotBytes are the on-disk file sizes (0 when the
+	// file is missing or unreadable).
+	WALBytes      int64 `json:"wal_bytes"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+}
+
+// Health reports the persistence state without mutating anything.
+func (s *Store) Health() Health {
+	h := Health{Entries: s.Len()}
+	s.walMu.Lock()
+	h.Degraded = s.degraded
+	if s.degradedCause != nil {
+		h.DegradedCause = s.degradedCause.Error()
+	}
+	h.WALRecords = s.walRecords
+	h.DroppedSaves = s.droppedSaves
+	s.walMu.Unlock()
+	s.errMu.Lock()
+	if s.lastErr != nil {
+		h.LastErr = s.lastErr.Error()
+	}
+	s.errMu.Unlock()
+	if fi, err := os.Stat(s.walPath()); err == nil {
+		h.WALBytes = fi.Size()
+	}
+	if fi, err := os.Stat(s.snapshotPath()); err == nil {
+		h.SnapshotBytes = fi.Size()
+	}
+	return h
 }
 
 var _ arcs.FallbackHistory = (*Store)(nil)

@@ -73,7 +73,7 @@ func TestReplayTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Tear the tail: append half a record.
-	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_WRONLY|os.O_APPEND, 0)
+	f, err := os.OpenFile(filepath.Join(dir, WALName), os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,14 +127,14 @@ func TestSnapshotCompaction(t *testing.T) {
 	if err := s.Err(); err != nil {
 		t.Fatal(err)
 	}
-	wal, err := os.ReadFile(filepath.Join(dir, walFile))
+	wal, err := os.ReadFile(filepath.Join(dir, WALName))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n := strings.Count(string(wal), "\n"); n >= 10 {
 		t.Errorf("WAL never compacted: %d lines", n)
 	}
-	snap, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	snap, err := os.ReadFile(filepath.Join(dir, SnapshotName))
 	if err != nil {
 		t.Fatalf("snapshot missing: %v", err)
 	}
@@ -170,7 +170,7 @@ func TestSnapshotSurvivesWALLoss(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Close()
-	if err := os.Remove(filepath.Join(dir, walFile)); err != nil {
+	if err := os.Remove(filepath.Join(dir, WALName)); err != nil {
 		t.Fatal(err)
 	}
 	s2 := openStore(t, dir, Options{})

@@ -1,7 +1,8 @@
 // Package storeclient is the client side of the arcsd tuning service: a
-// small HTTP client with timeout/retry/backoff, plus a History adapter
-// that lets the ARCS tuner warm-start directly from a served knowledge
-// store (arcsrun -server).
+// small HTTP client with timeout/retry/backoff, a circuit breaker that
+// stops hammering a dead daemon, and a History adapter that lets the
+// ARCS tuner warm-start directly from a served knowledge store
+// (arcsrun -server) and keep answering locally while the daemon is down.
 package storeclient
 
 import (
@@ -11,10 +12,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	arcs "arcs/internal/core"
@@ -24,14 +27,46 @@ import (
 // ErrNotFound reports a lookup with no stored (or derivable) answer.
 var ErrNotFound = errors.New("storeclient: no configuration found")
 
+// DefaultMaxBackoff caps the exponential retry backoff so a long retry
+// budget cannot doubling-sleep its way into multi-minute stalls.
+const DefaultMaxBackoff = 2 * time.Second
+
+// statusError is a terminal HTTP response carried as an error, so
+// callers (and the circuit breaker) can distinguish "the server
+// answered with an error" from "the server is unreachable".
+type statusError struct {
+	method, path string
+	code         int
+	msg          string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("storeclient: %s %s: status %d: %s", e.method, e.path, e.code, e.msg)
+}
+
+// HTTPStatus returns the response status code.
+func (e *statusError) HTTPStatus() int { return e.code }
+
 // Client talks to one arcsd instance. Idempotent requests (lookups, and
 // reports — the store's keep-best rule makes re-posting harmless) are
-// retried with exponential backoff on network errors and 5xx responses.
+// retried with jittered exponential backoff on network errors, 5xx
+// responses and 429 sheds; a Retry-After header overrides the computed
+// delay (both capped at the max backoff).
 type Client struct {
-	base    string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
+	base       string
+	hc         *http.Client
+	retries    int
+	backoff    time.Duration
+	maxBackoff time.Duration
+	br         *breaker
+
+	// breaker construction parameters, resolved in New after options run.
+	brThreshold int
+	brOpenFor   time.Duration
+	brNow       func() time.Time
+
+	jmu  sync.Mutex
+	jrng *rand.Rand // jitter source; guarded by jmu
 }
 
 // Option configures a Client.
@@ -43,22 +78,66 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // WithRetries sets how many times a failed request is retried (default 2).
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
-// WithBackoff sets the initial retry backoff, doubled per attempt
-// (default 50ms).
+// WithBackoff sets the initial retry backoff, doubled per attempt with
+// ±50% jitter (default 50ms).
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithMaxBackoff caps the per-attempt retry delay (default 2s).
+func WithMaxBackoff(d time.Duration) Option { return func(c *Client) { c.maxBackoff = d } }
+
+// WithJitterSeed seeds the backoff jitter PRNG, making retry timing
+// reproducible in tests. The default seed is time-based: production
+// clients should desynchronise, which is the whole point of jitter.
+//
+//arcslint:locked jmu options run at construction, before the client is shared
+func WithJitterSeed(seed int64) Option {
+	return func(c *Client) { c.jrng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithBreaker enables a circuit breaker: after threshold consecutive
+// failed requests (network errors or retry-exhausted 5xx), requests fail
+// instantly with ErrBreakerOpen for openFor, then a single half-open
+// probe decides whether to close again.
+func WithBreaker(threshold int, openFor time.Duration) Option {
+	return func(c *Client) {
+		c.brThreshold = threshold
+		c.brOpenFor = openFor
+	}
+}
+
+// WithBreakerClock injects the breaker's clock (tests drive the
+// open→half-open transition deterministically). No effect without
+// WithBreaker.
+func WithBreakerClock(now func() time.Time) Option {
+	return func(c *Client) { c.brNow = now }
+}
 
 // New creates a client for the arcsd at base (e.g. "http://localhost:8090").
 func New(base string, opts ...Option) *Client {
 	c := &Client{
-		base:    strings.TrimRight(base, "/"),
-		hc:      &http.Client{Timeout: 30 * time.Second},
-		retries: 2,
-		backoff: 50 * time.Millisecond,
+		base:       strings.TrimRight(base, "/"),
+		hc:         &http.Client{Timeout: 30 * time.Second},
+		retries:    2,
+		backoff:    50 * time.Millisecond,
+		maxBackoff: DefaultMaxBackoff,
+		jrng:       rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	if c.brThreshold > 0 {
+		c.br = newBreaker(c.brThreshold, c.brOpenFor, c.brNow)
+	}
 	return c
+}
+
+// BreakerState reports the breaker state name ("closed", "open",
+// "half-open", or "disabled") and how many times it has tripped.
+func (c *Client) BreakerState() (string, uint64) {
+	if c.br == nil {
+		return "disabled", 0
+	}
+	return c.br.snapshot()
 }
 
 // LookupOpts refines a Lookup.
@@ -147,19 +226,45 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body, out any)
 	return c.do(ctx, method, path, encoded, out)
 }
 
-// do issues one request with the retry/backoff policy. 4xx responses are
-// terminal (404 maps to ErrNotFound); network errors and 5xx retry.
+// do gates one logical request through the circuit breaker, runs the
+// retry loop, and feeds the outcome back into the breaker. Breaker
+// classification: any HTTP response — including terminal 4xx and
+// ErrNotFound — proves the daemon is alive and counts as success; only
+// network failures and retry-exhausted 5xx count as failures. Context
+// cancellation says nothing about the server and records neither.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	if c.br != nil && !c.br.allow() {
+		return fmt.Errorf("storeclient: %s %s: %w", method, path, ErrBreakerOpen)
+	}
+	err := c.attempt(ctx, method, path, body, out)
+	if c.br != nil {
+		switch {
+		case err == nil, errors.Is(err, ErrNotFound):
+			c.br.record(true)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		default:
+			var se *statusError
+			c.br.record(errors.As(err, &se) && se.code < 500)
+		}
+	}
+	return err
+}
+
+// attempt issues one request with the retry/backoff policy. Non-429 4xx
+// responses are terminal (404 maps to ErrNotFound); network errors, 5xx
+// and 429 retry.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
-			delay := c.backoff << (attempt - 1)
 			select {
-			case <-time.After(delay):
+			case <-time.After(c.delay(attempt, retryAfter)):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
 		}
+		retryAfter = 0
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -188,11 +293,14 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		switch {
 		case resp.StatusCode == http.StatusNotFound:
 			return ErrNotFound
-		case resp.StatusCode >= 500:
-			lastErr = fmt.Errorf("storeclient: %s %s: status %d: %s", method, path, resp.StatusCode, firstLine(data))
+		case resp.StatusCode >= 500, resp.StatusCode == http.StatusTooManyRequests:
+			lastErr = &statusError{method: method, path: path, code: resp.StatusCode, msg: firstLine(data)}
+			if secs, perr := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); perr == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
 			continue
 		case resp.StatusCode >= 400:
-			return fmt.Errorf("storeclient: %s %s: status %d: %s", method, path, resp.StatusCode, firstLine(data))
+			return &statusError{method: method, path: path, code: resp.StatusCode, msg: firstLine(data)}
 		}
 		if out == nil {
 			return nil
@@ -203,6 +311,38 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		return nil
 	}
 	return fmt.Errorf("storeclient: %s %s failed after %d attempts: %w", method, path, c.retries+1, lastErr)
+}
+
+// delay computes the sleep before retry attempt n (1-based): doubling
+// backoff with ±50% jitter, capped at maxBackoff. A server-sent
+// Retry-After overrides the computed delay — the server knows its own
+// overload better than our schedule — but is capped the same way.
+func (c *Client) delay(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		if retryAfter > c.maxBackoff {
+			return c.maxBackoff
+		}
+		return retryAfter
+	}
+	d := c.backoff
+	// Stop shifting once past the cap; unbounded doubling overflows.
+	for i := 1; i < attempt && d < c.maxBackoff; i++ {
+		d <<= 1
+	}
+	if d > c.maxBackoff {
+		d = c.maxBackoff
+	}
+	if d <= 0 {
+		return 0
+	}
+	// Jitter to [d/2, 3d/2): desynchronises retry herds across clients.
+	c.jmu.Lock()
+	j := c.jrng.Int63n(int64(d))
+	c.jmu.Unlock()
+	if d = d/2 + time.Duration(j); d > c.maxBackoff {
+		d = c.maxBackoff
+	}
+	return d
 }
 
 func firstLine(b []byte) string {

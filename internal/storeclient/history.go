@@ -15,18 +15,25 @@ import (
 // semantics — while LoadNearest accepts nearest-cap and server-searched
 // answers.
 //
-// The History interface cannot return errors, so network failures degrade
-// to misses (the tuner just searches locally, the paper's cold-start
-// path) and Save failures are dropped; the first error is retained and
-// available through Err.
+// The History interface cannot return errors, so the adapter degrades
+// instead of failing: every Save is mirrored into a local in-memory
+// history before the best-effort remote report, and when the remote
+// lookup fails (network fault, circuit breaker open, or a plain miss)
+// Load and LoadNearest fall back to that local copy. While arcsd is
+// down the tuner keeps its own results available at memory speed; the
+// first remote error is retained and available through Err. Breaker
+// sheds are deliberately not recorded as errors — ErrBreakerOpen is the
+// client working as designed, not news.
 type History struct {
 	c *Client
 	// arch enables server-side searches on total misses; empty disables.
 	arch    string
 	timeout time.Duration
 
-	mu      sync.Mutex
-	lastErr error // guarded by mu
+	mu           sync.Mutex
+	local        *arcs.MemHistory // this process's own results; guarded by mu
+	localAnswers uint64           // loads answered locally; guarded by mu
+	lastErr      error            // guarded by mu
 }
 
 // HistoryOption configures a History.
@@ -41,7 +48,7 @@ func WithTimeout(d time.Duration) HistoryOption { return func(h *History) { h.ti
 
 // NewHistory wraps a client as a History.
 func NewHistory(c *Client, opts ...HistoryOption) *History {
-	h := &History{c: c, timeout: 30 * time.Second}
+	h := &History{c: c, timeout: 30 * time.Second, local: arcs.NewMemHistory()}
 	for _, o := range opts {
 		o(h)
 	}
@@ -52,9 +59,14 @@ func (h *History) ctx() (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), h.timeout)
 }
 
-// Save implements arcs.History: best-effort POST (the server applies the
-// same keep-best rule, so duplicates and retries are harmless).
+// Save implements arcs.History: the entry lands in the local fallback
+// first (so this process can always re-load its own results), then is
+// POSTed best-effort (the server applies the same keep-best rule, so
+// duplicates and retries are harmless).
 func (h *History) Save(k arcs.HistoryKey, cfg arcs.ConfigValues, perf float64) {
+	h.mu.Lock()
+	h.local.Save(k, cfg, perf)
+	h.mu.Unlock()
 	ctx, cancel := h.ctx()
 	defer cancel()
 	if err := h.c.Report(ctx, k, cfg, perf); err != nil {
@@ -62,36 +74,52 @@ func (h *History) Save(k arcs.HistoryKey, cfg arcs.ConfigValues, perf float64) {
 	}
 }
 
-// Load implements arcs.History: exact hits only.
+// Load implements arcs.History: exact hits only, remote first, local
+// fallback on any remote failure or miss.
 func (h *History) Load(k arcs.HistoryKey) (arcs.ConfigValues, bool) {
 	ctx, cancel := h.ctx()
 	defer cancel()
 	res, err := h.c.Lookup(ctx, k, LookupOpts{Fallback: false, Search: false})
-	if err != nil {
-		if !errors.Is(err, ErrNotFound) {
-			h.setErr(err)
-		}
-		return arcs.ConfigValues{}, false
+	if err == nil {
+		return res.Config, true
 	}
-	return res.Config, true
+	if !errors.Is(err, ErrNotFound) {
+		h.setErr(err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cfg, ok := h.local.Load(k)
+	if ok {
+		h.localAnswers++
+	}
+	return cfg, ok
 }
 
 // LoadNearest implements arcs.FallbackHistory: accepts nearest-cap
-// fallbacks and, when an arch was configured, server-searched answers.
+// fallbacks and, when an arch was configured, server-searched answers;
+// falls back to the local copy on any remote failure or miss.
 func (h *History) LoadNearest(k arcs.HistoryKey) (arcs.ConfigValues, float64, bool) {
 	ctx, cancel := h.ctx()
 	defer cancel()
 	res, err := h.c.Lookup(ctx, k, LookupOpts{Fallback: true, Search: h.arch != "", Arch: h.arch})
-	if err != nil {
-		if !errors.Is(err, ErrNotFound) {
-			h.setErr(err)
-		}
-		return arcs.ConfigValues{}, 0, false
+	if err == nil {
+		return res.Config, res.CapDistance, true
 	}
-	return res.Config, res.CapDistance, true
+	if !errors.Is(err, ErrNotFound) {
+		h.setErr(err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cfg, dist, ok := h.local.LoadNearest(k)
+	if ok {
+		h.localAnswers++
+	}
+	return cfg, dist, ok
 }
 
-// Len implements arcs.History (a full dump; diagnostic use only).
+// Len implements arcs.History (a full remote dump; diagnostic use only —
+// deliberately not answered locally, so existing "server unreachable"
+// probes keep seeing 0).
 func (h *History) Len() int {
 	ctx, cancel := h.ctx()
 	defer cancel()
@@ -101,6 +129,14 @@ func (h *History) Len() int {
 		return 0
 	}
 	return len(entries)
+}
+
+// LocalAnswers reports how many loads were answered from the local
+// fallback instead of the server.
+func (h *History) LocalAnswers() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.localAnswers
 }
 
 // Err returns the first network error since the last call, clearing it.
@@ -113,6 +149,9 @@ func (h *History) Err() error {
 }
 
 func (h *History) setErr(err error) {
+	if errors.Is(err, ErrBreakerOpen) {
+		return
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.lastErr == nil {
