@@ -15,7 +15,11 @@
 // of a local file: online runs warm-start from served configurations
 // (exact hits skip the search entirely; nearest-cap hits seed it) and
 // report their search results back, offline runs save to and replay from
-// the service, and -strategy replay needs no -history file.
+// the service, and -strategy replay needs no -history file. Requests use
+// the compact binary wire format when the daemon supports it (-binary,
+// on by default, falls back to JSON against older daemons), and
+// -report-batch N coalesces every N reports into one /v1/reports round
+// trip, flushed at the end of the run.
 package main
 
 import (
@@ -46,6 +50,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "search seed")
 		histPath = flag.String("history", "", "history file to save (offline) or load (replay)")
 		server   = flag.String("server", "", "arcsd URL serving the configuration store (e.g. http://localhost:8090)")
+		binary   = flag.Bool("binary", true, "negotiate the binary wire format with the server (falls back to JSON automatically)")
+		batchN   = flag.Int("report-batch", 0, "buffer N reports per /v1/reports round trip (0 = report individually)")
 		profCSV  = flag.String("profile", "", "write the APEX profile of the tuned run to this CSV file")
 		traceOut = flag.String("trace", "", "write a Chrome trace of the tuned run to this JSON file")
 	)
@@ -54,6 +60,7 @@ func main() {
 		app: *appName, workload: *workload, arch: *archName, capW: *capW,
 		strategy: *strategy, steps: *steps, seed: *seed, histPath: *histPath,
 		server: *server, profCSV: *profCSV, traceOut: *traceOut,
+		binary: *binary, batchN: *batchN,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "arcsrun:", err)
 		os.Exit(1)
@@ -66,6 +73,8 @@ type runCfg struct {
 	capW                                                               float64
 	steps                                                              int
 	seed                                                               int64
+	binary                                                             bool
+	batchN                                                             int
 }
 
 // runResult carries the measured outcome of one arcsrun invocation so
@@ -139,14 +148,22 @@ func doRun(cfg runCfg) (runResult, error) {
 		if histPath != "" {
 			return res, fmt.Errorf("-history and -server are mutually exclusive")
 		}
-		client := storeclient.New(cfg.server)
+		var copts []storeclient.Option
+		if cfg.binary {
+			copts = append(copts, storeclient.WithBinary())
+		}
+		client := storeclient.New(cfg.server, copts...)
 		hctx, hcancel := context.WithTimeout(context.Background(), 10*time.Second)
 		herr := client.Health(hctx)
 		hcancel()
 		if herr != nil {
 			return res, fmt.Errorf("server %s unreachable: %w", cfg.server, herr)
 		}
-		srvHist = storeclient.NewHistory(client)
+		var hopts []storeclient.HistoryOption
+		if cfg.batchN > 0 {
+			hopts = append(hopts, storeclient.WithReportBatching(cfg.batchN))
+		}
+		srvHist = storeclient.NewHistory(client, hopts...)
 	}
 
 	// Baseline run for comparison.
@@ -215,6 +232,11 @@ func doRun(cfg runCfg) (runResult, error) {
 		return res, err
 	}
 	if srvHist != nil {
+		// Push any batched reports still buffered: the tail of a run holds
+		// the freshest results.
+		if ferr := srvHist.Flush(); ferr != nil {
+			fmt.Fprintf(os.Stderr, "arcsrun: flushing batched reports: %v\n", ferr)
+		}
 		if serr := srvHist.Err(); serr != nil {
 			fmt.Fprintf(os.Stderr, "arcsrun: server degraded mid-run (local search used): %v\n", serr)
 		}

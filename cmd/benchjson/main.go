@@ -7,13 +7,30 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson > BENCH_arcs.json
+//
+// With -compare the tool becomes a perf gate: it reads the current run
+// from stdin (raw bench output or a previously emitted JSON artifact —
+// sniffed by the first byte), compares every benchmark present in the
+// baseline file, and exits non-zero on regression:
+//
+//	go test -bench . -benchmem ./internal/codec/ | benchjson -compare bench_baseline.json -tolerance 10 -metrics allocs
+//
+// Gated metrics are chosen with -metrics (comma-separated): "ns" gates
+// ns/op, "allocs" gates allocs/op, "extra" gates custom b.ReportMetric
+// units ending in "/s" (throughput: higher is better; other custom units
+// are informational only). A benchmark named in the baseline but missing
+// from the current run is itself a failure — a silently deleted
+// benchmark must not pass the gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -30,19 +47,148 @@ type Entry struct {
 }
 
 func main() {
-	results, err := parse(bufio.NewScanner(os.Stdin))
+	compareFile := flag.String("compare", "", "baseline JSON file; compare instead of emitting JSON, exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 10, "allowed regression percent per gated metric")
+	metrics := flag.String("metrics", "ns,allocs,extra", "comma-separated metrics to gate: ns, allocs, extra")
+	flag.Parse()
+
+	results, err := load(bufio.NewReader(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	// encoding/json renders map keys sorted, so the artifact is stable.
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if *compareFile == "" {
+		// encoding/json renders map keys sorted, so the artifact is stable.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	raw, err := os.ReadFile(*compareFile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	var baseline map[string]Entry
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *compareFile, err)
+		os.Exit(1)
+	}
+	failures := compare(baseline, results, *tolerance, parseMetrics(*metrics))
+	for _, f := range failures {
+		fmt.Fprintln(os.Stdout, "FAIL:", f)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stdout, "benchjson: %d regression(s) vs %s (tolerance %g%%)\n",
+			len(failures), *compareFile, *tolerance)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stdout, "benchjson: %d benchmark(s) within %g%% of %s\n",
+		len(baseline), *tolerance, *compareFile)
 }
+
+type gateSet struct{ ns, allocs, extra bool }
+
+func parseMetrics(s string) gateSet {
+	var g gateSet
+	for _, m := range strings.Split(s, ",") {
+		switch strings.TrimSpace(m) {
+		case "ns":
+			g.ns = true
+		case "allocs":
+			g.allocs = true
+		case "extra":
+			g.extra = true
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: unknown metric %q (want ns, allocs, extra)\n", m)
+			os.Exit(1)
+		}
+	}
+	return g
+}
+
+// load reads the current run: a JSON artifact (first byte '{') or raw
+// `go test -bench` output.
+func load(r *bufio.Reader) (map[string]Entry, error) {
+	head, err := r.Peek(1)
+	if err == io.EOF {
+		return map[string]Entry{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if head[0] == '{' {
+		var results map[string]Entry
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(data, &results); err != nil {
+			return nil, fmt.Errorf("stdin looks like JSON but does not parse: %w", err)
+		}
+		return results, nil
+	}
+	return parse(bufio.NewScanner(r))
+}
+
+// compare checks every baseline benchmark against the current run and
+// returns one message per violation, sorted by benchmark name.
+//
+// Lower-is-better metrics (ns/op, allocs/op) fail when
+// cur > base*(1+tol/100); a zero-alloc baseline therefore tolerates no
+// allocations at all — that is the point, so produce baselines with
+// -benchmem when gating allocs. Higher-is-better "/s" extras fail when
+// cur < base*(1-tol/100). A zero ns/op baseline and extras absent from
+// the baseline are not gated.
+func compare(baseline, cur map[string]Entry, tol float64, g gateSet) []string {
+	var failures []string
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		got, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from this run", name))
+			continue
+		}
+		if g.ns && base.NsPerOp > 0 && got.NsPerOp > base.NsPerOp*(1+tol/100) {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.4g vs baseline %.4g (+%.1f%%)",
+				name, got.NsPerOp, base.NsPerOp, pct(got.NsPerOp, base.NsPerOp)))
+		}
+		if g.allocs && got.AllocsPerOp > base.AllocsPerOp*(1+tol/100) {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %g vs baseline %g",
+				name, got.AllocsPerOp, base.AllocsPerOp))
+		}
+		if g.extra {
+			units := make([]string, 0, len(base.Extra))
+			for unit := range base.Extra {
+				if strings.HasSuffix(unit, "/s") {
+					units = append(units, unit)
+				}
+			}
+			sort.Strings(units)
+			for _, unit := range units {
+				bv := base.Extra[unit]
+				gv := got.Extra[unit]
+				if bv > 0 && gv < bv*(1-tol/100) {
+					failures = append(failures, fmt.Sprintf("%s: %s %.4g vs baseline %.4g (%.1f%%)",
+						name, unit, gv, bv, pct(gv, bv)))
+				}
+			}
+		}
+	}
+	return failures
+}
+
+func pct(cur, base float64) float64 { return (cur - base) / base * 100 }
 
 // parse extracts benchmark lines of the form
 //

@@ -6,6 +6,99 @@ import (
 	"testing"
 )
 
+func TestLoadSniffsJSONArtifact(t *testing.T) {
+	artifact := `{"BenchmarkX": {"ns_per_op": 100, "allocs_per_op": 2, "iterations": 10}}`
+	got, err := load(bufio.NewReader(strings.NewReader(artifact)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := got["BenchmarkX"]; e.NsPerOp != 100 || e.AllocsPerOp != 2 {
+		t.Fatalf("JSON artifact not loaded: %+v", got)
+	}
+
+	bench := "BenchmarkY-8 5 200 ns/op\nPASS\n"
+	got, err = load(bufio.NewReader(strings.NewReader(bench)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := got["BenchmarkY"]; e.NsPerOp != 200 {
+		t.Fatalf("bench output not loaded: %+v", got)
+	}
+
+	if got, err = load(bufio.NewReader(strings.NewReader(""))); err != nil || len(got) != 0 {
+		t.Fatalf("empty stdin: %v, %v", got, err)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	baseline := map[string]Entry{
+		"BenchmarkEncode": {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkSearch": {NsPerOp: 1000, AllocsPerOp: 4, Extra: map[string]float64{"evals/s": 50000, "hit-rate": 0.75}},
+	}
+	all := gateSet{ns: true, allocs: true, extra: true}
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		cur := map[string]Entry{
+			"BenchmarkEncode": {NsPerOp: 105, AllocsPerOp: 0},
+			"BenchmarkSearch": {NsPerOp: 1050, AllocsPerOp: 4, Extra: map[string]float64{"evals/s": 47000, "hit-rate": 0.1}},
+		}
+		if f := compare(baseline, cur, 10, all); len(f) != 0 {
+			t.Fatalf("unexpected failures: %v", f)
+		}
+	})
+
+	t.Run("ns regression fails", func(t *testing.T) {
+		cur := map[string]Entry{
+			"BenchmarkEncode": {NsPerOp: 120, AllocsPerOp: 0},
+			"BenchmarkSearch": baseline["BenchmarkSearch"],
+		}
+		f := compare(baseline, cur, 10, all)
+		if len(f) != 1 || !strings.Contains(f[0], "BenchmarkEncode: ns/op") {
+			t.Fatalf("failures = %v", f)
+		}
+	})
+
+	t.Run("zero-alloc baseline tolerates no allocs", func(t *testing.T) {
+		cur := map[string]Entry{
+			"BenchmarkEncode": {NsPerOp: 100, AllocsPerOp: 1},
+			"BenchmarkSearch": baseline["BenchmarkSearch"],
+		}
+		f := compare(baseline, cur, 10, all)
+		if len(f) != 1 || !strings.Contains(f[0], "BenchmarkEncode: allocs/op 1") {
+			t.Fatalf("failures = %v", f)
+		}
+	})
+
+	t.Run("throughput extras are higher-better", func(t *testing.T) {
+		cur := map[string]Entry{
+			"BenchmarkEncode": baseline["BenchmarkEncode"],
+			"BenchmarkSearch": {NsPerOp: 1000, AllocsPerOp: 4, Extra: map[string]float64{"evals/s": 40000, "hit-rate": 0.75}},
+		}
+		f := compare(baseline, cur, 10, all)
+		if len(f) != 1 || !strings.Contains(f[0], "evals/s") {
+			t.Fatalf("failures = %v", f)
+		}
+	})
+
+	t.Run("missing benchmark fails", func(t *testing.T) {
+		cur := map[string]Entry{"BenchmarkEncode": baseline["BenchmarkEncode"]}
+		f := compare(baseline, cur, 10, all)
+		if len(f) != 1 || !strings.Contains(f[0], "missing from this run") {
+			t.Fatalf("failures = %v", f)
+		}
+	})
+
+	t.Run("allocs-only gate ignores ns noise", func(t *testing.T) {
+		cur := map[string]Entry{
+			"BenchmarkEncode": {NsPerOp: 900, AllocsPerOp: 0}, // 9x slower, same allocs
+			"BenchmarkSearch": {NsPerOp: 9000, AllocsPerOp: 4, Extra: map[string]float64{"evals/s": 10}},
+		}
+		if f := compare(baseline, cur, 10, gateSet{allocs: true}); len(f) != 0 {
+			t.Fatalf("allocs-only gate tripped on ns/extra noise: %v", f)
+		}
+	})
+}
+
 func TestParseBenchOutput(t *testing.T) {
 	input := `goos: linux
 goarch: amd64

@@ -1,0 +1,484 @@
+package codec
+
+import (
+	"fmt"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/ompt"
+)
+
+// The wire mirrors of the serving types. codec deliberately depends
+// only on internal/core (and ompt through it): the store and server
+// convert to and from these at their boundaries, so no import cycle
+// forms and the wire schema is owned in exactly one place.
+
+// Entry is one stored record: the binary twin of store.Entry.
+type Entry struct {
+	Key     arcs.HistoryKey
+	Cfg     arcs.ConfigValues
+	Perf    float64
+	Version uint64
+}
+
+// Report is one ingested result: the binary twin of server.ReportRequest.
+type Report struct {
+	Key  arcs.HistoryKey
+	Cfg  arcs.ConfigValues
+	Perf float64
+}
+
+// ConfigAnswer is the binary /v1/config response body.
+type ConfigAnswer struct {
+	Key         arcs.HistoryKey
+	Cfg         arcs.ConfigValues
+	Perf        float64
+	Version     uint64
+	Source      string
+	CapDistance float64
+}
+
+// Ack is the binary /v1/report and /v1/reports response body.
+type Ack struct {
+	Saved    uint64
+	StoreLen uint64
+}
+
+// SearchRequest is the binary twin of server.SearchRequest (carried by
+// future fleet RPCs; encoded here so the schema evolves with the rest).
+type SearchRequest struct {
+	App      string
+	Workload string
+	Arch     string
+	CapW     float64
+	MaxEvals uint64
+}
+
+// SearchResult is the binary twin of server.SearchResult.
+type SearchResult struct {
+	Region string
+	CapW   float64
+	Cfg    arcs.ConfigValues
+	Perf   float64
+}
+
+// Field numbers. Append-only: adding a field means taking the next
+// number; removing one means retiring its number forever. Wire types
+// may never change for a live number.
+const (
+	keyApp      = 1 // string
+	keyWorkload = 2 // string
+	keyCapW     = 3 // fixed8
+	keyRegion   = 4 // string
+
+	cfgThreads  = 1 // varint
+	cfgSchedule = 2 // varint
+	cfgChunk    = 3 // varint
+	cfgFreqGHz  = 4 // fixed8
+	cfgBind     = 5 // varint
+
+	entKey     = 1 // bytes (HistoryKey message)
+	entCfg     = 2 // bytes (ConfigValues message)
+	entPerf    = 3 // fixed8
+	entVersion = 4 // varint
+
+	ansKey     = 1 // bytes
+	ansCfg     = 2 // bytes
+	ansPerf    = 3 // fixed8
+	ansVersion = 4 // varint
+	ansSource  = 5 // string
+	ansCapDist = 6 // fixed8
+
+	ackSaved    = 1 // varint
+	ackStoreLen = 2 // varint
+
+	sreqApp      = 1 // string
+	sreqWorkload = 2 // string
+	sreqArch     = 3 // string
+	sreqCapW     = 4 // fixed8
+	sreqMaxEvals = 5 // varint
+
+	sresRegion = 1 // string
+	sresCapW   = 2 // fixed8
+	sresCfg    = 3 // bytes
+	sresPerf   = 4 // fixed8
+)
+
+// --- nested message encoders -----------------------------------------
+
+// appendKey appends the tagged fields of a HistoryKey (no framing).
+func appendKey(dst []byte, k *arcs.HistoryKey) []byte {
+	dst = appendStringField(dst, keyApp, k.App)
+	dst = appendStringField(dst, keyWorkload, k.Workload)
+	dst = appendFloatField(dst, keyCapW, k.CapW)
+	return appendStringField(dst, keyRegion, k.Region)
+}
+
+// appendCfg appends the tagged fields of a ConfigValues (no framing).
+func appendCfg(dst []byte, c *arcs.ConfigValues) []byte {
+	dst = appendUintField(dst, cfgThreads, uint64(c.Threads))
+	dst = appendUintField(dst, cfgSchedule, uint64(c.Schedule))
+	dst = appendUintField(dst, cfgChunk, uint64(c.Chunk))
+	dst = appendFloatField(dst, cfgFreqGHz, c.FreqGHz)
+	return appendUintField(dst, cfgBind, uint64(c.Bind))
+}
+
+// appendKeyField appends a HistoryKey as a length-delimited sub-message
+// of the surrounding message, using scratch to stage the nested bytes.
+func appendKeyField(dst []byte, num int, k *arcs.HistoryKey, scratch *[]byte) []byte {
+	*scratch = appendKey((*scratch)[:0], k)
+	return appendBytesField(dst, num, *scratch)
+}
+
+func appendCfgField(dst []byte, num int, c *arcs.ConfigValues, scratch *[]byte) []byte {
+	*scratch = appendCfg((*scratch)[:0], c)
+	return appendBytesField(dst, num, *scratch)
+}
+
+// --- Encoder ----------------------------------------------------------
+
+// Encoder holds the scratch buffer nested-message encoding needs.
+// The zero value is ready to use; reusing one across calls makes every
+// Append* method allocation-free once the scratch has grown. Not safe
+// for concurrent use — pool Encoders, don't share them.
+type Encoder struct {
+	scratch  []byte // nested-message staging
+	scratch2 []byte // per-element staging inside batch encodes
+	payload  []byte // whole-message staging for framed appends
+}
+
+// AppendEntry appends e as one framed KindEntry record (the WAL and
+// dump-stream unit).
+func (enc *Encoder) AppendEntry(dst []byte, e *Entry) []byte {
+	p := enc.payload[:0]
+	p = appendKeyField(p, entKey, &e.Key, &enc.scratch)
+	p = appendCfgField(p, entCfg, &e.Cfg, &enc.scratch)
+	p = appendFloatField(p, entPerf, e.Perf)
+	p = appendUintField(p, entVersion, e.Version)
+	enc.payload = p
+	return AppendFrame(dst, KindEntry, p)
+}
+
+// appendReportPayload appends r's tagged fields (entry numbering: a
+// Report is an Entry without a version, and shares its field numbers).
+func (enc *Encoder) appendReportPayload(dst []byte, r *Report) []byte {
+	dst = appendKeyField(dst, entKey, &r.Key, &enc.scratch)
+	dst = appendCfgField(dst, entCfg, &r.Cfg, &enc.scratch)
+	return appendFloatField(dst, entPerf, r.Perf)
+}
+
+// AppendReport appends r as one framed KindReport message.
+func (enc *Encoder) AppendReport(dst []byte, r *Report) []byte {
+	enc.payload = enc.appendReportPayload(enc.payload[:0], r)
+	return AppendFrame(dst, KindReport, enc.payload)
+}
+
+// AppendReportBatch appends reports as one framed KindReportBatch
+// message: uvarint count, then each report length-prefixed.
+func (enc *Encoder) AppendReportBatch(dst []byte, reports []Report) []byte {
+	p := enc.payload[:0]
+	p = AppendUvarint(p, uint64(len(reports)))
+	for i := range reports {
+		// The element length is a varint, so each report is staged in a
+		// scratch buffer before its size is known.
+		enc.scratch2 = enc.appendReportPayload(enc.scratch2[:0], &reports[i])
+		p = AppendUvarint(p, uint64(len(enc.scratch2)))
+		p = append(p, enc.scratch2...)
+	}
+	enc.payload = p
+	return AppendFrame(dst, KindReportBatch, p)
+}
+
+// AppendConfigAnswer appends a as one framed KindConfigAnswer message.
+func (enc *Encoder) AppendConfigAnswer(dst []byte, a *ConfigAnswer) []byte {
+	p := enc.payload[:0]
+	p = appendKeyField(p, ansKey, &a.Key, &enc.scratch)
+	p = appendCfgField(p, ansCfg, &a.Cfg, &enc.scratch)
+	p = appendFloatField(p, ansPerf, a.Perf)
+	p = appendUintField(p, ansVersion, a.Version)
+	p = appendStringField(p, ansSource, a.Source)
+	p = appendFloatField(p, ansCapDist, a.CapDistance)
+	enc.payload = p
+	return AppendFrame(dst, KindConfigAnswer, p)
+}
+
+// AppendAck appends a as one framed KindAck message.
+func (enc *Encoder) AppendAck(dst []byte, a *Ack) []byte {
+	p := enc.payload[:0]
+	p = appendUintField(p, ackSaved, a.Saved)
+	p = appendUintField(p, ackStoreLen, a.StoreLen)
+	enc.payload = p
+	return AppendFrame(dst, KindAck, p)
+}
+
+// AppendSearchRequest appends r as one framed KindSearchReq message.
+func (enc *Encoder) AppendSearchRequest(dst []byte, r *SearchRequest) []byte {
+	p := enc.payload[:0]
+	p = appendStringField(p, sreqApp, r.App)
+	p = appendStringField(p, sreqWorkload, r.Workload)
+	p = appendStringField(p, sreqArch, r.Arch)
+	p = appendFloatField(p, sreqCapW, r.CapW)
+	p = appendUintField(p, sreqMaxEvals, r.MaxEvals)
+	enc.payload = p
+	return AppendFrame(dst, KindSearchReq, p)
+}
+
+// AppendSearchResult appends r as one framed KindSearchRes message.
+func (enc *Encoder) AppendSearchResult(dst []byte, r *SearchResult) []byte {
+	p := enc.payload[:0]
+	p = appendStringField(p, sresRegion, r.Region)
+	p = appendFloatField(p, sresCapW, r.CapW)
+	p = appendCfgField(p, sresCfg, &r.Cfg, &enc.scratch)
+	p = appendFloatField(p, sresPerf, r.Perf)
+	enc.payload = p
+	return AppendFrame(dst, KindSearchRes, p)
+}
+
+// --- Decoder ----------------------------------------------------------
+
+// Decoder decodes framed messages. It interns strings: the app,
+// workload, region and source names on a serving hot path repeat
+// endlessly, so after warm-up a Decoder allocates nothing. Not safe
+// for concurrent use — pool Decoders, don't share them.
+type Decoder struct {
+	intern map[string]string
+	rep    Report // batch-element scratch; reused so it never escapes
+}
+
+// str returns b as a string, reusing a previously interned copy when
+// one exists (the map lookup with a []byte key does not allocate).
+func (d *Decoder) str(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if d.intern == nil {
+		d.intern = make(map[string]string)
+	}
+	if s, ok := d.intern[string(b)]; ok {
+		return s
+	}
+	if len(d.intern) >= maxInterned {
+		// A hostile peer could grow the table without bound; beyond the
+		// cap, fall back to plain allocation.
+		return string(b)
+	}
+	s := string(b)
+	d.intern[s] = s
+	return s
+}
+
+// maxInterned bounds the intern table. Real deployments see hundreds of
+// distinct names, not tens of thousands.
+const maxInterned = 1 << 14
+
+// decodeKey parses a HistoryKey sub-message.
+func (d *Decoder) decodeKey(b []byte, k *arcs.HistoryKey) error {
+	*k = arcs.HistoryKey{}
+	r := fieldReader{buf: b}
+	for {
+		num, wt, val, done, err := r.next()
+		if done || err != nil {
+			return err
+		}
+		switch {
+		case num == keyApp && wt == wtBytes:
+			k.App = d.str(val)
+		case num == keyWorkload && wt == wtBytes:
+			k.Workload = d.str(val)
+		case num == keyCapW && wt == wtFixed8:
+			k.CapW = floatVal(val)
+		case num == keyRegion && wt == wtBytes:
+			k.Region = d.str(val)
+		}
+	}
+}
+
+// decodeCfg parses a ConfigValues sub-message.
+func (d *Decoder) decodeCfg(b []byte, c *arcs.ConfigValues) error {
+	*c = arcs.ConfigValues{}
+	r := fieldReader{buf: b}
+	for {
+		num, wt, val, done, err := r.next()
+		if done || err != nil {
+			return err
+		}
+		switch {
+		case num == cfgThreads && wt == wtVarint:
+			c.Threads = int(uintVal(val))
+		case num == cfgSchedule && wt == wtVarint:
+			c.Schedule = ompt.ScheduleKind(uintVal(val))
+		case num == cfgChunk && wt == wtVarint:
+			c.Chunk = int(uintVal(val))
+		case num == cfgFreqGHz && wt == wtFixed8:
+			c.FreqGHz = floatVal(val)
+		case num == cfgBind && wt == wtVarint:
+			c.Bind = ompt.BindKind(uintVal(val))
+		}
+	}
+}
+
+// DecodeEntry parses a KindEntry frame payload into e.
+func (d *Decoder) DecodeEntry(payload []byte, e *Entry) error {
+	*e = Entry{}
+	r := fieldReader{buf: payload}
+	for {
+		num, wt, val, done, err := r.next()
+		if done || err != nil {
+			return err
+		}
+		switch {
+		case num == entKey && wt == wtBytes:
+			if err := d.decodeKey(val, &e.Key); err != nil {
+				return err
+			}
+		case num == entCfg && wt == wtBytes:
+			if err := d.decodeCfg(val, &e.Cfg); err != nil {
+				return err
+			}
+		case num == entPerf && wt == wtFixed8:
+			e.Perf = floatVal(val)
+		case num == entVersion && wt == wtVarint:
+			e.Version = uintVal(val)
+		}
+	}
+}
+
+// DecodeReport parses a KindReport frame payload (or one batch element)
+// into rep.
+func (d *Decoder) DecodeReport(payload []byte, rep *Report) error {
+	var e Entry
+	if err := d.DecodeEntry(payload, &e); err != nil {
+		return err
+	}
+	rep.Key, rep.Cfg, rep.Perf = e.Key, e.Cfg, e.Perf
+	return nil
+}
+
+// DecodeReportBatch parses a KindReportBatch frame payload, calling f
+// for each report in order. f's Report is reused across calls.
+func (d *Decoder) DecodeReportBatch(payload []byte, f func(*Report) error) error {
+	count, n := Uvarint(payload)
+	if n == 0 {
+		return ErrMalformed
+	}
+	if count > maxDecodeCount || count > uint64(len(payload)) {
+		return fmt.Errorf("%w: batch count %d", ErrMalformed, count)
+	}
+	pos := n
+	for i := uint64(0); i < count; i++ {
+		l, ln := Uvarint(payload[pos:])
+		if ln == 0 {
+			return ErrTruncated
+		}
+		pos += ln
+		if uint64(len(payload)-pos) < l {
+			return ErrTruncated
+		}
+		if err := d.DecodeReport(payload[pos:pos+int(l)], &d.rep); err != nil {
+			return err
+		}
+		pos += int(l)
+		if err := f(&d.rep); err != nil {
+			return err
+		}
+	}
+	if pos != len(payload) {
+		return fmt.Errorf("%w: %d trailing bytes after batch", ErrMalformed, len(payload)-pos)
+	}
+	return nil
+}
+
+// DecodeConfigAnswer parses a KindConfigAnswer frame payload into a.
+func (d *Decoder) DecodeConfigAnswer(payload []byte, a *ConfigAnswer) error {
+	*a = ConfigAnswer{}
+	r := fieldReader{buf: payload}
+	for {
+		num, wt, val, done, err := r.next()
+		if done || err != nil {
+			return err
+		}
+		switch {
+		case num == ansKey && wt == wtBytes:
+			if err := d.decodeKey(val, &a.Key); err != nil {
+				return err
+			}
+		case num == ansCfg && wt == wtBytes:
+			if err := d.decodeCfg(val, &a.Cfg); err != nil {
+				return err
+			}
+		case num == ansPerf && wt == wtFixed8:
+			a.Perf = floatVal(val)
+		case num == ansVersion && wt == wtVarint:
+			a.Version = uintVal(val)
+		case num == ansSource && wt == wtBytes:
+			a.Source = d.str(val)
+		case num == ansCapDist && wt == wtFixed8:
+			a.CapDistance = floatVal(val)
+		}
+	}
+}
+
+// DecodeAck parses a KindAck frame payload into a.
+func (d *Decoder) DecodeAck(payload []byte, a *Ack) error {
+	*a = Ack{}
+	r := fieldReader{buf: payload}
+	for {
+		num, wt, val, done, err := r.next()
+		if done || err != nil {
+			return err
+		}
+		switch {
+		case num == ackSaved && wt == wtVarint:
+			a.Saved = uintVal(val)
+		case num == ackStoreLen && wt == wtVarint:
+			a.StoreLen = uintVal(val)
+		}
+	}
+}
+
+// DecodeSearchRequest parses a KindSearchReq frame payload into req.
+func (d *Decoder) DecodeSearchRequest(payload []byte, req *SearchRequest) error {
+	*req = SearchRequest{}
+	r := fieldReader{buf: payload}
+	for {
+		num, wt, val, done, err := r.next()
+		if done || err != nil {
+			return err
+		}
+		switch {
+		case num == sreqApp && wt == wtBytes:
+			req.App = d.str(val)
+		case num == sreqWorkload && wt == wtBytes:
+			req.Workload = d.str(val)
+		case num == sreqArch && wt == wtBytes:
+			req.Arch = d.str(val)
+		case num == sreqCapW && wt == wtFixed8:
+			req.CapW = floatVal(val)
+		case num == sreqMaxEvals && wt == wtVarint:
+			req.MaxEvals = uintVal(val)
+		}
+	}
+}
+
+// DecodeSearchResult parses a KindSearchRes frame payload into res.
+func (d *Decoder) DecodeSearchResult(payload []byte, res *SearchResult) error {
+	*res = SearchResult{}
+	r := fieldReader{buf: payload}
+	for {
+		num, wt, val, done, err := r.next()
+		if done || err != nil {
+			return err
+		}
+		switch {
+		case num == sresRegion && wt == wtBytes:
+			res.Region = d.str(val)
+		case num == sresCapW && wt == wtFixed8:
+			res.CapW = floatVal(val)
+		case num == sresCfg && wt == wtBytes:
+			if err := d.decodeCfg(val, &res.Cfg); err != nil {
+				return err
+			}
+		case num == sresPerf && wt == wtFixed8:
+			res.Perf = floatVal(val)
+		}
+	}
+}

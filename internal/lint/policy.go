@@ -77,10 +77,11 @@ func matchPattern(pattern, path string) bool {
 
 // deterministicPackages are the packages under the determinism
 // contract: the simulator, the search stack, the tuner core, the eval
-// cache, the kernels, the benchmark harness, and the fault-injection
-// subsystem (a chaos run must reproduce exactly from its seed) must
-// produce byte-identical results for identical inputs at any
-// parallelism.
+// cache, the kernels, the benchmark harness, the binary codec (the same
+// value must always encode to the same bytes — WAL replay and the CI
+// perf gate both depend on it), and the fault-injection subsystem (a
+// chaos run must reproduce exactly from its seed) must produce
+// byte-identical results for identical inputs at any parallelism.
 // Serving and measurement packages (server, parfor, rapl, trace,
 // cmd/arcsbench, examples) legitimately read wall clocks and are
 // exempt — see DESIGN.md §9.
@@ -92,6 +93,7 @@ var deterministicPackages = []string{
 	"arcs/internal/kernels",
 	"arcs/internal/bench",
 	"arcs/internal/faults",
+	"arcs/internal/codec",
 }
 
 // DefaultPolicy is the repository contract enforced in CI.
@@ -104,6 +106,8 @@ func DefaultPolicy() Policy {
 		{Pattern: "arcs/internal/store", Checks: []string{CheckErrcheckIO, CheckFloatCmp}},
 		{Pattern: "arcs/internal/bench", Checks: []string{CheckErrcheckIO}},
 		{Pattern: "arcs/cmd/benchjson", Checks: []string{CheckErrcheckIO}},
+		// Frames feed the WAL: a dropped write error is silent data loss.
+		{Pattern: "arcs/internal/codec", Checks: []string{CheckErrcheckIO}},
 		// Keep-best and serving comparisons.
 		{Pattern: "arcs/internal/server", Checks: []string{CheckFloatCmp}},
 		{Pattern: "arcs/internal/storeclient", Checks: []string{CheckFloatCmp}},

@@ -8,12 +8,19 @@
 //
 //	GET  /v1/config?app=&workload=&cap=&region=[&arch=][&fallback=0][&search=0]
 //	POST /v1/report   {"key":{...},"config":{...},"perf":N} or an array
-//	GET  /v1/dump     full entry set with versions
+//	POST /v1/reports  batched ingest: JSON array or one binary report-batch frame
+//	GET  /v1/dump     full entry set with versions, streamed
 //	GET  /healthz
 //	GET  /metrics     Prometheus text format
+//
+// Every v1 endpoint content-negotiates: an Accept (responses) or
+// Content-Type (request bodies) of application/x-arcs-bin selects the
+// binary codec (internal/codec); JSON stays the default and the
+// fallback. See wire.go and DESIGN.md §11.
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -25,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"arcs/internal/codec"
 	arcs "arcs/internal/core"
 	"arcs/internal/evalcache"
 	"arcs/internal/store"
@@ -131,6 +139,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/config", s.instrument("config", s.handleConfig))
 	s.mux.HandleFunc("/v1/report", s.instrument("report", s.handleReport))
+	s.mux.HandleFunc("/v1/reports", s.instrument("reports", s.handleReport))
 	s.mux.HandleFunc("/v1/dump", s.instrument("dump", s.handleDump))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -158,19 +167,6 @@ type ReportRequest struct {
 	Key  arcs.HistoryKey   `json:"key"`
 	Cfg  arcs.ConfigValues `json:"config"`
 	Perf float64           `json:"perf"`
-}
-
-// errorJSON writes a JSON error body with the given status.
-func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
@@ -201,7 +197,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 
 	if e, ok := s.st.Get(key); ok {
 		s.met.hits.Add(1)
-		writeJSON(w, http.StatusOK, ConfigResponse{
+		writeConfig(w, r, ConfigResponse{
 			Key: e.Key, Config: e.Cfg, Perf: e.Perf, Version: e.Version, Source: "exact",
 		})
 		return
@@ -209,7 +205,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	if allowFallback {
 		if e, dist, ok := s.st.GetNearest(key); ok {
 			s.met.fallbacks.Add(1)
-			writeJSON(w, http.StatusOK, ConfigResponse{
+			writeConfig(w, r, ConfigResponse{
 				Key: e.Key, Config: e.Cfg, Perf: e.Perf, Version: e.Version,
 				Source: "fallback", CapDistance: dist,
 			})
@@ -238,7 +234,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if e, ok := s.st.Get(key); ok {
-			writeJSON(w, http.StatusOK, ConfigResponse{
+			writeConfig(w, r, ConfigResponse{
 				Key: e.Key, Config: e.Cfg, Perf: e.Perf, Version: e.Version, Source: "searched",
 			})
 			return
@@ -349,15 +345,77 @@ func (s *Server) runSearch(ctx context.Context, req SearchRequest) ([]SearchResu
 	return o.results, o.err
 }
 
+// handleReport serves both /v1/report and /v1/reports: the endpoints
+// share semantics (both accept one record or many), the second exists so
+// batching clients can probe for it — an old server 404s /v1/reports and
+// the client falls back to the array form on /v1/report.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		errorJSON(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	saved, ok := s.ingestReports(w, r)
+	if !ok {
+		return
+	}
+	s.met.reported.Add(uint64(saved))
+	s.writeAck(w, r, saved)
+}
+
+// ingestReports parses one report body — a binary report or report-batch
+// frame, a JSON array, or a single JSON object — validates each record
+// and saves it. On failure it writes the error response (corrupt binary
+// input is a 400, never a panic) and returns ok=false; records saved
+// before a mid-batch validation failure stay saved, exactly as the
+// pre-batch array path behaved.
+func (s *Server) ingestReports(w http.ResponseWriter, r *http.Request) (saved int, ok bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, "read report body: %v", err)
-		return
+		return 0, false
+	}
+	save := func(key arcs.HistoryKey, cfg arcs.ConfigValues, perf float64) error {
+		if key.App == "" || key.Region == "" {
+			return fmt.Errorf("report %d: app and region are required", saved)
+		}
+		if math.IsNaN(perf) || math.IsInf(perf, 0) {
+			return fmt.Errorf("report %d: non-finite perf", saved)
+		}
+		s.st.Save(key, cfg, perf)
+		saved++
+		return nil
+	}
+	if binaryBody(r) {
+		kind, payload, _, err := codec.Frame(body)
+		if err != nil {
+			errorJSON(w, http.StatusBadRequest, "bad binary report body: %v", err)
+			return 0, false
+		}
+		dec := binDecPool.Get().(*codec.Decoder)
+		defer binDecPool.Put(dec)
+		switch kind {
+		case codec.KindReport:
+			var rep codec.Report
+			if err := dec.DecodeReport(payload, &rep); err != nil {
+				errorJSON(w, http.StatusBadRequest, "bad binary report: %v", err)
+				return 0, false
+			}
+			if err := save(rep.Key, rep.Cfg, rep.Perf); err != nil {
+				errorJSON(w, http.StatusBadRequest, "%v", err)
+				return saved, false
+			}
+		case codec.KindReportBatch:
+			if err := dec.DecodeReportBatch(payload, func(rep *codec.Report) error {
+				return save(rep.Key, rep.Cfg, rep.Perf)
+			}); err != nil {
+				errorJSON(w, http.StatusBadRequest, "bad binary report batch: %v", err)
+				return saved, false
+			}
+		default:
+			errorJSON(w, http.StatusBadRequest, "unexpected frame kind %#x", kind)
+			return 0, false
+		}
+		return saved, true
 	}
 	var reports []ReportRequest
 	if err := json.Unmarshal(body, &reports); err != nil {
@@ -365,37 +423,59 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		var one ReportRequest
 		if err2 := json.Unmarshal(body, &one); err2 != nil {
 			errorJSON(w, http.StatusBadRequest, "bad report body: %v", err)
-			return
+			return 0, false
 		}
 		reports = []ReportRequest{one}
 	}
-	saved := 0
 	for _, rep := range reports {
-		if rep.Key.App == "" || rep.Key.Region == "" {
-			errorJSON(w, http.StatusBadRequest, "report %d: app and region are required", saved)
-			return
+		if err := save(rep.Key, rep.Cfg, rep.Perf); err != nil {
+			errorJSON(w, http.StatusBadRequest, "%v", err)
+			return saved, false
 		}
-		if math.IsNaN(rep.Perf) || math.IsInf(rep.Perf, 0) {
-			errorJSON(w, http.StatusBadRequest, "report %d: non-finite perf", saved)
-			return
-		}
-		s.st.Save(rep.Key, rep.Cfg, rep.Perf)
-		saved++
 	}
-	s.met.reported.Add(uint64(saved))
-	writeJSON(w, http.StatusOK, map[string]any{"saved": saved, "store_len": s.st.Len()})
+	return saved, true
 }
 
+// handleDump streams the entry set record by record — a JSON array
+// element per entry, or one KindEntry frame per entry under binary —
+// instead of materialising one marshalled blob of the whole store, whose
+// size scaled with the store and stalled the handler while it built.
 func (s *Server) handleDump(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		errorJSON(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	entries := s.st.Entries()
-	if entries == nil {
-		entries = []store.Entry{}
+	bw := bufio.NewWriterSize(w, 32<<10)
+	if acceptsBinary(r) {
+		w.Header().Set("Content-Type", codec.ContentType)
+		w.WriteHeader(http.StatusOK)
+		bb := binBufPool.Get().(*binBuf)
+		defer binBufPool.Put(bb)
+		for i := range entries {
+			ce := codec.Entry(entries[i])
+			bb.buf = bb.enc.AppendEntry(bb.buf[:0], &ce)
+			if _, err := bw.Write(bb.buf); err != nil {
+				return // client went away mid-stream; nothing left to tell it
+			}
+		}
+		_ = bw.Flush()
+		return
 	}
-	writeJSON(w, http.StatusOK, entries)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = bw.WriteByte('[')
+	enc := json.NewEncoder(bw)
+	for i := range entries {
+		if i > 0 {
+			_ = bw.WriteByte(',')
+		}
+		if err := enc.Encode(entries[i]); err != nil {
+			return // client went away mid-stream
+		}
+	}
+	_ = bw.WriteByte(']')
+	_ = bw.Flush()
 }
 
 // HealthResponse is the GET /healthz payload. The endpoint always

@@ -1,0 +1,137 @@
+// Legacy-format migration tests: a store directory written entirely by
+// the pre-binary code (JSON snapshot, JSONL WAL in both line formats)
+// must open with every record intact, serve binary appends into the same
+// WAL, and migrate one-way to the binary snapshot on first compaction.
+package store_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/ompt"
+	"arcs/internal/store"
+)
+
+// legacyLine renders e as the v2 checksummed WAL line (hex CRC32, space,
+// JSON payload, newline) — the format the pre-binary store appended.
+func legacyLine(t *testing.T, e store.Entry) []byte {
+	t.Helper()
+	payload, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Appendf(nil, "%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+}
+
+// TestLegacyMigrationOneWay seeds a directory exactly as the pre-binary
+// store would have left it and drives it through the migration:
+//
+//  1. open → every legacy record (JSON snapshot, plain JSONL line,
+//     CRC-prefixed line) is served field-identical;
+//  2. a new Save appends a binary frame to the same legacy WAL, and a
+//     reopen replays the mixed-generation log correctly;
+//  3. the first Snapshot writes snapshot.bin and deletes snapshot.json —
+//     one-way, so stale legacy records can never resurface;
+//  4. a final reopen serves the identical entry set from binary files
+//     alone.
+func TestLegacyMigrationOneWay(t *testing.T) {
+	dir := t.TempDir()
+	key := func(r string) arcs.HistoryKey {
+		return arcs.HistoryKey{App: "BT", Workload: "A", CapW: 60, Region: r}
+	}
+	snapEnt := store.Entry{Key: key("snap"), Cfg: arcs.ConfigValues{Threads: 4, Schedule: ompt.ScheduleStatic}, Perf: 2.5, Version: 3}
+	plainEnt := store.Entry{Key: key("plain"), Cfg: arcs.ConfigValues{Threads: 8, FreqGHz: 2.2}, Perf: 1.5, Version: 1}
+	crcEnt := store.Entry{Key: key("crc"), Cfg: arcs.ConfigValues{Threads: 16, Chunk: 32, Bind: ompt.BindClose}, Perf: 0.75, Version: 2}
+
+	snapJSON, err := json.MarshalIndent([]store.Entry{snapEnt}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, store.SnapshotName), snapJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plainJSON, err := json.Marshal(plainEnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal := append(append([]byte{}, plainJSON...), '\n')
+	wal = append(wal, legacyLine(t, crcEnt)...)
+	if err := os.WriteFile(filepath.Join(dir, store.WALName), wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(dir, store.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []store.Entry{snapEnt, plainEnt, crcEnt} {
+		got, ok := st.Get(want.Key)
+		if !ok || got != want {
+			t.Fatalf("legacy replay of %v = %+v ok=%v, want %+v", want.Key, got, ok, want)
+		}
+	}
+
+	// A fresh Save appends a binary frame after the legacy lines.
+	binEnt := store.Entry{Key: key("bin"), Cfg: arcs.ConfigValues{Threads: 32}, Perf: 0.5, Version: 1}
+	st.Save(binEnt.Key, binEnt.Cfg, binEnt.Perf)
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := os.ReadFile(filepath.Join(dir, store.WALName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed) <= len(wal) {
+		t.Fatal("binary append did not extend the legacy WAL")
+	}
+
+	// The mixed-generation WAL (plain + CRC + binary) replays whole.
+	st2, err := store.Open(dir, store.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := []store.Entry{snapEnt, plainEnt, crcEnt, binEnt}
+	for _, want := range all {
+		got, ok := st2.Get(want.Key)
+		if !ok || got != want {
+			t.Fatalf("mixed-WAL replay of %v = %+v ok=%v, want %+v", want.Key, got, ok, want)
+		}
+	}
+
+	// First compaction migrates: snapshot.bin appears, snapshot.json goes.
+	if err := st2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, store.SnapshotBinName)); err != nil {
+		t.Fatalf("binary snapshot missing after migration: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, store.SnapshotName)); !os.IsNotExist(err) {
+		t.Fatalf("legacy snapshot survived the migration (stat err %v)", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st3, err := store.Open(dir, store.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if st3.Len() != len(all) {
+		t.Fatalf("post-migration store has %d entries, want %d", st3.Len(), len(all))
+	}
+	for _, want := range all {
+		got, ok := st3.Get(want.Key)
+		if !ok || got != want {
+			t.Fatalf("post-migration replay of %v = %+v ok=%v, want %+v", want.Key, got, ok, want)
+		}
+	}
+}

@@ -3,12 +3,15 @@
 // production-scale evolution of the paper's single-process history file
 // (§III-B, "later executions can use the saved values instead of
 // repeating the search process"): a sharded in-memory map serving
-// concurrent lookups, backed by an append-only JSON-lines write-ahead log
-// with periodic compacted snapshots so the knowledge survives restarts
-// and crashes.
+// concurrent lookups, backed by an append-only write-ahead log with
+// periodic compacted snapshots so the knowledge survives restarts and
+// crashes.
 //
-// Durability model: every accepted Save appends one CRC32-checksummed
-// JSON line to the WAL before returning. Replay tolerates arbitrary
+// Durability model: every accepted Save appends one CRC-framed binary
+// record (internal/codec) to the WAL before returning; snapshots use the
+// codec's columnar layout. Legacy JSON/JSONL files replay transparently
+// and are migrated one-way on the first compaction. Replay tolerates
+// arbitrary
 // corruption — torn tails from a crash, truncated snapshots, bit flips,
 // or garbage bytes — by skipping records whose checksum or encoding does
 // not verify; a record carries its own per-key monotonic version, so
@@ -26,9 +29,9 @@
 package store
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"hash/fnv"
@@ -39,15 +42,23 @@ import (
 	"strconv"
 	"sync"
 
+	"arcs/internal/codec"
 	arcs "arcs/internal/core"
 )
 
 const (
-	// SnapshotName and WALName are the file names inside the store
-	// directory (exported for chaos and torture tests that truncate or
-	// corrupt them deliberately).
-	SnapshotName = "snapshot.json"
-	WALName      = "wal.jsonl"
+	// SnapshotName, SnapshotBinName and WALName are the file names inside
+	// the store directory (exported for chaos and torture tests that
+	// truncate or corrupt them deliberately). SnapshotName is the legacy
+	// JSON snapshot, read-only since the binary migration: the first
+	// successful compaction writes SnapshotBinName and deletes the legacy
+	// file. WALName keeps its historical extension — the log has carried
+	// three record formats (plain JSON, CRC-prefixed JSON, binary frames)
+	// and replay accepts all of them, so renaming it would only orphan
+	// existing deployments.
+	SnapshotName    = "snapshot.json"
+	SnapshotBinName = "snapshot.bin"
+	WALName         = "wal.jsonl"
 
 	// numShards bounds lock contention under concurrent serving; keys are
 	// distributed by FNV-1a hash of the canonical form.
@@ -109,15 +120,17 @@ type Store struct {
 	shards [numShards]shard
 
 	walMu         sync.Mutex
-	wal           File   // guarded by walMu
-	walRecords    int    // records appended since the last snapshot; guarded by walMu
-	snapshotEvery int    // immutable after Open
-	degradeAfter  int    // immutable after Open
-	closed        bool   // guarded by walMu
-	appendFails   int    // consecutive WAL-append failures; guarded by walMu
-	degraded      bool   // memory-only mode; guarded by walMu
-	degradedCause error  // why the store degraded; guarded by walMu
-	droppedSaves  uint64 // Saves accepted in memory but not persisted; guarded by walMu
+	wal           File          // guarded by walMu
+	walRecords    int           // records appended since the last snapshot; guarded by walMu
+	snapshotEvery int           // immutable after Open
+	degradeAfter  int           // immutable after Open
+	closed        bool          // guarded by walMu
+	appendFails   int           // consecutive WAL-append failures; guarded by walMu
+	degraded      bool          // memory-only mode; guarded by walMu
+	degradedCause error         // why the store degraded; guarded by walMu
+	droppedSaves  uint64        // Saves accepted in memory but not persisted; guarded by walMu
+	enc           codec.Encoder // WAL/snapshot record encoder; guarded by walMu
+	walBuf        []byte        // reusable append buffer (zero-alloc appends); guarded by walMu
 
 	errMu   sync.Mutex
 	lastErr error // guarded by errMu
@@ -158,8 +171,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-func (s *Store) walPath() string      { return filepath.Join(s.dir, WALName) }
-func (s *Store) snapshotPath() string { return filepath.Join(s.dir, SnapshotName) }
+func (s *Store) walPath() string         { return filepath.Join(s.dir, WALName) }
+func (s *Store) snapshotPath() string    { return filepath.Join(s.dir, SnapshotName) }
+func (s *Store) binSnapshotPath() string { return filepath.Join(s.dir, SnapshotBinName) }
 
 func (s *Store) shard(canonicalKey string) *shard {
 	h := fnv.New32a()
@@ -169,7 +183,25 @@ func (s *Store) shard(canonicalKey string) *shard {
 
 // replaySnapshot loads the compacted snapshot, ignoring a missing or
 // undecodable file (the WAL is the source of truth for anything newer).
+// The binary columnar snapshot is preferred; a store that has never
+// compacted under the binary format falls back to the legacy JSON
+// snapshot, which replays byte-for-byte as it always did.
 func (s *Store) replaySnapshot() {
+	if data, err := s.fs.ReadFile(s.binSnapshotPath()); err == nil {
+		kind, payload, _, ferr := codec.Frame(data)
+		if ferr == nil && kind == codec.KindSnapshot {
+			var dec codec.Decoder
+			if list, derr := dec.DecodeSnapshot(payload); derr == nil {
+				for _, e := range list {
+					s.applyReplay(Entry(e))
+				}
+				return
+			}
+		}
+		// A corrupt binary snapshot is skipped, not fatal — and the
+		// legacy file (if any) predates it, so falling through can only
+		// add older records, which versioned replay resolves correctly.
+	}
 	data, err := s.fs.ReadFile(s.snapshotPath())
 	if err != nil {
 		return
@@ -183,37 +215,76 @@ func (s *Store) replaySnapshot() {
 	}
 }
 
-// replayWAL applies every verifiable WAL line and returns the count, so a
-// store reopened with a fat WAL compacts on schedule.
+// replayWAL applies every verifiable WAL record and returns the count,
+// so a store reopened with a fat WAL compacts on schedule. The log may
+// interleave three generations of record format — binary frames
+// (current), CRC-prefixed JSON lines, and plain JSON lines — because a
+// store opened over a legacy WAL appends binary records after the old
+// ones until the next compaction rewrites everything. The parser
+// dispatches on the first byte: the frame magic is not printable ASCII,
+// so it can never collide with a JSON or hex-checksum line.
 func (s *Store) replayWAL() int {
-	f, err := s.fs.OpenFile(s.walPath(), os.O_RDONLY, 0)
+	data, err := s.fs.ReadFile(s.walPath())
 	if err != nil {
 		return 0
 	}
-	defer func() { _ = f.Close() }() // read-only; nothing to lose on close
 	n := 0
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), maxWALLine)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
+	var dec codec.Decoder
+	var ce codec.Entry
+	pos := 0
+	for pos < len(data) {
+		switch c := data[pos]; {
+		case c == codec.Magic:
+			kind, payload, fn, err := codec.Frame(data[pos:])
+			switch {
+			case err == nil && kind == codec.KindEntry:
+				if dec.DecodeEntry(payload, &ce) == nil {
+					s.applyReplay(Entry(ce))
+					n++
+				}
+				pos += fn
+			case err == nil:
+				pos += fn // verified frame of an unexpected kind: skip whole
+			case errors.Is(err, codec.ErrTruncated):
+				// Torn tail: whole frames are appended under walMu, so an
+				// incomplete frame can only be the crash-interrupted last
+				// record. Nothing follows it.
+				return n
+			default:
+				pos++ // corrupt frame: resync byte by byte
+			}
+		case c == '\n', c == '\r', c == ' ', c == '\t':
+			pos++
+		default:
+			// Legacy text record: one line, either CRC-prefixed or plain
+			// JSON. A torn or bit-flipped line fails its checksum or its
+			// parse and is skipped, exactly as the line scanner did.
+			line := data[pos:]
+			if i := bytes.IndexByte(line, '\n'); i >= 0 {
+				line = line[:i]
+				pos += i + 1
+			} else {
+				pos = len(data)
+			}
+			line = bytes.TrimSpace(line)
+			if len(line) == 0 || len(line) > maxWALLine {
+				continue
+			}
+			if e, ok := decodeWALLine(line); ok {
+				s.applyReplay(e)
+				n++
+			}
 		}
-		e, ok := decodeWALLine(line)
-		if !ok {
-			continue // torn tail, bit flip, or garbage: skip, keep replaying
-		}
-		s.applyReplay(e)
-		n++
 	}
 	return n
 }
 
-// encodeWALLine renders one entry in the checksummed v2 line format:
-// eight lowercase hex digits of the IEEE CRC32 of the JSON payload, one
-// space, the payload, a newline. The checksum catches corruption that
-// still parses as JSON — a flipped bit inside a number silently changes
-// the stored perf under the legacy format.
+// encodeWALLine renders one entry in the legacy v2 line format: eight
+// lowercase hex digits of the IEEE CRC32 of the JSON payload, one
+// space, the payload, a newline. New records are written as binary
+// frames (appendWAL); this encoder survives as the reference
+// implementation for the migration tests and the JSON-vs-binary WAL
+// benchmarks.
 func encodeWALLine(e Entry) ([]byte, error) {
 	payload, err := json.Marshal(e)
 	if err != nil {
@@ -371,17 +442,14 @@ func (s *Store) Entries() []Entry {
 	return out
 }
 
-// appendWAL serialises one accepted update as a single checksummed line.
-// Whole-line writes under walMu keep concurrent appends from
-// interleaving; replay handles a torn final line after a crash. A
+// appendWAL serialises one accepted update as a single CRC-framed
+// binary record. Whole-frame writes under walMu keep concurrent appends
+// from interleaving; replay handles a torn final frame after a crash. A
 // persistent run of append failures trips the store into degraded
-// memory-only mode instead of hammering a dead disk forever.
+// memory-only mode instead of hammering a dead disk forever. The encode
+// buffer and encoder are reused under walMu, so the steady-state append
+// path allocates nothing.
 func (s *Store) appendWAL(e Entry) {
-	line, err := encodeWALLine(e)
-	if err != nil {
-		s.setErr(fmt.Errorf("store: encode wal record: %w", err))
-		return
-	}
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
 	if s.closed || s.wal == nil {
@@ -392,7 +460,9 @@ func (s *Store) appendWAL(e Entry) {
 		s.droppedSaves++
 		return
 	}
-	if _, err := s.wal.Write(line); err != nil {
+	ce := codec.Entry(e)
+	s.walBuf = s.enc.AppendEntry(s.walBuf[:0], &ce)
+	if _, err := s.wal.Write(s.walBuf); err != nil {
 		s.appendFails++
 		s.setErr(fmt.Errorf("store: append wal: %w", err))
 		if s.degradeAfter > 0 && s.appendFails >= s.degradeAfter {
@@ -434,13 +504,20 @@ func (s *Store) Snapshot() error {
 // leaves the previous snapshot and the current WAL byte-identical: there
 // is no window where data exists in neither file.
 //
+// The snapshot is written in the binary columnar format. A store that
+// still carries a legacy JSON snapshot migrates here, one-way: once the
+// binary file is durably renamed into place it supersedes the JSON one,
+// which is deleted so replay never resurrects stale records from it.
+//
 //arcslint:locked walMu
 func (s *Store) snapshotLocked() error {
-	data, err := json.MarshalIndent(s.Entries(), "", "  ")
-	if err != nil {
-		return fmt.Errorf("store: encode snapshot: %w", err)
+	entries := s.Entries()
+	ces := make([]codec.Entry, len(entries))
+	for i, e := range entries {
+		ces[i] = codec.Entry(e)
 	}
-	tmp := s.snapshotPath() + ".tmp"
+	data := s.enc.AppendSnapshot(nil, ces)
+	tmp := s.binSnapshotPath() + ".tmp"
 	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: create snapshot: %w", err)
@@ -459,9 +536,16 @@ func (s *Store) snapshotLocked() error {
 		_ = s.fs.Remove(tmp)
 		return fmt.Errorf("store: close snapshot: %w", err)
 	}
-	if err := s.fs.Rename(tmp, s.snapshotPath()); err != nil {
+	if err := s.fs.Rename(tmp, s.binSnapshotPath()); err != nil {
 		_ = s.fs.Remove(tmp)
 		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	// The binary snapshot is durable; retire the legacy JSON one so a
+	// later replay cannot prefer or merge a stale generation. A failed
+	// remove is surfaced but not fatal — versioned replay keeps the
+	// overlap harmless until the next compaction retries it.
+	if err := s.fs.Remove(s.snapshotPath()); err != nil && !errors.Is(err, os.ErrNotExist) {
+		s.setErr(fmt.Errorf("store: remove legacy snapshot: %w", err))
 	}
 	// The snapshot now holds everything; start a fresh WAL.
 	if s.wal != nil {
@@ -570,8 +654,10 @@ func (s *Store) Health() Health {
 	if fi, err := os.Stat(s.walPath()); err == nil {
 		h.WALBytes = fi.Size()
 	}
-	if fi, err := os.Stat(s.snapshotPath()); err == nil {
+	if fi, err := os.Stat(s.binSnapshotPath()); err == nil {
 		h.SnapshotBytes = fi.Size()
+	} else if fi, err := os.Stat(s.snapshotPath()); err == nil {
+		h.SnapshotBytes = fi.Size() // not yet migrated off the JSON snapshot
 	}
 	return h
 }

@@ -1,18 +1,32 @@
 package store
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"sync"
 	"testing"
 
+	"arcs/internal/codec"
 	arcs "arcs/internal/core"
 	"arcs/internal/core/historytest"
 	"arcs/internal/ompt"
 )
+
+// countWALFrames walks a binary WAL and counts complete frames.
+func countWALFrames(t *testing.T, wal []byte) int {
+	t.Helper()
+	n := 0
+	for pos := 0; pos < len(wal); {
+		_, _, fn, err := codec.Frame(wal[pos:])
+		if err != nil {
+			t.Fatalf("WAL frame %d undecodable at offset %d: %v", n, pos, err)
+		}
+		pos += fn
+		n++
+	}
+	return n
+}
 
 func openStore(t *testing.T, dir string, opts Options) *Store {
 	t.Helper()
@@ -131,16 +145,20 @@ func TestSnapshotCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := strings.Count(string(wal), "\n"); n >= 10 {
-		t.Errorf("WAL never compacted: %d lines", n)
+	if n := countWALFrames(t, wal); n >= 10 {
+		t.Errorf("WAL never compacted: %d records", n)
 	}
-	snap, err := os.ReadFile(filepath.Join(dir, SnapshotName))
+	snap, err := os.ReadFile(filepath.Join(dir, SnapshotBinName))
 	if err != nil {
 		t.Fatalf("snapshot missing: %v", err)
 	}
-	var list []Entry
-	if err := json.Unmarshal(snap, &list); err != nil {
-		t.Fatalf("snapshot not valid JSON: %v", err)
+	kind, payload, _, err := codec.Frame(snap)
+	if err != nil || kind != codec.KindSnapshot {
+		t.Fatalf("snapshot not a valid frame: kind=%#x err=%v", kind, err)
+	}
+	var dec codec.Decoder
+	if _, err := dec.DecodeSnapshot(payload); err != nil {
+		t.Fatalf("snapshot payload undecodable: %v", err)
 	}
 	before := s.Entries()
 	s.Close()

@@ -116,10 +116,11 @@ func TestCrashTortureEveryByteOffset(t *testing.T) {
 	}
 }
 
-// TestWALChecksumRejectsBitFlip corrupts one digit of a stored perf
-// value in place. Under the checksummed format the record is rejected at
-// replay; the same payload as a legacy (plain JSON) line parses fine —
-// which is exactly the silent corruption the CRC exists to catch.
+// TestWALChecksumRejectsBitFlip flips every payload byte of a stored
+// binary WAL record in turn. The frame still parses structurally (length
+// and magic intact) but the CRC rejects it at replay, whatever byte was
+// hit; the same corruption in a legacy plain-JSON line can parse fine —
+// which is exactly the silent corruption the framing exists to catch.
 func TestWALChecksumRejectsBitFlip(t *testing.T) {
 	dir := t.TempDir()
 	st, err := store.Open(dir, store.Options{SnapshotEvery: -1})
@@ -133,33 +134,35 @@ func TestWALChecksumRejectsBitFlip(t *testing.T) {
 	}
 
 	walPath := filepath.Join(dir, store.WALName)
-	line, err := os.ReadFile(walPath)
+	frame, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Flip "1.25" to "9.25": still perfectly valid JSON.
-	flipped := bytes.Replace(line, []byte("1.25"), []byte("9.25"), 1)
-	if bytes.Equal(flipped, line) {
-		t.Fatalf("perf literal not found in WAL line %q", line)
-	}
-	if err := os.WriteFile(walPath, flipped, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	st2, err := store.Open(dir, store.Options{SnapshotEvery: -1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, ok := st2.Get(k); ok {
-		t.Fatal("bit-flipped record passed CRC verification")
-	}
-	if err := st2.Close(); err != nil {
-		t.Fatal(err)
+	// Frame layout: magic | kind | uvarint len | payload | 4-byte CRC.
+	// Flip each payload byte (offset 3 .. len-5 for a one-record WAL with
+	// a single-byte length prefix) and require replay to drop the record.
+	for off := 3; off < len(frame)-4; off++ {
+		flipped := bytes.Clone(frame)
+		flipped[off] ^= 0x10
+		if err := os.WriteFile(walPath, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st2, err := store.Open(dir, store.Options{SnapshotEvery: -1})
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		if e, ok := st2.Get(k); ok {
+			t.Fatalf("offset %d: bit-flipped record passed CRC verification: %+v", off, e)
+		}
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 
-	// The same corrupted payload as a legacy line (no checksum prefix) is
+	// The analogous corruption in a legacy line (no checksum) is
 	// undetectable: it parses, and the wrong perf is served.
-	payload := flipped[bytes.IndexByte(flipped, '{'):]
-	if err := os.WriteFile(walPath, payload, 0o644); err != nil {
+	legacy := `{"key":{"app":"SP","workload":"B","cap_w":70,"region":"r"},"config":{"threads":16},"perf":9.25,"version":1}` + "\n"
+	if err := os.WriteFile(walPath, []byte(legacy), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	st3, err := store.Open(dir, store.Options{SnapshotEvery: -1})
@@ -218,7 +221,7 @@ func TestSnapshotFailuresLeaveStateIntact(t *testing.T) {
 	}
 	st.Save(keys[0], arcs.ConfigValues{Threads: 32}, 0.5)
 
-	snapPath := filepath.Join(dir, store.SnapshotName)
+	snapPath := filepath.Join(dir, store.SnapshotBinName)
 	walPath := filepath.Join(dir, store.WALName)
 	tmpPath := snapPath + ".tmp"
 	wantSnap, err := os.ReadFile(snapPath)

@@ -18,8 +18,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"arcs/internal/codec"
 	arcs "arcs/internal/core"
 	"arcs/internal/store"
 )
@@ -59,6 +61,14 @@ type Client struct {
 	backoff    time.Duration
 	maxBackoff time.Duration
 	br         *breaker
+
+	// binary enables the compact wire codec (WithBinary). binDown and
+	// batchDown are downgrade latches: once a server rejects a binary
+	// body or 404s /v1/reports, the client stops asking and speaks the
+	// JSON the old server understands for the rest of its life.
+	binary    bool
+	binDown   atomic.Bool
+	batchDown atomic.Bool
 
 	// breaker construction parameters, resolved in New after options run.
 	brThreshold int
@@ -111,6 +121,14 @@ func WithBreaker(threshold int, openFor time.Duration) Option {
 func WithBreakerClock(now func() time.Time) Option {
 	return func(c *Client) { c.brNow = now }
 }
+
+// WithBinary makes the client negotiate the compact binary wire codec
+// (application/x-arcs-bin) for lookups and reports. The client degrades
+// automatically against an old JSON-only arcsd: binary responses are
+// requested via Accept (a server that ignores it simply answers JSON),
+// and a server that rejects a binary request body gets the JSON form
+// resent once, after which the client latches onto JSON.
+func WithBinary() Option { return func(c *Client) { c.binary = true } }
 
 // New creates a client for the arcsd at base (e.g. "http://localhost:8090").
 func New(base string, opts ...Option) *Client {
@@ -185,8 +203,33 @@ func (c *Client) Lookup(ctx context.Context, k arcs.HistoryKey, opts LookupOpts)
 		Source      string            `json:"source"`
 		CapDistance float64           `json:"cap_distance"`
 	}
-	if err := c.doJSON(ctx, http.MethodGet, "/v1/config?"+q.Encode(), nil, &out); err != nil {
+	var res Result
+	spec := reqSpec{method: http.MethodGet, path: "/v1/config?" + q.Encode(), out: &out}
+	if c.binary {
+		spec.acceptBinary = true
+		spec.onFrame = func(kind byte, payload []byte) error {
+			if kind != codec.KindConfigAnswer {
+				return fmt.Errorf("storeclient: unexpected frame kind %#x for config", kind)
+			}
+			dec := decPool.Get().(*codec.Decoder)
+			defer decPool.Put(dec)
+			var ans codec.ConfigAnswer
+			if err := dec.DecodeConfigAnswer(payload, &ans); err != nil {
+				return fmt.Errorf("storeclient: decode config answer: %w", err)
+			}
+			res = Result{
+				Config: ans.Cfg, Perf: ans.Perf, Version: ans.Version,
+				Source: ans.Source, CapDistance: ans.CapDistance,
+			}
+			return nil
+		}
+	}
+	decoded, err := c.doSpec(ctx, spec)
+	if err != nil {
 		return Result{}, err
+	}
+	if decoded == decodedFrame {
+		return res, nil
 	}
 	return Result{
 		Config: out.Config, Perf: out.Perf, Version: out.Version,
@@ -194,10 +237,114 @@ func (c *Client) Lookup(ctx context.Context, k arcs.HistoryKey, opts LookupOpts)
 	}, nil
 }
 
-// Report ingests one search result into the served store.
+// Report ingests one search result into the served store. Under
+// WithBinary the record goes as one KindReport frame; a server that
+// rejects it (pre-codec arcsd) gets the JSON form resent, and a JSON
+// success latches the downgrade so the probe is paid once, not per call.
 func (c *Client) Report(ctx context.Context, k arcs.HistoryKey, cfg arcs.ConfigValues, perf float64) error {
-	body := []map[string]any{{"key": k, "config": cfg, "perf": perf}}
+	body := []Report{{Key: k, Cfg: cfg, Perf: perf}}
+	if c.binary && !c.binDown.Load() {
+		eb := encPool.Get().(*encBuf)
+		rep := codec.Report{Key: k, Cfg: cfg, Perf: perf}
+		eb.buf = eb.enc.AppendReport(eb.buf[:0], &rep)
+		_, err := c.doSpec(ctx, reqSpec{
+			method: http.MethodPost, path: "/v1/report",
+			body: eb.buf, binaryBody: true, acceptBinary: true, onFrame: expectAck,
+		})
+		encPool.Put(eb)
+		if !binaryRejected(err) {
+			return err
+		}
+		// The binary body came back 400/415: almost certainly an old
+		// server. Resend as JSON; only a success proves the JSON path
+		// works (a data error fails both ways) and justifies latching
+		// the downgrade.
+		err = c.doJSON(ctx, http.MethodPost, "/v1/report", body, nil)
+		if err == nil {
+			c.binDown.Store(true)
+		}
+		return err
+	}
 	return c.doJSON(ctx, http.MethodPost, "/v1/report", body, nil)
+}
+
+// ReportBatch ingests many results in one round trip on /v1/reports —
+// a KindReportBatch frame under WithBinary, a JSON array otherwise. An
+// old arcsd without the endpoint (404/405) downgrades the client to
+// per-call JSON arrays on /v1/report, permanently and at most one probe.
+func (c *Client) ReportBatch(ctx context.Context, reports []Report) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	if !c.batchDown.Load() {
+		var err error
+		if c.binary && !c.binDown.Load() {
+			eb := encPool.Get().(*encBuf)
+			creps := make([]codec.Report, len(reports))
+			for i, r := range reports {
+				creps[i] = codec.Report(r)
+			}
+			eb.buf = eb.enc.AppendReportBatch(eb.buf[:0], creps)
+			_, err = c.doSpec(ctx, reqSpec{
+				method: http.MethodPost, path: "/v1/reports",
+				body: eb.buf, binaryBody: true, acceptBinary: true, onFrame: expectAck,
+			})
+			encPool.Put(eb)
+			if binaryRejected(err) {
+				// A server that has /v1/reports speaks binary; treat the
+				// rejection like any binary-body refusal and go JSON.
+				if jerr := c.doJSON(ctx, http.MethodPost, "/v1/reports", reports, nil); jerr == nil {
+					c.binDown.Store(true)
+					return nil
+				}
+				return err
+			}
+		} else {
+			err = c.doJSON(ctx, http.MethodPost, "/v1/reports", reports, nil)
+		}
+		if !endpointMissing(err) {
+			return err
+		}
+		// No /v1/reports: a pre-batch server, which is also pre-binary.
+		c.batchDown.Store(true)
+		c.binDown.Store(true)
+	}
+	return c.doJSON(ctx, http.MethodPost, "/v1/report", reports, nil)
+}
+
+// Report is one record for batched reporting (ReportBatch/ReportBuffer).
+type Report struct {
+	Key  arcs.HistoryKey   `json:"key"`
+	Cfg  arcs.ConfigValues `json:"config"`
+	Perf float64           `json:"perf"`
+}
+
+// expectAck is the onFrame for report RPCs: any verified Ack is fine.
+func expectAck(kind byte, payload []byte) error {
+	if kind != codec.KindAck {
+		return fmt.Errorf("storeclient: unexpected frame kind %#x for ack", kind)
+	}
+	return nil
+}
+
+// binaryRejected reports whether err is a server refusing the binary
+// body itself (400/415), as a pre-codec arcsd does.
+func binaryRejected(err error) bool {
+	var se *statusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.code == http.StatusBadRequest || se.code == http.StatusUnsupportedMediaType
+}
+
+// endpointMissing reports whether err says the path does not exist on
+// this server (404 surfaces as ErrNotFound, 405 from older muxes).
+func endpointMissing(err error) bool {
+	if errors.Is(err, ErrNotFound) {
+		return true
+	}
+	var se *statusError
+	return errors.As(err, &se) && se.code == http.StatusMethodNotAllowed
 }
 
 // Dump retrieves the full entry set.
@@ -211,32 +358,74 @@ func (c *Client) Dump(ctx context.Context) ([]store.Entry, error) {
 
 // Health checks the daemon is up.
 func (c *Client) Health(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	_, err := c.doSpec(ctx, reqSpec{method: http.MethodGet, path: "/healthz"})
+	return err
 }
 
-// doJSON runs do, decoding a JSON response into out (when non-nil).
+// reqSpec describes one logical request: what to send and how to decode
+// the answer. onFrame handles a binary response; out a JSON one. When
+// both are set, the response Content-Type picks — which is exactly how
+// a binary-capable client stays compatible with a JSON-only server.
+type reqSpec struct {
+	method, path string
+	body         []byte
+	binaryBody   bool // Content-Type: application/x-arcs-bin (else JSON)
+	acceptBinary bool // send Accept: application/x-arcs-bin
+	out          any  // JSON decode target; nil discards the body
+	onFrame      func(kind byte, payload []byte) error
+}
+
+// decodedKind reports which decode path doSpec took.
+type decodedKind int
+
+const (
+	decodedNothing decodedKind = iota
+	decodedJSON
+	decodedFrame
+)
+
+// encBuf pairs a codec.Encoder with its output buffer; jsonReqPool
+// amortises JSON request encoding the same way. decPool keeps Decoder
+// intern tables warm across calls.
+type encBuf struct {
+	enc codec.Encoder
+	buf []byte
+}
+
+var (
+	encPool     = sync.Pool{New: func() any { return new(encBuf) }}
+	jsonReqPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	decPool     = sync.Pool{New: func() any { return new(codec.Decoder) }}
+)
+
+// doJSON runs doSpec with a pooled-buffer JSON body, decoding a JSON
+// response into out (when non-nil).
 func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
-	var encoded []byte
+	spec := reqSpec{method: method, path: path, out: out}
 	if body != nil {
-		var err error
-		if encoded, err = json.Marshal(body); err != nil {
+		buf := jsonReqPool.Get().(*bytes.Buffer)
+		defer jsonReqPool.Put(buf)
+		buf.Reset()
+		if err := json.NewEncoder(buf).Encode(body); err != nil {
 			return fmt.Errorf("storeclient: encode request: %w", err)
 		}
+		spec.body = buf.Bytes()
 	}
-	return c.do(ctx, method, path, encoded, out)
+	_, err := c.doSpec(ctx, spec)
+	return err
 }
 
-// do gates one logical request through the circuit breaker, runs the
+// doSpec gates one logical request through the circuit breaker, runs the
 // retry loop, and feeds the outcome back into the breaker. Breaker
 // classification: any HTTP response — including terminal 4xx and
 // ErrNotFound — proves the daemon is alive and counts as success; only
 // network failures and retry-exhausted 5xx count as failures. Context
 // cancellation says nothing about the server and records neither.
-func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) doSpec(ctx context.Context, spec reqSpec) (decodedKind, error) {
 	if c.br != nil && !c.br.allow() {
-		return fmt.Errorf("storeclient: %s %s: %w", method, path, ErrBreakerOpen)
+		return decodedNothing, fmt.Errorf("storeclient: %s %s: %w", spec.method, spec.path, ErrBreakerOpen)
 	}
-	err := c.attempt(ctx, method, path, body, out)
+	decoded, err := c.attempt(ctx, spec)
 	if c.br != nil {
 		switch {
 		case err == nil, errors.Is(err, ErrNotFound):
@@ -247,13 +436,13 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			c.br.record(errors.As(err, &se) && se.code < 500)
 		}
 	}
-	return err
+	return decoded, err
 }
 
 // attempt issues one request with the retry/backoff policy. Non-429 4xx
 // responses are terminal (404 maps to ErrNotFound); network errors, 5xx
 // and 429 retry.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) attempt(ctx context.Context, spec reqSpec) (decodedKind, error) {
 	var lastErr error
 	var retryAfter time.Duration
 	for attempt := 0; attempt <= c.retries; attempt++ {
@@ -261,25 +450,32 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 			select {
 			case <-time.After(c.delay(attempt, retryAfter)):
 			case <-ctx.Done():
-				return ctx.Err()
+				return decodedNothing, ctx.Err()
 			}
 		}
 		retryAfter = 0
 		var rd io.Reader
-		if body != nil {
-			rd = bytes.NewReader(body)
+		if spec.body != nil {
+			rd = bytes.NewReader(spec.body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		req, err := http.NewRequestWithContext(ctx, spec.method, c.base+spec.path, rd)
 		if err != nil {
-			return fmt.Errorf("storeclient: build request: %w", err)
+			return decodedNothing, fmt.Errorf("storeclient: build request: %w", err)
 		}
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
+		if spec.body != nil {
+			if spec.binaryBody {
+				req.Header.Set("Content-Type", codec.ContentType)
+			} else {
+				req.Header.Set("Content-Type", "application/json")
+			}
+		}
+		if spec.acceptBinary {
+			req.Header.Set("Accept", codec.ContentType)
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
-				return ctx.Err()
+				return decodedNothing, ctx.Err()
 			}
 			lastErr = err
 			continue
@@ -292,25 +488,35 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		}
 		switch {
 		case resp.StatusCode == http.StatusNotFound:
-			return ErrNotFound
+			return decodedNothing, ErrNotFound
 		case resp.StatusCode >= 500, resp.StatusCode == http.StatusTooManyRequests:
-			lastErr = &statusError{method: method, path: path, code: resp.StatusCode, msg: firstLine(data)}
+			lastErr = &statusError{method: spec.method, path: spec.path, code: resp.StatusCode, msg: firstLine(data)}
 			if secs, perr := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); perr == nil && secs > 0 {
 				retryAfter = time.Duration(secs) * time.Second
 			}
 			continue
 		case resp.StatusCode >= 400:
-			return &statusError{method: method, path: path, code: resp.StatusCode, msg: firstLine(data)}
+			return decodedNothing, &statusError{method: spec.method, path: spec.path, code: resp.StatusCode, msg: firstLine(data)}
 		}
-		if out == nil {
-			return nil
+		if spec.onFrame != nil && strings.HasPrefix(resp.Header.Get("Content-Type"), codec.ContentType) {
+			kind, payload, _, ferr := codec.Frame(data)
+			if ferr != nil {
+				return decodedNothing, fmt.Errorf("storeclient: bad binary response: %w", ferr)
+			}
+			if err := spec.onFrame(kind, payload); err != nil {
+				return decodedNothing, err
+			}
+			return decodedFrame, nil
 		}
-		if err := json.Unmarshal(data, out); err != nil {
-			return fmt.Errorf("storeclient: decode response: %w", err)
+		if spec.out == nil {
+			return decodedNothing, nil
 		}
-		return nil
+		if err := json.Unmarshal(data, spec.out); err != nil {
+			return decodedNothing, fmt.Errorf("storeclient: decode response: %w", err)
+		}
+		return decodedJSON, nil
 	}
-	return fmt.Errorf("storeclient: %s %s failed after %d attempts: %w", method, path, c.retries+1, lastErr)
+	return decodedNothing, fmt.Errorf("storeclient: %s %s failed after %d attempts: %w", spec.method, spec.path, c.retries+1, lastErr)
 }
 
 // delay computes the sleep before retry attempt n (1-based): doubling

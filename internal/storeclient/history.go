@@ -29,6 +29,9 @@ type History struct {
 	// arch enables server-side searches on total misses; empty disables.
 	arch    string
 	timeout time.Duration
+	// buf batches reports when WithReportBatching is set; nil reports
+	// synchronously per Save.
+	buf *ReportBuffer
 
 	mu           sync.Mutex
 	local        *arcs.MemHistory // this process's own results; guarded by mu
@@ -45,6 +48,13 @@ func WithSearchArch(arch string) HistoryOption { return func(h *History) { h.arc
 
 // WithTimeout bounds each request issued by the adapter (default 30s).
 func WithTimeout(d time.Duration) HistoryOption { return func(h *History) { h.timeout = d } }
+
+// WithReportBatching buffers Saves client-side and flushes every n of
+// them (n<=0 selects DefaultReportBufferSize) as one /v1/reports round
+// trip. Callers must Flush before shutdown to push the tail.
+func WithReportBatching(n int) HistoryOption {
+	return func(h *History) { h.buf = NewReportBuffer(h.c, n) }
+}
 
 // NewHistory wraps a client as a History.
 func NewHistory(c *Client, opts ...HistoryOption) *History {
@@ -69,9 +79,31 @@ func (h *History) Save(k arcs.HistoryKey, cfg arcs.ConfigValues, perf float64) {
 	h.mu.Unlock()
 	ctx, cancel := h.ctx()
 	defer cancel()
+	if h.buf != nil {
+		if err := h.buf.Add(ctx, Report{Key: k, Cfg: cfg, Perf: perf}); err != nil {
+			h.setErr(err)
+		}
+		return
+	}
 	if err := h.c.Report(ctx, k, cfg, perf); err != nil {
 		h.setErr(err)
 	}
+}
+
+// Flush pushes any batched reports still buffered (no-op without
+// WithReportBatching). Call it when a run finishes: the tail of the
+// batch is the freshest — and often the best — result.
+func (h *History) Flush() error {
+	if h.buf == nil {
+		return nil
+	}
+	ctx, cancel := h.ctx()
+	defer cancel()
+	if err := h.buf.Flush(ctx); err != nil {
+		h.setErr(err)
+		return err
+	}
+	return nil
 }
 
 // Load implements arcs.History: exact hits only, remote first, local

@@ -1,0 +1,90 @@
+package storeclient
+
+import (
+	"context"
+	"sync"
+)
+
+// DefaultReportBufferSize is the flush threshold when NewReportBuffer
+// is given a non-positive size.
+const DefaultReportBufferSize = 64
+
+// ReportBuffer batches reports client-side so N per-region results cost
+// one /v1/reports round trip instead of N POSTs. The buffer is bounded:
+// Add flushes synchronously when the threshold is reached, and a failed
+// flush drops its batch (counted in Dropped) rather than growing the
+// buffer against a dead server — the store's keep-best semantics make a
+// lost report an efficiency loss, never a correctness one, exactly like
+// the store's own degraded mode.
+//
+// Safe for concurrent use. Call Flush before shutdown to push the tail.
+type ReportBuffer struct {
+	c    *Client
+	size int
+
+	mu      sync.Mutex
+	pending []Report // guarded by mu
+	dropped uint64   // reports lost to failed flushes; guarded by mu
+}
+
+// NewReportBuffer wraps c with a buffer flushing every size reports.
+func NewReportBuffer(c *Client, size int) *ReportBuffer {
+	if size <= 0 {
+		size = DefaultReportBufferSize
+	}
+	return &ReportBuffer{c: c, size: size, pending: make([]Report, 0, size)}
+}
+
+// Add buffers one report, flushing when the buffer is full. The
+// returned error is the flush's (nil when no flush ran).
+func (b *ReportBuffer) Add(ctx context.Context, r Report) error {
+	b.mu.Lock()
+	b.pending = append(b.pending, r)
+	if len(b.pending) < b.size {
+		b.mu.Unlock()
+		return nil
+	}
+	batch := b.pending
+	b.pending = make([]Report, 0, b.size)
+	b.mu.Unlock()
+	return b.send(ctx, batch)
+}
+
+// Flush sends everything currently buffered.
+func (b *ReportBuffer) Flush(ctx context.Context) error {
+	b.mu.Lock()
+	if len(b.pending) == 0 {
+		b.mu.Unlock()
+		return nil
+	}
+	batch := b.pending
+	b.pending = make([]Report, 0, b.size)
+	b.mu.Unlock()
+	return b.send(ctx, batch)
+}
+
+// send pushes one detached batch. The buffer lock is NOT held: a slow
+// or dead server must not block concurrent Adds.
+func (b *ReportBuffer) send(ctx context.Context, batch []Report) error {
+	err := b.c.ReportBatch(ctx, batch)
+	if err != nil {
+		b.mu.Lock()
+		b.dropped += uint64(len(batch))
+		b.mu.Unlock()
+	}
+	return err
+}
+
+// Len reports how many records are buffered and unsent.
+func (b *ReportBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// Dropped reports how many records were lost to failed flushes.
+func (b *ReportBuffer) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

@@ -1,0 +1,239 @@
+// Wire-negotiation tests from the client's side: a binary client
+// against a binary server, a binary client against a JSON-only
+// (pre-codec) server, and the batched report buffer.
+package storeclient
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"arcs/internal/codec"
+	arcs "arcs/internal/core"
+	"arcs/internal/server"
+	"arcs/internal/store"
+)
+
+// newServedCounting is newServed plus a count of binary-typed responses,
+// so tests can prove which encoding actually crossed the wire.
+func newServedCounting(t *testing.T, binResponses *atomic.Int64, opts ...Option) *Client {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := server.New(server.Config{Store: st})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		srv.ServeHTTP(w, r)
+		if strings.HasPrefix(w.Header().Get("Content-Type"), codec.ContentType) {
+			binResponses.Add(1)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return New(ts.URL, append([]Option{WithBackoff(time.Millisecond)}, opts...)...)
+}
+
+func testKey(region string) arcs.HistoryKey {
+	return arcs.HistoryKey{App: "SP", Workload: "B", CapW: 70, Region: region}
+}
+
+// TestBinaryClientBinaryServer: WithBinary negotiates frames end to end
+// — report, batch and lookup all travel binary and round-trip exactly.
+func TestBinaryClientBinaryServer(t *testing.T) {
+	var binResponses atomic.Int64
+	c := newServedCounting(t, &binResponses, WithBinary())
+	ctx := context.Background()
+	cfg := arcs.ConfigValues{Threads: 16, Chunk: 8, FreqGHz: 2.2}
+
+	if err := c.Report(ctx, testKey("r0"), cfg, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	batch := []Report{
+		{Key: testKey("r1"), Cfg: cfg, Perf: 2},
+		{Key: testKey("r2"), Cfg: cfg, Perf: 3},
+	}
+	if err := c.ReportBatch(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Lookup(ctx, testKey("r2"), LookupOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config != cfg || res.Perf != 3 || res.Source != "exact" || res.Version != 1 {
+		t.Fatalf("binary lookup = %+v", res)
+	}
+	// One ack per report RPC plus the config answer: all binary.
+	if n := binResponses.Load(); n != 3 {
+		t.Fatalf("binary responses = %d, want 3", n)
+	}
+	if c.binDown.Load() || c.batchDown.Load() {
+		t.Fatal("downgrade latches tripped against a binary-capable server")
+	}
+}
+
+// oldJSONServer mimics a pre-codec arcsd: JSON only, no /v1/reports.
+// It returns the handler counts so tests can see which path served.
+func oldJSONServer(t *testing.T) (base string, reports *atomic.Int64, saved *atomic.Int64) {
+	t.Helper()
+	reports, saved = new(atomic.Int64), new(atomic.Int64)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/report", func(w http.ResponseWriter, r *http.Request) {
+		reports.Add(1)
+		var recs []Report
+		if err := json.NewDecoder(r.Body).Decode(&recs); err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			_, _ = w.Write([]byte(`{"error":"bad report body"}`))
+			return
+		}
+		saved.Add(int64(len(recs)))
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"saved":1,"store_len":1}`))
+	})
+	mux.HandleFunc("/v1/config", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"config":{"threads":4},"perf":2,"version":1,"source":"exact"}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts.URL, reports, saved
+}
+
+// TestBinaryClientJSONOnlyServer: a WithBinary client against a
+// pre-codec server downgrades — one probe, then JSON for good — and
+// loses no reports doing it.
+func TestBinaryClientJSONOnlyServer(t *testing.T) {
+	base, reportCalls, saved := oldJSONServer(t)
+	c := New(base, WithBinary(), WithBackoff(time.Millisecond))
+	ctx := context.Background()
+
+	// Lookup: the old server ignores Accept and answers JSON, which the
+	// binary client must decode as it always did.
+	res, err := c.Lookup(ctx, testKey("r"), LookupOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Threads != 4 || res.Source != "exact" {
+		t.Fatalf("lookup against old server = %+v", res)
+	}
+
+	// Report: binary body → 400 → JSON resend succeeds → latch.
+	if err := c.Report(ctx, testKey("r"), arcs.ConfigValues{Threads: 4}, 2); err != nil {
+		t.Fatalf("report against old server: %v", err)
+	}
+	if !c.binDown.Load() {
+		t.Fatal("binary downgrade not latched after a 400")
+	}
+	if n := reportCalls.Load(); n != 2 {
+		t.Fatalf("first report took %d requests, want 2 (binary probe + JSON resend)", n)
+	}
+	// Latched: the next report goes straight to JSON, no extra probe.
+	if err := c.Report(ctx, testKey("r"), arcs.ConfigValues{Threads: 4}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := reportCalls.Load(); n != 3 {
+		t.Fatalf("latched report took %d total requests, want 3", n)
+	}
+
+	// Batch: /v1/reports 404s → falls back to a JSON array on /v1/report.
+	if err := c.ReportBatch(ctx, []Report{
+		{Key: testKey("a"), Perf: 1}, {Key: testKey("b"), Perf: 2},
+	}); err != nil {
+		t.Fatalf("batch against old server: %v", err)
+	}
+	if !c.batchDown.Load() {
+		t.Fatal("batch downgrade not latched after a 404")
+	}
+	if saved.Load() != 4 {
+		t.Fatalf("old server saved %d reports, want 4", saved.Load())
+	}
+}
+
+// TestReportBufferFlushOnFull: the buffer flushes exactly at its bound
+// and Flush pushes the tail.
+func TestReportBufferFlushOnFull(t *testing.T) {
+	var binResponses atomic.Int64
+	c := newServedCounting(t, &binResponses, WithBinary())
+	b := NewReportBuffer(c, 3)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := b.Add(ctx, Report{Key: testKey(string(rune('a' + i))), Perf: float64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Len(); got != 2 {
+		t.Fatalf("buffered after auto-flush = %d, want 2", got)
+	}
+	if n := binResponses.Load(); n != 1 {
+		t.Fatalf("round trips after 5 adds = %d, want 1 (one full batch)", n)
+	}
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 || binResponses.Load() != 2 {
+		t.Fatalf("flush left %d buffered after %d round trips", b.Len(), binResponses.Load())
+	}
+	if res, err := c.Lookup(ctx, testKey("e"), LookupOpts{}); err != nil || res.Perf != 5 {
+		t.Fatalf("tail record not served: %+v, %v", res, err)
+	}
+	if b.Dropped() != 0 {
+		t.Fatalf("dropped = %d on a healthy server", b.Dropped())
+	}
+}
+
+// TestReportBufferDropsOnDeadServer: flushes against an unreachable
+// daemon drop their batch (bounded buffer) and count the loss.
+func TestReportBufferDropsOnDeadServer(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close() // nothing listening: every request is a network error
+	c := New(ts.URL, WithRetries(0), WithBackoff(time.Millisecond))
+	b := NewReportBuffer(c, 2)
+	ctx := context.Background()
+	if err := b.Add(ctx, Report{Key: testKey("a"), Perf: 1}); err != nil {
+		t.Fatalf("sub-threshold add must not touch the network: %v", err)
+	}
+	if err := b.Add(ctx, Report{Key: testKey("b"), Perf: 2}); err == nil {
+		t.Fatal("flush against a dead server reported success")
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", b.Dropped())
+	}
+	if b.Len() != 0 {
+		t.Fatalf("failed flush left %d records buffered", b.Len())
+	}
+}
+
+// TestHistoryBatching: WithReportBatching turns N Saves into one RPC at
+// the threshold, and Flush delivers the tail.
+func TestHistoryBatching(t *testing.T) {
+	var binResponses atomic.Int64
+	c := newServedCounting(t, &binResponses, WithBinary())
+	h := NewHistory(c, WithReportBatching(2))
+	h.Save(testKey("a"), arcs.ConfigValues{Threads: 2}, 2)
+	h.Save(testKey("b"), arcs.ConfigValues{Threads: 4}, 1) // threshold: one RPC
+	h.Save(testKey("c"), arcs.ConfigValues{Threads: 8}, 3) // buffered tail
+	if n := binResponses.Load(); n != 1 {
+		t.Fatalf("3 Saves made %d RPCs, want 1", n)
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := binResponses.Load(); n != 2 {
+		t.Fatalf("flush made %d total RPCs, want 2", n)
+	}
+	if err := h.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// All three are served back.
+	for _, r := range []string{"a", "b", "c"} {
+		if _, ok := h.Load(testKey(r)); !ok {
+			t.Fatalf("saved key %q not served after batch flush", r)
+		}
+	}
+}
