@@ -13,6 +13,14 @@
 //
 //	arcsd -addr :8090 -store /var/lib/arcsd -snapshot-every 1024 -search-budget 40
 //	arcsrun -app SP -workload B -cap 70 -strategy online -server http://localhost:8090
+//
+// With -peers, N daemons form one replicated fleet (internal/fleet):
+// each key has a deterministic primary plus replicas on a consistent-
+// hash ring, reports are routed to their owners, and a periodic
+// anti-entropy sweep repairs whatever replication missed. Every member
+// is started with the same full membership list:
+//
+//	arcsd -addr :8091 -store s1 -peers http://h1:8091,http://h2:8091,http://h3:8091 -advertise http://h1:8091
 package main
 
 import (
@@ -25,11 +33,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"arcs/internal/fleet"
 	"arcs/internal/server"
 	"arcs/internal/store"
+	"arcs/internal/storeclient"
 )
 
 func main() {
@@ -46,6 +57,18 @@ func main() {
 		"max concurrent server-side searches before requests are shed with 429 (negative = unbounded)")
 	flag.DurationVar(&cfg.searchTimeout, "search-timeout", server.DefaultSearchTimeout,
 		"deadline per server-side search (negative disables)")
+	flag.StringVar(&cfg.peers, "peers", "",
+		"comma-separated fleet membership (base URLs, including this node); empty = standalone")
+	flag.StringVar(&cfg.advertise, "advertise", "",
+		"this node's own entry in -peers (required with -peers)")
+	flag.IntVar(&cfg.replicas, "replicas", fleet.DefaultReplicas,
+		"owners per key, primary included (clamped to the fleet size)")
+	flag.DurationVar(&cfg.antiEntropy, "anti-entropy", 10*time.Second,
+		"interval between hinted-handoff drains and anti-entropy sweeps")
+	flag.IntVar(&cfg.handoffMax, "handoff-max", fleet.DefaultHandoffMax,
+		"max hints queued per unreachable peer before new ones are dropped")
+	flag.Int64Var(&cfg.fleetSeed, "fleet-seed", 1,
+		"seed for the sweep's peer-order shuffle (determinism for tests)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -65,6 +88,58 @@ type daemonCfg struct {
 	searchParallelism int
 	maxSearches       int
 	searchTimeout     time.Duration
+	peers             string
+	advertise         string
+	replicas          int
+	antiEntropy       time.Duration
+	handoffMax        int
+	fleetSeed         int64
+}
+
+// buildFleet assembles the fleet membership from -peers/-advertise:
+// one binary-capable, breaker-guarded client per remote member, shared
+// between the fleet (replication RPCs) and the server (lookup
+// proxying). Returns nils when -peers is empty (standalone).
+func buildFleet(cfg daemonCfg, st *store.Store) (*fleet.Fleet, map[string]*storeclient.Client, error) {
+	if cfg.peers == "" {
+		return nil, nil, nil
+	}
+	if cfg.advertise == "" {
+		return nil, nil, fmt.Errorf("-peers requires -advertise (this node's own entry)")
+	}
+	var nodes []string
+	for _, p := range strings.Split(cfg.peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			nodes = append(nodes, p)
+		}
+	}
+	clients := make(map[string]*storeclient.Client)
+	peers := make(map[string]fleet.Peer)
+	for _, n := range nodes {
+		if n == cfg.advertise {
+			continue
+		}
+		c := storeclient.New(n,
+			storeclient.WithBinary(),
+			storeclient.WithBreaker(5, 2*time.Second),
+			storeclient.WithRetries(1),
+		)
+		clients[n] = c
+		peers[n] = c
+	}
+	fl, err := fleet.New(fleet.Config{
+		Self:       cfg.advertise,
+		Nodes:      nodes,
+		Replicas:   cfg.replicas,
+		Store:      st,
+		Peers:      peers,
+		Seed:       cfg.fleetSeed,
+		HandoffMax: cfg.handoffMax,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fl, clients, nil
 }
 
 // serve runs the daemon until ctx is cancelled. ready, when non-nil, is
@@ -78,12 +153,23 @@ func serve(ctx context.Context, cfg daemonCfg, logger *log.Logger, ready func(ad
 	defer st.Close()
 	logger.Printf("store %s: %d entries", cfg.storeDir, st.Len())
 
+	fl, peerClients, err := buildFleet(cfg, st)
+	if err != nil {
+		return err
+	}
+	if fl != nil {
+		logger.Printf("fleet member %s: %d nodes, %d replicas, anti-entropy every %s",
+			fl.Self(), len(fl.Ring().Nodes()), fl.Replicas(), cfg.antiEntropy)
+	}
+
 	srv := server.New(server.Config{
 		Store:                 st,
 		SearchBudget:          cfg.searchBudget,
 		SearchParallelism:     cfg.searchParallelism,
 		MaxConcurrentSearches: cfg.maxSearches,
 		SearchTimeout:         cfg.searchTimeout,
+		Fleet:                 fl,
+		FleetPeers:            peerClients,
 	})
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -97,6 +183,20 @@ func serve(ctx context.Context, cfg daemonCfg, logger *log.Logger, ready func(ad
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	if fl != nil && cfg.antiEntropy > 0 {
+		go func() {
+			tick := time.NewTicker(cfg.antiEntropy)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					fl.Tick(ctx)
+				}
+			}
+		}()
+	}
 	select {
 	case err := <-errc:
 		return err

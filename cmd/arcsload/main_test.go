@@ -1,0 +1,193 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"arcs/internal/fleet"
+	"arcs/internal/server"
+	"arcs/internal/store"
+	"arcs/internal/storeclient"
+)
+
+// testNode is one in-process fleet member: a real store, fleet, server,
+// and HTTP listener — the arcsd wiring minus the binary — plus an
+// anti-entropy ticker, so kill/restart exercises the same machinery the
+// daemon runs.
+type testNode struct {
+	st     *store.Store
+	fl     *fleet.Fleet
+	hs     *http.Server
+	cancel context.CancelFunc // stops the ticker
+	done   chan struct{}
+}
+
+// testCluster is an N-node fleet sharing one membership list. URLs are
+// fixed up front (listeners bound before any node starts) so every
+// member — and a restarted one — sees identical membership.
+type testCluster struct {
+	t     *testing.T
+	urls  []string
+	dirs  []string
+	nodes []*testNode
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	c := &testCluster{t: t, nodes: make([]*testNode, n)}
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		c.urls = append(c.urls, "http://"+ln.Addr().String())
+		c.dirs = append(c.dirs, t.TempDir())
+	}
+	for i := 0; i < n; i++ {
+		c.start(i, lns[i])
+	}
+	t.Cleanup(func() {
+		for i := range c.nodes {
+			if c.nodes[i] != nil {
+				c.kill(i)
+			}
+		}
+	})
+	return c
+}
+
+// start brings node i up on its fixed address; ln may be nil (restart),
+// in which case the address is re-bound.
+func (c *testCluster) start(i int, ln net.Listener) {
+	c.t.Helper()
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", strings.TrimPrefix(c.urls[i], "http://"))
+		if err != nil {
+			c.t.Fatalf("rebind node %d: %v", i, err)
+		}
+	}
+	st, err := store.Open(c.dirs[i], store.Options{})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	peers := make(map[string]fleet.Peer)
+	clients := make(map[string]*storeclient.Client)
+	for j, u := range c.urls {
+		if j == i {
+			continue
+		}
+		cl := storeclient.New(u,
+			storeclient.WithBinary(),
+			storeclient.WithRetries(0),
+			storeclient.WithHTTPClient(&http.Client{Timeout: 2 * time.Second}),
+		)
+		peers[u] = cl
+		clients[u] = cl
+	}
+	fl, err := fleet.New(fleet.Config{
+		Self: c.urls[i], Nodes: c.urls, Replicas: 2,
+		Store: st, Peers: peers, Seed: int64(1000 + i), HandoffMax: 4096,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	srv := server.New(server.Config{Store: st, Fleet: fl, FleetPeers: clients})
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				fl.Tick(ctx)
+			}
+		}
+	}()
+	c.nodes[i] = &testNode{st: st, fl: fl, hs: hs, cancel: cancel, done: done}
+}
+
+// kill stops node i abruptly (listener closed, store closed, ticker
+// stopped); its WAL stays on disk for the restart.
+func (c *testCluster) kill(i int) {
+	c.t.Helper()
+	n := c.nodes[i]
+	if n == nil {
+		return
+	}
+	n.cancel()
+	<-n.done
+	_ = n.hs.Close()
+	_ = n.st.Close()
+	c.nodes[i] = nil
+}
+
+// TestFleetConvergesThroughKillRestart is the fleet acceptance test:
+// three nodes, replication factor two, a seeded chaotic load with one
+// member killed mid-run and restarted from its WAL. Afterwards the
+// cluster must hold every acknowledged best, with byte-identical
+// replicas and warm reads agreeing across owners.
+func TestFleetConvergesThroughKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fleet e2e")
+	}
+	c := newTestCluster(t, 3)
+	ctx := context.Background()
+	logger := log.New(io.Discard, "", 0)
+	cfg := loadCfg{
+		peers: strings.Join(c.urls, ","), replicas: 2,
+		reports: 300, keys: 32, seed: 42, chaos: 0.05,
+		settle: 30 * time.Second, timeout: 2 * time.Second,
+	}
+
+	res, err := run(ctx, cfg, logger)
+	if err != nil {
+		t.Fatalf("load phase 1: %v", err)
+	}
+	if res.Acked == 0 {
+		t.Fatal("phase 1 acked nothing")
+	}
+
+	// Kill one member mid-run; the load must keep getting acks from the
+	// survivors (failover plus hinted handoff on the server side).
+	c.kill(1)
+	cfg2 := cfg
+	cfg2.seed = 43
+	res2, err := run(ctx, cfg2, logger)
+	if err != nil {
+		t.Fatalf("load phase 2: %v", err)
+	}
+	if res2.Acked == 0 {
+		t.Fatal("phase 2 acked nothing with a node down")
+	}
+	if res2.Failovers == 0 {
+		t.Fatal("phase 2 never failed over despite a dead node")
+	}
+
+	// Restart the dead member from its WAL and merge the two phases'
+	// acknowledged bests: the cluster owes us every one of them.
+	c.start(1, nil)
+	for ck, a := range res2.AckedBest {
+		if best, ok := res.AckedBest[ck]; !ok || a.Perf < best.Perf {
+			res.AckedBest[ck] = a
+		}
+	}
+
+	if err := verify(ctx, cfg, res, logger); err != nil {
+		t.Fatalf("fleet did not converge: %v", err)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"math/rand"
+	"strconv"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/ompt"
+)
+
+// workload generates the synthetic report stream: a fixed key
+// population drawn once from the seed, then an endless sequence of
+// (key, config, perf) samples from the same PRNG. Two runs with the
+// same seed and key count replay the identical stream, which is what
+// lets a chaos failure be reproduced exactly.
+type workload struct {
+	rng  *rand.Rand
+	keys []arcs.HistoryKey
+}
+
+var (
+	loadApps      = []string{"BT", "SP", "LU", "CG"}
+	loadWorkloads = []string{"A", "B", "C"}
+	loadCaps      = []float64{50, 70, 90, 120}
+)
+
+func newWorkload(seed int64, keys int) *workload {
+	w := &workload{rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < keys; i++ {
+		w.keys = append(w.keys, arcs.HistoryKey{
+			App:      loadApps[w.rng.Intn(len(loadApps))],
+			Workload: loadWorkloads[w.rng.Intn(len(loadWorkloads))],
+			CapW:     loadCaps[w.rng.Intn(len(loadCaps))],
+			Region:   "r" + strconv.Itoa(i),
+		})
+	}
+	return w
+}
+
+// next draws one sample. Perf is quantised to a small grid so distinct
+// draws for one key collide often — the keep-best and merge tie-break
+// paths get exercised, not just the fast version-differs case.
+func (w *workload) next() (arcs.HistoryKey, arcs.ConfigValues, float64) {
+	k := w.keys[w.rng.Intn(len(w.keys))]
+	cfg := arcs.ConfigValues{
+		Threads:  1 << w.rng.Intn(6),
+		Schedule: []ompt.ScheduleKind{ompt.ScheduleDefault, ompt.ScheduleStatic, ompt.ScheduleDynamic}[w.rng.Intn(3)],
+		Chunk:    []int{0, 16, 64}[w.rng.Intn(3)],
+	}
+	perf := 1 + float64(w.rng.Intn(400))/100 // 1.00..4.99, step 0.01
+	return k, cfg, perf
+}

@@ -55,11 +55,17 @@ const (
 	KindSearchReq    = 0x06 // server-side search request
 	KindSearchRes    = 0x07 // one search result
 	KindSnapshot     = 0x08 // columnar snapshot of the full entry set
+	KindDigest       = 0x09 // per-shard anti-entropy digest (/v1/digest)
 )
 
 // ContentType is the negotiated media type for binary request and
 // response bodies on the arcsd HTTP API.
 const ContentType = "application/x-arcs-bin"
+
+// ForwardedHeader marks an intra-fleet request that was already routed
+// once by a peer. A server never re-forwards a marked request, so a
+// stale or disagreeing ring cannot bounce a request around the fleet.
+const ForwardedHeader = "X-Arcs-Fleet-Forwarded"
 
 // Wire types, the low three bits of a field tag.
 const (

@@ -1,0 +1,119 @@
+package codec
+
+import (
+	"reflect"
+	"testing"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/ompt"
+)
+
+// TestDigestRoundTrip: a digest survives encode∘decode field-for-field,
+// including an empty one (a shard with no keys is a legal exchange).
+func TestDigestRoundTrip(t *testing.T) {
+	var enc Encoder
+	var dec Decoder
+	for _, want := range []Digest{
+		{Shard: 3, Entries: []DigestEntry{
+			{Key: "SP|B|70|x_solve", Version: 12, Perf: 1.25, CfgSum: 0xDEADBEEF},
+			{Key: `a\|b|w|0|r`, Version: 1, Perf: -0.5, CfgSum: 0},
+			{Key: "", Version: 0, Perf: 0, CfgSum: 1},
+		}},
+		{Shard: 0, Entries: nil},
+	} {
+		buf := enc.AppendDigest(nil, &want)
+		kind, payload, n, err := Frame(buf)
+		if err != nil {
+			t.Fatalf("own frame rejected: %v", err)
+		}
+		if kind != KindDigest || n != len(buf) {
+			t.Fatalf("frame kind %d len %d, want %d %d", kind, n, KindDigest, len(buf))
+		}
+		got, err := dec.DecodeDigest(payload)
+		if err != nil {
+			t.Fatalf("own payload rejected: %v", err)
+		}
+		if got.Shard != want.Shard || len(got.Entries) != len(want.Entries) {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+		for i := range want.Entries {
+			if got.Entries[i] != want.Entries[i] {
+				t.Fatalf("entry %d: round trip = %+v, want %+v", i, got.Entries[i], want.Entries[i])
+			}
+		}
+	}
+}
+
+// TestDigestEncodingDeterministic: the same digest always frames to the
+// same bytes — digests are compared and logged across nodes, so the
+// encoding falls under the codec's determinism contract.
+func TestDigestEncodingDeterministic(t *testing.T) {
+	d := Digest{Shard: 7, Entries: []DigestEntry{
+		{Key: "k1", Version: 2, Perf: 3.5, CfgSum: 9},
+		{Key: "k2", Version: 1, Perf: 0.25, CfgSum: 8},
+	}}
+	var e1, e2 Encoder
+	b1 := e1.AppendDigest(nil, &d)
+	b2 := e2.AppendDigest(nil, &d)
+	if !reflect.DeepEqual(b1, b2) {
+		t.Fatalf("same digest encoded differently:\n%x\n%x", b1, b2)
+	}
+}
+
+// TestConfigChecksum: equal configs sum equally; any single-field change
+// moves the sum (the property anti-entropy's divergence detection needs).
+func TestConfigChecksum(t *testing.T) {
+	base := arcs.ConfigValues{Threads: 8, Schedule: ompt.ScheduleDynamic, Chunk: 16, FreqGHz: 2.4, Bind: 1}
+	same := base
+	if ConfigChecksum(&base) != ConfigChecksum(&same) {
+		t.Fatal("identical configs produced different checksums")
+	}
+	variants := []arcs.ConfigValues{base, base, base, base, base}
+	variants[0].Threads = 4
+	variants[1].Schedule = ompt.ScheduleStatic
+	variants[2].Chunk = 32
+	variants[3].FreqGHz = 2.0
+	variants[4].Bind = 0
+	for i, v := range variants {
+		if ConfigChecksum(&v) == ConfigChecksum(&base) {
+			t.Fatalf("variant %d (%+v) collided with base checksum", i, v)
+		}
+	}
+}
+
+// FuzzDigestRoundTrip: arbitrary digests round-trip exactly, and
+// arbitrary bytes never panic the digest decoder.
+func FuzzDigestRoundTrip(f *testing.F) {
+	f.Add(uint64(3), "SP|B|70|x", uint64(1), 1.5, uint32(7), "k2", uint64(9), -2.0, uint32(0))
+	f.Add(uint64(0), "", uint64(0), 0.0, uint32(0), "", uint64(0), 0.0, uint32(0))
+	f.Fuzz(func(t *testing.T, shard uint64, k1 string, v1 uint64, p1 float64, c1 uint32,
+		k2 string, v2 uint64, p2 float64, c2 uint32) {
+		//arcslint:ignore floatcmp NaN filter; NaN never compares equal after decode
+		if p1 != p1 || p2 != p2 {
+			t.Skip("NaN perfs cannot round-trip through equality")
+		}
+		want := Digest{Shard: shard, Entries: []DigestEntry{
+			{Key: k1, Version: v1, Perf: p1, CfgSum: c1},
+			{Key: k2, Version: v2, Perf: p2, CfgSum: c2},
+		}}
+		var enc Encoder
+		var dec Decoder
+		buf := enc.AppendDigest(nil, &want)
+		kind, payload, _, err := Frame(buf)
+		if err != nil || kind != KindDigest {
+			t.Fatalf("own frame rejected: kind %d err %v", kind, err)
+		}
+		got, err := dec.DecodeDigest(payload)
+		if err != nil {
+			t.Fatalf("own payload rejected: %v", err)
+		}
+		if got.Shard != want.Shard || len(got.Entries) != 2 ||
+			got.Entries[0] != want.Entries[0] || got.Entries[1] != want.Entries[1] {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+		// Arbitrary truncations must error, never panic.
+		for cut := 0; cut < len(payload); cut += 1 + cut/3 {
+			_, _ = dec.DecodeDigest(payload[:cut])
+		}
+	})
+}

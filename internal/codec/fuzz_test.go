@@ -100,6 +100,7 @@ func FuzzDecodeArbitrary(f *testing.F) {
 		_ = dec.DecodeSearchRequest(payload, &req)
 		_ = dec.DecodeSearchResult(payload, &res)
 		_ = dec.DecodeReportBatch(payload, func(*Report) error { return nil })
+		_, _ = dec.DecodeDigest(payload)
 		if _, err := dec.DecodeSnapshot(payload); err == nil && kind != KindSnapshot {
 			// Accepting a non-snapshot payload as a snapshot is possible
 			// only if it happens to parse; that is not an error in itself.

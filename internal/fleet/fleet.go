@@ -1,0 +1,508 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"arcs/internal/codec"
+	"arcs/internal/store"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultReplicas is the number of owners per key (primary
+	// included): every key survives one node failure.
+	DefaultReplicas = 2
+	// DefaultHandoffMax bounds each per-peer hint queue.
+	DefaultHandoffMax = 4096
+)
+
+// Peer is the fleet's view of one remote arcsd: the three intra-fleet
+// RPCs. *storeclient.Client satisfies it. The interface lives here (and
+// names only store/codec/context types) so fleet does not import
+// storeclient — storeclient imports fleet for the ring.
+type Peer interface {
+	// MergeEntries replicates already-versioned entries owner-to-owner
+	// (POST /v1/merge, applied under store.Supersedes).
+	MergeEntries(ctx context.Context, entries []store.Entry) error
+	// ForwardReports re-routes reports to a node that owns them (POST
+	// /v1/reports with the forwarded marker; the receiver authors
+	// versions via its normal Save path).
+	ForwardReports(ctx context.Context, reports []codec.Report) error
+	// ShardDigest fetches the peer's anti-entropy summary of one store
+	// shard (GET /v1/digest).
+	ShardDigest(ctx context.Context, shard int) (codec.Digest, error)
+}
+
+// Config assembles a Fleet.
+type Config struct {
+	// Self is this node's name in Nodes (by convention its advertised
+	// base URL).
+	Self string
+	// Nodes is the full fleet membership, self included. Order does not
+	// matter; every member must be configured with the same set.
+	Nodes []string
+	// Replicas is the number of owners per key, clamped to len(Nodes);
+	// zero selects DefaultReplicas.
+	Replicas int
+	// VNodes is the virtual-node count per member; zero selects
+	// DefaultVNodes.
+	VNodes int
+	// Store is the local knowledge store.
+	Store *store.Store
+	// Peers maps every other member name to its client. A missing peer
+	// is an error: a member that cannot be dialed still gets a client
+	// (whose calls fail and feed the handoff queue).
+	Peers map[string]Peer
+	// Seed drives the anti-entropy sweep order. The sweep must be
+	// seed-driven, not wall-clock-driven (determinism contract); equal
+	// seeds and equal tick sequences sweep identically.
+	Seed int64
+	// HandoffMax bounds each per-peer hint queue; zero selects
+	// DefaultHandoffMax.
+	HandoffMax int
+}
+
+// Stats is a point-in-time snapshot of the fleet counters, exported on
+// /healthz and /metrics.
+type Stats struct {
+	// Forwards counts reports this node routed to an owner because it
+	// did not own the key.
+	Forwards uint64 `json:"forwards"`
+	// Replicated counts entries pushed owner-to-owner at write time.
+	Replicated uint64 `json:"replicated"`
+	// MergedIn counts replicated entries this node accepted (a pushed
+	// entry that lost its Supersedes race is not counted).
+	MergedIn uint64 `json:"merged_in"`
+	// Repairs counts entries pushed by the anti-entropy sweep to a peer
+	// that was missing, behind, or divergent.
+	Repairs uint64 `json:"repairs"`
+	// Sweeps counts completed anti-entropy rounds.
+	Sweeps uint64 `json:"sweeps"`
+	// HandoffDepth is the current total of queued hints across peers.
+	HandoffDepth int `json:"handoff_depth"`
+	// HandoffDropped counts hints dropped on queue overflow (repaired
+	// later by anti-entropy).
+	HandoffDropped uint64 `json:"handoff_dropped"`
+	// Fallbacks counts reports accepted locally by a non-owner because
+	// every owner was unreachable.
+	Fallbacks uint64 `json:"fallbacks"`
+}
+
+// Fleet is one node's view of the replicated knowledge store. All
+// methods are safe for concurrent use; Tick is typically driven by a
+// single timer goroutine but may race Ingest freely.
+type Fleet struct {
+	self      string
+	replicas  int
+	ring      *Ring
+	st        *store.Store
+	peers     map[string]Peer // immutable after New; lookups only
+	peerNames []string        // sorted, self excluded — the deterministic iteration order
+
+	mu    sync.Mutex
+	rng   *rand.Rand            // sweep-order source; guarded by mu
+	hints map[string]*hintQueue // per-peer handoff queues; guarded by mu
+	stats Stats                 // guarded by mu
+}
+
+// New validates the membership and builds the node's fleet state.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("fleet: nil store")
+	}
+	ring, err := NewRing(cfg.Nodes, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	found := false
+	for _, n := range ring.Nodes() {
+		if n == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("fleet: self %q not in membership %v", cfg.Self, ring.Nodes())
+	}
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	if replicas > len(ring.Nodes()) {
+		replicas = len(ring.Nodes())
+	}
+	handoffMax := cfg.HandoffMax
+	if handoffMax <= 0 {
+		handoffMax = DefaultHandoffMax
+	}
+	f := &Fleet{
+		self:     cfg.Self,
+		replicas: replicas,
+		ring:     ring,
+		st:       cfg.Store,
+		peers:    make(map[string]Peer, len(cfg.Peers)),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		hints:    make(map[string]*hintQueue),
+	}
+	for _, n := range ring.Nodes() {
+		if n == cfg.Self {
+			continue
+		}
+		p, ok := cfg.Peers[n]
+		if !ok || p == nil {
+			return nil, fmt.Errorf("fleet: no peer client for member %q", n)
+		}
+		f.peers[n] = p
+		f.peerNames = append(f.peerNames, n)
+		f.hints[n] = newHintQueue(handoffMax) //arcslint:ignore guardedby constructor; the fleet has not escaped yet
+	}
+	sort.Strings(f.peerNames)
+	return f, nil
+}
+
+// Self returns this node's member name.
+func (f *Fleet) Self() string { return f.self }
+
+// Replicas returns the owners-per-key count in effect.
+func (f *Fleet) Replicas() int { return f.replicas }
+
+// Ring returns the placement ring (immutable).
+func (f *Fleet) Ring() *Ring { return f.ring }
+
+// Owners appends the owner list for a canonical key (primary first),
+// append-style.
+func (f *Fleet) Owners(ck string, dst []string) []string {
+	return f.ring.Owners(ck, f.replicas, dst)
+}
+
+// OwnsKey reports whether this node is one of the key's owners.
+func (f *Fleet) OwnsKey(ck string) bool {
+	var stack [8]string
+	for _, o := range f.ring.Owners(ck, f.replicas, stack[:0]) {
+		if o == f.self {
+			return true
+		}
+	}
+	return false
+}
+
+// Ingest routes a batch of validated reports. Owned (or forwarded)
+// reports Save locally — the store authors the replicated version — and
+// the resulting entries replicate to the other owners, falling back to
+// the handoff queue when an owner is down. Unowned reports forward to
+// their owners in ring order; if every owner is unreachable the report
+// is accepted locally anyway (never drop an acknowledged best) and a
+// report-kind hint re-injects it at the primary later.
+//
+// forwarded marks a request another member already routed (the
+// codec.ForwardedHeader): it is always applied locally and never
+// re-forwarded, so a stale ring cannot bounce a report around the
+// fleet. The return value is the number of reports durably accepted —
+// saved here or acknowledged by an owner — which the server surfaces in
+// its Ack.
+func (f *Fleet) Ingest(ctx context.Context, reports []codec.Report, forwarded bool) int {
+	if len(reports) == 0 {
+		return 0
+	}
+	accepted := 0
+	mergeBatch := make(map[string][]store.Entry) // peer -> entries to replicate
+	type fwdBatch struct {
+		owners  []string
+		reports []codec.Report
+	}
+	forwards := make(map[string]*fwdBatch) // primary -> batch
+	var ownerBuf []string
+	for _, r := range reports {
+		ck := r.Key.String()
+		ownerBuf = f.ring.Owners(ck, f.replicas, ownerBuf[:0])
+		owned := false
+		for _, o := range ownerBuf {
+			if o == f.self {
+				owned = true
+				break
+			}
+		}
+		if owned || forwarded {
+			f.st.Save(r.Key, r.Cfg, r.Perf)
+			accepted++
+			if e, ok := f.st.Get(r.Key); ok && owned {
+				for _, o := range ownerBuf {
+					if o != f.self {
+						mergeBatch[o] = append(mergeBatch[o], e)
+					}
+				}
+			}
+			continue
+		}
+		primary := ownerBuf[0]
+		b := forwards[primary]
+		if b == nil {
+			b = &fwdBatch{owners: append([]string(nil), ownerBuf...)}
+			forwards[primary] = b
+		}
+		b.reports = append(b.reports, r)
+	}
+
+	// Replicate owned writes to their co-owners, one batch per peer.
+	for _, name := range sortedKeys(mergeBatch) {
+		entries := mergeBatch[name]
+		if err := f.peers[name].MergeEntries(ctx, entries); err != nil {
+			f.mu.Lock()
+			for _, e := range entries {
+				f.hints[name].add(e.Key.String(), hint{kind: hintMerge, key: e.Key})
+			}
+			f.mu.Unlock()
+			continue
+		}
+		f.mu.Lock()
+		f.stats.Replicated += uint64(len(entries))
+		f.mu.Unlock()
+	}
+
+	// Forward unowned reports, failing over through the owner list.
+	for _, primary := range sortedKeys(forwards) {
+		b := forwards[primary]
+		sent := false
+		for _, o := range b.owners {
+			if err := f.peers[o].ForwardReports(ctx, b.reports); err == nil {
+				sent = true
+				break
+			}
+		}
+		if sent {
+			accepted += len(b.reports)
+			f.mu.Lock()
+			f.stats.Forwards += uint64(len(b.reports))
+			f.mu.Unlock()
+			continue
+		}
+		// Total owner outage: accept locally so the client's ack means
+		// something, and owe the primary a re-injection.
+		f.mu.Lock()
+		f.stats.Fallbacks += uint64(len(b.reports))
+		for _, r := range b.reports {
+			f.hints[primary].add(r.Key.String(), hint{kind: hintReport, key: r.Key, report: r})
+		}
+		f.mu.Unlock()
+		for _, r := range b.reports {
+			f.st.Save(r.Key, r.Cfg, r.Perf)
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// MergeLocal applies entries a peer replicated to this node (the
+// /v1/merge handler). Deliberately no onward replication: the authoring
+// owner pushes to every co-owner itself, so a merge fans out once, not
+// transitively. Returns the number of entries accepted.
+func (f *Fleet) MergeLocal(entries []store.Entry) int {
+	n := 0
+	for _, e := range entries {
+		if f.st.Merge(e) {
+			n++
+		}
+	}
+	f.mu.Lock()
+	f.stats.MergedIn += uint64(n)
+	f.mu.Unlock()
+	return n
+}
+
+// Tick runs one maintenance round: drain every handoff queue whose
+// peer answers, then one anti-entropy sweep. Driven externally (cmd/
+// arcsd's timer goroutine, tests calling it directly) — the package
+// itself never schedules anything, which is what keeps it under the
+// determinism contract.
+func (f *Fleet) Tick(ctx context.Context) {
+	f.drainHints(ctx)
+	f.sweep(ctx)
+}
+
+// drainHints empties each peer's queue: merge hints re-resolve the
+// key's current entry (one send covers any number of queued updates)
+// and report hints re-inject through the owner's report path. A peer
+// still down gets its hints back.
+func (f *Fleet) drainHints(ctx context.Context) {
+	for _, name := range f.peerNames {
+		f.mu.Lock()
+		hs := f.hints[name].take()
+		f.mu.Unlock()
+		if len(hs) == 0 {
+			continue
+		}
+		var entries []store.Entry
+		var reports []codec.Report
+		for _, h := range hs {
+			switch h.kind {
+			case hintMerge:
+				if e, ok := f.st.Get(h.key); ok {
+					entries = append(entries, e)
+				}
+			case hintReport:
+				reports = append(reports, h.report)
+			}
+		}
+		failed := hs[:0]
+		if len(entries) > 0 {
+			if err := f.peers[name].MergeEntries(ctx, entries); err != nil {
+				for _, h := range hs {
+					if h.kind == hintMerge {
+						failed = append(failed, h)
+					}
+				}
+			}
+		}
+		if len(reports) > 0 {
+			if err := f.peers[name].ForwardReports(ctx, reports); err != nil {
+				for _, h := range hs {
+					if h.kind == hintReport {
+						failed = append(failed, h)
+					}
+				}
+			}
+		}
+		if len(failed) > 0 {
+			f.mu.Lock()
+			for _, h := range failed {
+				f.hints[name].add(h.key.String(), h)
+			}
+			f.mu.Unlock()
+		}
+	}
+}
+
+// sweep runs one push-side anti-entropy round: for every peer (visited
+// in a seed-driven order) and every store shard, fetch the peer's
+// digest and push whatever it is missing, behind on, or divergent on.
+// Pull is unnecessary — the peer's own sweep pushes the other
+// direction, and the Supersedes total order makes the crossing pushes
+// converge byte-identically.
+func (f *Fleet) sweep(ctx context.Context) {
+	f.mu.Lock()
+	order := f.rng.Perm(len(f.peerNames))
+	f.mu.Unlock()
+	for _, oi := range order {
+		name := f.peerNames[oi]
+		peer := f.peers[name]
+		var mergePush []store.Entry
+		var reportPush []codec.Report
+		down := false
+		var ownerBuf []string
+		for shard := 0; shard < store.NumShards && !down; shard++ {
+			local := f.st.ShardEntries(shard)
+			if len(local) == 0 {
+				continue
+			}
+			dg, err := peer.ShardDigest(ctx, shard)
+			if err != nil {
+				down = true // peer unreachable: skip it this round
+				break
+			}
+			remote := make(map[string]codec.DigestEntry, len(dg.Entries))
+			for _, de := range dg.Entries {
+				remote[de.Key] = de
+			}
+			for _, e := range local {
+				ck := e.Key.String()
+				ownerBuf = f.ring.Owners(ck, f.replicas, ownerBuf[:0])
+				peerOwns, selfOwns := false, false
+				for _, o := range ownerBuf {
+					peerOwns = peerOwns || o == name
+					selfOwns = selfOwns || o == f.self
+				}
+				if !peerOwns {
+					continue // never push a key onto a node that does not own it
+				}
+				de, ok := remote[ck]
+				if selfOwns {
+					// Owner-to-owner: repair when the peer is missing the
+					// key, behind on version, or divergent at the same
+					// version (different perf or config — both sides push,
+					// Supersedes picks the same winner on each).
+					//arcslint:ignore floatcmp exact divergence detection; any bit difference is divergence
+					if !ok || e.Version > de.Version || (e.Version == de.Version && (e.Perf != de.Perf || codec.ConfigChecksum(&e.Cfg) != de.CfgSum)) {
+						mergePush = append(mergePush, e)
+					}
+					continue
+				}
+				// Stray data on a non-owner (accepted during an owner
+				// outage): re-inject through the owner's report path iff
+				// it would improve the owner's record.
+				if !ok || e.Perf < de.Perf {
+					reportPush = append(reportPush, codec.Report{Key: e.Key, Cfg: e.Cfg, Perf: e.Perf})
+				}
+			}
+		}
+		if down {
+			continue
+		}
+		repaired := 0
+		if len(mergePush) > 0 {
+			if err := peer.MergeEntries(ctx, mergePush); err == nil {
+				repaired += len(mergePush)
+			}
+		}
+		if len(reportPush) > 0 {
+			if err := peer.ForwardReports(ctx, reportPush); err == nil {
+				repaired += len(reportPush)
+			}
+		}
+		if repaired > 0 {
+			f.mu.Lock()
+			f.stats.Repairs += uint64(repaired)
+			f.mu.Unlock()
+		}
+	}
+	f.mu.Lock()
+	f.stats.Sweeps++
+	f.mu.Unlock()
+}
+
+// BuildDigest summarises one store shard for the /v1/digest handler.
+func BuildDigest(st *store.Store, shard int) codec.Digest {
+	entries := st.ShardEntries(shard)
+	d := codec.Digest{Shard: uint64(shard)}
+	if len(entries) == 0 {
+		return d
+	}
+	d.Entries = make([]codec.DigestEntry, len(entries))
+	for i, e := range entries {
+		d.Entries[i] = codec.DigestEntry{
+			Key:     e.Key.String(),
+			Version: e.Version,
+			Perf:    e.Perf,
+			CfgSum:  codec.ConfigChecksum(&e.Cfg),
+		}
+	}
+	return d
+}
+
+// Stats snapshots the counters.
+func (f *Fleet) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.stats
+	s.HandoffDepth = 0
+	s.HandoffDropped = 0
+	for _, name := range f.peerNames {
+		s.HandoffDepth += f.hints[name].depth()
+		s.HandoffDropped += f.hints[name].dropped
+	}
+	return s
+}
+
+// sortedKeys returns a map's keys sorted — the deterministic iteration
+// order for per-peer batches.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"sort"
+
+	"arcs/internal/codec"
+	arcs "arcs/internal/core"
+)
+
+// hintKind distinguishes the two things a hinted-handoff queue can owe
+// a peer.
+type hintKind uint8
+
+const (
+	// hintMerge: this node owns the key and owes the peer (a fellow
+	// owner that was down) a merge-replication of its current entry.
+	// Only the key is remembered — the entry is re-resolved from the
+	// store at drain time, so a key updated ten times while the peer
+	// was down drains as one send of the latest version.
+	hintMerge hintKind = iota
+	// hintReport: this node does not own the key but accepted the
+	// report because every owner was down; it owes the owner a
+	// re-injection through the normal report path (the owner, not this
+	// node, must author the replicated version).
+	hintReport
+)
+
+// hint is one queued obligation to a peer.
+type hint struct {
+	kind   hintKind
+	key    arcs.HistoryKey
+	report codec.Report // hintReport only
+}
+
+// hintQueue is the bounded per-peer handoff buffer. Entries dedup by
+// canonical key — a queue holds at most one obligation per key, so a
+// hot key cannot evict a cold one — and overflow drops the newcomer
+// (counted; anti-entropy is the backstop that repairs drops).
+// Not self-locking: the Fleet's mutex guards every queue.
+type hintQueue struct {
+	max     int
+	items   map[string]hint
+	dropped uint64
+}
+
+func newHintQueue(max int) *hintQueue {
+	return &hintQueue{max: max, items: make(map[string]hint)}
+}
+
+// add records one obligation, deduplicating against what is already
+// queued for the key: a merge hint subsumes anything (the re-resolved
+// entry is authoritative), and of two report hints the better (lower)
+// perf survives.
+func (q *hintQueue) add(ck string, h hint) {
+	if old, ok := q.items[ck]; ok {
+		if old.kind == hintMerge {
+			return // already owed the authoritative entry
+		}
+		if h.kind == hintReport && h.report.Perf >= old.report.Perf {
+			return
+		}
+		q.items[ck] = h
+		return
+	}
+	if len(q.items) >= q.max {
+		q.dropped++
+		return
+	}
+	q.items[ck] = h
+}
+
+// take removes and returns every queued hint in canonical-key order
+// (deterministic drains).
+func (q *hintQueue) take() []hint {
+	if len(q.items) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(q.items))
+	for ck := range q.items {
+		keys = append(keys, ck)
+	}
+	sort.Strings(keys)
+	out := make([]hint, len(keys))
+	for i, ck := range keys {
+		out[i] = q.items[ck]
+		delete(q.items, ck)
+	}
+	return out
+}
+
+func (q *hintQueue) depth() int { return len(q.items) }

@@ -94,6 +94,7 @@ var deterministicPackages = []string{
 	"arcs/internal/bench",
 	"arcs/internal/faults",
 	"arcs/internal/codec",
+	"arcs/internal/fleet",
 }
 
 // DefaultPolicy is the repository contract enforced in CI.

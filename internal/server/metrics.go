@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"arcs/internal/evalcache"
+	"arcs/internal/fleet"
 	"arcs/internal/store"
 )
 
@@ -26,6 +27,8 @@ type metrics struct {
 	searchErrors, reported   atomic.Uint64
 	searchShed, searchPanics atomic.Uint64
 	handlerPanics            atomic.Uint64
+	merged                   atomic.Uint64
+	fleetLookupFwd           atomic.Uint64
 
 	mu       sync.Mutex
 	requests map[reqKey]uint64  // guarded by mu
@@ -49,9 +52,18 @@ func (m *metrics) observe(endpoint string, code int, seconds float64) {
 	m.latCount[endpoint]++
 }
 
+// fleetMetrics carries the fleet-scoped series into write; nil means
+// the server runs standalone and the fleet section is omitted.
+type fleetMetrics struct {
+	stats      fleet.Stats
+	nodes      int
+	replicas   int
+	ownedShare float64
+}
+
 // write renders the Prometheus text exposition format, deterministically
 // ordered so scrapes and tests are stable.
-func (m *metrics) write(w io.Writer, health store.Health, evc evalcache.Stats) {
+func (m *metrics) write(w io.Writer, health store.Health, evc evalcache.Stats, fl *fleetMetrics) {
 	fmt.Fprintln(w, "# HELP arcsd_requests_total HTTP requests by endpoint and status code.")
 	fmt.Fprintln(w, "# TYPE arcsd_requests_total counter")
 	m.mu.Lock()
@@ -115,4 +127,24 @@ func (m *metrics) write(w io.Writer, health store.Health, evc evalcache.Stats) {
 	fmt.Fprintf(w, "# TYPE arcsd_evalcache_entries gauge\narcsd_evalcache_entries %d\n", evc.Entries)
 	fmt.Fprintf(w, "# HELP arcsd_evalcache_inflight Probe computations currently running.\n")
 	fmt.Fprintf(w, "# TYPE arcsd_evalcache_inflight gauge\narcsd_evalcache_inflight %d\n", evc.InFlight)
+	counter("arcsd_merged_entries_total", "Entries accepted through /v1/merge replication.", m.merged.Load())
+	if fl == nil {
+		return
+	}
+	counter("arcsd_fleet_lookup_forwards_total", "Config lookups answered by forwarding to an owning peer.", m.fleetLookupFwd.Load())
+	counter("arcsd_fleet_report_forwards_total", "Report batches forwarded to owning peers.", fl.stats.Forwards)
+	counter("arcsd_fleet_replicated_total", "Locally authored entries replicated out to co-owners.", fl.stats.Replicated)
+	counter("arcsd_fleet_merged_in_total", "Entries accepted from peer replication or anti-entropy.", fl.stats.MergedIn)
+	counter("arcsd_fleet_repairs_total", "Entries pushed to peers by the anti-entropy sweep.", fl.stats.Repairs)
+	counter("arcsd_fleet_sweeps_total", "Completed anti-entropy sweeps.", fl.stats.Sweeps)
+	counter("arcsd_fleet_handoff_dropped_total", "Hints dropped because a handoff queue overflowed.", fl.stats.HandoffDropped)
+	counter("arcsd_fleet_fallbacks_total", "Reports accepted locally because every owner was unreachable.", fl.stats.Fallbacks)
+	fmt.Fprintf(w, "# HELP arcsd_fleet_handoff_depth Hints queued for currently unreachable peers.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_fleet_handoff_depth gauge\narcsd_fleet_handoff_depth %d\n", fl.stats.HandoffDepth)
+	fmt.Fprintf(w, "# HELP arcsd_fleet_nodes Fleet membership size.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_fleet_nodes gauge\narcsd_fleet_nodes %d\n", fl.nodes)
+	fmt.Fprintf(w, "# HELP arcsd_fleet_replicas Configured replication factor.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_fleet_replicas gauge\narcsd_fleet_replicas %d\n", fl.replicas)
+	fmt.Fprintf(w, "# HELP arcsd_fleet_owned_share Fraction of the ring this node owns as primary.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_fleet_owned_share gauge\narcsd_fleet_owned_share %g\n", fl.ownedShare)
 }

@@ -10,8 +10,16 @@
 //	POST /v1/report   {"key":{...},"config":{...},"perf":N} or an array
 //	POST /v1/reports  batched ingest: JSON array or one binary report-batch frame
 //	GET  /v1/dump     full entry set with versions, streamed
+//	GET  /v1/digest?shard=N   per-shard anti-entropy digest
+//	POST /v1/merge    intra-fleet replication of already-versioned entries
 //	GET  /healthz
 //	GET  /metrics     Prometheus text format
+//
+// With Config.Fleet set the server is one member of a replicated fleet
+// (internal/fleet): reports it does not own are routed to their owners,
+// lookups for unowned keys are proxied one hop (the X-Arcs-Fleet-
+// Forwarded header stops a second hop), and /v1/digest + /v1/merge
+// carry the fleet's replication and anti-entropy traffic.
 //
 // Every v1 endpoint content-negotiates: an Accept (responses) or
 // Content-Type (request bodies) of application/x-arcs-bin selects the
@@ -35,7 +43,9 @@ import (
 	"arcs/internal/codec"
 	arcs "arcs/internal/core"
 	"arcs/internal/evalcache"
+	"arcs/internal/fleet"
 	"arcs/internal/store"
+	"arcs/internal/storeclient"
 )
 
 const (
@@ -76,6 +86,14 @@ type Config struct {
 	// piling up goroutines). Zero selects DefaultSearchTimeout; negative
 	// disables the deadline.
 	SearchTimeout time.Duration
+	// Fleet makes this server one member of a replicated fleet: reports
+	// route through Fleet.Ingest and unowned lookups proxy to their
+	// owners. Nil serves standalone (every key owned locally).
+	Fleet *fleet.Fleet
+	// FleetPeers are per-member lookup clients for proxying /v1/config
+	// to a key's owners (keyed by member name; self may be absent).
+	// Ignored when Fleet is nil.
+	FleetPeers map[string]*storeclient.Client
 }
 
 // Server is the arcsd HTTP handler.
@@ -89,6 +107,8 @@ type Server struct {
 	mux           *http.ServeMux
 	met           *metrics
 	evc           *evalcache.Cache // probe memoisation for the default searcher
+	fleet         *fleet.Fleet     // nil when standalone
+	fleetPeers    map[string]*storeclient.Client
 
 	sfMu     sync.Mutex
 	inflight map[string]*flight // guarded by sfMu
@@ -122,6 +142,8 @@ func New(cfg Config) *Server {
 		mux:           http.NewServeMux(),
 		met:           newMetrics(),
 		inflight:      make(map[string]*flight),
+		fleet:         cfg.Fleet,
+		fleetPeers:    cfg.FleetPeers,
 	}
 	if s.searchTimeout == 0 {
 		s.searchTimeout = DefaultSearchTimeout
@@ -141,6 +163,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/report", s.instrument("report", s.handleReport))
 	s.mux.HandleFunc("/v1/reports", s.instrument("reports", s.handleReport))
 	s.mux.HandleFunc("/v1/dump", s.instrument("dump", s.handleDump))
+	s.mux.HandleFunc("/v1/digest", s.instrument("digest", s.handleDigest))
+	s.mux.HandleFunc("/v1/merge", s.instrument("merge", s.handleMerge))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -194,6 +218,37 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	}
 	allowFallback := q.Get("fallback") != "0"
 	allowSearch := q.Get("search") != "0"
+
+	// Fleet routing: a lookup for a key this node does not own proxies
+	// one hop to the owners, who hold the authoritative (replicated)
+	// record. Already-forwarded requests are answered locally whatever
+	// the ring says — one hop, never a loop. If every owner is
+	// unreachable (or has nothing), fall through and serve whatever is
+	// known locally: a stray answer beats an outage.
+	if s.fleet != nil && r.Header.Get(codec.ForwardedHeader) == "" && !s.fleet.OwnsKey(key.String()) {
+		arch := q.Get("arch")
+		for _, owner := range s.fleet.Owners(key.String(), nil) {
+			peer := s.fleetPeers[owner]
+			if peer == nil {
+				continue
+			}
+			res, err := peer.Lookup(r.Context(), key, storeclient.LookupOpts{
+				Arch: arch, Fallback: allowFallback, Search: allowSearch, Forwarded: true,
+			})
+			if err == nil {
+				s.met.fleetLookupFwd.Add(1)
+				writeConfig(w, r, ConfigResponse{
+					Key: key, Config: res.Config, Perf: res.Perf, Version: res.Version,
+					Source: res.Source, CapDistance: res.CapDistance,
+				})
+				return
+			}
+			if r.Context().Err() != nil {
+				errorJSON(w, http.StatusServiceUnavailable, "lookup cancelled: %v", r.Context().Err())
+				return
+			}
+		}
+	}
 
 	if e, ok := s.st.Get(key); ok {
 		s.met.hits.Add(1)
@@ -364,27 +419,31 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 // ingestReports parses one report body — a binary report or report-batch
 // frame, a JSON array, or a single JSON object — validates each record
-// and saves it. On failure it writes the error response (corrupt binary
-// input is a 400, never a panic) and returns ok=false; records saved
-// before a mid-batch validation failure stay saved, exactly as the
-// pre-batch array path behaved.
+// and applies the batch: standalone servers Save locally; fleet members
+// route through fleet.Ingest (local save + replication for owned keys,
+// owner forwarding for the rest; a forwarded request is always applied
+// locally). On failure it writes the error response (corrupt binary
+// input is a 400, never a panic) and returns ok=false; records
+// validated before a mid-batch failure are still applied, exactly as
+// the pre-batch array path behaved.
 func (s *Server) ingestReports(w http.ResponseWriter, r *http.Request) (saved int, ok bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, "read report body: %v", err)
 		return 0, false
 	}
-	save := func(key arcs.HistoryKey, cfg arcs.ConfigValues, perf float64) error {
+	var valid []codec.Report
+	collect := func(key arcs.HistoryKey, cfg arcs.ConfigValues, perf float64) error {
 		if key.App == "" || key.Region == "" {
-			return fmt.Errorf("report %d: app and region are required", saved)
+			return fmt.Errorf("report %d: app and region are required", len(valid))
 		}
 		if math.IsNaN(perf) || math.IsInf(perf, 0) {
-			return fmt.Errorf("report %d: non-finite perf", saved)
+			return fmt.Errorf("report %d: non-finite perf", len(valid))
 		}
-		s.st.Save(key, cfg, perf)
-		saved++
+		valid = append(valid, codec.Report{Key: key, Cfg: cfg, Perf: perf})
 		return nil
 	}
+	var badInput error
 	if binaryBody(r) {
 		kind, payload, _, err := codec.Frame(body)
 		if err != nil {
@@ -400,40 +459,143 @@ func (s *Server) ingestReports(w http.ResponseWriter, r *http.Request) (saved in
 				errorJSON(w, http.StatusBadRequest, "bad binary report: %v", err)
 				return 0, false
 			}
-			if err := save(rep.Key, rep.Cfg, rep.Perf); err != nil {
-				errorJSON(w, http.StatusBadRequest, "%v", err)
-				return saved, false
-			}
+			badInput = collect(rep.Key, rep.Cfg, rep.Perf)
 		case codec.KindReportBatch:
 			if err := dec.DecodeReportBatch(payload, func(rep *codec.Report) error {
-				return save(rep.Key, rep.Cfg, rep.Perf)
+				return collect(rep.Key, rep.Cfg, rep.Perf)
 			}); err != nil {
-				errorJSON(w, http.StatusBadRequest, "bad binary report batch: %v", err)
-				return saved, false
+				if badInput == nil {
+					badInput = fmt.Errorf("bad binary report batch: %v", err)
+				}
 			}
 		default:
 			errorJSON(w, http.StatusBadRequest, "unexpected frame kind %#x", kind)
 			return 0, false
 		}
-		return saved, true
-	}
-	var reports []ReportRequest
-	if err := json.Unmarshal(body, &reports); err != nil {
-		// One-shot clients may post a single object instead of an array.
-		var one ReportRequest
-		if err2 := json.Unmarshal(body, &one); err2 != nil {
-			errorJSON(w, http.StatusBadRequest, "bad report body: %v", err)
-			return 0, false
+	} else {
+		var reports []ReportRequest
+		if err := json.Unmarshal(body, &reports); err != nil {
+			// One-shot clients may post a single object instead of an array.
+			var one ReportRequest
+			if err2 := json.Unmarshal(body, &one); err2 != nil {
+				errorJSON(w, http.StatusBadRequest, "bad report body: %v", err)
+				return 0, false
+			}
+			reports = []ReportRequest{one}
 		}
-		reports = []ReportRequest{one}
-	}
-	for _, rep := range reports {
-		if err := save(rep.Key, rep.Cfg, rep.Perf); err != nil {
-			errorJSON(w, http.StatusBadRequest, "%v", err)
-			return saved, false
+		for _, rep := range reports {
+			if badInput = collect(rep.Key, rep.Cfg, rep.Perf); badInput != nil {
+				break
+			}
 		}
+	}
+	saved = s.applyReports(r, valid)
+	if badInput != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", badInput)
+		return saved, false
 	}
 	return saved, true
+}
+
+// applyReports lands a validated batch: via the fleet when configured,
+// plain Saves otherwise.
+func (s *Server) applyReports(r *http.Request, reports []codec.Report) int {
+	if len(reports) == 0 {
+		return 0
+	}
+	if s.fleet != nil {
+		forwarded := r.Header.Get(codec.ForwardedHeader) != ""
+		return s.fleet.Ingest(r.Context(), reports, forwarded)
+	}
+	for _, rep := range reports {
+		s.st.Save(rep.Key, rep.Cfg, rep.Perf)
+	}
+	return len(reports)
+}
+
+// handleDigest serves the per-shard anti-entropy summary (fleet peers'
+// sweep traffic, and a cheap standalone divergence probe). Registered
+// unconditionally: a digest of the local store needs no fleet.
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		errorJSON(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil || shard < 0 || shard >= store.NumShards {
+		errorJSON(w, http.StatusBadRequest, "shard must be in [0,%d)", store.NumShards)
+		return
+	}
+	d := fleet.BuildDigest(s.st, shard)
+	if !acceptsBinary(r) {
+		writeJSON(w, http.StatusOK, d)
+		return
+	}
+	bb := binBufPool.Get().(*binBuf)
+	defer binBufPool.Put(bb)
+	bb.buf = bb.enc.AppendDigest(bb.buf[:0], &d)
+	writeFrame(w, http.StatusOK, bb.buf)
+}
+
+// handleMerge ingests intra-fleet replication: already-versioned
+// entries applied under store.Supersedes, never re-replicated (the
+// authoring owner fans out itself). The binary body is a concatenation
+// of KindEntry frames — the WAL record format — JSON a []store.Entry.
+// Works standalone too (direct store merges, restore tooling).
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		errorJSON(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "read merge body: %v", err)
+		return
+	}
+	var entries []store.Entry
+	if binaryBody(r) {
+		dec := binDecPool.Get().(*codec.Decoder)
+		defer binDecPool.Put(dec)
+		for pos := 0; pos < len(body); {
+			kind, payload, n, err := codec.Frame(body[pos:])
+			if err != nil || kind != codec.KindEntry {
+				errorJSON(w, http.StatusBadRequest, "bad merge frame at offset %d: %v", pos, err)
+				return
+			}
+			var ce codec.Entry
+			if err := dec.DecodeEntry(payload, &ce); err != nil {
+				errorJSON(w, http.StatusBadRequest, "bad merge entry at offset %d: %v", pos, err)
+				return
+			}
+			entries = append(entries, store.Entry(ce))
+			pos += n
+		}
+	} else if err := json.Unmarshal(body, &entries); err != nil {
+		errorJSON(w, http.StatusBadRequest, "bad merge body: %v", err)
+		return
+	}
+	for i := range entries {
+		if entries[i].Key.App == "" || entries[i].Key.Region == "" {
+			errorJSON(w, http.StatusBadRequest, "merge entry %d: app and region are required", i)
+			return
+		}
+		if math.IsNaN(entries[i].Perf) || math.IsInf(entries[i].Perf, 0) {
+			errorJSON(w, http.StatusBadRequest, "merge entry %d: non-finite perf", i)
+			return
+		}
+	}
+	var merged int
+	if s.fleet != nil {
+		merged = s.fleet.MergeLocal(entries)
+	} else {
+		for _, e := range entries {
+			if s.st.Merge(e) {
+				merged++
+			}
+		}
+	}
+	s.met.merged.Add(uint64(merged))
+	s.writeAck(w, r, merged)
 }
 
 // handleDump streams the entry set record by record — a JSON array
@@ -484,15 +646,27 @@ func (s *Server) handleDump(w http.ResponseWriter, r *http.Request) {
 // degraded but useful. status distinguishes "ok" from "degraded"; the
 // store fields mirror store.Health.
 type HealthResponse struct {
-	Status        string  `json:"status"` // "ok" or "degraded"
-	Entries       int     `json:"entries"`
-	WALBytes      int64   `json:"wal_bytes"`
-	SnapshotBytes int64   `json:"snapshot_bytes"`
-	WALRecords    int     `json:"wal_records"`
-	DroppedSaves  uint64  `json:"dropped_saves,omitempty"`
-	StoreError    string  `json:"store_error,omitempty"`
-	DegradedCause string  `json:"degraded_cause,omitempty"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Status        string       `json:"status"` // "ok" or "degraded"
+	Entries       int          `json:"entries"`
+	WALBytes      int64        `json:"wal_bytes"`
+	SnapshotBytes int64        `json:"snapshot_bytes"`
+	WALRecords    int          `json:"wal_records"`
+	DroppedSaves  uint64       `json:"dropped_saves,omitempty"`
+	StoreError    string       `json:"store_error,omitempty"`
+	DegradedCause string       `json:"degraded_cause,omitempty"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Fleet         *FleetHealth `json:"fleet,omitempty"`
+}
+
+// FleetHealth is the fleet section of /healthz: identity, membership,
+// and the live replication counters, so an operator can see from any
+// one node whether replication and anti-entropy are keeping up.
+type FleetHealth struct {
+	Self       string      `json:"self"`
+	Nodes      []string    `json:"nodes"`
+	Replicas   int         `json:"replicas"`
+	OwnedShare float64     `json:"owned_share"`
+	Stats      fleet.Stats `json:"stats"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -501,7 +675,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if h.Degraded {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        status,
 		Entries:       h.Entries,
 		WALBytes:      h.WALBytes,
@@ -511,11 +685,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		StoreError:    h.LastErr,
 		DegradedCause: h.DegradedCause,
 		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+	}
+	if s.fleet != nil {
+		resp.Fleet = &FleetHealth{
+			Self:       s.fleet.Self(),
+			Nodes:      s.fleet.Ring().Nodes(),
+			Replicas:   s.fleet.Replicas(),
+			OwnedShare: s.fleet.Ring().OwnedShare(s.fleet.Self()),
+			Stats:      s.fleet.Stats(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.met.write(w, s.st.Health(), s.evc.Stats())
+	var fl *fleetMetrics
+	if s.fleet != nil {
+		fl = &fleetMetrics{
+			stats:      s.fleet.Stats(),
+			nodes:      len(s.fleet.Ring().Nodes()),
+			replicas:   s.fleet.Replicas(),
+			ownedShare: s.fleet.Ring().OwnedShare(s.fleet.Self()),
+		}
+	}
+	s.met.write(w, s.st.Health(), s.evc.Stats(), fl)
 }
 
 // instrument wraps a handler with request counting, latency tracking,

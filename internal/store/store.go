@@ -60,9 +60,13 @@ const (
 	SnapshotBinName = "snapshot.bin"
 	WALName         = "wal.jsonl"
 
-	// numShards bounds lock contention under concurrent serving; keys are
-	// distributed by FNV-1a hash of the canonical form.
-	numShards = 16
+	// NumShards is the fixed in-process shard count, bounding lock
+	// contention under concurrent serving; keys are distributed by FNV-1a
+	// hash of the canonical form. Exported because the fleet's
+	// anti-entropy sweep walks the store shard by shard (ShardEntries)
+	// and exchanges per-shard digests — every node computes the same
+	// key→shard mapping, so the constant is part of the fleet protocol.
+	NumShards = 16
 
 	// DefaultSnapshotEvery is the number of WAL appends between automatic
 	// compactions when Options.SnapshotEvery is zero.
@@ -117,7 +121,7 @@ type shard struct {
 type Store struct {
 	dir    string
 	fs     FS // immutable after Open
-	shards [numShards]shard
+	shards [NumShards]shard
 
 	walMu         sync.Mutex
 	wal           File          // guarded by walMu
@@ -178,7 +182,7 @@ func (s *Store) binSnapshotPath() string { return filepath.Join(s.dir, SnapshotB
 func (s *Store) shard(canonicalKey string) *shard {
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(canonicalKey))
-	return &s.shards[h.Sum32()%numShards]
+	return &s.shards[h.Sum32()%NumShards]
 }
 
 // replaySnapshot loads the compacted snapshot, ignoring a missing or
@@ -323,18 +327,84 @@ func decodeWALLine(line []byte) (Entry, bool) {
 	return e, true
 }
 
-// applyReplay merges one replayed record: higher version wins; equal
-// versions (hand-edited or duplicated records) resolve by keep-best perf.
+// Supersedes reports whether e should replace old under the replicated
+// merge order: higher version wins (last-writer-wins on the per-key
+// monotonic version); at equal versions the better (lower) perf wins;
+// at equal perf a deterministic config order breaks the tie. The rule
+// is a total order on entries, which is what makes Merge commutative,
+// associative and idempotent — any interleaving of replicated writes
+// converges every replica to the same single winner (TestMergeIsJoin).
+// Equal entries do not supersede each other, so re-applying a record is
+// a no-op.
+func Supersedes(e, old Entry) bool {
+	if e.Version != old.Version {
+		return e.Version > old.Version
+	}
+	//arcslint:ignore floatcmp exact tie-break; the merge must be a total order for replica convergence
+	if e.Perf != old.Perf {
+		return e.Perf < old.Perf
+	}
+	return cfgLess(e.Cfg, old.Cfg)
+}
+
+// cfgLess is an arbitrary but deterministic total order on configs,
+// used only to break exact version+perf ties between divergent replicas.
+func cfgLess(a, b arcs.ConfigValues) bool {
+	if a.Threads != b.Threads {
+		return a.Threads < b.Threads
+	}
+	if a.Schedule != b.Schedule {
+		return a.Schedule < b.Schedule
+	}
+	if a.Chunk != b.Chunk {
+		return a.Chunk < b.Chunk
+	}
+	//arcslint:ignore floatcmp exact tie-break between stored float fields, not a tolerance comparison
+	if a.FreqGHz != b.FreqGHz {
+		return a.FreqGHz < b.FreqGHz
+	}
+	return a.Bind < b.Bind
+}
+
+// applyReplay merges one replayed record under the Supersedes order:
+// higher version wins; equal versions (duplicated or divergent records)
+// resolve by keep-best perf, then config order.
 func (s *Store) applyReplay(e Entry) {
 	ck := e.Key.String()
 	sh := s.shard(ck)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	old, ok := sh.entries[ck]
-	if ok && (old.Version > e.Version || (old.Version == e.Version && old.Perf <= e.Perf)) {
+	if ok && !Supersedes(e, old) {
 		return
 	}
 	sh.entries[ck] = e
+}
+
+// Merge applies one already-versioned entry — a record replicated from
+// a fleet peer — under the Supersedes order, persisting an accepted
+// merge to the WAL exactly like a Save. Unlike Save it never assigns a
+// version: the entry's author did, and last-writer-wins reconciliation
+// depends on applying that version verbatim. Returns whether the entry
+// replaced (or created) the stored record. Non-finite perfs are
+// rejected as in Save.
+func (s *Store) Merge(e Entry) bool {
+	if math.IsNaN(e.Perf) || math.IsInf(e.Perf, 0) {
+		s.setErr(fmt.Errorf("store: non-finite perf %v for merged %v rejected", e.Perf, e.Key))
+		return false
+	}
+	ck := e.Key.String()
+	sh := s.shard(ck)
+	sh.mu.Lock()
+	old, ok := sh.entries[ck]
+	if ok && !Supersedes(e, old) {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.entries[ck] = e
+	sh.mu.Unlock()
+	s.appendWAL(e)
+	return true
 }
 
 // Save implements arcs.History: duplicate keys keep the best (lowest)
@@ -439,6 +509,45 @@ func (s *Store) Entries() []Entry {
 		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// ShardEntries returns the records of one in-process shard, sorted by
+// canonical key. The fleet's anti-entropy sweep walks the store shard
+// by shard so a digest exchange touches one shard lock at a time; every
+// node computes the same key→shard mapping (FNV-1a mod NumShards), so
+// shard i here summarises exactly the keys a peer's shard i holds.
+// Indexes outside [0, NumShards) return nil.
+func (s *Store) ShardEntries(i int) []Entry {
+	if i < 0 || i >= NumShards {
+		return nil
+	}
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	out := make([]Entry, 0, len(sh.entries))
+	for _, e := range sh.entries {
+		out = append(out, e)
+	}
+	sh.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// Digest returns the per-key versions of every stored record, keyed by
+// canonical key string. It is the cheap summary anti-entropy starts
+// from (and a convenient standalone view for /v1/dump consumers):
+// comparing two stores' Digests finds every key where one side is
+// missing or behind without shipping any configs.
+func (s *Store) Digest() map[string]uint64 {
+	out := make(map[string]uint64, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for ck, e := range sh.entries {
+			out[ck] = e.Version
+		}
+		sh.mu.RUnlock()
+	}
 	return out
 }
 

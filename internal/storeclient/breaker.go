@@ -41,6 +41,7 @@ type breaker struct {
 	threshold int
 	openFor   time.Duration
 	now       func() time.Time
+	hook      func(from, to string) // state-transition observer; may be nil
 
 	mu       sync.Mutex
 	state    breakerState // guarded by mu
@@ -50,35 +51,48 @@ type breaker struct {
 	opens    uint64       // times the breaker tripped; guarded by mu
 }
 
-func newBreaker(threshold int, openFor time.Duration, now func() time.Time) *breaker {
+func newBreaker(threshold int, openFor time.Duration, now func() time.Time, hook func(from, to string)) *breaker {
 	if now == nil {
 		now = time.Now
 	}
-	return &breaker{threshold: threshold, openFor: openFor, now: now}
+	return &breaker{threshold: threshold, openFor: openFor, now: now, hook: hook}
+}
+
+// notify reports a state transition to the hook, outside the mutex —
+// the hook is caller code (metrics, logs) and must not be able to
+// deadlock the breaker.
+func (b *breaker) notify(from, to breakerState) {
+	if b.hook != nil && from != to {
+		b.hook(from.String(), to.String())
+	}
 }
 
 // allow reports whether a request may proceed right now.
 func (b *breaker) allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from, to := b.state, b.state
+	var ok bool
 	switch b.state {
 	case breakerClosed:
-		return true
+		ok = true
 	case breakerOpen:
 		if b.now().Sub(b.openedAt) >= b.openFor {
 			b.state = breakerHalfOpen
+			to = breakerHalfOpen
 			b.probing = true
-			return true
+			ok = true
 		}
-		return false
 	case breakerHalfOpen:
 		if !b.probing {
 			b.probing = true
-			return true
+			ok = true
 		}
-		return false
+	default:
+		ok = true
 	}
-	return true
+	b.mu.Unlock()
+	b.notify(from, to)
+	return ok
 }
 
 // record feeds one request outcome into the state machine. Outcomes
@@ -87,31 +101,34 @@ func (b *breaker) allow() bool {
 // the caller does the classification.
 func (b *breaker) record(success bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	if success {
 		b.state = breakerClosed
 		b.fails = 0
 		b.probing = false
-		return
-	}
-	switch b.state {
-	case breakerHalfOpen:
-		// The probe failed: re-open and restart the cool-down clock.
-		b.state = breakerOpen
-		b.openedAt = b.now()
-		b.probing = false
-		b.opens++
-	case breakerClosed:
-		b.fails++
-		if b.fails >= b.threshold {
+	} else {
+		switch b.state {
+		case breakerHalfOpen:
+			// The probe failed: re-open and restart the cool-down clock.
 			b.state = breakerOpen
 			b.openedAt = b.now()
+			b.probing = false
 			b.opens++
+		case breakerClosed:
+			b.fails++
+			if b.fails >= b.threshold {
+				b.state = breakerOpen
+				b.openedAt = b.now()
+				b.opens++
+			}
+		case breakerOpen:
+			// A request admitted before the trip finished late; the clock is
+			// already running, nothing to update.
 		}
-	case breakerOpen:
-		// A request admitted before the trip finished late; the clock is
-		// already running, nothing to update.
 	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
 }
 
 // snapshot returns the current state name and trip count (diagnostics).

@@ -74,6 +74,7 @@ type Client struct {
 	brThreshold int
 	brOpenFor   time.Duration
 	brNow       func() time.Time
+	brHook      func(from, to string)
 
 	jmu  sync.Mutex
 	jrng *rand.Rand // jitter source; guarded by jmu
@@ -122,6 +123,17 @@ func WithBreakerClock(now func() time.Time) Option {
 	return func(c *Client) { c.brNow = now }
 }
 
+// WithBreakerHook observes circuit-breaker state transitions: the hook
+// runs (outside the breaker's lock) on every change, with the state
+// names BreakerState reports ("closed", "open", "half-open"). This is
+// how fleet failover becomes observable — a breaker opening against a
+// peer is the "replica down" signal arcsload and /metrics count. No
+// effect without WithBreaker. The hook must be fast and must not call
+// back into the client.
+func WithBreakerHook(hook func(from, to string)) Option {
+	return func(c *Client) { c.brHook = hook }
+}
+
 // WithBinary makes the client negotiate the compact binary wire codec
 // (application/x-arcs-bin) for lookups and reports. The client degrades
 // automatically against an old JSON-only arcsd: binary responses are
@@ -144,7 +156,7 @@ func New(base string, opts ...Option) *Client {
 		o(c)
 	}
 	if c.brThreshold > 0 {
-		c.br = newBreaker(c.brThreshold, c.brOpenFor, c.brNow)
+		c.br = newBreaker(c.brThreshold, c.brOpenFor, c.brNow, c.brHook)
 	}
 	return c
 }
@@ -168,6 +180,11 @@ type LookupOpts struct {
 	// Search allows the server to run a search on a total miss (requires
 	// Arch and a server-side budget).
 	Search bool
+	// Forwarded marks the request as already routed once by a fleet
+	// member (codec.ForwardedHeader): the receiving server answers from
+	// its own store and never re-forwards, so a stale ring cannot bounce
+	// a lookup around the fleet.
+	Forwarded bool
 }
 
 // Result is a served configuration.
@@ -204,7 +221,7 @@ func (c *Client) Lookup(ctx context.Context, k arcs.HistoryKey, opts LookupOpts)
 		CapDistance float64           `json:"cap_distance"`
 	}
 	var res Result
-	spec := reqSpec{method: http.MethodGet, path: "/v1/config?" + q.Encode(), out: &out}
+	spec := reqSpec{method: http.MethodGet, path: "/v1/config?" + q.Encode(), out: &out, forwarded: opts.Forwarded}
 	if c.binary {
 		spec.acceptBinary = true
 		spec.onFrame = func(kind byte, payload []byte) error {
@@ -371,6 +388,7 @@ type reqSpec struct {
 	body         []byte
 	binaryBody   bool // Content-Type: application/x-arcs-bin (else JSON)
 	acceptBinary bool // send Accept: application/x-arcs-bin
+	forwarded    bool // send codec.ForwardedHeader (intra-fleet routing)
 	out          any  // JSON decode target; nil discards the body
 	onFrame      func(kind byte, payload []byte) error
 }
@@ -401,7 +419,12 @@ var (
 // doJSON runs doSpec with a pooled-buffer JSON body, decoding a JSON
 // response into out (when non-nil).
 func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
-	spec := reqSpec{method: method, path: path, out: out}
+	return c.doJSONSpec(ctx, reqSpec{method: method, path: path, out: out}, body)
+}
+
+// doJSONSpec is doJSON for a caller-built spec (extra headers, custom
+// decode): body (when non-nil) is JSON-encoded into a pooled buffer.
+func (c *Client) doJSONSpec(ctx context.Context, spec reqSpec, body any) error {
 	if body != nil {
 		buf := jsonReqPool.Get().(*bytes.Buffer)
 		defer jsonReqPool.Put(buf)
@@ -471,6 +494,9 @@ func (c *Client) attempt(ctx context.Context, spec reqSpec) (decodedKind, error)
 		}
 		if spec.acceptBinary {
 			req.Header.Set("Accept", codec.ContentType)
+		}
+		if spec.forwarded {
+			req.Header.Set(codec.ForwardedHeader, "1")
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {

@@ -1,4 +1,4 @@
-package storeclient
+package storeclient_test
 
 import (
 	"context"
@@ -13,6 +13,7 @@ import (
 	"arcs/internal/core/historytest"
 	"arcs/internal/server"
 	"arcs/internal/store"
+	. "arcs/internal/storeclient"
 )
 
 // newServed spins a real store + server and returns a client for it: the

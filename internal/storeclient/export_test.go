@@ -1,0 +1,13 @@
+package storeclient
+
+// Test-only accessors for the external test package (client_test.go and
+// wire_test.go live in storeclient_test so they can import
+// internal/server, which now imports this package).
+
+// BinaryDowngraded reports whether the binary-body downgrade latch
+// tripped.
+func (c *Client) BinaryDowngraded() bool { return c.binDown.Load() }
+
+// BatchDowngraded reports whether the /v1/reports batch downgrade latch
+// tripped.
+func (c *Client) BatchDowngraded() bool { return c.batchDown.Load() }

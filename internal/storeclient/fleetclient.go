@@ -1,0 +1,218 @@
+package storeclient
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/fleet"
+)
+
+// Fleet is a fleet-aware client: it carries the same consistent-hash
+// ring the servers use, routes every request to the key's owners
+// (primary first), and fails over to the remaining replicas — then to
+// the rest of the fleet — when an owner is down. Reads can additionally
+// be merged across all owners by version (LookupMerged), which is how a
+// reader gets the freshest acknowledged answer while replication or
+// anti-entropy is still in flight.
+//
+// Routing client-side is an optimisation, not a correctness
+// requirement: every fleet member forwards what it does not own, so a
+// request landing anywhere still finds its key. The ring here just
+// makes the common case one hop.
+type Fleet struct {
+	ring     *fleet.Ring
+	replicas int
+	nodes    []string // sorted membership (ring order)
+	clients  map[string]*Client
+
+	failovers atomic.Uint64
+}
+
+// NewFleet builds a fleet client over the full membership (the same
+// node list every arcsd was started with). replicas must match the
+// servers' -replicas or routing will miss owners; opts apply to every
+// per-node client.
+func NewFleet(nodes []string, replicas int, opts ...Option) (*Fleet, error) {
+	ring, err := fleet.NewRing(nodes, 0)
+	if err != nil {
+		return nil, err
+	}
+	if replicas <= 0 {
+		replicas = fleet.DefaultReplicas
+	}
+	if replicas > len(ring.Nodes()) {
+		replicas = len(ring.Nodes())
+	}
+	f := &Fleet{ring: ring, replicas: replicas, nodes: ring.Nodes(), clients: map[string]*Client{}}
+	for _, n := range f.nodes {
+		f.clients[n] = New(n, opts...)
+	}
+	return f, nil
+}
+
+// Nodes returns the sorted membership.
+func (f *Fleet) Nodes() []string { return f.nodes }
+
+// Client returns the per-node client (nil for a non-member), so callers
+// can address one specific node — health checks, dump comparisons.
+func (f *Fleet) Client(node string) *Client { return f.clients[node] }
+
+// Owners returns the owner list (primary first) for a key.
+func (f *Fleet) Owners(k arcs.HistoryKey) []string {
+	return f.ring.Owners(k.String(), f.replicas, nil)
+}
+
+// Failovers reports how many times a request had to skip past a failed
+// node to a later candidate.
+func (f *Fleet) Failovers() uint64 { return f.failovers.Load() }
+
+// route appends the key's owners followed by the remaining members —
+// the full failover order for one key.
+func (f *Fleet) route(k arcs.HistoryKey) []string {
+	order := f.ring.Owners(k.String(), f.replicas, make([]string, 0, len(f.nodes)))
+	for _, n := range f.nodes {
+		owned := false
+		for _, o := range order[:f.replicas] {
+			if o == n {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			order = append(order, n)
+		}
+	}
+	return order
+}
+
+// Lookup fetches the best configuration for a key from the first
+// responsive node in routing order. A served miss (ErrNotFound) is
+// remembered but does not stop the failover — a replica that has the
+// entry outranks a primary that answered "nothing yet" (fresh restart,
+// replication in flight). Transport failures count as failovers.
+func (f *Fleet) Lookup(ctx context.Context, k arcs.HistoryKey, opts LookupOpts) (Result, error) {
+	var lastErr error
+	notFound := false
+	for i, node := range f.route(k) {
+		res, err := f.clients[node].Lookup(ctx, k, opts)
+		if err == nil {
+			return res, nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return Result{}, err
+		}
+		if errors.Is(err, ErrNotFound) {
+			notFound = true
+		} else {
+			lastErr = err
+			if i+1 < len(f.nodes) {
+				f.failovers.Add(1)
+			}
+		}
+	}
+	if notFound || lastErr == nil {
+		return Result{}, ErrNotFound
+	}
+	return Result{}, lastErr
+}
+
+// LookupMerged queries every owner and returns the winning answer under
+// the fleet's reconciliation order (version first, then better perf) —
+// the read-repair view: whatever any owner has acknowledged, the caller
+// sees, even before anti-entropy equalises the replicas. Returns
+// ErrNotFound only when no owner has anything; a transport error is
+// returned only when every owner failed.
+func (f *Fleet) LookupMerged(ctx context.Context, k arcs.HistoryKey, opts LookupOpts) (Result, error) {
+	var best Result
+	found := false
+	var lastErr error
+	for _, node := range f.Owners(k) {
+		res, err := f.clients[node].Lookup(ctx, k, opts)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return Result{}, err
+			}
+			if !errors.Is(err, ErrNotFound) {
+				lastErr = err
+				f.failovers.Add(1)
+			}
+			continue
+		}
+		//arcslint:ignore floatcmp exact tie-break mirrors store.Supersedes
+		if !found || res.Version > best.Version || (res.Version == best.Version && res.Perf < best.Perf) {
+			best, found = res, true
+		}
+	}
+	if found {
+		return best, nil
+	}
+	if lastErr != nil {
+		return Result{}, lastErr
+	}
+	return Result{}, ErrNotFound
+}
+
+// Report ingests one result, trying the key's owners first (the owner
+// authors the replicated version and fans out to its co-owners), then
+// any other member (which forwards or accepts-and-hints). An ack from
+// any node means the fleet has taken responsibility for the record.
+func (f *Fleet) Report(ctx context.Context, k arcs.HistoryKey, cfg arcs.ConfigValues, perf float64) error {
+	var lastErr error
+	for i, node := range f.route(k) {
+		err := f.clients[node].Report(ctx, k, cfg, perf)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		lastErr = err
+		if i+1 < len(f.nodes) {
+			f.failovers.Add(1)
+		}
+	}
+	return lastErr
+}
+
+// ReportBatch splits a batch by primary owner (so each sub-batch lands
+// where it will be versioned, one hop) and delivers each group with the
+// same failover order as Report.
+func (f *Fleet) ReportBatch(ctx context.Context, reports []Report) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	groups := make(map[string][]Report)
+	for _, r := range reports {
+		p := f.ring.Owners(r.Key.String(), 1, nil)[0]
+		groups[p] = append(groups[p], r)
+	}
+	var firstErr error
+	for _, primary := range f.nodes { // deterministic group order
+		batch := groups[primary]
+		if len(batch) == 0 {
+			continue
+		}
+		var lastErr error
+		sent := false
+		for i, node := range f.route(batch[0].Key) {
+			err := f.clients[node].ReportBatch(ctx, batch)
+			if err == nil {
+				sent = true
+				break
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			lastErr = err
+			if i+1 < len(f.nodes) {
+				f.failovers.Add(1)
+			}
+		}
+		if !sent && firstErr == nil {
+			firstErr = lastErr
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,100 @@
+package storeclient
+
+// Intra-fleet peer RPCs. These three methods make *Client satisfy
+// fleet.Peer (structurally — fleet defines the interface, this package
+// implements it; the dependency runs storeclient→fleet, never back).
+// Fleet members run the same build, so unlike the public report path
+// there is no permanent downgrade latch: a binary body rejection falls
+// back to JSON per call, which only ever matters mid-rolling-upgrade.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"arcs/internal/codec"
+	"arcs/internal/store"
+)
+
+// MergeEntries replicates already-versioned entries to the peer (POST
+// /v1/merge): the receiver applies them under store.Supersedes and
+// never re-replicates. The binary body is a concatenation of KindEntry
+// frames — the WAL's own record format, decoded with the same loop.
+func (c *Client) MergeEntries(ctx context.Context, entries []store.Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if c.binary && !c.binDown.Load() {
+		eb := encPool.Get().(*encBuf)
+		eb.buf = eb.buf[:0]
+		for i := range entries {
+			ce := codec.Entry(entries[i])
+			eb.buf = eb.enc.AppendEntry(eb.buf, &ce)
+		}
+		_, err := c.doSpec(ctx, reqSpec{
+			method: http.MethodPost, path: "/v1/merge",
+			body: eb.buf, binaryBody: true, acceptBinary: true, forwarded: true, onFrame: expectAck,
+		})
+		encPool.Put(eb)
+		if !binaryRejected(err) {
+			return err
+		}
+	}
+	spec := reqSpec{method: http.MethodPost, path: "/v1/merge", forwarded: true}
+	return c.doJSONSpec(ctx, spec, entries)
+}
+
+// ForwardReports re-routes reports to a peer that owns them: the normal
+// /v1/reports ingest path plus the forwarded marker, so the receiving
+// owner authors versions via its own Save and never forwards again.
+func (c *Client) ForwardReports(ctx context.Context, reports []codec.Report) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	if c.binary && !c.binDown.Load() {
+		eb := encPool.Get().(*encBuf)
+		eb.buf = eb.enc.AppendReportBatch(eb.buf[:0], reports)
+		_, err := c.doSpec(ctx, reqSpec{
+			method: http.MethodPost, path: "/v1/reports",
+			body: eb.buf, binaryBody: true, acceptBinary: true, forwarded: true, onFrame: expectAck,
+		})
+		encPool.Put(eb)
+		if !binaryRejected(err) {
+			return err
+		}
+	}
+	spec := reqSpec{method: http.MethodPost, path: "/v1/reports", forwarded: true}
+	return c.doJSONSpec(ctx, spec, reports)
+}
+
+// ShardDigest fetches the peer's anti-entropy summary of one store
+// shard (GET /v1/digest?shard=N).
+func (c *Client) ShardDigest(ctx context.Context, shard int) (codec.Digest, error) {
+	var res codec.Digest
+	spec := reqSpec{
+		method: http.MethodGet,
+		path:   "/v1/digest?shard=" + strconv.Itoa(shard),
+		out:    &res,
+	}
+	if c.binary {
+		spec.acceptBinary = true
+		spec.onFrame = func(kind byte, payload []byte) error {
+			if kind != codec.KindDigest {
+				return fmt.Errorf("storeclient: unexpected frame kind %#x for digest", kind)
+			}
+			dec := decPool.Get().(*codec.Decoder)
+			defer decPool.Put(dec)
+			d, err := dec.DecodeDigest(payload)
+			if err != nil {
+				return fmt.Errorf("storeclient: decode digest: %w", err)
+			}
+			res = d
+			return nil
+		}
+	}
+	if _, err := c.doSpec(ctx, spec); err != nil {
+		return codec.Digest{}, err
+	}
+	return res, nil
+}

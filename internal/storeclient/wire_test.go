@@ -1,7 +1,7 @@
 // Wire-negotiation tests from the client's side: a binary client
 // against a binary server, a binary client against a JSON-only
 // (pre-codec) server, and the batched report buffer.
-package storeclient
+package storeclient_test
 
 import (
 	"context"
@@ -17,6 +17,7 @@ import (
 	arcs "arcs/internal/core"
 	"arcs/internal/server"
 	"arcs/internal/store"
+	. "arcs/internal/storeclient"
 )
 
 // newServedCounting is newServed plus a count of binary-typed responses,
@@ -72,7 +73,7 @@ func TestBinaryClientBinaryServer(t *testing.T) {
 	if n := binResponses.Load(); n != 3 {
 		t.Fatalf("binary responses = %d, want 3", n)
 	}
-	if c.binDown.Load() || c.batchDown.Load() {
+	if c.BinaryDowngraded() || c.BatchDowngraded() {
 		t.Fatal("downgrade latches tripped against a binary-capable server")
 	}
 }
@@ -127,7 +128,7 @@ func TestBinaryClientJSONOnlyServer(t *testing.T) {
 	if err := c.Report(ctx, testKey("r"), arcs.ConfigValues{Threads: 4}, 2); err != nil {
 		t.Fatalf("report against old server: %v", err)
 	}
-	if !c.binDown.Load() {
+	if !c.BinaryDowngraded() {
 		t.Fatal("binary downgrade not latched after a 400")
 	}
 	if n := reportCalls.Load(); n != 2 {
@@ -147,7 +148,7 @@ func TestBinaryClientJSONOnlyServer(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("batch against old server: %v", err)
 	}
-	if !c.batchDown.Load() {
+	if !c.BatchDowngraded() {
 		t.Fatal("batch downgrade not latched after a 404")
 	}
 	if saved.Load() != 4 {
