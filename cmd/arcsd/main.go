@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	arcs "arcs/internal/core"
 	"arcs/internal/fleet"
 	"arcs/internal/server"
 	"arcs/internal/store"
@@ -57,6 +58,8 @@ func main() {
 		"max concurrent server-side searches before requests are shed with 429 (negative = unbounded)")
 	flag.DurationVar(&cfg.searchTimeout, "search-timeout", server.DefaultSearchTimeout,
 		"deadline per server-side search (negative disables)")
+	flag.StringVar(&cfg.searchAlgo, "search-algo", "auto",
+		"algorithm for server-side searches: auto, nelder-mead, exhaustive, pro, random, coordinate-descent or surrogate (surrogate seeds from neighbouring stored contexts)")
 	flag.StringVar(&cfg.peers, "peers", "",
 		"comma-separated fleet membership (base URLs, including this node); empty = standalone")
 	flag.StringVar(&cfg.advertise, "advertise", "",
@@ -88,6 +91,7 @@ type daemonCfg struct {
 	searchParallelism int
 	maxSearches       int
 	searchTimeout     time.Duration
+	searchAlgo        string
 	peers             string
 	advertise         string
 	replicas          int
@@ -153,6 +157,13 @@ func serve(ctx context.Context, cfg daemonCfg, logger *log.Logger, ready func(ad
 	defer st.Close()
 	logger.Printf("store %s: %d entries", cfg.storeDir, st.Len())
 
+	algo := arcs.AlgoAuto
+	if cfg.searchAlgo != "" {
+		if algo, err = arcs.ParseSearchAlgo(cfg.searchAlgo); err != nil {
+			return err
+		}
+	}
+
 	fl, peerClients, err := buildFleet(cfg, st)
 	if err != nil {
 		return err
@@ -168,6 +179,7 @@ func serve(ctx context.Context, cfg daemonCfg, logger *log.Logger, ready func(ad
 		SearchParallelism:     cfg.searchParallelism,
 		MaxConcurrentSearches: cfg.maxSearches,
 		SearchTimeout:         cfg.searchTimeout,
+		SearchAlgo:            algo,
 		Fleet:                 fl,
 		FleetPeers:            peerClients,
 	})

@@ -11,6 +11,12 @@
 // to FILE (ARCS's history file); -strategy replay loads them from FILE
 // instead of searching.
 //
+// -algo overrides the search algorithm for the online and offline
+// strategies; -strategy surrogate is shorthand for the online strategy
+// under the learned regression-forest search (-algo surrogate), which
+// with -server also seeds its model from neighbouring contexts served by
+// the daemon's /v1/neighbors scan.
+//
 // With -server URL, the history lives in an arcsd tuning service instead
 // of a local file: online runs warm-start from served configurations
 // (exact hits skip the search entirely; nearest-cap hits seed it) and
@@ -45,7 +51,8 @@ func main() {
 		workload = flag.String("workload", "B", "NPB class (B, C) or LULESH mesh (45, 60)")
 		archName = flag.String("arch", "crill", "architecture: crill or minotaur")
 		capW     = flag.Float64("cap", 0, "package power cap in watts (0 = TDP)")
-		strategy = flag.String("strategy", "online", "default, online, offline or replay")
+		strategy = flag.String("strategy", "online", "default, online, surrogate, offline or replay")
+		algoName = flag.String("algo", "auto", "search algorithm: auto, nelder-mead, exhaustive, pro, random, coordinate-descent or surrogate")
 		steps    = flag.Int("steps", 0, "override time steps (0 = benchmark default)")
 		seed     = flag.Int64("seed", 1, "search seed")
 		histPath = flag.String("history", "", "history file to save (offline) or load (replay)")
@@ -58,7 +65,7 @@ func main() {
 	flag.Parse()
 	if err := run(runCfg{
 		app: *appName, workload: *workload, arch: *archName, capW: *capW,
-		strategy: *strategy, steps: *steps, seed: *seed, histPath: *histPath,
+		strategy: *strategy, algo: *algoName, steps: *steps, seed: *seed, histPath: *histPath,
 		server: *server, profCSV: *profCSV, traceOut: *traceOut,
 		binary: *binary, batchN: *batchN,
 	}); err != nil {
@@ -69,12 +76,13 @@ func main() {
 
 // runCfg carries the parsed command line.
 type runCfg struct {
-	app, workload, arch, strategy, histPath, server, profCSV, traceOut string
-	capW                                                               float64
-	steps                                                              int
-	seed                                                               int64
-	binary                                                             bool
-	batchN                                                             int
+	app, workload, arch, strategy, algo string
+	histPath, server, profCSV, traceOut string
+	capW                                float64
+	steps                               int
+	seed                                int64
+	binary                              bool
+	batchN                              int
 }
 
 // runResult carries the measured outcome of one arcsrun invocation so
@@ -129,6 +137,19 @@ func doRun(cfg runCfg) (runResult, error) {
 	appName, workload, archName := cfg.app, cfg.workload, cfg.arch
 	capW, strategy, steps, seed, histPath := cfg.capW, cfg.strategy, cfg.steps, cfg.seed, cfg.histPath
 	var res runResult
+	algo := arcs.AlgoAuto
+	if cfg.algo != "" {
+		var err error
+		if algo, err = arcs.ParseSearchAlgo(cfg.algo); err != nil {
+			return res, err
+		}
+	}
+	// -strategy surrogate is shorthand for the online strategy driven by
+	// the learned model (plus transfer seeding when -server is set).
+	if strategy == "surrogate" {
+		strategy = "online"
+		algo = arcs.AlgoSurrogate
+	}
 	app, err := cli.BuildApp(appName, workload)
 	if err != nil {
 		return res, err
@@ -177,7 +198,7 @@ func doRun(cfg runCfg) (runResult, error) {
 	case "default":
 		res.tunedT, res.tunedE = res.baseT, res.baseE
 	case "online":
-		opts := arcs.Options{Strategy: arcs.StrategyOnline, Seed: seed}
+		opts := arcs.Options{Strategy: arcs.StrategyOnline, Algo: algo, Seed: seed}
 		if srvHist != nil {
 			// Warm-start from the service: exact hits skip the search,
 			// nearest-cap hits seed it, and Finish reports bests back.
@@ -191,7 +212,7 @@ func doRun(cfg runCfg) (runResult, error) {
 		}
 		// Unmeasured search execution.
 		_, _, _, err = tunedRun(arch, app.WithSteps(searchSteps(arch, app)), capW, arcs.Options{
-			Strategy: arcs.StrategyOfflineSearch, Seed: seed,
+			Strategy: arcs.StrategyOfflineSearch, Algo: algo, Seed: seed,
 			History: hist, Key: keyFn(app, arch, capW),
 		}, runOutputs{})
 		if err != nil {

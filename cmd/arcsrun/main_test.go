@@ -177,3 +177,56 @@ func TestRunServerOfflineReplay(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSurrogateStrategy: -strategy surrogate tunes under the learned
+// search, and with -server transfer-seeds from a neighbouring cap's
+// stored results instead of starting cold.
+func TestRunSurrogateStrategy(t *testing.T) {
+	// Bare surrogate run, no server: must tune and report evaluations.
+	res, err := doRun(runCfg{
+		app: "SP", workload: "B", arch: "crill", capW: 70,
+		strategy: "surrogate", steps: 12, seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := 0
+	for _, r := range res.reports {
+		evals += r.Evals
+	}
+	if evals == 0 {
+		t.Fatal("surrogate run performed no search evaluations")
+	}
+
+	// Transfer seeding: populate the store at cap 75, then tune cap 70.
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := httptest.NewServer(server.New(server.Config{Store: st}))
+	defer ts.Close()
+	warm := runCfg{
+		app: "SP", workload: "B", arch: "crill", capW: 75,
+		strategy: "online", steps: 12, seed: 1, server: ts.URL,
+	}
+	if _, err := doRun(warm); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() == 0 {
+		t.Fatal("seeding run saved nothing")
+	}
+	warm.capW = 70
+	warm.strategy = "surrogate"
+	if _, err := doRun(warm); err != nil {
+		t.Fatalf("surrogate with transfer: %v", err)
+	}
+
+	// An unknown -algo fails fast.
+	if _, err := doRun(runCfg{
+		app: "SP", workload: "B", arch: "crill",
+		strategy: "online", algo: "sideways", steps: 2,
+	}); err == nil {
+		t.Errorf("unknown -algo must fail")
+	}
+}

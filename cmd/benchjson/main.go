@@ -17,10 +17,14 @@
 //
 // Gated metrics are chosen with -metrics (comma-separated): "ns" gates
 // ns/op, "allocs" gates allocs/op, "extra" gates custom b.ReportMetric
-// units ending in "/s" (throughput: higher is better; other custom units
-// are informational only). A benchmark named in the baseline but missing
-// from the current run is itself a failure — a silently deleted
-// benchmark must not pass the gate.
+// units ending in "/s" (throughput: higher is better), "counts" gates
+// custom units ending in "/op" (probes/op, retries/op, ...: lower is
+// better); custom units matching neither suffix are informational only.
+// A benchmark named in the baseline but missing from the current run is
+// itself a failure — a silently deleted benchmark must not pass the
+// gate — and so is a benchmark present in the run but absent from the
+// baseline: a new hot path must land with its baseline entry or the
+// gate never covers it.
 package main
 
 import (
@@ -49,7 +53,7 @@ type Entry struct {
 func main() {
 	compareFile := flag.String("compare", "", "baseline JSON file; compare instead of emitting JSON, exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 10, "allowed regression percent per gated metric")
-	metrics := flag.String("metrics", "ns,allocs,extra", "comma-separated metrics to gate: ns, allocs, extra")
+	metrics := flag.String("metrics", "ns,allocs,extra", "comma-separated metrics to gate: ns, allocs, extra, counts")
 	flag.Parse()
 
 	results, err := load(bufio.NewReader(os.Stdin))
@@ -91,7 +95,7 @@ func main() {
 		len(baseline), *tolerance, *compareFile)
 }
 
-type gateSet struct{ ns, allocs, extra bool }
+type gateSet struct{ ns, allocs, extra, counts bool }
 
 func parseMetrics(s string) gateSet {
 	var g gateSet
@@ -103,9 +107,11 @@ func parseMetrics(s string) gateSet {
 			g.allocs = true
 		case "extra":
 			g.extra = true
+		case "counts":
+			g.counts = true
 		case "":
 		default:
-			fmt.Fprintf(os.Stderr, "benchjson: unknown metric %q (want ns, allocs, extra)\n", m)
+			fmt.Fprintf(os.Stderr, "benchjson: unknown metric %q (want ns, allocs, extra, counts)\n", m)
 			os.Exit(1)
 		}
 	}
@@ -137,14 +143,18 @@ func load(r *bufio.Reader) (map[string]Entry, error) {
 }
 
 // compare checks every baseline benchmark against the current run and
-// returns one message per violation, sorted by benchmark name.
+// returns one message per violation, sorted by benchmark name (current-
+// run benchmarks absent from the baseline are reported last).
 //
-// Lower-is-better metrics (ns/op, allocs/op) fail when
-// cur > base*(1+tol/100); a zero-alloc baseline therefore tolerates no
-// allocations at all — that is the point, so produce baselines with
-// -benchmem when gating allocs. Higher-is-better "/s" extras fail when
-// cur < base*(1-tol/100). A zero ns/op baseline and extras absent from
-// the baseline are not gated.
+// Lower-is-better metrics (ns/op, allocs/op, and with the counts gate
+// custom "/op" extras like probes/op) fail when cur > base*(1+tol/100);
+// a zero-alloc baseline therefore tolerates no allocations at all —
+// that is the point, so produce baselines with -benchmem when gating
+// allocs. Higher-is-better "/s" extras fail when cur < base*(1-tol/100).
+// A zero ns/op baseline and extras absent from the baseline are not
+// gated. Coverage must match in both directions: a benchmark in the
+// baseline but not the run, or in the run but not the baseline, is a
+// failure regardless of the gated metric set.
 func compare(baseline, cur map[string]Entry, tol float64, g gateSet) []string {
 	var failures []string
 	names := make([]string, 0, len(baseline))
@@ -167,23 +177,43 @@ func compare(baseline, cur map[string]Entry, tol float64, g gateSet) []string {
 			failures = append(failures, fmt.Sprintf("%s: allocs/op %g vs baseline %g",
 				name, got.AllocsPerOp, base.AllocsPerOp))
 		}
-		if g.extra {
+		if g.extra || g.counts {
 			units := make([]string, 0, len(base.Extra))
 			for unit := range base.Extra {
-				if strings.HasSuffix(unit, "/s") {
-					units = append(units, unit)
-				}
+				units = append(units, unit)
 			}
 			sort.Strings(units)
 			for _, unit := range units {
 				bv := base.Extra[unit]
 				gv := got.Extra[unit]
-				if bv > 0 && gv < bv*(1-tol/100) {
-					failures = append(failures, fmt.Sprintf("%s: %s %.4g vs baseline %.4g (%.1f%%)",
-						name, unit, gv, bv, pct(gv, bv)))
+				switch {
+				case g.extra && strings.HasSuffix(unit, "/s"):
+					// Throughput: higher is better.
+					if bv > 0 && gv < bv*(1-tol/100) {
+						failures = append(failures, fmt.Sprintf("%s: %s %.4g vs baseline %.4g (%.1f%%)",
+							name, unit, gv, bv, pct(gv, bv)))
+					}
+				case g.counts && strings.HasSuffix(unit, "/op"):
+					// Per-op counts (probes/op, retries/op): lower is better.
+					if bv > 0 && gv > bv*(1+tol/100) {
+						failures = append(failures, fmt.Sprintf("%s: %s %.4g vs baseline %.4g (+%.1f%%)",
+							name, unit, gv, bv, pct(gv, bv)))
+					}
 				}
 			}
 		}
+	}
+	// Uncovered benchmarks: every benchmark the run produced must have a
+	// baseline entry, or a new hot path ships permanently ungated.
+	uncovered := make([]string, 0)
+	for name := range cur {
+		if _, ok := baseline[name]; !ok {
+			uncovered = append(uncovered, name)
+		}
+	}
+	sort.Strings(uncovered)
+	for _, name := range uncovered {
+		failures = append(failures, fmt.Sprintf("%s: present in this run but missing from the baseline (add it to the baseline file)", name))
 	}
 	return failures
 }

@@ -88,6 +88,22 @@ func TestCompareGate(t *testing.T) {
 		}
 	})
 
+	t.Run("run benchmark missing from baseline fails", func(t *testing.T) {
+		cur := map[string]Entry{
+			"BenchmarkEncode": baseline["BenchmarkEncode"],
+			"BenchmarkSearch": baseline["BenchmarkSearch"],
+			"BenchmarkNew":    {NsPerOp: 42},
+		}
+		f := compare(baseline, cur, 10, all)
+		if len(f) != 1 || !strings.Contains(f[0], "BenchmarkNew: present in this run but missing from the baseline") {
+			t.Fatalf("failures = %v", f)
+		}
+		// Coverage failures do not depend on which metrics are gated.
+		if f := compare(baseline, cur, 10, gateSet{}); len(f) != 1 {
+			t.Fatalf("no-metric gate missed uncovered benchmark: %v", f)
+		}
+	})
+
 	t.Run("allocs-only gate ignores ns noise", func(t *testing.T) {
 		cur := map[string]Entry{
 			"BenchmarkEncode": {NsPerOp: 900, AllocsPerOp: 0}, // 9x slower, same allocs
@@ -95,6 +111,66 @@ func TestCompareGate(t *testing.T) {
 		}
 		if f := compare(baseline, cur, 10, gateSet{allocs: true}); len(f) != 0 {
 			t.Fatalf("allocs-only gate tripped on ns/extra noise: %v", f)
+		}
+	})
+}
+
+// TestCompareCountsGate: "/op" extras (probes/op) are lower-is-better
+// and gated only when the counts metric class is selected.
+func TestCompareCountsGate(t *testing.T) {
+	baseline := map[string]Entry{
+		"BenchmarkSurrogateTransfer": {NsPerOp: 1000, Extra: map[string]float64{"probes/op": 13, "evals/s": 5000}},
+	}
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		cur := map[string]Entry{
+			"BenchmarkSurrogateTransfer": {NsPerOp: 1000, Extra: map[string]float64{"probes/op": 14, "evals/s": 5000}},
+		}
+		if f := compare(baseline, cur, 10, gateSet{counts: true}); len(f) != 0 {
+			t.Fatalf("unexpected failures: %v", f)
+		}
+	})
+
+	t.Run("count regression fails", func(t *testing.T) {
+		cur := map[string]Entry{
+			"BenchmarkSurrogateTransfer": {NsPerOp: 1000, Extra: map[string]float64{"probes/op": 26, "evals/s": 5000}},
+		}
+		f := compare(baseline, cur, 10, gateSet{counts: true})
+		if len(f) != 1 || !strings.Contains(f[0], "probes/op 26") {
+			t.Fatalf("failures = %v", f)
+		}
+	})
+
+	t.Run("count vanishing fails", func(t *testing.T) {
+		// A dropped ReportMetric call reads as 0 > nothing — but a zero
+		// current value against a positive baseline means the metric
+		// disappeared, which the lower-is-better rule alone would pass.
+		// It passes here by design: fewer probes is the goal; only growth
+		// is a regression.
+		cur := map[string]Entry{
+			"BenchmarkSurrogateTransfer": {NsPerOp: 1000, Extra: map[string]float64{"evals/s": 5000}},
+		}
+		if f := compare(baseline, cur, 10, gateSet{counts: true}); len(f) != 0 {
+			t.Fatalf("unexpected failures: %v", f)
+		}
+	})
+
+	t.Run("counts not gated without the class", func(t *testing.T) {
+		cur := map[string]Entry{
+			"BenchmarkSurrogateTransfer": {NsPerOp: 1000, Extra: map[string]float64{"probes/op": 500, "evals/s": 5000}},
+		}
+		if f := compare(baseline, cur, 10, gateSet{ns: true, allocs: true, extra: true}); len(f) != 0 {
+			t.Fatalf("probes/op gated without counts class: %v", f)
+		}
+	})
+
+	t.Run("throughput still gated alongside counts", func(t *testing.T) {
+		cur := map[string]Entry{
+			"BenchmarkSurrogateTransfer": {NsPerOp: 1000, Extra: map[string]float64{"probes/op": 13, "evals/s": 100}},
+		}
+		f := compare(baseline, cur, 10, gateSet{extra: true, counts: true})
+		if len(f) != 1 || !strings.Contains(f[0], "evals/s") {
+			t.Fatalf("failures = %v", f)
 		}
 	})
 }

@@ -68,6 +68,50 @@ type FallbackHistory interface {
 	LoadNearest(k HistoryKey) (cfg ConfigValues, dist float64, ok bool)
 }
 
+// Neighbor is one entry from a neighbouring tuned context, returned by
+// NeighborHistory.LoadNeighbors in ascending-distance order.
+type Neighbor struct {
+	Key  HistoryKey   `json:"key"`
+	Cfg  ConfigValues `json:"config"`
+	Perf float64      `json:"perf"`
+	Dist float64      `json:"dist"`
+}
+
+// neighborWorkloadPenalty separates the two neighbour classes: any
+// same-workload entry (cap distance in watts) ranks ahead of any
+// cross-workload entry, which is still usable — the paper observes the
+// optimum shifts with workload size but stays in the same basin.
+const neighborWorkloadPenalty = 1e3
+
+// NeighborDistance scores how close a stored context ek is to the query
+// context k for transfer seeding. Only entries for the same application
+// and region qualify; the exact key itself is excluded (an exact hit is a
+// replay, not a transfer). Smaller is closer.
+func NeighborDistance(k, ek HistoryKey) (float64, bool) {
+	if ek.App != k.App || ek.Region != k.Region {
+		return 0, false
+	}
+	d := math.Abs(ek.CapW - k.CapW)
+	if ek.Workload != k.Workload {
+		d += neighborWorkloadPenalty
+	} else if d == 0 { //arcslint:ignore floatcmp exact-key exclusion on identically stored caps
+		return 0, false // the exact context: not a neighbour
+	}
+	return d, true
+}
+
+// NeighborHistory is an optional History extension that enumerates the
+// contexts nearest to a query key: same app and region, ranked by cap
+// distance with cross-workload entries after all same-workload ones.
+// Surrogate search uses the result to seed its model and start simplex
+// in a new context (§II: optima drift smoothly with cap and workload).
+type NeighborHistory interface {
+	History
+	// LoadNeighbors returns up to max neighbouring entries in ascending
+	// NeighborDistance order (ties: lower cap, then key string).
+	LoadNeighbors(k HistoryKey, max int) []Neighbor
+}
+
 // historyEntry is the serialised record.
 type historyEntry struct {
 	Key  HistoryKey   `json:"key"`
@@ -124,6 +168,46 @@ func (h *MemHistory) LoadNearest(k HistoryKey) (ConfigValues, float64, bool) {
 		return ConfigValues{}, 0, false
 	}
 	return best.Cfg, bestDist, true
+}
+
+// LoadNeighbors implements NeighborHistory with a linear scan and a
+// deterministic sort: distance, then lower cap, then key string.
+func (h *MemHistory) LoadNeighbors(k HistoryKey, max int) []Neighbor {
+	if max <= 0 {
+		return nil
+	}
+	var out []Neighbor
+	for _, e := range h.entries {
+		if d, ok := NeighborDistance(k, e.Key); ok {
+			//arcslint:ignore determinism SortNeighbors totally orders the slice below
+			out = append(out, Neighbor{Key: e.Key, Cfg: e.Cfg, Perf: e.Perf, Dist: d})
+		}
+	}
+	SortNeighbors(out)
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// SortNeighbors orders neighbours by ascending distance, breaking ties
+// toward the lower cap and then the canonical key string, so every
+// NeighborHistory implementation ranks identically.
+func SortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		switch {
+		case ns[i].Dist < ns[j].Dist:
+			return true
+		case ns[i].Dist > ns[j].Dist:
+			return false
+		case ns[i].Key.CapW < ns[j].Key.CapW:
+			return true
+		case ns[i].Key.CapW > ns[j].Key.CapW:
+			return false
+		default:
+			return ns[i].Key.String() < ns[j].Key.String()
+		}
+	})
 }
 
 // Len implements History.
@@ -199,4 +283,7 @@ func LoadHistoryFile(path string) (*MemHistory, error) {
 	return h, nil
 }
 
-var _ FallbackHistory = (*MemHistory)(nil)
+var (
+	_ FallbackHistory = (*MemHistory)(nil)
+	_ NeighborHistory = (*MemHistory)(nil)
+)

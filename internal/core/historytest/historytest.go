@@ -114,4 +114,131 @@ func Run(t *testing.T, newHistory Factory) {
 			t.Errorf("Len = %d, want 3", h.Len())
 		}
 	})
+
+	if _, ok := newHistory(t).(arcs.FallbackHistory); ok {
+		RunFallback(t, func(t *testing.T) arcs.FallbackHistory {
+			return newHistory(t).(arcs.FallbackHistory)
+		})
+	}
+	if _, ok := newHistory(t).(arcs.NeighborHistory); ok {
+		RunNeighbors(t, func(t *testing.T) arcs.NeighborHistory {
+			return newHistory(t).(arcs.NeighborHistory)
+		})
+	}
+}
+
+// RunFallback exercises the FallbackHistory contract: exact hits at zero
+// distance, nearest-cap answers on a miss, and the deterministic
+// lower-cap preference on a distance tie. Run invokes it automatically
+// when the factory's History implements the interface.
+func RunFallback(t *testing.T, newHistory func(t *testing.T) arcs.FallbackHistory) {
+	cfg60 := arcs.ConfigValues{Threads: 8, Schedule: ompt.ScheduleDynamic, Chunk: 4}
+	cfg80 := arcs.ConfigValues{Threads: 16, Schedule: ompt.ScheduleGuided, Chunk: 8}
+	key := func(cap float64) arcs.HistoryKey {
+		return arcs.HistoryKey{App: "SP", Workload: "B", CapW: cap, Region: "x_solve"}
+	}
+
+	t.Run("FallbackExactHit", func(t *testing.T) {
+		h := newHistory(t)
+		h.Save(key(60), cfg60, 1.0)
+		cfg, dist, ok := h.LoadNearest(key(60))
+		if !ok || cfg != cfg60 || dist != 0 {
+			t.Errorf("LoadNearest(exact) = %v, %g, %v; want %v, 0, true", cfg, dist, ok, cfg60)
+		}
+	})
+
+	t.Run("FallbackNearestCap", func(t *testing.T) {
+		h := newHistory(t)
+		h.Save(key(60), cfg60, 1.0)
+		h.Save(key(80), cfg80, 1.0)
+		cfg, dist, ok := h.LoadNearest(key(75))
+		if !ok || cfg != cfg80 || dist != 5 {
+			t.Errorf("LoadNearest(75) = %v, %g, %v; want %v, 5, true", cfg, dist, ok, cfg80)
+		}
+	})
+
+	t.Run("FallbackTiePrefersLowerCap", func(t *testing.T) {
+		h := newHistory(t)
+		h.Save(key(60), cfg60, 1.0)
+		h.Save(key(80), cfg80, 1.0)
+		// 70 W is exactly 10 W from both stored caps: the lower cap must
+		// win, deterministically (a lower-cap config is the safe choice
+		// under a cap between the two).
+		cfg, dist, ok := h.LoadNearest(key(70))
+		if !ok || cfg != cfg60 || dist != 10 {
+			t.Errorf("LoadNearest(70) = %v, %g, %v; want lower-cap %v, 10, true", cfg, dist, ok, cfg60)
+		}
+	})
+
+	t.Run("FallbackContextMiss", func(t *testing.T) {
+		h := newHistory(t)
+		h.Save(key(60), cfg60, 1.0)
+		miss := arcs.HistoryKey{App: "BT", Workload: "B", CapW: 60, Region: "x_solve"}
+		if _, _, ok := h.LoadNearest(miss); ok {
+			t.Error("LoadNearest must not cross app boundaries")
+		}
+	})
+}
+
+// RunNeighbors exercises the NeighborHistory contract: ranked neighbour
+// scans excluding the exact key, same-workload entries ahead of
+// cross-workload ones, and the max bound. Run invokes it automatically
+// when the factory's History implements the interface.
+func RunNeighbors(t *testing.T, newHistory func(t *testing.T) arcs.NeighborHistory) {
+	cfgN := func(threads int) arcs.ConfigValues {
+		return arcs.ConfigValues{Threads: threads, Schedule: ompt.ScheduleDynamic, Chunk: 4}
+	}
+	key := func(workload string, cap float64) arcs.HistoryKey {
+		return arcs.HistoryKey{App: "SP", Workload: workload, CapW: cap, Region: "x_solve"}
+	}
+
+	t.Run("NeighborsRankedByDistance", func(t *testing.T) {
+		h := newHistory(t)
+		h.Save(key("B", 60), cfgN(6), 1.0)
+		h.Save(key("B", 70), cfgN(7), 1.0) // the query context itself
+		h.Save(key("B", 85), cfgN(8), 1.0)
+		h.Save(key("C", 70), cfgN(9), 1.0) // other workload: ranked last
+		h.Save(arcs.HistoryKey{App: "BT", Workload: "B", CapW: 70, Region: "x_solve"}, cfgN(2), 1.0)
+
+		ns := h.LoadNeighbors(key("B", 70), 10)
+		if len(ns) != 3 {
+			t.Fatalf("LoadNeighbors returned %d entries, want 3: %+v", len(ns), ns)
+		}
+		wantCaps := []float64{60, 85, 70}
+		wantWl := []string{"B", "B", "C"}
+		for i, n := range ns {
+			if n.Key.CapW != wantCaps[i] || n.Key.Workload != wantWl[i] {
+				t.Errorf("neighbor %d = %v, want workload %s cap %g", i, n.Key, wantWl[i], wantCaps[i])
+			}
+		}
+		if ns[0].Dist != 10 || ns[1].Dist != 15 {
+			t.Errorf("distances = %g, %g; want 10, 15", ns[0].Dist, ns[1].Dist)
+		}
+		if ns[2].Dist <= ns[1].Dist {
+			t.Errorf("cross-workload neighbor must rank after same-workload ones: %g <= %g",
+				ns[2].Dist, ns[1].Dist)
+		}
+	})
+
+	t.Run("NeighborsRespectMax", func(t *testing.T) {
+		h := newHistory(t)
+		for i := 0; i < 6; i++ {
+			h.Save(key("B", 50+float64(i)*5), cfgN(i+1), 1.0)
+		}
+		ns := h.LoadNeighbors(key("B", 72), 2)
+		if len(ns) != 2 {
+			t.Fatalf("LoadNeighbors(max=2) returned %d entries", len(ns))
+		}
+		if ns[0].Key.CapW != 70 || ns[1].Key.CapW != 75 {
+			t.Errorf("nearest caps = %g, %g; want 70, 75", ns[0].Key.CapW, ns[1].Key.CapW)
+		}
+	})
+
+	t.Run("NeighborsEmptyOnIsolatedContext", func(t *testing.T) {
+		h := newHistory(t)
+		h.Save(key("B", 70), cfgN(7), 1.0)
+		if ns := h.LoadNeighbors(key("B", 70), 10); len(ns) != 0 {
+			t.Errorf("a lone exact entry has no neighbours, got %+v", ns)
+		}
+	})
 }

@@ -47,6 +47,23 @@ type BatchSearchOptions struct {
 	Cache    *evalcache.Cache
 	App      string
 	Workload string
+
+	// Seeds, when non-nil, supplies transfer seeds for a region:
+	// configurations imported from neighbouring tuned contexts, best
+	// first, each carrying the perf its source context measured (0 when
+	// unknown or not comparable, e.g. a different workload size). Only
+	// AlgoSurrogate consumes them; configurations outside the search
+	// space are dropped.
+	Seeds func(region string) []TransferSeed
+}
+
+// TransferSeed is one configuration imported from a neighbouring tuned
+// context, with the objective value that context measured for it. A
+// positive Perf lets the surrogate strategy verify the transfer in a
+// single probe and stop; zero means "good guess, no promise".
+type TransferSeed struct {
+	Cfg  ConfigValues
+	Perf float64
 }
 
 // BatchSearchResult is one region's search outcome.
@@ -153,7 +170,21 @@ type searchEnv struct {
 // searchRegion runs one region's batched session to convergence.
 func searchRegion(ctx context.Context, rm RegionModel, env searchEnv) (BatchSearchResult, error) {
 	seed := env.opts.Seed ^ hashName(rm.Name)
-	strat := newStrategy(env.hs, env.algo, env.space.DefaultPoint(), env.opts.MaxEvals, seed)
+	var seeds []harmony.Point
+	var seedPerfs []float64
+	if env.opts.Seeds != nil {
+		for _, ts := range env.opts.Seeds(rm.Name) {
+			if p, ok := env.space.Encode(ts.Cfg); ok {
+				seeds = append(seeds, p)
+				seedPerfs = append(seedPerfs, ts.Perf)
+			}
+		}
+	}
+	start := env.space.DefaultPoint()
+	if len(seeds) > 0 {
+		start = seeds[0]
+	}
+	strat := newStrategy(env.hs, env.algo, start, env.opts.MaxEvals, seed, seeds, seedPerfs)
 	sess := harmony.NewSession(env.hs, strat)
 
 	var fresh, hits atomic.Int64
@@ -269,8 +300,14 @@ func cacheConfigKey(c ConfigValues) string {
 }
 
 // newStrategy builds the Harmony strategy for one search. Shared by the
-// Tuner's per-region sessions and BatchSearch.
-func newStrategy(hs harmony.Space, algo SearchAlgo, start harmony.Point, maxEvals int, seed int64) harmony.Strategy {
+// Tuner's per-region sessions and BatchSearch. seeds are transfer points
+// from neighbouring contexts; only the surrogate strategy consumes them
+// (when non-empty, the first seed also becomes its start point, so the
+// local refinement begins from the best imported guess). seedPerfs,
+// aligned with seeds, carries each seed's source-context perf so the
+// surrogate can verify a transfer in one probe (0 entries or a nil slice
+// disable the verified exit).
+func newStrategy(hs harmony.Space, algo SearchAlgo, start harmony.Point, maxEvals int, seed int64, seeds []harmony.Point, seedPerfs []float64) harmony.Strategy {
 	switch algo {
 	case AlgoExhaustive:
 		return harmony.NewExhaustive(hs)
@@ -283,6 +320,13 @@ func newStrategy(hs harmony.Space, algo SearchAlgo, start harmony.Point, maxEval
 		return harmony.NewRandom(hs, maxEvals, seed)
 	case AlgoCoordinate:
 		return harmony.NewCoordinateDescent(hs, start, maxEvals)
+	case AlgoSurrogate:
+		for _, pf := range seedPerfs {
+			if pf > 0 {
+				return harmony.NewSurrogateTransfer(hs, start, maxEvals, seed, seeds, seedPerfs)
+			}
+		}
+		return harmony.NewSurrogate(hs, start, maxEvals, seed, seeds)
 	default: // AlgoNelderMead and AlgoAuto
 		return harmony.NewNelderMead(hs, start, maxEvals)
 	}

@@ -1,0 +1,87 @@
+package arcs
+
+import (
+	"testing"
+
+	"arcs/internal/ompt"
+	"arcs/internal/sim"
+)
+
+// seedHistory returns a MemHistory holding two neighbouring contexts
+// (same app/region, caps straddling the tuner's 115 W key) plus one
+// unrelated app that must never leak into the seeds.
+func seedHistory(region string) *MemHistory {
+	h := NewMemHistory()
+	h.Save(HistoryKey{App: "app", Workload: "test", CapW: 105, Region: region},
+		ConfigValues{Threads: 16, Schedule: ompt.ScheduleDynamic, Chunk: 8}, 1.2)
+	h.Save(HistoryKey{App: "app", Workload: "test", CapW: 125, Region: region},
+		ConfigValues{Threads: 24, Schedule: ompt.ScheduleGuided, Chunk: 16}, 1.1)
+	h.Save(HistoryKey{App: "other", Workload: "test", CapW: 115, Region: region},
+		ConfigValues{Threads: 2, Schedule: ompt.ScheduleStatic, Chunk: 1}, 9.9)
+	return h
+}
+
+// TestSurrogateTransferSeeding: with the surrogate algorithm and a
+// history holding neighbouring contexts, the tuner collects transfer
+// seeds for the search (visible through the arcs.transfer_seeds
+// counter) and still completes its tuning run.
+func TestSurrogateTransferSeeding(t *testing.T) {
+	regions := map[string]*sim.LoopModel{"alpha": imbalancedLoop()}
+	r := newRig(t)
+	tuner, err := New(r.apx, r.mach.Arch(), Options{
+		Strategy: StrategyOnline, Algo: AlgoSurrogate, Seed: 3,
+		History: seedHistory("alpha"), Key: key("app"), WarmStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.runApp(t, 60, regions)
+	_ = tuner.Finish()
+
+	if got := r.apx.Counter("arcs.transfer_seeds"); got != 2 {
+		t.Errorf("arcs.transfer_seeds = %v, want 2 (both same-app neighbours, not the other app)", got)
+	}
+	reps := tuner.Report()
+	if len(reps) != 1 || reps[0].Evals == 0 {
+		t.Errorf("report = %+v, want one tuned region with evals", reps)
+	}
+}
+
+// TestTransferSeedsOnlyForSurrogate: other algorithms keep the single
+// nearest-cap warm seed and never pay the neighbour scan.
+func TestTransferSeedsOnlyForSurrogate(t *testing.T) {
+	regions := map[string]*sim.LoopModel{"alpha": imbalancedLoop()}
+	r := newRig(t)
+	tuner, err := New(r.apx, r.mach.Arch(), Options{
+		Strategy: StrategyOnline, Algo: AlgoNelderMead, Seed: 3,
+		History: seedHistory("alpha"), Key: key("app"), WarmStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.runApp(t, 60, regions)
+	_ = tuner.Finish()
+
+	if got := r.apx.Counter("arcs.transfer_seeds"); got != 0 {
+		t.Errorf("arcs.transfer_seeds = %v for Nelder-Mead, want 0", got)
+	}
+	if got := r.apx.Counter("arcs.warm_seeds"); got != 1 {
+		t.Errorf("arcs.warm_seeds = %v, want 1 (nearest-cap warm start)", got)
+	}
+}
+
+// TestParseSearchAlgo: round-trips every algorithm name and rejects
+// garbage.
+func TestParseSearchAlgo(t *testing.T) {
+	for _, algo := range []SearchAlgo{
+		AlgoAuto, AlgoNelderMead, AlgoPRO, AlgoRandom, AlgoExhaustive, AlgoSurrogate,
+	} {
+		got, err := ParseSearchAlgo(algo.String())
+		if err != nil || got != algo {
+			t.Errorf("ParseSearchAlgo(%q) = %v, %v", algo.String(), got, err)
+		}
+	}
+	if _, err := ParseSearchAlgo("simulated-annealing"); err == nil {
+		t.Errorf("unknown algorithm must fail")
+	}
+}

@@ -59,6 +59,11 @@ const (
 	AlgoRandom
 	// AlgoCoordinate forces greedy coordinate descent (axis sweeps).
 	AlgoCoordinate
+	// AlgoSurrogate forces model-guided search: a regression-forest
+	// surrogate proposing expected-improvement candidates, with transfer
+	// seeding from neighbouring contexts when a NeighborHistory is
+	// available, and a Nelder-Mead refinement tail.
+	AlgoSurrogate
 )
 
 // String implements fmt.Stringer.
@@ -76,9 +81,24 @@ func (a SearchAlgo) String() string {
 		return "random"
 	case AlgoCoordinate:
 		return "coordinate-descent"
+	case AlgoSurrogate:
+		return "surrogate"
 	default:
 		return fmt.Sprintf("SearchAlgo(%d)", int(a))
 	}
+}
+
+// ParseSearchAlgo maps a flag value to a SearchAlgo, accepting exactly
+// the String forms.
+func ParseSearchAlgo(s string) (SearchAlgo, error) {
+	for _, a := range []SearchAlgo{
+		AlgoAuto, AlgoNelderMead, AlgoExhaustive, AlgoPRO, AlgoRandom, AlgoCoordinate, AlgoSurrogate,
+	} {
+		if s == a.String() {
+			return a, nil
+		}
+	}
+	return AlgoAuto, fmt.Errorf("arcs: unknown search algorithm %q", s)
 }
 
 // Options configures a Tuner.
@@ -170,8 +190,15 @@ type regionState struct {
 	replayCfg ConfigValues
 	replayOK  bool
 	lookedUp  bool
-	warmSeed  harmony.Point // nearest-cap warm-start point (nil = none)
+	warmSeed  harmony.Point   // nearest-cap warm-start point (nil = none)
+	seedPts   []harmony.Point // transfer seeds from neighbouring contexts
+	seedPerfs []float64       // each seed's source-context perf (0 = unknown)
 }
+
+// DefaultTransferSeeds bounds how many neighbouring contexts seed a
+// surrogate search: the nearest few dominate the transfer value, and each
+// extra seed is one more forced probe on a context that may differ.
+const DefaultTransferSeeds = 4
 
 // New creates a Tuner and registers its policies with the APEX instance.
 func New(apx *apex.Instance, arch *sim.Arch, opts Options) (*Tuner, error) {
@@ -235,24 +262,38 @@ func (t *Tuner) region(name string) *regionState {
 	return rs
 }
 
-// newSession builds the Active Harmony session for one region. A
-// warm-started region begins its search at the served nearest-cap
-// configuration instead of the default point.
-func (t *Tuner) newSession(name string, rs *regionState) *harmony.Session {
+// resolvedAlgo maps AlgoAuto to the paper's strategy pairing.
+func (t *Tuner) resolvedAlgo() SearchAlgo {
 	algo := t.opts.Algo
 	if algo == AlgoAuto {
 		if t.opts.Strategy == StrategyOfflineSearch {
-			algo = AlgoExhaustive
-		} else {
-			algo = AlgoNelderMead
+			return AlgoExhaustive
+		}
+		return AlgoNelderMead
+	}
+	return algo
+}
+
+// newSession builds the Active Harmony session for one region. A
+// warm-started region begins its search at the served nearest-cap
+// configuration instead of the default point; transfer seeds collected by
+// warmLookup flow to the surrogate strategy.
+func (t *Tuner) newSession(name string, rs *regionState) *harmony.Session {
+	algo := t.resolvedAlgo()
+	start := t.opts.Space.DefaultPoint()
+	var seeds []harmony.Point
+	var seedPerfs []float64
+	if rs != nil {
+		seeds, seedPerfs = rs.seedPts, rs.seedPerfs
+		switch {
+		case rs.warmSeed != nil:
+			start = rs.warmSeed
+		case len(seeds) > 0:
+			start = seeds[0]
 		}
 	}
-	start := t.opts.Space.DefaultPoint()
-	if rs != nil && rs.warmSeed != nil {
-		start = rs.warmSeed
-	}
 	seed := t.opts.Seed ^ hashName(name)
-	return harmony.NewSession(t.hs, newStrategy(t.hs, algo, start, t.opts.MaxEvals, seed))
+	return harmony.NewSession(t.hs, newStrategy(t.hs, algo, start, t.opts.MaxEvals, seed, seeds, seedPerfs))
 }
 
 func hashName(name string) int64 {
@@ -389,6 +430,7 @@ func (t *Tuner) checkCapChange(ctx apex.Context) {
 		rs.lookedUp = false
 		rs.replayOK = false
 		rs.warmSeed = nil
+		rs.seedPts, rs.seedPerfs = nil, nil
 	}
 }
 
@@ -402,6 +444,28 @@ func (t *Tuner) warmLookup(name string, rs *regionState) {
 		rs.replayCfg, rs.replayOK = cfg, true
 		return
 	}
+	// Surrogate searches take every nearby context as a transfer seed, not
+	// just the single nearest cap: the model learns from all of them.
+	if t.resolvedAlgo() == AlgoSurrogate {
+		if nh, ok := t.opts.History.(NeighborHistory); ok {
+			for _, n := range nh.LoadNeighbors(k, DefaultTransferSeeds) {
+				if p, enc := t.opts.Space.Encode(n.Cfg); enc {
+					rs.seedPts = append(rs.seedPts, p)
+					// A same-workload neighbour's perf is a comparable
+					// promise the search can verify in one probe; another
+					// workload size is only a shape hint.
+					perf := 0.0
+					if n.Key.Workload == k.Workload {
+						perf = n.Perf
+					}
+					rs.seedPerfs = append(rs.seedPerfs, perf)
+				}
+			}
+			if len(rs.seedPts) > 0 {
+				t.apx.IncrCounter("arcs.transfer_seeds", float64(len(rs.seedPts)))
+			}
+		}
+	}
 	if fh, ok := t.opts.History.(FallbackHistory); ok {
 		if cfg, _, ok := fh.LoadNearest(k); ok {
 			if p, enc := t.opts.Space.Encode(cfg); enc {
@@ -411,7 +475,9 @@ func (t *Tuner) warmLookup(name string, rs *regionState) {
 			}
 		}
 	}
-	t.apx.IncrCounter("arcs.warm_misses", 1)
+	if len(rs.seedPts) == 0 {
+		t.apx.IncrCounter("arcs.warm_misses", 1)
+	}
 }
 
 // apply sets the ICVs through the control plane — the two runtime calls

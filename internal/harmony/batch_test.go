@@ -28,6 +28,20 @@ func strategyCases(space Space) map[string]func() Strategy {
 		"coordinate-descent": func() Strategy {
 			return NewCoordinateDescent(space, Point{3, 1, 4}, 0)
 		},
+		"surrogate": func() Strategy {
+			return NewSurrogate(space, Point{0, 0, 0}, 0, 424242, nil)
+		},
+		"surrogate-seeded": func() Strategy {
+			return NewSurrogate(space, Point{0, 0, 0}, 0, 424242,
+				[]Point{{4, 2, 5}, {3, 2, 4}})
+		},
+		"surrogate-transfer": func() Strategy {
+			// Expectations deliberately unmeetable on the rugged objective,
+			// so the strategy falls through the verified exit into the full
+			// pipeline — the batched trajectory must still match serial.
+			return NewSurrogateTransfer(space, Point{0, 0, 0}, 0, 424242,
+				[]Point{{4, 2, 5}, {3, 2, 4}}, []float64{1e-9, 1e-9})
+		},
 	}
 }
 

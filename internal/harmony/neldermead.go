@@ -58,6 +58,19 @@ const (
 // point (ARCS seeds it with the default configuration). maxEvals bounds the
 // number of reported evaluations; <=0 selects a dimension-scaled default.
 func NewNelderMead(space Space, start Point, maxEvals int) *NelderMead {
+	return newNelderMead(space, start, maxEvals, 0.35)
+}
+
+// NewNelderMeadLocal builds a refinement simplex: initial offsets of one
+// lattice step per dimension instead of the global-search 35%-of-span
+// spread. The surrogate strategy uses it to polish the model's incumbent.
+func NewNelderMeadLocal(space Space, start Point, maxEvals int) *NelderMead {
+	return newNelderMead(space, start, maxEvals, 0)
+}
+
+// newNelderMead spreads the initial simplex by stepFrac of each
+// dimension's span (at least one lattice step).
+func newNelderMead(space Space, start Point, maxEvals int, stepFrac float64) *NelderMead {
 	d := space.Dims()
 	if maxEvals <= 0 {
 		maxEvals = 30 * d
@@ -75,7 +88,7 @@ func NewNelderMead(space Space, start Point, maxEvals int) *NelderMead {
 	for i := 0; i < d; i++ {
 		v := append([]float64(nil), v0...)
 		span := float64(space.Params[i].Card - 1)
-		step := math.Max(1, 0.35*span)
+		step := math.Max(1, stepFrac*span)
 		if v[i]+step > span { // reflect the offset to stay in range
 			v[i] -= step
 		} else {

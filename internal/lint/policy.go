@@ -88,6 +88,7 @@ func matchPattern(pattern, path string) bool {
 var deterministicPackages = []string{
 	"arcs/internal/sim",
 	"arcs/internal/harmony",
+	"arcs/internal/surrogate",
 	"arcs/internal/core",
 	"arcs/internal/evalcache",
 	"arcs/internal/kernels",

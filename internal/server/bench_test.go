@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"testing"
 
+	arcs "arcs/internal/core"
 	"arcs/internal/evalcache"
+	"arcs/internal/store"
 )
 
 // Cold-search latency of SimSearcher on the Table-I space: every
@@ -58,4 +60,62 @@ func BenchmarkSimSearcherWarm(b *testing.B) {
 	b.StopTimer()
 	st := s.Cache.Stats()
 	b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "hit-rate")
+}
+
+// Surrogate search economics. The probes/op metric is the contract the
+// CI perf gate holds: cold surrogate search must stay in the same probe
+// class as Nelder-Mead, and transfer-seeded search must stay an order of
+// magnitude cheaper (the verified-transfer exit). Parallelism is 1 so
+// probe counts are deterministic run to run.
+func BenchmarkSurrogateCold(b *testing.B) {
+	req := SearchRequest{App: "SP", Workload: "B", Arch: "crill", CapW: 70, MaxEvals: 90}
+	ctx := context.Background()
+	var probes uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := evalcache.New()
+		s := SimSearcher{Parallelism: 1, Cache: c, Algo: arcs.AlgoSurrogate}
+		if _, err := s.Search(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		probes += c.Stats().Misses
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
+}
+
+// BenchmarkSurrogateTransfer measures a new-context search that can
+// transfer-seed from the two adjacent caps' tuned winners, the
+// steady-state of a fleet that has been serving a while.
+func BenchmarkSurrogateTransfer(b *testing.B) {
+	req := SearchRequest{App: "SP", Workload: "B", Arch: "crill", CapW: 70, MaxEvals: 90}
+	ctx := context.Background()
+	st, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	for _, capW := range []float64{65, 75} {
+		nReq := req
+		nReq.CapW = capW
+		res, err := SimSearcher{Parallelism: 1, Cache: evalcache.New(), Algo: arcs.AlgoNelderMead}.Search(ctx, nReq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			st.Save(arcs.HistoryKey{App: req.App, Workload: req.Workload, CapW: capW, Region: r.Region}, r.Cfg, r.Perf)
+		}
+	}
+	var probes uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := evalcache.New()
+		s := SimSearcher{Parallelism: 1, Cache: c, Algo: arcs.AlgoSurrogate, Neighbors: st.LoadNeighbors}
+		if _, err := s.Search(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		probes += c.Stats().Misses
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
 }

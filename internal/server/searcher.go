@@ -35,7 +35,7 @@ type Searcher interface {
 	Search(ctx context.Context, req SearchRequest) ([]SearchResult, error)
 }
 
-// SimSearcher runs a bounded Nelder-Mead search per region against the
+// SimSearcher runs a bounded Harmony search per region against the
 // analytic simulator — the paper's unmeasured offline search execution
 // (§III-B), hosted server-side so the cost is paid once per context
 // instead of once per client. Regions are probed directly through
@@ -48,6 +48,14 @@ type SimSearcher struct {
 	Parallelism int
 	// Cache memoises probe results across searches (nil = no memoisation).
 	Cache *evalcache.Cache
+	// Algo selects the per-region search strategy; AlgoAuto runs the
+	// historical Nelder-Mead.
+	Algo arcs.SearchAlgo
+	// Neighbors, when set with Algo == AlgoSurrogate, supplies transfer
+	// seeds from neighbouring tuned contexts (normally the daemon's own
+	// knowledge store): a new context starts its model from what nearby
+	// caps and workloads already learned instead of cold.
+	Neighbors func(k arcs.HistoryKey, max int) []arcs.Neighbor
 }
 
 // Search implements Searcher.
@@ -71,14 +79,45 @@ func (s SimSearcher) Search(ctx context.Context, req SearchRequest) ([]SearchRes
 	if par == 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	algo := s.Algo
+	if algo == arcs.AlgoAuto {
+		algo = arcs.AlgoNelderMead
+	}
+	var seeds func(region string) []arcs.TransferSeed
+	if algo == arcs.AlgoSurrogate && s.Neighbors != nil {
+		// Neighbor keys carry the effective cap BatchSearch will run at:
+		// stored entries are keyed by effective cap, never the 0 sentinel.
+		effCap := req.CapW
+		if effCap == 0 { //arcslint:ignore floatcmp 0 is the uncapped sentinel, compared verbatim
+			effCap = arch.TDPW
+		}
+		seeds = func(region string) []arcs.TransferSeed {
+			ns := s.Neighbors(arcs.HistoryKey{
+				App: app.Name, Workload: app.Workload, CapW: effCap, Region: region,
+			}, arcs.DefaultTransferSeeds)
+			out := make([]arcs.TransferSeed, 0, len(ns))
+			for _, n := range ns {
+				// A same-workload neighbour's perf is a verifiable promise
+				// at a nearby cap; a different workload size only donates
+				// its configuration.
+				perf := 0.0
+				if n.Key.Workload == app.Workload {
+					perf = n.Perf
+				}
+				out = append(out, arcs.TransferSeed{Cfg: n.Cfg, Perf: perf})
+			}
+			return out
+		}
+	}
 	results, err := arcs.BatchSearch(ctx, arch, regions, arcs.BatchSearchOptions{
-		Algo:        arcs.AlgoNelderMead,
+		Algo:        algo,
 		MaxEvals:    req.MaxEvals,
 		CapW:        req.CapW,
 		Parallelism: par,
 		Cache:       s.Cache,
 		App:         app.Name,
 		Workload:    app.Workload,
+		Seeds:       seeds,
 	})
 	if err != nil {
 		return nil, err

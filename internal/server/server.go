@@ -9,6 +9,7 @@
 //	GET  /v1/config?app=&workload=&cap=&region=[&arch=][&fallback=0][&search=0]
 //	POST /v1/report   {"key":{...},"config":{...},"perf":N} or an array
 //	POST /v1/reports  batched ingest: JSON array or one binary report-batch frame
+//	GET  /v1/neighbors?app=&workload=&region=&cap=[&max=]   ranked transfer donors
 //	GET  /v1/dump     full entry set with versions, streamed
 //	GET  /v1/digest?shard=N   per-shard anti-entropy digest
 //	POST /v1/merge    intra-fleet replication of already-versioned entries
@@ -72,6 +73,12 @@ type Config struct {
 	// server-side search (the arcsd -search-parallelism flag); 0 selects
 	// GOMAXPROCS, 1 evaluates serially. Ignored when Searcher is set.
 	SearchParallelism int
+	// SearchAlgo selects the server-side search strategy (the arcsd
+	// -search-algo flag); AlgoAuto keeps the historical Nelder-Mead.
+	// AlgoSurrogate additionally seeds each search from the store's
+	// neighbouring contexts (cross-context transfer). Ignored when
+	// Searcher is set.
+	SearchAlgo arcs.SearchAlgo
 	// MaxConcurrentSearches bounds in-flight server-side searches. A cold
 	// miss that would need a search beyond the bound is shed with 429 and
 	// a Retry-After header instead of queueing unboundedly (joining an
@@ -157,9 +164,15 @@ func New(cfg Config) *Server {
 	}
 	if s.searcher == nil {
 		s.evc = evalcache.New()
-		s.searcher = SimSearcher{Parallelism: cfg.SearchParallelism, Cache: s.evc}
+		s.searcher = SimSearcher{
+			Parallelism: cfg.SearchParallelism,
+			Cache:       s.evc,
+			Algo:        cfg.SearchAlgo,
+			Neighbors:   cfg.Store.LoadNeighbors,
+		}
 	}
 	s.mux.HandleFunc("/v1/config", s.instrument("config", s.handleConfig))
+	s.mux.HandleFunc("/v1/neighbors", s.instrument("neighbors", s.handleNeighbors))
 	s.mux.HandleFunc("/v1/report", s.instrument("report", s.handleReport))
 	s.mux.HandleFunc("/v1/reports", s.instrument("reports", s.handleReport))
 	s.mux.HandleFunc("/v1/dump", s.instrument("dump", s.handleDump))
@@ -299,6 +312,66 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.misses.Add(1)
 	errorJSON(w, http.StatusNotFound, "no configuration for %v", key)
+}
+
+// NeighborResponse is one GET /v1/neighbors record: a stored entry from
+// a neighbouring tuned context plus its transfer distance.
+type NeighborResponse struct {
+	Key     arcs.HistoryKey   `json:"key"`
+	Config  arcs.ConfigValues `json:"config"`
+	Perf    float64           `json:"perf"`
+	Version uint64            `json:"version"`
+	Dist    float64           `json:"dist"`
+}
+
+// handleNeighbors serves the neighbour scan behind surrogate transfer
+// seeding: the stored contexts nearest to the queried key (same app and
+// region; nearby caps first, cross-workload entries after), closest
+// first. Always JSON — the payload is a handful of records per search
+// startup, not a hot path. An empty scan answers 200 with an empty array
+// (a context with no neighbours is a normal cold start, not an error).
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		errorJSON(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	key := arcs.HistoryKey{
+		App:      q.Get("app"),
+		Workload: q.Get("workload"),
+		Region:   q.Get("region"),
+	}
+	if key.App == "" || key.Region == "" {
+		errorJSON(w, http.StatusBadRequest, "app and region are required")
+		return
+	}
+	if capStr := q.Get("cap"); capStr != "" {
+		capW, err := strconv.ParseFloat(capStr, 64)
+		if err != nil || math.IsNaN(capW) || math.IsInf(capW, 0) {
+			errorJSON(w, http.StatusBadRequest, "bad cap %q", capStr)
+			return
+		}
+		key.CapW = capW
+	}
+	max := arcs.DefaultTransferSeeds
+	if maxStr := q.Get("max"); maxStr != "" {
+		m, err := strconv.Atoi(maxStr)
+		if err != nil || m < 1 || m > 256 {
+			errorJSON(w, http.StatusBadRequest, "max must be in [1,256]")
+			return
+		}
+		max = m
+	}
+	ns := s.st.Neighbors(key, max)
+	out := make([]NeighborResponse, len(ns))
+	for i, n := range ns {
+		out[i] = NeighborResponse{
+			Key: n.Entry.Key, Config: n.Entry.Cfg, Perf: n.Entry.Perf,
+			Version: n.Entry.Version, Dist: n.Dist,
+		}
+	}
+	s.met.neighborsServed.Add(uint64(len(out)))
+	writeJSON(w, http.StatusOK, out)
 }
 
 // searchOnce runs the bounded server-side search for an app-level context

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"arcs/internal/cli"
+	arcs "arcs/internal/core"
+	"arcs/internal/evalcache"
+	"arcs/internal/store"
+)
+
+// runSearch executes one SimSearcher search with a fresh eval cache and
+// returns per-region winners plus the fresh-probe count.
+func runSearch(t *testing.T, s SimSearcher, req SearchRequest) (map[string]SearchResult, uint64) {
+	t.Helper()
+	c := evalcache.New()
+	s.Cache = c
+	s.Parallelism = 1 // deterministic probe counts
+	res, err := s.Search(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]SearchResult, len(res))
+	for _, r := range res {
+		out[r.Region] = r
+	}
+	return out, c.Stats().Misses
+}
+
+// TestSurrogateDifferential is the winner-quality acceptance suite for
+// the learned search: on every (app, cap) cell of the matrix, the
+// surrogate strategy with transfer seeding must land within 2% of the
+// exhaustive-search optimum on every region, while spending at least 5x
+// fewer fresh probes than a cold Nelder-Mead search of the same cell.
+func TestSurrogateDifferential(t *testing.T) {
+	arch, err := cli.BuildArch("crill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spaceSize := arcs.TableISpace(arch).Size()
+	cells := []struct {
+		app, workload string
+		capW          float64
+	}{
+		{"SP", "B", 60},
+		{"SP", "B", 85},
+		{"BT", "B", 70},
+		{"LULESH", "45", 75},
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.app+"/"+cell.workload, func(t *testing.T) {
+			req := SearchRequest{App: cell.app, Workload: cell.workload, Arch: "crill", CapW: cell.capW}
+
+			// Ground truth: full enumeration of the Table-I lattice.
+			exReq := req
+			exReq.MaxEvals = spaceSize
+			exact, exProbes := runSearch(t, SimSearcher{Algo: arcs.AlgoExhaustive}, exReq)
+
+			// Cold Nelder-Mead: the pre-surrogate default, default budget.
+			nmReq := req
+			nmReq.MaxEvals = 90
+			_, nmProbes := runSearch(t, SimSearcher{Algo: arcs.AlgoNelderMead}, nmReq)
+
+			// Transfer store: the exhaustive winners of the two adjacent
+			// caps, exactly what a fleet that has already tuned the
+			// neighbouring contexts would serve.
+			st, err := store.Open(t.TempDir(), store.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			for _, dcap := range []float64{-5, +5} {
+				nReq := req
+				nReq.CapW = cell.capW + dcap
+				nReq.MaxEvals = spaceSize
+				winners, _ := runSearch(t, SimSearcher{Algo: arcs.AlgoExhaustive}, nReq)
+				for region, w := range winners {
+					st.Save(arcs.HistoryKey{
+						App: cell.app, Workload: cell.workload, CapW: nReq.CapW, Region: region,
+					}, w.Cfg, w.Perf)
+				}
+			}
+
+			surReq := req
+			surReq.MaxEvals = 90
+			sur, surProbes := runSearch(t, SimSearcher{
+				Algo: arcs.AlgoSurrogate, Neighbors: st.LoadNeighbors,
+			}, surReq)
+
+			t.Logf("probes: exhaustive=%d nm-cold=%d surrogate-transfer=%d (ratio %.1fx)",
+				exProbes, nmProbes, surProbes, float64(nmProbes)/float64(surProbes))
+
+			for region, ex := range exact {
+				sr, ok := sur[region]
+				if !ok {
+					t.Fatalf("surrogate returned no result for region %s", region)
+				}
+				if tol := 0.02 * math.Abs(ex.Perf); sr.Perf-ex.Perf > tol {
+					t.Errorf("region %s: surrogate perf %.6g vs exhaustive %.6g (off by %.2f%%, tol 2%%)",
+						region, sr.Perf, ex.Perf, 100*(sr.Perf-ex.Perf)/math.Abs(ex.Perf))
+				}
+			}
+			if surProbes == 0 || nmProbes < 5*surProbes {
+				t.Errorf("probe ratio: nm-cold=%d surrogate-transfer=%d, want >=5x fewer", nmProbes, surProbes)
+			}
+		})
+	}
+}

@@ -496,6 +496,57 @@ func (s *Store) GetNearest(k arcs.HistoryKey) (Entry, float64, bool) {
 	return best, bestDist, true
 }
 
+// Neighbor is one neighbouring-context record: the stored entry plus its
+// transfer distance from the queried key (arcs.NeighborDistance).
+type Neighbor struct {
+	Entry Entry   `json:"entry"`
+	Dist  float64 `json:"dist"`
+}
+
+// Neighbors scans for the contexts nearest to k — same app and region,
+// ranked by cap distance with cross-workload entries after all
+// same-workload ones — and returns up to max of them, closest first. The
+// exact key itself is excluded (an exact hit is a replay, not a
+// transfer). This is the neighbour-scan behind /v1/neighbors: surrogate
+// searches seed their model from the result.
+func (s *Store) Neighbors(k arcs.HistoryKey, max int) []Neighbor {
+	if max <= 0 {
+		return nil
+	}
+	var ns []arcs.Neighbor
+	byKey := make(map[string]Entry)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for ck, e := range sh.entries {
+			if d, ok := arcs.NeighborDistance(k, e.Key); ok {
+				ns = append(ns, arcs.Neighbor{Key: e.Key, Cfg: e.Cfg, Perf: e.Perf, Dist: d})
+				byKey[ck] = e
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	arcs.SortNeighbors(ns)
+	if len(ns) > max {
+		ns = ns[:max]
+	}
+	out := make([]Neighbor, len(ns))
+	for i, n := range ns {
+		out[i] = Neighbor{Entry: byKey[n.Key.String()], Dist: n.Dist}
+	}
+	return out
+}
+
+// LoadNeighbors implements arcs.NeighborHistory over Neighbors.
+func (s *Store) LoadNeighbors(k arcs.HistoryKey, max int) []arcs.Neighbor {
+	sns := s.Neighbors(k, max)
+	out := make([]arcs.Neighbor, len(sns))
+	for i, n := range sns {
+		out[i] = arcs.Neighbor{Key: n.Entry.Key, Cfg: n.Entry.Cfg, Perf: n.Entry.Perf, Dist: n.Dist}
+	}
+	return out
+}
+
 // Entries returns every stored record sorted by canonical key
 // (deterministic dumps and snapshots).
 func (s *Store) Entries() []Entry {
@@ -771,4 +822,7 @@ func (s *Store) Health() Health {
 	return h
 }
 
-var _ arcs.FallbackHistory = (*Store)(nil)
+var (
+	_ arcs.FallbackHistory = (*Store)(nil)
+	_ arcs.NeighborHistory = (*Store)(nil)
+)

@@ -187,8 +187,11 @@ type LookupOpts struct {
 	Forwarded bool
 }
 
-// Result is a served configuration.
+// Result is a served configuration. Key is the key of the stored entry
+// that answered — for "fallback" answers it differs from the queried key
+// (the nearest-cap context); for "exact" and "searched" it matches.
 type Result struct {
+	Key         arcs.HistoryKey
 	Config      arcs.ConfigValues
 	Perf        float64
 	Version     uint64
@@ -214,6 +217,7 @@ func (c *Client) Lookup(ctx context.Context, k arcs.HistoryKey, opts LookupOpts)
 		q.Set("search", "0")
 	}
 	var out struct {
+		Key         arcs.HistoryKey   `json:"key"`
 		Config      arcs.ConfigValues `json:"config"`
 		Perf        float64           `json:"perf"`
 		Version     uint64            `json:"version"`
@@ -235,7 +239,7 @@ func (c *Client) Lookup(ctx context.Context, k arcs.HistoryKey, opts LookupOpts)
 				return fmt.Errorf("storeclient: decode config answer: %w", err)
 			}
 			res = Result{
-				Config: ans.Cfg, Perf: ans.Perf, Version: ans.Version,
+				Key: ans.Key, Config: ans.Cfg, Perf: ans.Perf, Version: ans.Version,
 				Source: ans.Source, CapDistance: ans.CapDistance,
 			}
 			return nil
@@ -249,9 +253,39 @@ func (c *Client) Lookup(ctx context.Context, k arcs.HistoryKey, opts LookupOpts)
 		return res, nil
 	}
 	return Result{
-		Config: out.Config, Perf: out.Perf, Version: out.Version,
+		Key: out.Key, Config: out.Config, Perf: out.Perf, Version: out.Version,
 		Source: out.Source, CapDistance: out.CapDistance,
 	}, nil
+}
+
+// Neighbors fetches the stored contexts nearest to k — the transfer
+// seeds a surrogate search starts from (GET /v1/neighbors). max<=0
+// selects the server's default. Returns ErrNotFound against a pre-
+// neighbors arcsd (the endpoint 404s); callers treat that like an empty
+// scan.
+func (c *Client) Neighbors(ctx context.Context, k arcs.HistoryKey, max int) ([]arcs.Neighbor, error) {
+	q := url.Values{}
+	q.Set("app", k.App)
+	q.Set("workload", k.Workload)
+	q.Set("cap", strconv.FormatFloat(k.CapW, 'g', -1, 64))
+	q.Set("region", k.Region)
+	if max > 0 {
+		q.Set("max", strconv.Itoa(max))
+	}
+	var out []struct {
+		Key    arcs.HistoryKey   `json:"key"`
+		Config arcs.ConfigValues `json:"config"`
+		Perf   float64           `json:"perf"`
+		Dist   float64           `json:"dist"`
+	}
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/neighbors?"+q.Encode(), nil, &out); err != nil {
+		return nil, err
+	}
+	ns := make([]arcs.Neighbor, len(out))
+	for i, n := range out {
+		ns[i] = arcs.Neighbor{Key: n.Key, Cfg: n.Config, Perf: n.Perf, Dist: n.Dist}
+	}
+	return ns, nil
 }
 
 // Report ingests one search result into the served store. Under

@@ -7,6 +7,7 @@ import (
 
 	arcs "arcs/internal/core"
 	"arcs/internal/fleet"
+	"arcs/internal/store"
 )
 
 // Fleet is a fleet-aware client: it carries the same consistent-hash
@@ -27,7 +28,8 @@ type Fleet struct {
 	nodes    []string // sorted membership (ring order)
 	clients  map[string]*Client
 
-	failovers atomic.Uint64
+	failovers   atomic.Uint64
+	readRepairs atomic.Uint64
 }
 
 // NewFleet builds a fleet client over the full membership (the same
@@ -67,6 +69,10 @@ func (f *Fleet) Owners(k arcs.HistoryKey) []string {
 // Failovers reports how many times a request had to skip past a failed
 // node to a later candidate.
 func (f *Fleet) Failovers() uint64 { return f.failovers.Load() }
+
+// ReadRepairs reports how many entries LookupMerged pushed back to
+// owners that were missing them or held a stale version.
+func (f *Fleet) ReadRepairs() uint64 { return f.readRepairs.Load() }
 
 // route appends the key's owners followed by the remaining members —
 // the full failover order for one key.
@@ -119,20 +125,130 @@ func (f *Fleet) Lookup(ctx context.Context, k arcs.HistoryKey, opts LookupOpts) 
 }
 
 // LookupMerged queries every owner and returns the winning answer under
-// the fleet's reconciliation order (version first, then better perf) —
-// the read-repair view: whatever any owner has acknowledged, the caller
-// sees, even before anti-entropy equalises the replicas. Returns
-// ErrNotFound only when no owner has anything; a transport error is
-// returned only when every owner failed.
+// the fleet's reconciliation order — the read-repair view: whatever any
+// owner has acknowledged, the caller sees, even before anti-entropy
+// equalises the replicas. An authoritative answer (exact or searched)
+// always outranks a nearest-cap fallback, whatever the versions: a
+// fallback is a different context's entry and its version is not
+// comparable. Among authoritative answers the higher version wins, then
+// the better perf (mirroring store.Supersedes); among fallbacks the
+// smaller cap distance wins, ties preferring the lower cap — the same
+// deterministic rule the store's own nearest-cap scan applies.
+//
+// When the winner is authoritative, the lookup also repairs the replicas
+// it just observed to be behind: owners that answered "not found", served
+// only a fallback, or hold a lower version get the winning entry pushed
+// back via /v1/merge (applied under store.Supersedes, so a racing fresher
+// write is never clobbered). Repair is synchronous best-effort — a
+// failed push is dropped; the anti-entropy sweep remains the backstop.
+// Returns ErrNotFound only when no owner has anything; a transport error
+// is returned only when every owner failed.
 func (f *Fleet) LookupMerged(ctx context.Context, k arcs.HistoryKey, opts LookupOpts) (Result, error) {
+	owners := f.Owners(k)
 	var best Result
 	found := false
 	var lastErr error
-	for _, node := range f.Owners(k) {
+	results := make(map[string]Result, len(owners))
+	missing := make(map[string]bool, len(owners))
+	for _, node := range owners {
 		res, err := f.clients[node].Lookup(ctx, k, opts)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return Result{}, err
+			}
+			if errors.Is(err, ErrNotFound) {
+				missing[node] = true
+			} else {
+				lastErr = err
+				f.failovers.Add(1)
+			}
+			continue
+		}
+		results[node] = res
+		if !found || betterResult(res, best) {
+			best, found = res, true
+		}
+	}
+	if !found {
+		if lastErr != nil {
+			return Result{}, lastErr
+		}
+		return Result{}, ErrNotFound
+	}
+	if best.Source != "fallback" {
+		f.readRepair(ctx, k, best, owners, results, missing)
+	}
+	return best, nil
+}
+
+// betterResult reports whether a outranks b in the merged-lookup order.
+func betterResult(a, b Result) bool {
+	aAuth, bAuth := a.Source != "fallback", b.Source != "fallback"
+	if aAuth != bAuth {
+		return aAuth
+	}
+	if aAuth {
+		if a.Version != b.Version {
+			return a.Version > b.Version
+		}
+		return a.Perf < b.Perf
+	}
+	// Both fallbacks: nearest cap first, distance ties toward the lower
+	// cap (switch-based so no float equality is ever evaluated).
+	switch {
+	case a.CapDistance < b.CapDistance:
+		return true
+	case a.CapDistance > b.CapDistance:
+		return false
+	case a.Key.CapW < b.Key.CapW:
+		return true
+	case a.Key.CapW > b.Key.CapW:
+		return false
+	}
+	if a.Version != b.Version {
+		return a.Version > b.Version
+	}
+	return a.Perf < b.Perf
+}
+
+// readRepair pushes the winning authoritative entry back to the owners
+// that did not have it: a missing or stale replica the caller just
+// observed is a replica the next reader would also see — repairing it on
+// the read path closes the gap without waiting for the next anti-entropy
+// sweep. The push carries the winner's own version, so the receiver's
+// Supersedes check makes re-pushing (or racing a newer write) harmless.
+func (f *Fleet) readRepair(ctx context.Context, k arcs.HistoryKey, best Result, owners []string, results map[string]Result, missing map[string]bool) {
+	entry := store.Entry{Key: k, Cfg: best.Config, Perf: best.Perf, Version: best.Version}
+	for _, node := range owners {
+		res, answered := results[node]
+		stale := missing[node] ||
+			(answered && (res.Source == "fallback" || res.Version < best.Version))
+		if !stale {
+			continue
+		}
+		if err := f.clients[node].MergeEntries(ctx, []store.Entry{entry}); err == nil {
+			f.readRepairs.Add(1)
+		}
+	}
+}
+
+// Neighbors fans the neighbour scan out to every member and merges the
+// answers: replicas of the same context are deduplicated (keep-best
+// perf), the union re-ranked under the shared distance order. Any single
+// responsive node yields a usable seed set; nodes without the endpoint
+// (ErrNotFound) or unreachable are skipped.
+func (f *Fleet) Neighbors(ctx context.Context, k arcs.HistoryKey, max int) ([]arcs.Neighbor, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	byKey := make(map[string]arcs.Neighbor)
+	var lastErr error
+	answered := false
+	for _, node := range f.nodes {
+		ns, err := f.clients[node].Neighbors(ctx, k, max)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
 			}
 			if !errors.Is(err, ErrNotFound) {
 				lastErr = err
@@ -140,18 +256,26 @@ func (f *Fleet) LookupMerged(ctx context.Context, k arcs.HistoryKey, opts Lookup
 			}
 			continue
 		}
-		//arcslint:ignore floatcmp exact tie-break mirrors store.Supersedes
-		if !found || res.Version > best.Version || (res.Version == best.Version && res.Perf < best.Perf) {
-			best, found = res, true
+		answered = true
+		for _, n := range ns {
+			ck := n.Key.String()
+			if old, ok := byKey[ck]; !ok || n.Perf < old.Perf {
+				byKey[ck] = n
+			}
 		}
 	}
-	if found {
-		return best, nil
+	if !answered && lastErr != nil {
+		return nil, lastErr
 	}
-	if lastErr != nil {
-		return Result{}, lastErr
+	out := make([]arcs.Neighbor, 0, len(byKey))
+	for _, n := range byKey {
+		out = append(out, n)
 	}
-	return Result{}, ErrNotFound
+	arcs.SortNeighbors(out)
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out, nil
 }
 
 // Report ingests one result, trying the key's owners first (the owner

@@ -1,0 +1,186 @@
+package storeclient_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	arcs "arcs/internal/core"
+	"arcs/internal/server"
+	"arcs/internal/store"
+	. "arcs/internal/storeclient"
+)
+
+// newServedTS starts a server over cfg and returns its base URL.
+func newServedTS(t *testing.T, cfg server.Config) string {
+	t.Helper()
+	ts := httptest.NewServer(server.New(cfg))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// newFleetNodes spins n independent store+server stacks and returns a
+// fleet client over all of them with full replication (replicas = n, so
+// every node owns every key — the read-repair tests then control which
+// replica is stale by seeding stores directly).
+func newFleetNodes(t *testing.T, n int) (*Fleet, []*store.Store) {
+	t.Helper()
+	stores := make([]*store.Store, n)
+	urls := make([]string, n)
+	for i := range stores {
+		st, err := store.Open(t.TempDir(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		stores[i] = st
+		ts := newServedTS(t, server.Config{Store: st})
+		urls[i] = ts
+	}
+	f, err := NewFleet(urls, n, WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-order stores to match the fleet's sorted membership so tests
+	// can address "the store behind node f.Nodes()[i]".
+	byURL := make(map[string]*store.Store, n)
+	for i, u := range urls {
+		byURL[u] = stores[i]
+	}
+	ordered := make([]*store.Store, n)
+	for i, u := range f.Nodes() {
+		ordered[i] = byURL[u]
+	}
+	return f, ordered
+}
+
+// TestFleetReadRepair: LookupMerged pushes the winning entry back to
+// owners that were missing it or held a stale version, and the repaired
+// replica serves the entry afterwards.
+func TestFleetReadRepair(t *testing.T) {
+	f, stores := newFleetNodes(t, 3)
+	ctx := context.Background()
+	k := arcs.HistoryKey{App: "SP", Workload: "B", CapW: 70, Region: "x_solve"}
+	cfg := arcs.ConfigValues{Threads: 16, Chunk: 8}
+
+	// Node 0 authored version 2; node 1 is one version behind; node 2
+	// never saw the key at all.
+	stores[0].Save(k, arcs.ConfigValues{Threads: 8}, 2.0)
+	stores[0].Save(k, cfg, 1.5) // version 2
+	stores[1].Save(k, arcs.ConfigValues{Threads: 8}, 2.0)
+
+	res, err := f.LookupMerged(ctx, k, LookupOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config != cfg || res.Version != 2 || res.Source != "exact" {
+		t.Fatalf("merged lookup = %+v, want version-2 winner", res)
+	}
+	if got := f.ReadRepairs(); got != 2 {
+		t.Errorf("ReadRepairs = %d, want 2 (one stale, one missing)", got)
+	}
+	for i, st := range stores[1:] {
+		e, ok := st.Get(k)
+		if !ok || e.Cfg != cfg || e.Version != 2 {
+			t.Errorf("node %d after repair: entry %+v ok=%v, want version-2 winner", i+1, e, ok)
+		}
+	}
+
+	// A second merged read finds every replica converged: no new repairs.
+	if _, err := f.LookupMerged(ctx, k, LookupOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.ReadRepairs(); got != 2 {
+		t.Errorf("ReadRepairs after converged read = %d, want still 2", got)
+	}
+}
+
+// TestFleetReadRepairSkipsFallback: a nearest-cap fallback winner is a
+// different context's entry — it must never be written back under the
+// queried key.
+func TestFleetReadRepairSkipsFallback(t *testing.T) {
+	f, stores := newFleetNodes(t, 2)
+	ctx := context.Background()
+	stored := arcs.HistoryKey{App: "SP", Workload: "B", CapW: 60, Region: "r"}
+	queried := arcs.HistoryKey{App: "SP", Workload: "B", CapW: 70, Region: "r"}
+	stores[0].Save(stored, arcs.ConfigValues{Threads: 8}, 2.0)
+
+	res, err := f.LookupMerged(ctx, queried, LookupOpts{Fallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "fallback" || res.CapDistance != 10 {
+		t.Fatalf("merged lookup = %+v, want fallback at distance 10", res)
+	}
+	if got := f.ReadRepairs(); got != 0 {
+		t.Errorf("ReadRepairs = %d, want 0 — fallback answers must not repair", got)
+	}
+	for i, st := range stores {
+		if _, ok := st.Get(queried); ok {
+			t.Errorf("node %d has an entry under the queried key — fallback was written back", i)
+		}
+	}
+}
+
+// TestFleetLookupMergedRanking: an authoritative answer on any replica
+// outranks a fresher-looking fallback elsewhere.
+func TestFleetLookupMergedRanking(t *testing.T) {
+	f, stores := newFleetNodes(t, 2)
+	ctx := context.Background()
+	k := arcs.HistoryKey{App: "BT", Workload: "C", CapW: 80, Region: "main"}
+	exact := arcs.ConfigValues{Threads: 32}
+
+	// Node 0: only a nearby-cap entry (answers as fallback, version 1).
+	// Node 1: the exact key (answers authoritatively).
+	stores[0].Save(arcs.HistoryKey{App: "BT", Workload: "C", CapW: 75, Region: "main"},
+		arcs.ConfigValues{Threads: 4}, 0.5)
+	stores[1].Save(k, exact, 9.9)
+
+	res, err := f.LookupMerged(ctx, k, LookupOpts{Fallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "exact" || res.Config != exact {
+		t.Fatalf("merged lookup = %+v, want the exact answer to win over the fallback", res)
+	}
+	// And the fallback-serving node gets repaired with the exact entry.
+	if e, ok := stores[0].Get(k); !ok || e.Cfg != exact {
+		t.Errorf("fallback-serving node not repaired: %+v ok=%v", e, ok)
+	}
+}
+
+// TestFleetNeighbors: the fan-out merges neighbour scans across nodes,
+// deduplicates replicated contexts keeping the best perf, and re-ranks
+// under the shared distance order.
+func TestFleetNeighbors(t *testing.T) {
+	f, stores := newFleetNodes(t, 2)
+	ctx := context.Background()
+	k := arcs.HistoryKey{App: "SP", Workload: "B", CapW: 70, Region: "r"}
+
+	// Node 0 holds cap 60; node 1 holds cap 85 plus a better-perf copy
+	// of cap 60 (the dedup must keep node 1's).
+	stores[0].Save(arcs.HistoryKey{App: "SP", Workload: "B", CapW: 60, Region: "r"},
+		arcs.ConfigValues{Threads: 8}, 2.0)
+	stores[1].Save(arcs.HistoryKey{App: "SP", Workload: "B", CapW: 60, Region: "r"},
+		arcs.ConfigValues{Threads: 16}, 1.0)
+	stores[1].Save(arcs.HistoryKey{App: "SP", Workload: "B", CapW: 85, Region: "r"},
+		arcs.ConfigValues{Threads: 4}, 3.0)
+
+	ns, err := f.Neighbors(ctx, k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 2 {
+		t.Fatalf("got %d neighbours, want 2 (cap-60 deduplicated): %+v", len(ns), ns)
+	}
+	if ns[0].Key.CapW != 60 || ns[0].Cfg.Threads != 16 {
+		t.Errorf("first neighbour = %+v, want node 1's best-perf cap-60 copy", ns[0])
+	}
+	if ns[1].Key.CapW != 85 {
+		t.Errorf("second neighbour = %+v, want cap 85", ns[1])
+	}
+	if got, err := f.Neighbors(ctx, k, 0); err != nil || got != nil {
+		t.Errorf("max<=0 = %v, %v; want nil, nil", got, err)
+	}
+}

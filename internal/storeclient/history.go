@@ -169,6 +169,43 @@ func (h *History) LoadNearest(k arcs.HistoryKey) (arcs.ConfigValues, float64, bo
 	return cfg, dist, ok
 }
 
+// LoadNeighbors implements arcs.NeighborHistory: the server's neighbour
+// scan merged with this process's local mirror (remote entries win on a
+// duplicated context), re-ranked under the shared distance order. A
+// pre-neighbors arcsd (endpoint 404s) or an unreachable daemon degrades
+// to the local mirror alone — never an error, matching the rest of the
+// adapter.
+func (h *History) LoadNeighbors(k arcs.HistoryKey, max int) []arcs.Neighbor {
+	if max <= 0 {
+		return nil
+	}
+	ctx, cancel := h.ctx()
+	defer cancel()
+	remote, err := h.c.Neighbors(ctx, k, max)
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		h.setErr(err)
+	}
+	h.mu.Lock()
+	local := h.local.LoadNeighbors(k, max)
+	h.mu.Unlock()
+	seen := make(map[string]bool, len(remote))
+	out := make([]arcs.Neighbor, 0, len(remote)+len(local))
+	for _, n := range remote {
+		seen[n.Key.String()] = true
+		out = append(out, n)
+	}
+	for _, n := range local {
+		if !seen[n.Key.String()] {
+			out = append(out, n)
+		}
+	}
+	arcs.SortNeighbors(out)
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
 // Len implements arcs.History (a full remote dump; diagnostic use only —
 // deliberately not answered locally, so existing "server unreachable"
 // probes keep seeing 0).
@@ -211,4 +248,7 @@ func (h *History) setErr(err error) {
 	}
 }
 
-var _ arcs.FallbackHistory = (*History)(nil)
+var (
+	_ arcs.FallbackHistory = (*History)(nil)
+	_ arcs.NeighborHistory = (*History)(nil)
+)

@@ -1,0 +1,150 @@
+package surrogate
+
+import (
+	"math"
+	"testing"
+)
+
+// synth is a deterministic non-linear target over a small 3-d lattice.
+func synth(x []int) float64 {
+	return float64((x[0]-4)*(x[0]-4)) + 2*float64((x[1]-1)*(x[1]-1)) +
+		0.5*float64((x[2]-5)*(x[2]-5)) + 3*math.Sin(float64(x[0]+x[2]))
+}
+
+func gridObserve(f *Forest, stride int) int {
+	n := 0
+	for a := 0; a < 7; a++ {
+		for b := 0; b < 4; b++ {
+			for c := 0; c < 9; c++ {
+				if (a*36+b*9+c)%stride == 0 {
+					f.Observe([]int{a, b, c}, synth([]int{a, b, c}))
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestForestFitsSignal(t *testing.T) {
+	f := NewForest(3, Options{Seed: 7})
+	gridObserve(f, 3) // 84 samples
+	f.Fit()
+	// The fit must track the signal far better than the constant-mean
+	// baseline on the training lattice.
+	var sse, sseMean, sum float64
+	var n int
+	for a := 0; a < 7; a++ {
+		for b := 0; b < 4; b++ {
+			for c := 0; c < 9; c++ {
+				sum += synth([]int{a, b, c})
+				n++
+			}
+		}
+	}
+	mean := sum / float64(n)
+	for a := 0; a < 7; a++ {
+		for b := 0; b < 4; b++ {
+			for c := 0; c < 9; c++ {
+				x := []int{a, b, c}
+				y := synth(x)
+				pred, _, ok := f.Predict(x)
+				if !ok {
+					t.Fatal("Predict not ok after Fit")
+				}
+				sse += (pred - y) * (pred - y)
+				sseMean += (mean - y) * (mean - y)
+			}
+		}
+	}
+	if sse > 0.3*sseMean {
+		t.Errorf("forest SSE %.2f vs mean-baseline SSE %.2f: model did not learn", sse, sseMean)
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	build := func() *Forest {
+		f := NewForest(3, Options{Seed: 99})
+		gridObserve(f, 5)
+		f.Fit()
+		return f
+	}
+	f1, f2 := build(), build()
+	for a := 0; a < 7; a++ {
+		for c := 0; c < 9; c++ {
+			x := []int{a, a % 4, c}
+			m1, s1, _ := f1.Predict(x)
+			m2, s2, _ := f2.Predict(x)
+			if m1 != m2 || s1 != s2 {
+				t.Fatalf("prediction at %v differs across identical fits: (%g,%g) vs (%g,%g)",
+					x, m1, s1, m2, s2)
+			}
+		}
+	}
+	// Refitting the same forest must also be stable.
+	f1.Fit()
+	m1, s1, _ := f1.Predict([]int{3, 2, 4})
+	m2, s2, _ := f2.Predict([]int{3, 2, 4})
+	if m1 != m2 || s1 != s2 {
+		t.Errorf("refit changed predictions: (%g,%g) vs (%g,%g)", m1, s1, m2, s2)
+	}
+}
+
+func TestForestObserveCopiesPoint(t *testing.T) {
+	f := NewForest(2, Options{Seed: 1})
+	x := []int{1, 2}
+	f.Observe(x, 5)
+	x[0] = 99
+	f.Observe([]int{1, 3}, 7)
+	f.Fit()
+	m, _, ok := f.Predict([]int{1, 2})
+	if !ok || math.IsNaN(m) {
+		t.Fatalf("Predict = %v, %v", m, ok)
+	}
+	if f.Len() != 2 {
+		t.Errorf("Len = %d", f.Len())
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	f := NewForest(3, Options{})
+	if _, _, ok := f.Predict([]int{0, 0, 0}); ok {
+		t.Error("Predict ok before any Fit")
+	}
+	f.Observe([]int{1, 1, 1}, 2)
+	f.Fit()
+	m, s, ok := f.Predict([]int{5, 0, 3})
+	if !ok || m != 2 || s != 0 {
+		t.Errorf("single-sample fit: mean=%g std=%g ok=%v, want 2, 0, true", m, s, ok)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	if ei := ExpectedImprovement(5, 0, 4); ei != 0 {
+		t.Errorf("no-uncertainty worse candidate EI = %g, want 0", ei)
+	}
+	if ei := ExpectedImprovement(3, 0, 4); ei != 1 {
+		t.Errorf("deterministic improvement EI = %g, want 1", ei)
+	}
+	// Symmetric case: mean equals the incumbent, EI = std/sqrt(2*pi).
+	got := ExpectedImprovement(4, 1, 4)
+	want := 1 / math.Sqrt(2*math.Pi)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("EI at z=0: %g, want %g", got, want)
+	}
+	// More uncertainty means more expected improvement, monotonically.
+	prev := 0.0
+	for std := 0.5; std < 8; std += 0.5 {
+		ei := ExpectedImprovement(5, std, 4)
+		if ei <= prev {
+			t.Fatalf("EI not increasing in std: %g at std=%g (prev %g)", ei, std, prev)
+		}
+		prev = ei
+	}
+	// EI is always non-negative.
+	for mean := -3.0; mean < 10; mean += 0.7 {
+		if ei := ExpectedImprovement(mean, 2, 4); ei < 0 {
+			t.Fatalf("negative EI %g at mean %g", ei, mean)
+		}
+	}
+}
