@@ -9,9 +9,24 @@
 // is lint.DefaultPolicy; -policy overrides it with a file of
 // "<pattern> <check>[,<check>...]" lines, and -list-packages prints
 // which checks apply where without analyzing anything.
+//
+// Wire-schema lockfile modes:
+//
+//	-schema-only            run just the codec schema extraction and
+//	                        the diff against codec.lock.json (the
+//	                        dedicated CI step)
+//	-update-schema          re-extract and rewrite codec.lock.json;
+//	                        refuses breaking (non-append-only) changes
+//	-force-schema           with -update-schema, write anyway — for a
+//	                        deliberate, versioned format migration
+//
+// -json prints findings as one JSON object per line
+// ({"file","line","col","check","message"}) for CI annotations and
+// tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +44,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	policyPath := fs.String("policy", "", "policy file overriding the built-in per-package check table")
 	listPkgs := fs.Bool("list-packages", false, "print each package and its enabled checks, then exit")
+	jsonOut := fs.Bool("json", false, "print findings as one JSON object per line")
+	schemaOnly := fs.Bool("schema-only", false, "run only the wire-schema gate (codec extraction + lockfile diff)")
+	updateSchema := fs.Bool("update-schema", false, "re-extract the codec schema and rewrite codec.lock.json (append-only changes)")
+	forceSchema := fs.Bool("force-schema", false, "with -update-schema: accept breaking changes (deliberate format migration)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -42,6 +61,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "arcslint:", err)
 		return 2
 	}
+
+	if *updateSchema {
+		breaking, additions, err := lint.UpdateSchemaLock(root, *forceSchema)
+		if err != nil {
+			fmt.Fprintln(stderr, "arcslint:", err)
+			return 2
+		}
+		if len(breaking) > 0 {
+			fmt.Fprintln(stderr, "arcslint: refusing to lock breaking wire changes (use -force-schema for a deliberate format migration):")
+			for _, b := range breaking {
+				fmt.Fprintln(stderr, "  "+b)
+			}
+			return 1
+		}
+		for _, a := range additions {
+			fmt.Fprintln(stdout, "locked: "+a)
+		}
+		fmt.Fprintf(stdout, "%s updated\n", lint.LockfileName)
+		return 0
+	}
+
+	if *schemaOnly {
+		findings, err := lint.SchemaGate(root)
+		if err != nil {
+			fmt.Fprintln(stderr, "arcslint:", err)
+			return 2
+		}
+		return emit(findings, *jsonOut, stdout, stderr)
+	}
+
 	pol := lint.DefaultPolicy()
 	if *policyPath != "" {
 		data, err := os.ReadFile(*policyPath)
@@ -69,8 +118,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "arcslint:", err)
 		return 2
 	}
+	return emit(findings, *jsonOut, stdout, stderr)
+}
+
+// jsonFinding is the machine-readable -json form, one object per line.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func emit(findings []lint.Finding, asJSON bool, stdout, stderr io.Writer) int {
 	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+		if asJSON {
+			b, err := json.Marshal(jsonFinding{
+				File:    f.Pos.Filename,
+				Line:    f.Pos.Line,
+				Col:     f.Pos.Column,
+				Check:   f.Check,
+				Message: f.Message,
+			})
+			if err != nil {
+				fmt.Fprintln(stderr, "arcslint:", err)
+				return 2
+			}
+			fmt.Fprintln(stdout, string(b))
+		} else {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "arcslint: %d finding(s)\n", len(findings))

@@ -92,6 +92,8 @@ const maxDecodeCount = 1 << 24
 // --- primitives -------------------------------------------------------
 
 // AppendUvarint appends v as an unsigned LEB128 varint.
+//
+//arcslint:hotpath varint primitive under every encoder
 func AppendUvarint(dst []byte, v uint64) []byte {
 	return binary.AppendUvarint(dst, v)
 }
@@ -107,17 +109,23 @@ func Uvarint(b []byte) (uint64, int) {
 }
 
 // appendFloat appends the IEEE-754 bits of f, little-endian.
+//
+//arcslint:hotpath fixed8 primitive under every encoder
 func appendFloat(dst []byte, f float64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
 }
 
 // appendTag appends a field tag.
+//
+//arcslint:hotpath tag primitive under every field append
 func appendTag(dst []byte, num, wt int) []byte {
 	return AppendUvarint(dst, uint64(num)<<3|uint64(wt))
 }
 
 // appendStringField appends tag + length-prefixed string, omitting
 // empty strings (zero values are implicit, proto3-style).
+//
+//arcslint:hotpath field append on the encode path
 func appendStringField(dst []byte, num int, s string) []byte {
 	if s == "" {
 		return dst
@@ -128,6 +136,8 @@ func appendStringField(dst []byte, num int, s string) []byte {
 }
 
 // appendUintField appends tag + varint, omitting zero.
+//
+//arcslint:hotpath field append on the encode path
 func appendUintField(dst []byte, num int, v uint64) []byte {
 	if v == 0 {
 		return dst
@@ -139,6 +149,8 @@ func appendUintField(dst []byte, num int, v uint64) []byte {
 // appendFloatField appends tag + fixed64 float, omitting zero. The
 // zero-elision rule folds negative zero into zero, which is the store's
 // semantics anyway (a 0 cap means "uncapped").
+//
+//arcslint:hotpath field append on the encode path
 func appendFloatField(dst []byte, num int, f float64) []byte {
 	//arcslint:ignore floatcmp exact-zero elision is the wire contract, not a tolerance bug
 	if f == 0 {
@@ -150,6 +162,8 @@ func appendFloatField(dst []byte, num int, f float64) []byte {
 
 // appendBytesField appends tag + length-prefixed bytes (nested
 // messages), omitting empty payloads.
+//
+//arcslint:hotpath field append on the encode path
 func appendBytesField(dst []byte, num int, b []byte) []byte {
 	if len(b) == 0 {
 		return dst
@@ -168,6 +182,8 @@ type fieldReader struct {
 // next returns the next field's number, wire type, and value bytes
 // (varint bytes, 8 fixed bytes, or the length-delimited payload).
 // done reports exhaustion; err any malformation.
+//
+//arcslint:hotpath per-field step of every decoder
 func (r *fieldReader) next() (num, wt int, val []byte, done bool, err error) {
 	if r.pos >= len(r.buf) {
 		return 0, 0, nil, true, nil
@@ -212,12 +228,16 @@ func (r *fieldReader) next() (num, wt int, val []byte, done bool, err error) {
 }
 
 // uintVal decodes a varint field value.
+//
+//arcslint:hotpath field value decode
 func uintVal(val []byte) uint64 {
 	v, _ := Uvarint(val)
 	return v
 }
 
 // floatVal decodes a fixed64 field value.
+//
+//arcslint:hotpath field value decode
 func floatVal(val []byte) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(val))
 }
@@ -226,6 +246,8 @@ func floatVal(val []byte) float64 {
 
 // AppendFrame wraps payload in a frame of the given kind:
 // magic, kind, uvarint length, payload, CRC32 (IEEE, little-endian).
+//
+//arcslint:hotpath framing on the WAL and wire encode paths
 func AppendFrame(dst []byte, kind byte, payload []byte) []byte {
 	dst = append(dst, Magic, kind)
 	dst = AppendUvarint(dst, uint64(len(payload)))
@@ -238,6 +260,8 @@ func AppendFrame(dst []byte, kind byte, payload []byte) []byte {
 // frame occupies. ErrTruncated distinguishes "need more bytes" from
 // structural corruption (ErrFrame / ErrChecksum), so streaming readers
 // can tell a torn tail from a damaged record.
+//
+//arcslint:hotpath framing on the WAL replay and wire decode paths
 func Frame(b []byte) (kind byte, payload []byte, n int, err error) {
 	if len(b) == 0 {
 		return 0, nil, 0, ErrTruncated

@@ -92,6 +92,8 @@ func New() *Cache {
 }
 
 // Get returns the cached value for k, if present.
+//
+//arcslint:hotpath probe memoisation lookup on the search hot path
 func (c *Cache) Get(k Key) (float64, bool) {
 	if c == nil {
 		return 0, false

@@ -39,8 +39,8 @@ type hint struct {
 // Not self-locking: the Fleet's mutex guards every queue.
 type hintQueue struct {
 	max     int
-	items   map[string]hint
-	dropped uint64
+	items   map[string]hint // guarded by mu (the owning Fleet's mutex)
+	dropped uint64          // guarded by mu
 }
 
 func newHintQueue(max int) *hintQueue {
@@ -51,6 +51,8 @@ func newHintQueue(max int) *hintQueue {
 // queued for the key: a merge hint subsumes anything (the re-resolved
 // entry is authoritative), and of two report hints the better (lower)
 // perf survives.
+//
+//arcslint:locked mu
 func (q *hintQueue) add(ck string, h hint) {
 	if old, ok := q.items[ck]; ok {
 		if old.kind == hintMerge {
@@ -71,6 +73,8 @@ func (q *hintQueue) add(ck string, h hint) {
 
 // take removes and returns every queued hint in canonical-key order
 // (deterministic drains).
+//
+//arcslint:locked mu
 func (q *hintQueue) take() []hint {
 	if len(q.items) == 0 {
 		return nil
@@ -88,4 +92,7 @@ func (q *hintQueue) take() []hint {
 	return out
 }
 
+// depth reports the queued-obligation count for the stats endpoint.
+//
+//arcslint:locked mu
 func (q *hintQueue) depth() int { return len(q.items) }

@@ -98,6 +98,8 @@ func (r *Ring) Nodes() []string { return r.nodes }
 // primary, the rest the replicas in ring order — and returns the
 // extended slice (append-style, so routing allocates nothing at steady
 // state). n is clamped to the member count.
+//
+//arcslint:hotpath backs the 0-allocs/op BenchmarkFleetRoute baseline
 func (r *Ring) Owners(key string, n int, dst []string) []string {
 	if n > len(r.nodes) {
 		n = len(r.nodes)

@@ -11,6 +11,8 @@ import (
 func FuzzParseDirective(f *testing.F) {
 	seeds := []string{
 		"// ordinary comment",
+		"//arcslint:hotpath",
+		"//arcslint:hotpath backs a 0-allocs/op baseline",
 		"//arcslint:ignore floatcmp exact tie-break",
 		"//arcslint:ignore all harness-controlled",
 		"//arcslint:ignore guardedby constructor; not escaped",
@@ -55,8 +57,54 @@ func FuzzParseDirective(f *testing.F) {
 			if !isIdent(d.mu) {
 				t.Fatalf("parseDirective(%q) accepted invalid mutex name %q", text, d.mu)
 			}
+		case verbHotpath:
+			// The reason is optional free text; nothing to validate.
 		default:
 			t.Fatalf("parseDirective(%q) returned unknown verb %q", text, d.verb)
+		}
+	})
+}
+
+// FuzzParseLockfile hardens the codec.lock.json parser: arbitrary
+// bytes must yield a validated schema or an error — never a panic, and
+// a schema that survives must re-marshal and re-parse identically
+// (canonical form is a fixpoint).
+func FuzzParseLockfile(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"format":1}`,
+		`{"format":2}`,
+		`{"format":1,"kinds":{"KindEntry":1,"KindReport":2}}`,
+		`{"format":1,"kinds":{"":1}}`,
+		`{"format":1,"versions":{"snapshotVersion":1}}`,
+		`{"format":1,"versions":{"v":-3}}`,
+		`{"format":1,"messages":{"Encoder.AppendEntry":[{"name":"entKey","num":1,"wire":"bytes"}]}}`,
+		`{"format":1,"messages":{"m":[{"name":"a","num":1,"wire":"bytes"},{"name":"b","num":1,"wire":"varint"}]}}`,
+		`{"format":1,"messages":{"m":[{"name":"a","num":1,"wire":"wat"}]}}`,
+		`{"format":1,"columns":{"Encoder.AppendSnapshot":[{"name":"Key.App","wire":"uvarint"}]}}`,
+		`{"format":1,"columns":{"f":[{"name":"","wire":"uvarint"}]}}`,
+		`[1,2,3]`,
+		`{"format":1,"kinds":{"K`,
+		"\x00\xff{",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseLockfile(data)
+		if s == nil && err == nil {
+			t.Fatalf("ParseLockfile(%q) returned neither schema nor error", data)
+		}
+		if s == nil {
+			return
+		}
+		again, err := ParseLockfile(s.Marshal())
+		if err != nil {
+			t.Fatalf("re-parse of marshalled schema failed: %v", err)
+		}
+		if string(again.Marshal()) != string(s.Marshal()) {
+			t.Fatalf("canonical form is not a fixpoint:\n%s\nvs\n%s", s.Marshal(), again.Marshal())
 		}
 	})
 }

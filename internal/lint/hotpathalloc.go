@@ -1,0 +1,405 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotpathalloc turns the bench gate's 0-allocs/op baselines into a
+// static contract. A function annotated
+//
+//	//arcslint:hotpath [reason]
+//
+// in its doc comment promises not to allocate per call, and the
+// analyzer flags the allocation patterns that are visible in the
+// AST/types without a full escape analysis:
+//
+//   - any call into package fmt (Sprintf/Errorf always allocate);
+//   - non-constant string concatenation (+ / +=);
+//   - a closure that captures a loop variable of an enclosing loop in
+//     the same function (the capture forces the variable to the heap
+//     every iteration); closures capturing non-loop state are fine —
+//     sort.Search callbacks hoist their capture once;
+//   - interface boxing of a scalar: passing a non-constant basic-typed
+//     value (int, float64, bool...) where an interface is expected, or
+//     converting one to an interface type;
+//   - append to a slice declared `var s []T` (nil, no preallocation)
+//     from inside a loop — growth reallocates on the hot path;
+//   - make/new or a slice/map composite literal inside a loop.
+//
+// Error paths are cold by definition: a pattern inside a return
+// statement whose error result is non-nil is exempt, so encoders may
+// build rich fmt.Errorf diagnostics on their failure branches while the
+// success path stays allocation-free.
+func runHotPathAlloc(p *pass) {
+	forEachFuncDecl(p.pkg, func(fd *ast.FuncDecl) {
+		if fd.Body == nil || !isHotPath(fd.Doc) {
+			return
+		}
+		h := &hpWalker{p: p, fd: fd}
+		h.collectColdRanges()
+		h.collectLoopVars()
+		h.collectNilSlices()
+		h.walk()
+	})
+}
+
+// isHotPath reports an //arcslint:hotpath directive in a doc comment.
+func isHotPath(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		d, err := parseDirective(c.Text)
+		if err != nil || d == nil {
+			continue
+		}
+		if d.verb == verbHotpath {
+			return true
+		}
+	}
+	return false
+}
+
+type hpWalker struct {
+	p  *pass
+	fd *ast.FuncDecl
+
+	cold      []posRange            // return-with-error statements
+	loopVars  map[types.Object]bool // range/for-init variables
+	loopOf    map[types.Object]ast.Node
+	nilSlices map[types.Object]token.Pos // var s []T declarations
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func (h *hpWalker) isCold(pos token.Pos) bool {
+	for _, r := range h.cold {
+		if r.lo <= pos && pos <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// collectColdRanges marks return statements whose final error result is
+// syntactically non-nil: their subtrees are failure paths.
+func (h *hpWalker) collectColdRanges() {
+	res := h.fd.Type.Results
+	if res == nil || len(res.List) == 0 {
+		return
+	}
+	last := res.List[len(res.List)-1].Type
+	t := h.p.pkg.Info.TypeOf(last)
+	if t == nil || !types.Identical(t, types.Universe.Lookup("error").Type()) {
+		return
+	}
+	ast.Inspect(h.fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		lastExpr := ret.Results[len(ret.Results)-1]
+		if id, ok := ast.Unparen(lastExpr).(*ast.Ident); ok && id.Name == "nil" {
+			return true
+		}
+		// Also skip `return foo()` forwarding forms only when the
+		// forwarded call's type ends in error (multi-value forward):
+		// the error may be nil at runtime, but the expression built
+		// here is still on the success path, so do NOT exempt those.
+		if len(ret.Results) == 1 && len(h.fd.Type.Results.List) > 1 {
+			return true
+		}
+		h.cold = append(h.cold, posRange{ret.Pos(), ret.End()})
+		return true
+	})
+}
+
+// collectLoopVars records the iteration variables of every loop in the
+// function: range key/value identifiers and for-init short-var
+// declarations.
+func (h *hpWalker) collectLoopVars() {
+	h.loopVars = map[types.Object]bool{}
+	h.loopOf = map[types.Object]ast.Node{}
+	note := func(e ast.Expr, loop ast.Node) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := h.p.pkg.Info.Defs[id]; obj != nil {
+			h.loopVars[obj] = true
+			h.loopOf[obj] = loop
+		}
+	}
+	ast.Inspect(h.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			note(n.Key, n)
+			note(n.Value, n)
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					note(lhs, n)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectNilSlices records `var s []T` declarations (no initializer, no
+// preallocation) so appends to them inside loops can be flagged.
+func (h *hpWalker) collectNilSlices() {
+	h.nilSlices = map[types.Object]token.Pos{}
+	ast.Inspect(h.fd.Body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := ds.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := h.p.pkg.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					h.nilSlices[obj] = name.Pos()
+				}
+			}
+		}
+		return true
+	})
+}
+
+// walk visits the function body, tracking loop nesting.
+func (h *hpWalker) walk() {
+	name := funcDisplayName(h.fd)
+	var inspect func(n ast.Node, loopDepth int, inLit bool) // manual recursion to carry loop depth
+	visitChildren := func(n ast.Node, depth int, inLit bool) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n || c == nil {
+				return true
+			}
+			inspect(c, depth, inLit)
+			return false
+		})
+	}
+	inspect = func(n ast.Node, loopDepth int, inLit bool) {
+		if n == nil {
+			return
+		}
+		if pos := n.Pos(); pos.IsValid() && h.isCold(pos) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			visitChildren(n, loopDepth+1, inLit)
+			return
+		case *ast.FuncLit:
+			h.checkClosure(n, name)
+			visitChildren(n, loopDepth, true)
+			return
+		case *ast.CallExpr:
+			h.checkCall(n, name, loopDepth)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				h.checkConcat(n, name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				h.checkConcatAssign(n, name)
+			}
+		case *ast.CompositeLit:
+			h.checkCompositeLit(n, name, loopDepth)
+		}
+		visitChildren(n, loopDepth, inLit)
+	}
+	inspect(h.fd.Body, 0, false)
+}
+
+func (h *hpWalker) checkCall(call *ast.CallExpr, fname string, loopDepth int) {
+	// Builtins first: make/new allocate every iteration inside a loop;
+	// append to a never-preallocated slice grows on the hot path.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := h.p.pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				if loopDepth > 0 {
+					h.p.report(call.Pos(), CheckHotPath,
+						"hotpath %s: %s inside a loop allocates every iteration; hoist or reuse a scratch buffer", fname, b.Name())
+				}
+			case "append":
+				if loopDepth > 0 && len(call.Args) > 0 {
+					if target, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+						if obj := h.p.pkg.Info.Uses[target]; obj != nil {
+							if declPos, isNil := h.nilSlices[obj]; isNil {
+								h.p.report(call.Pos(), CheckHotPath,
+									"hotpath %s: append to %s (declared nil at %s) in a loop reallocates as it grows; preallocate with make(..., 0, n) or reuse a buffer",
+									fname, target.Name, h.p.position(declPos))
+							}
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// Any fmt call allocates (Sprintf, Errorf, Fprintf's boxing...).
+	if fn := qualifiedCallee(h.p.pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		h.p.report(call.Pos(), CheckHotPath,
+			"hotpath %s: fmt.%s allocates; format off the hot path or append manually", fname, fn.Name())
+		return
+	}
+
+	h.checkBoxing(call, fname)
+}
+
+// checkBoxing flags non-constant scalar arguments passed to interface
+// parameters: the conversion heap-boxes the value on every call.
+func (h *hpWalker) checkBoxing(call *ast.CallExpr, fname string) {
+	sig, ok := h.p.pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		// A conversion T(x): flag interface conversions of scalars.
+		if t := h.p.pkg.Info.TypeOf(call.Fun); t != nil && len(call.Args) == 1 {
+			if _, isIface := t.Underlying().(*types.Interface); isIface && h.boxesScalar(call.Args[0]) {
+				h.p.report(call.Pos(), CheckHotPath,
+					"hotpath %s: converting a scalar to %s heap-boxes it", fname, t.String())
+			}
+		}
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if h.boxesScalar(arg) {
+			h.p.report(arg.Pos(), CheckHotPath,
+				"hotpath %s: passing a scalar where %s is expected heap-boxes it every call", fname, pt.String())
+		}
+	}
+}
+
+// boxesScalar reports whether e is a non-constant basic-typed value
+// (interface conversion of which allocates).
+func (h *hpWalker) boxesScalar(e ast.Expr) bool {
+	tv, ok := h.p.pkg.Info.Types[e]
+	if !ok || tv.Value != nil { // constants convert to cached/static boxes
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsNumeric|types.IsBoolean) != 0
+}
+
+func (h *hpWalker) checkConcat(be *ast.BinaryExpr, fname string) {
+	tv, ok := h.p.pkg.Info.Types[be]
+	if !ok || tv.Value != nil { // constant-folded at compile time
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		h.p.report(be.OpPos, CheckHotPath,
+			"hotpath %s: string concatenation allocates; use a byte buffer or precompute", fname)
+	}
+}
+
+func (h *hpWalker) checkConcatAssign(as *ast.AssignStmt, fname string) {
+	t := h.p.pkg.Info.TypeOf(as.Lhs[0])
+	if t == nil {
+		return
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		h.p.report(as.TokPos, CheckHotPath,
+			"hotpath %s: string += allocates a new string every time", fname)
+	}
+}
+
+// checkCompositeLit flags slice/map literals built inside loops: each
+// iteration allocates fresh backing storage.
+func (h *hpWalker) checkCompositeLit(cl *ast.CompositeLit, fname string, loopDepth int) {
+	if loopDepth == 0 {
+		return
+	}
+	t := h.p.pkg.Info.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		h.p.report(cl.Pos(), CheckHotPath,
+			"hotpath %s: slice literal inside a loop allocates every iteration", fname)
+	case *types.Map:
+		h.p.report(cl.Pos(), CheckHotPath,
+			"hotpath %s: map literal inside a loop allocates every iteration", fname)
+	}
+}
+
+// checkClosure flags closures that capture an iteration variable of an
+// enclosing loop: the capture heap-allocates the variable (and often
+// the closure) per iteration.
+func (h *hpWalker) checkClosure(lit *ast.FuncLit, fname string) {
+	reported := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := h.p.pkg.Info.Uses[id]
+		if obj == nil || !h.loopVars[obj] {
+			return true
+		}
+		// The capture only bites when the closure sits inside that
+		// variable's loop (a closure after the loop sees a dead var).
+		loop := h.loopOf[obj]
+		if loop == nil || lit.Pos() < loop.Pos() || lit.End() > loop.End() {
+			return true
+		}
+		h.p.report(lit.Pos(), CheckHotPath,
+			"hotpath %s: closure captures loop variable %s; the capture escapes to the heap every iteration", fname, obj.Name())
+		reported = true
+		return false
+	})
+}
+
+// qualifiedCallee resolves a call's target to a *types.Func from any
+// package (unlike calleeFunc, which is same-package only).
+func qualifiedCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}

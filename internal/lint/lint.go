@@ -8,7 +8,8 @@
 // schedule `-race` happens to execute. arcslint turns those conventions
 // into mechanical rules enforced in CI.
 //
-// Four analyzers ship today (see DESIGN.md §9 for the full contract):
+// Seven analyzers ship today (see DESIGN.md §9 and §14 for the full
+// contract):
 //
 //   - determinism: in deterministic packages, forbids wall-clock reads
 //     (time.Now/Since/Until), the global math/rand functions (seeded
@@ -22,6 +23,16 @@
 //     discarded with `_ =`.
 //   - floatcmp: == and != between float operands (tuner and keep-best
 //     comparisons must be ordered or epsilon-based).
+//   - wireschema: statically extracts the codec's frame kinds, field
+//     tags, wire types, and columnar layouts, and diffs them against
+//     the committed codec.lock.json (append-only wire contract).
+//   - lockorder: interprocedural lock-acquisition analysis — order
+//     cycles (deadlocks), return paths that skip an Unlock, and
+//     double-acquisition of a non-reentrant mutex through a call chain.
+//   - hotpathalloc: inside //arcslint:hotpath functions, flags
+//     AST-visible heap-allocation patterns (fmt calls, string concat,
+//     loop-variable closure captures, interface boxing of scalars,
+//     per-iteration make/append growth).
 //
 // Findings are suppressed line-by-line with a trailing (or
 // immediately-preceding) comment of the form
@@ -77,6 +88,9 @@ var analyzers = []analyzer{
 	{CheckGuardedBy, runGuardedBy},
 	{CheckErrcheckIO, runErrcheckIO},
 	{CheckFloatCmp, runFloatCmp},
+	{CheckWireSchema, runWireSchema},
+	{CheckLockOrder, runLockOrder},
+	{CheckHotPath, runHotPathAlloc},
 }
 
 // Run lints the module rooted at root. Patterns are module-relative:
@@ -103,6 +117,14 @@ func Run(root string, patterns []string, pol Policy) ([]Finding, error) {
 			return nil, fmt.Errorf("lint: load %s: %w", path, err)
 		}
 		out = append(out, Analyze(pkg, checks)...)
+		// The wireschema analyzer reports intra-package problems (tag
+		// reuse, non-constant tags); the lockfile diff against
+		// codec.lock.json is a whole-repo contract, so it runs here.
+		for _, c := range checks {
+			if c == CheckWireSchema {
+				out = append(out, schemaLockFindings(root, pkg)...)
+			}
+		}
 	}
 	sortFindings(out)
 	return out, nil

@@ -91,6 +91,18 @@ func TestFloatCmpGolden(t *testing.T) {
 	runGolden(t, "fcmp", []string{CheckFloatCmp})
 }
 
+func TestLockOrderGolden(t *testing.T) {
+	runGolden(t, "lockorder", []string{CheckLockOrder})
+}
+
+func TestHotPathAllocGolden(t *testing.T) {
+	runGolden(t, "hotpath", []string{CheckHotPath})
+}
+
+func TestWireSchemaGolden(t *testing.T) {
+	runGolden(t, "wireschema", []string{CheckWireSchema})
+}
+
 // TestMalformedDirectives asserts every broken arcslint: comment in the
 // corpus surfaces as a "directive" finding, and that well-formed ones
 // in the other corpora do not.
@@ -128,6 +140,8 @@ func TestParseDirective(t *testing.T) {
 		{"//arcslint:ignore all covered by test harness", false, false, verbIgnore},
 		{"//arcslint:locked mu", false, false, verbLocked},
 		{"//arcslint:locked walMu caller holds it", false, false, verbLocked},
+		{"//arcslint:hotpath", false, false, verbHotpath},
+		{"//arcslint:hotpath backs a 0-allocs/op baseline", false, false, verbHotpath},
 		{"//arcslint:ignore", true, true, ""},
 		{"//arcslint:ignore floatcmp", true, true, ""},
 		{"//arcslint:ignore nosuch reason here", true, true, ""},
@@ -202,9 +216,22 @@ func TestMatchPattern(t *testing.T) {
 
 func TestDefaultPolicyShape(t *testing.T) {
 	pol := DefaultPolicy()
-	// Every package is at least under the guardedby convention.
-	if got := pol.ChecksFor("arcs/internal/newpkg"); len(got) != 1 || got[0] != CheckGuardedBy {
-		t.Errorf("new package checks = %v, want [guardedby]", got)
+	// Every package is at least under the guardedby, lockorder, and
+	// hotpath conventions.
+	base := strings.Join([]string{CheckGuardedBy, CheckHotPath, CheckLockOrder}, ",")
+	if got := strings.Join(pol.ChecksFor("arcs/internal/newpkg"), ","); got != base {
+		t.Errorf("new package checks = %v, want [%s]", got, base)
+	}
+	// Only the codec is under the wire-schema contract.
+	if checks := strings.Join(pol.ChecksFor("arcs/internal/codec"), ","); !strings.Contains(checks, CheckWireSchema) {
+		t.Errorf("codec checks = %s, want wireschema included", checks)
+	}
+	for _, path := range []string{"arcs/internal/store", "arcs/internal/fleet"} {
+		for _, c := range pol.ChecksFor(path) {
+			if c == CheckWireSchema {
+				t.Errorf("%s must not be under the wireschema contract", path)
+			}
+		}
 	}
 	// The deterministic set carries determinism and floatcmp.
 	for _, path := range deterministicPackages {

@@ -1,0 +1,641 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorder is an interprocedural, per-package lock analysis. Each
+// function body is walked abstractly, tracking the ordered set of held
+// mutexes (a lock class is the types.Object of the mutex field or
+// variable — all instances of Store.walMu are one class) and the set of
+// deferred unlocks. The walk reports:
+//
+//   - double acquisition: Lock/RLock of a class already held on the
+//     same path (sync mutexes are not reentrant; a second RLock can
+//     deadlock against a writer between the two);
+//   - missed unlock: a return (or fall-off-the-end) path on which a
+//     held mutex has no pending unlock, explicit or deferred — the
+//     classic missing `defer` on an error branch;
+//
+// and records (a) acquisition-order edges held -> acquired and (b) every
+// same-package call site with the locks held at it. A fixpoint then
+// propagates "may acquire" sets over the call graph, adding
+// interprocedural edges and flagging calls that can re-acquire a lock
+// the caller already holds. Cycles in the resulting order graph are
+// potential deadlocks and are reported on every participating edge.
+//
+// `//arcslint:locked <mu>` on a function declares that its caller holds
+// <mu>: the walk starts with it held (and exempt from missed-unlock),
+// so the annotation both silences false positives and catches the
+// function re-locking what it was promised.
+//
+// Branches merge by intersection (a lock released on one arm counts as
+// released), closures and `go` statements are opaque, and lock identity
+// is by field/variable object, so two distinct instances of one shard
+// class alias. Those are the model's limits — see DESIGN.md §14.
+
+func runLockOrder(p *pass) {
+	a := &loAnalysis{
+		p:      p,
+		labels: map[types.Object]string{},
+		funcs:  map[*types.Func]*loFunc{},
+		order:  map[loEdge]token.Pos{},
+		byName: map[string][]types.Object{},
+	}
+	a.collectMutexNames()
+	forEachFuncDecl(p.pkg, func(fd *ast.FuncDecl) { a.walkFunc(fd) })
+	a.propagate()
+	a.linkCalls()
+	a.reportCycles()
+}
+
+type loEdge struct{ from, to types.Object }
+
+type loAnalysis struct {
+	p      *pass
+	labels map[types.Object]string
+	funcs  map[*types.Func]*loFunc
+	fnOrd  []*loFunc // deterministic iteration order
+	order  map[loEdge]token.Pos
+	byName map[string][]types.Object // mutex name -> candidate objects
+}
+
+type loFunc struct {
+	fn    *types.Func
+	may   map[types.Object]token.Pos // locks this function may acquire, transitively
+	calls []loCall
+}
+
+type loCall struct {
+	callee *types.Func
+	held   []loAcq
+	pos    token.Pos
+}
+
+type loAcq struct {
+	obj  types.Object
+	read bool
+	pos  token.Pos
+}
+
+type loState struct {
+	held     []loAcq
+	deferred map[types.Object]bool
+}
+
+func (st *loState) clone() *loState {
+	c := &loState{
+		held:     append([]loAcq(nil), st.held...),
+		deferred: make(map[types.Object]bool, len(st.deferred)),
+	}
+	for k, v := range st.deferred {
+		c.deferred[k] = v
+	}
+	return c
+}
+
+// mergeStates intersects held sets and deferred sets: a lock released
+// on any arm is treated as released (optimistic, minimizes false
+// positives), matching how conditional-unlock code is actually written.
+func mergeStates(states []*loState) *loState {
+	out := states[0]
+	for _, st := range states[1:] {
+		var held []loAcq
+		for _, a := range out.held {
+			for _, b := range st.held {
+				if a.obj == b.obj {
+					held = append(held, a)
+					break
+				}
+			}
+		}
+		out.held = held
+		for obj := range out.deferred {
+			if !st.deferred[obj] {
+				delete(out.deferred, obj)
+			}
+		}
+	}
+	return out
+}
+
+// collectMutexNames indexes every mutex-typed field and variable
+// defined in the package by name, so `//arcslint:locked mu` can resolve
+// "mu" to a lock class when the name is unambiguous.
+func (a *loAnalysis) collectMutexNames() {
+	for _, obj := range a.p.pkg.Info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || !isMutexType(v.Type()) {
+			continue
+		}
+		a.byName[v.Name()] = append(a.byName[v.Name()], v)
+	}
+	for name, objs := range a.byName {
+		// Deduplicate (a Def appears once, but be safe) and keep
+		// deterministic.
+		sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+		a.byName[name] = objs
+	}
+}
+
+func (a *loAnalysis) label(obj types.Object) string {
+	if l, ok := a.labels[obj]; ok {
+		return l
+	}
+	return obj.Name()
+}
+
+// walkFunc analyzes one function declaration.
+func (a *loAnalysis) walkFunc(fd *ast.FuncDecl) {
+	fn, _ := a.p.pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil || fd.Body == nil {
+		return
+	}
+	f := &loFunc{fn: fn, may: map[types.Object]token.Pos{}}
+	a.funcs[fn] = f
+	a.fnOrd = append(a.fnOrd, f)
+
+	st := &loState{deferred: map[types.Object]bool{}}
+	for _, mu := range lockedMutexes(fd.Doc) {
+		objs := a.byName[mu]
+		if len(objs) != 1 {
+			continue // ambiguous or unknown; guardedby handles the name check
+		}
+		st.held = append(st.held, loAcq{obj: objs[0], pos: fd.Pos()})
+		st.deferred[objs[0]] = true // the caller releases it, not us
+	}
+
+	w := &loWalker{a: a, f: f}
+	if !w.walkStmt(st, fd.Body) {
+		w.checkRelease(st, fd.Body.Rbrace)
+	}
+}
+
+type loWalker struct {
+	a *loAnalysis
+	f *loFunc
+}
+
+// walkStmt abstractly executes s, mutating st; it returns true when the
+// path terminates (return, branch out, all-arms-terminate).
+func (w *loWalker) walkStmt(st *loState, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.walkBody(st, s.List)
+	case *ast.ExprStmt:
+		w.scanExpr(st, s.X)
+	case *ast.SendStmt:
+		w.scanExpr(st, s.Chan)
+		w.scanExpr(st, s.Value)
+	case *ast.IncDecStmt:
+		w.scanExpr(st, s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(st, e)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(st, e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scanExpr(st, e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(st, e)
+		}
+		w.checkRelease(st, s.Pos())
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto end this straight-line path; the
+		// conservative choice is to stop checking it.
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(st, s.Init)
+		}
+		w.scanExpr(st, s.Cond)
+		thenSt := st.clone()
+		var live []*loState
+		if !w.walkStmt(thenSt, s.Body) {
+			live = append(live, thenSt)
+		}
+		if s.Else != nil {
+			elseSt := st.clone()
+			if !w.walkStmt(elseSt, s.Else) {
+				live = append(live, elseSt)
+			}
+		} else {
+			live = append(live, st.clone())
+		}
+		if len(live) == 0 {
+			return true
+		}
+		*st = *mergeStates(live)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(st, s.Init)
+		}
+		if s.Cond != nil {
+			w.scanExpr(st, s.Cond)
+		}
+		bodySt := st.clone()
+		if !w.walkStmt(bodySt, s.Body) {
+			if s.Post != nil {
+				w.walkStmt(bodySt, s.Post)
+			}
+			*st = *mergeStates([]*loState{st, bodySt})
+		}
+	case *ast.RangeStmt:
+		w.scanExpr(st, s.X)
+		bodySt := st.clone()
+		if !w.walkStmt(bodySt, s.Body) {
+			*st = *mergeStates([]*loState{st, bodySt})
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(st, s.Init)
+		}
+		if s.Tag != nil {
+			w.scanExpr(st, s.Tag)
+		}
+		return w.walkCases(st, s.Body, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(st, s.Init)
+		}
+		w.walkStmt(st, s.Assign)
+		return w.walkCases(st, s.Body, false)
+	case *ast.SelectStmt:
+		return w.walkCases(st, s.Body, true)
+	case *ast.DeferStmt:
+		w.handleDefer(st, s.Call)
+	case *ast.GoStmt:
+		// Runs concurrently; its locks are its own problem (analyzed
+		// when the callee is a declared function).
+	case *ast.LabeledStmt:
+		return w.walkStmt(st, s.Stmt)
+	}
+	return false
+}
+
+func (w *loWalker) walkBody(st *loState, list []ast.Stmt) bool {
+	for _, s := range list {
+		if w.walkStmt(st, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkCases handles switch/type-switch/select bodies. exhaustive marks
+// constructs with no fall-past path unless a branch completes (select);
+// a switch without a default falls through with the entry state.
+func (w *loWalker) walkCases(st *loState, body *ast.BlockStmt, exhaustive bool) bool {
+	var live []*loState
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		branch := st.clone()
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				w.scanExpr(branch, e)
+			}
+			stmts = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				w.walkStmt(branch, cs.Comm)
+			}
+			stmts = cs.Body
+		}
+		if !w.walkBody(branch, stmts) {
+			live = append(live, branch)
+		}
+	}
+	if !exhaustive && !hasDefault {
+		live = append(live, st.clone())
+	}
+	if len(live) == 0 {
+		return true
+	}
+	*st = *mergeStates(live)
+	return false
+}
+
+func (w *loWalker) handleDefer(st *loState, call *ast.CallExpr) {
+	if obj, _, kind := w.lockCallTarget(call); obj != nil && (kind == "Unlock" || kind == "RUnlock") {
+		st.deferred[obj] = true
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if obj, _, kind := w.lockCallTarget(c); obj != nil && (kind == "Unlock" || kind == "RUnlock") {
+					st.deferred[obj] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// scanExpr walks an expression for lock operations and same-package
+// calls, in (approximate) evaluation order. Closure bodies are opaque.
+func (w *loWalker) scanExpr(st *loState, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.handleCall(st, n)
+		}
+		return true
+	})
+}
+
+func (w *loWalker) handleCall(st *loState, call *ast.CallExpr) {
+	obj, read, kind := w.lockCallTarget(call)
+	if obj != nil {
+		switch kind {
+		case "Lock", "RLock":
+			for _, h := range st.held {
+				if h.obj == obj {
+					verb := "Lock"
+					if read {
+						verb = "RLock"
+					}
+					w.a.p.report(call.Pos(), CheckLockOrder,
+						"%s of %s while already held (acquired at %s); sync mutexes are not reentrant",
+						verb, w.a.label(obj), w.a.p.position(h.pos))
+					return
+				}
+			}
+			for _, h := range st.held {
+				w.a.addEdge(h.obj, obj, call.Pos())
+			}
+			st.held = append(st.held, loAcq{obj: obj, read: read, pos: call.Pos()})
+			w.f.may[obj] = call.Pos()
+		case "Unlock", "RUnlock":
+			for i := len(st.held) - 1; i >= 0; i-- {
+				if st.held[i].obj == obj {
+					st.held = append(st.held[:i], st.held[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	if callee := calleeFunc(w.a.p.pkg, call); callee != nil {
+		w.f.calls = append(w.f.calls, loCall{
+			callee: callee,
+			held:   append([]loAcq(nil), st.held...),
+			pos:    call.Pos(),
+		})
+	}
+}
+
+// lockCallTarget resolves a call of the form <expr>.Lock/RLock/Unlock/
+// RUnlock on a sync mutex to the mutex's lock class. It also learns the
+// class's display label ("Store.walMu") from the selector shape.
+func (w *loWalker) lockCallTarget(call *ast.CallExpr) (obj types.Object, read bool, kind string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, ""
+	}
+	kind = sel.Sel.Name
+	switch kind {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, false, ""
+	}
+	recv := ast.Unparen(sel.X)
+	if !isMutexType(w.a.p.pkg.Info.TypeOf(recv)) {
+		return nil, false, ""
+	}
+	read = kind == "RLock" || kind == "RUnlock"
+	switch recv := recv.(type) {
+	case *ast.Ident:
+		obj = w.a.p.pkg.Info.Uses[recv]
+		if obj != nil {
+			w.a.labels[obj] = recv.Name
+		}
+	case *ast.SelectorExpr:
+		if s, ok := w.a.p.pkg.Info.Selections[recv]; ok {
+			obj = s.Obj()
+			if obj != nil {
+				w.a.labels[obj] = recvTypeName(s.Recv()) + "." + obj.Name()
+			}
+		} else {
+			obj = w.a.p.pkg.Info.Uses[recv.Sel] // package-qualified var
+			if obj != nil {
+				w.a.labels[obj] = recv.Sel.Name
+			}
+		}
+	}
+	return obj, read, kind
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return strings.TrimPrefix(t.String(), "*")
+}
+
+// checkRelease reports held, non-deferred locks at a path exit.
+func (w *loWalker) checkRelease(st *loState, pos token.Pos) {
+	for _, h := range st.held {
+		if st.deferred[h.obj] {
+			continue
+		}
+		w.a.p.report(pos, CheckLockOrder,
+			"this path leaves %s locked (acquired at %s); missing unlock or defer on the branch",
+			w.a.label(h.obj), w.a.p.position(h.pos))
+	}
+}
+
+func (a *loAnalysis) addEdge(from, to types.Object, pos token.Pos) {
+	if from == to {
+		return // reported as double acquisition, not an order edge
+	}
+	e := loEdge{from, to}
+	if old, ok := a.order[e]; !ok || pos < old {
+		a.order[e] = pos
+	}
+}
+
+// propagate computes the transitive may-acquire set of every function
+// over the same-package call graph.
+func (a *loAnalysis) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, f := range a.fnOrd {
+			for _, c := range f.calls {
+				cf := a.funcs[c.callee]
+				if cf == nil {
+					continue
+				}
+				for obj, pos := range cf.may {
+					if _, ok := f.may[obj]; !ok {
+						f.may[obj] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// linkCalls adds interprocedural order edges (held at call site ->
+// acquired inside the callee) and flags calls that may re-acquire a
+// held lock through the chain.
+func (a *loAnalysis) linkCalls() {
+	for _, f := range a.fnOrd {
+		for _, c := range f.calls {
+			cf := a.funcs[c.callee]
+			if cf == nil || len(c.held) == 0 {
+				continue
+			}
+			acquired := make([]types.Object, 0, len(cf.may))
+			for obj := range cf.may {
+				acquired = append(acquired, obj)
+			}
+			sort.Slice(acquired, func(i, j int) bool { return acquired[i].Pos() < acquired[j].Pos() })
+			for _, h := range c.held {
+				for _, obj := range acquired {
+					if obj == h.obj {
+						a.p.report(c.pos, CheckLockOrder,
+							"call to %s while holding %s; the callee may acquire %s again (at %s)",
+							c.callee.Name(), a.label(h.obj), a.label(obj), a.p.position(cf.may[obj]))
+						continue
+					}
+					a.addEdge(h.obj, obj, c.pos)
+				}
+			}
+		}
+	}
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// order graph and reports every edge inside one: concurrent callers
+// taking the locks in the two orders can deadlock.
+func (a *loAnalysis) reportCycles() {
+	// Deterministic node order.
+	nodes := map[types.Object]bool{}
+	for e := range a.order {
+		nodes[e.from] = true
+		nodes[e.to] = true
+	}
+	ordered := make([]types.Object, 0, len(nodes))
+	for n := range nodes {
+		ordered = append(ordered, n)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Pos() < ordered[j].Pos() })
+
+	adj := map[types.Object][]types.Object{}
+	for e := range a.order {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, tos := range adj {
+		sort.Slice(tos, func(i, j int) bool { return tos[i].Pos() < tos[j].Pos() })
+	}
+
+	// Tarjan SCC.
+	index := map[types.Object]int{}
+	low := map[types.Object]int{}
+	onStack := map[types.Object]bool{}
+	var stack []types.Object
+	comp := map[types.Object]int{}
+	next, ncomp := 0, 0
+	var strongconnect func(v types.Object)
+	strongconnect = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, u := range adj[v] {
+			if _, seen := index[u]; !seen {
+				strongconnect(u)
+				if low[u] < low[v] {
+					low[v] = low[u]
+				}
+			} else if onStack[u] && index[u] < low[v] {
+				low[v] = index[u]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[u] = false
+				comp[u] = ncomp
+				if u == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	for _, v := range ordered {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	compSize := make([]int, ncomp)
+	for _, c := range comp {
+		compSize[c]++
+	}
+	// Describe each cyclic component once, then report per-edge so the
+	// diagnostic lands on suppressible source lines.
+	cycleDesc := map[int]string{}
+	for _, v := range ordered {
+		c := comp[v]
+		if compSize[c] < 2 {
+			continue
+		}
+		if cycleDesc[c] != "" {
+			cycleDesc[c] += " <-> "
+		}
+		cycleDesc[c] += a.label(v)
+	}
+	type edgeRep struct {
+		pos      token.Pos
+		from, to types.Object
+	}
+	var reps []edgeRep
+	for e, pos := range a.order {
+		if comp[e.from] == comp[e.to] && compSize[comp[e.from]] >= 2 {
+			reps = append(reps, edgeRep{pos, e.from, e.to})
+		}
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].pos < reps[j].pos })
+	for _, r := range reps {
+		a.p.report(r.pos, CheckLockOrder,
+			"acquiring %s while holding %s joins a lock-order cycle (%s); concurrent callers can deadlock",
+			a.label(r.to), a.label(r.from), cycleDesc[comp[r.from]])
+	}
+}

@@ -14,6 +14,9 @@ const (
 	CheckErrcheckIO  = "errcheck-io"
 	CheckFloatCmp    = "floatcmp"
 	CheckDirective   = "directive"
+	CheckWireSchema  = "wireschema"
+	CheckLockOrder   = "lockorder"
+	CheckHotPath     = "hotpathalloc"
 )
 
 // validChecks are the names accepted in policy rules and in ignore
@@ -23,6 +26,9 @@ var validChecks = map[string]bool{
 	CheckGuardedBy:   true,
 	CheckErrcheckIO:  true,
 	CheckFloatCmp:    true,
+	CheckWireSchema:  true,
+	CheckLockOrder:   true,
+	CheckHotPath:     true,
 }
 
 // Rule enables a set of checks for the packages matching Pattern: an
@@ -102,8 +108,14 @@ var deterministicPackages = []string{
 func DefaultPolicy() Policy {
 	p := Policy{Rules: []Rule{
 		// The guarded-field convention applies module-wide: the check
-		// only fires where a `guarded by` annotation exists.
-		{Pattern: "arcs/...", Checks: []string{CheckGuardedBy}},
+		// only fires where a `guarded by` annotation exists. The same
+		// goes for lockorder (fires only where mutexes are acquired)
+		// and hotpathalloc (fires only inside //arcslint:hotpath
+		// functions), so both are on everywhere too.
+		{Pattern: "arcs/...", Checks: []string{CheckGuardedBy, CheckLockOrder, CheckHotPath}},
+		// The wire format is append-only; the extracted schema must
+		// match the committed codec.lock.json.
+		{Pattern: "arcs/internal/codec", Checks: []string{CheckWireSchema}},
 		// Durability and artifact paths must not drop I/O errors.
 		{Pattern: "arcs/internal/store", Checks: []string{CheckErrcheckIO, CheckFloatCmp}},
 		{Pattern: "arcs/internal/bench", Checks: []string{CheckErrcheckIO}},
@@ -191,14 +203,18 @@ func checkNames() []string {
 //	                                     (or the line below, when the
 //	                                     directive stands alone)
 //	//arcslint:locked <mu> [reason]      this function's caller holds <mu>
+//	//arcslint:hotpath [reason]          this function is a zero-alloc
+//	                                     hot path; hotpathalloc flags
+//	                                     AST-visible escape patterns in it
 //
 // The reason is mandatory for ignore: an unexplained suppression is a
 // malformed directive and fails the build.
 const directivePrefix = "//arcslint:"
 
 const (
-	verbIgnore = "ignore"
-	verbLocked = "locked"
+	verbIgnore  = "ignore"
+	verbLocked  = "locked"
+	verbHotpath = "hotpath"
 )
 
 type directive struct {
@@ -243,8 +259,10 @@ func parseDirective(text string) (*directive, error) {
 			return nil, fmt.Errorf("arcslint: locked directive: %q is not a valid field name", mu)
 		}
 		return &directive{verb: verbLocked, mu: mu, reason: strings.Join(fields[2:], " ")}, nil
+	case verbHotpath:
+		return &directive{verb: verbHotpath, reason: strings.Join(fields[1:], " ")}, nil
 	default:
-		return nil, fmt.Errorf("arcslint: unknown directive verb %q (want ignore or locked)", fields[0])
+		return nil, fmt.Errorf("arcslint: unknown directive verb %q (want ignore, locked, or hotpath)", fields[0])
 	}
 }
 

@@ -1,0 +1,94 @@
+// Package hotpath is the hotpathalloc-analyzer corpus: fmt calls,
+// string concatenation, loop-variable closure captures, append to a
+// nil-declared slice, scalar interface boxing, and per-iteration
+// make/composite-literal allocations inside //arcslint:hotpath
+// functions must be caught; unannotated functions, cold error returns,
+// and suppressed lines pass.
+package hotpath
+
+import "fmt"
+
+//arcslint:hotpath corpus
+func fmtCall(n int) string {
+	return fmt.Sprintf("%d", n) // want hotpathalloc
+}
+
+//arcslint:hotpath corpus
+func concat(a, b string) string {
+	return a + b // want hotpathalloc
+}
+
+//arcslint:hotpath corpus
+func loopClosure(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		f := func() int { return x } // want hotpathalloc
+		total += f()
+	}
+	return total
+}
+
+//arcslint:hotpath corpus
+func nilAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want hotpathalloc
+	}
+	return out
+}
+
+//arcslint:hotpath corpus
+func box(sink func(any), v int) {
+	sink(v) // want hotpathalloc
+}
+
+//arcslint:hotpath corpus
+func makeLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 8) // want hotpathalloc
+		total += len(buf)
+	}
+	return total
+}
+
+//arcslint:hotpath corpus
+func sliceLit(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		pair := []int{i, i + 1} // want hotpathalloc
+		total += pair[0]
+	}
+	return total
+}
+
+//arcslint:hotpath corpus
+func suppressed(n int) string {
+	return fmt.Sprintf("%d", n) //arcslint:ignore hotpathalloc corpus: one-shot diagnostic, not the steady state
+}
+
+func unannotated(n int) string {
+	return fmt.Sprintf("%d", n) // ok: no hotpath contract
+}
+
+//arcslint:hotpath corpus
+func coldError(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative: %d", n) // ok: non-nil error return is a cold path
+	}
+	return n * 2, nil
+}
+
+//arcslint:hotpath corpus
+func cleanSearch(xs []int, target int) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,99 @@
+// Package lockorder is the lockorder-analyzer corpus: an a/b vs b/a
+// acquisition cycle, a return path that skips an unlock, a direct
+// re-lock, and a re-acquisition through a call chain must be caught;
+// defer-released paths, arcslint:locked callees, and suppressed lines
+// pass.
+package lockorder
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// lockAB and lockBA take the two mutexes in opposite orders: the
+// classic deadlock. Both acquisition sites join the cycle.
+func (p *pair) lockAB() int {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want lockorder
+	defer p.b.Unlock()
+	return p.n
+}
+
+func (p *pair) lockBA() int {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // want lockorder
+	defer p.a.Unlock()
+	return p.n
+}
+
+// leaky forgets the unlock on its early-return branch.
+func (p *pair) leaky(cond bool) int {
+	p.a.Lock()
+	if cond {
+		return 1 // want lockorder
+	}
+	p.a.Unlock()
+	return 0
+}
+
+// reentrant locks what it already holds; sync mutexes self-deadlock.
+func (p *pair) reentrant() {
+	p.a.Lock()
+	p.a.Lock() // want lockorder
+	p.a.Unlock()
+	p.a.Unlock()
+}
+
+// bump locks a on its own — fine in isolation.
+func (p *pair) bump() {
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+}
+
+// doubleThrough re-acquires a through the call chain: bump locks it
+// again while doubleThrough still holds it.
+func (p *pair) doubleThrough() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.bump() // want lockorder
+}
+
+// resetLocked is called with a held; the annotation seeds the walk, so
+// touching state without locking is fine and the caller releases.
+//
+//arcslint:locked a
+func (p *pair) resetLocked() {
+	p.n = 0
+}
+
+// relockBug locks the mutex its caller already promised to hold.
+//
+//arcslint:locked a
+func (p *pair) relockBug() {
+	p.a.Lock() // want lockorder
+	p.a.Unlock()
+}
+
+// suppressed documents a deliberate leak (a test fixture releasing in
+// its cleanup hook) with a reasoned ignore.
+func (p *pair) suppressed(cond bool) int {
+	p.a.Lock()
+	if cond {
+		return 1 //arcslint:ignore lockorder corpus: fixture unlocks in its cleanup hook
+	}
+	p.a.Unlock()
+	return 0
+}
+
+// clean is the idiomatic shape: lock, defer unlock, done.
+func (p *pair) clean() int {
+	p.a.Lock()
+	defer p.a.Unlock()
+	return p.n
+}

@@ -1,0 +1,101 @@
+// Package wireschema is the wireschema-analyzer corpus: a miniature
+// codec with its own appendTag and discovered appender chain. A frame
+// kind reusing a value, a message reusing a tag, and a non-constant tag
+// argument must be caught; the well-formed message, the columnar
+// encoder, and the suppressed duplicate pass. The extraction itself
+// (kinds, versions, messages, columns) is pinned by
+// TestExtractSchemaCorpus.
+package wireschema
+
+const (
+	wtVarint = 0
+	wtFixed8 = 1
+	wtBytes  = 2
+)
+
+const (
+	KindAlpha = 0x01
+	KindBeta  = 0x02
+	KindDup   = 0x02 // want wireschema
+)
+
+// miniVersion is a true format-version constant (not a tag number), so
+// it stays in the lockfile's versions table.
+const miniVersion = 3
+
+const (
+	fldA = 1
+	fldB = 2
+)
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func appendFixed8(dst []byte, f float64) []byte {
+	bits := uint64(f) // corpus stand-in for math.Float64bits
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(bits>>(8*i)))
+	}
+	return dst
+}
+
+func appendTag(dst []byte, num, wt uint64) []byte {
+	return appendUvarint(dst, num<<3|wt)
+}
+
+// appendUintField and appendFloatField forward their num parameter into
+// appendTag: the fixpoint discovers both as field-appenders.
+func appendUintField(dst []byte, num, v uint64) []byte {
+	dst = appendTag(dst, num, wtVarint)
+	return appendUvarint(dst, v)
+}
+
+func appendFloatField(dst []byte, num uint64, f float64) []byte {
+	dst = appendTag(dst, num, wtFixed8)
+	return appendFixed8(dst, f)
+}
+
+func encodeGood(dst []byte, a uint64, f float64) []byte {
+	dst = appendUintField(dst, fldA, a)
+	dst = appendFloatField(dst, fldB, f)
+	return dst
+}
+
+func encodeReuse(dst []byte, a, b uint64) []byte {
+	dst = appendUintField(dst, fldA, a)
+	dst = appendUintField(dst, fldA, b) // want wireschema
+	return dst
+}
+
+func encodeDynamic(dst []byte, num, v uint64) []byte {
+	return appendUintField(dst, num+1, v) // want wireschema
+}
+
+func encodeSuppressed(dst []byte, a, b uint64) []byte {
+	dst = appendUintField(dst, fldA, a)
+	dst = appendUintField(dst, fldA, b) //arcslint:ignore wireschema corpus: deliberate duplicate feeding the decoder fuzzer
+	return dst
+}
+
+type rec struct {
+	ID   uint64
+	Perf float64
+}
+
+// appendSnapshot is columnar: one loop per column, so the extractor
+// locks the column order [ID uvarint, Perf fixed8].
+func appendSnapshot(dst []byte, recs []rec) []byte {
+	dst = appendUvarint(dst, uint64(len(recs)))
+	for i := range recs {
+		dst = appendUvarint(dst, recs[i].ID)
+	}
+	for i := range recs {
+		dst = appendFixed8(dst, recs[i].Perf)
+	}
+	return dst
+}

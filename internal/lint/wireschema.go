@@ -1,0 +1,830 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// wireschema statically extracts the codec's wire layout — frame kind
+// constants, per-message field tag numbers and wire types, and the
+// column order of columnar (loop-per-column) payloads — and locks it in
+// codec.lock.json. The extraction is self-configuring: any function
+// that forwards its own integer parameter as the tag argument of
+// appendTag (directly or through another appender) is a field-appender,
+// and its wire type is the constant wire-type argument at the bottom of
+// that chain. Calls to appenders with constant tag arguments are the
+// fields; the constant's name is the field name.
+//
+// The analyzer itself reports intra-package problems (tag reuse inside
+// one message, non-constant tag arguments, frame-kind value collisions)
+// with normal suppression support; the diff against the committed
+// lockfile is appended by Run (see schemaLockFindings), because a stale
+// lockfile is a repo-level contract violation, not a line of code.
+
+// SchemaFormat versions the lockfile itself, not the wire format it
+// describes.
+const SchemaFormat = 1
+
+// LockfileName is the canonical lockfile, at the module root.
+const LockfileName = "codec.lock.json"
+
+// SchemaField is one tagged field of a message: the tag constant's
+// name, its number, and the wire type ("varint", "fixed8", "bytes").
+type SchemaField struct {
+	Name string `json:"name"`
+	Num  int64  `json:"num"`
+	Wire string `json:"wire"`
+}
+
+// SchemaColumn is one column of a columnar payload, in emit order.
+type SchemaColumn struct {
+	Name string `json:"name"`
+	Wire string `json:"wire"`
+}
+
+// Schema is the extracted wire layout. Maps marshal with sorted keys,
+// so Marshal is canonical.
+type Schema struct {
+	Format   int                       `json:"format"`
+	Kinds    map[string]int64          `json:"kinds,omitempty"`
+	Versions map[string]int64          `json:"versions,omitempty"`
+	Messages map[string][]SchemaField  `json:"messages,omitempty"`
+	Columns  map[string][]SchemaColumn `json:"columns,omitempty"`
+}
+
+// Marshal renders the canonical lockfile bytes.
+func (s *Schema) Marshal() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Schema contains only maps, slices, strings, and ints.
+		panic("lint: schema marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// ParseLockfile parses and validates lockfile bytes. It never panics,
+// whatever the input (FuzzParseLockfile).
+func ParseLockfile(data []byte) (*Schema, error) {
+	var s Schema
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("lockfile: %v", err)
+	}
+	if s.Format != SchemaFormat {
+		return nil, fmt.Errorf("lockfile: format %d (this arcslint understands %d)", s.Format, SchemaFormat)
+	}
+	for msg, fields := range s.Messages {
+		if msg == "" {
+			return nil, fmt.Errorf("lockfile: empty message name")
+		}
+		nums := make(map[int64]string, len(fields))
+		for _, f := range fields {
+			if f.Name == "" || f.Num < 0 || !validWire(f.Wire) {
+				return nil, fmt.Errorf("lockfile: message %s: bad field %+v", msg, f)
+			}
+			if prev, dup := nums[f.Num]; dup {
+				return nil, fmt.Errorf("lockfile: message %s: tag %d claimed by %s and %s", msg, f.Num, prev, f.Name)
+			}
+			nums[f.Num] = f.Name
+		}
+	}
+	for fn, cols := range s.Columns {
+		if fn == "" {
+			return nil, fmt.Errorf("lockfile: empty columnar function name")
+		}
+		for i, c := range cols {
+			if c.Name == "" || !validWire(c.Wire) {
+				return nil, fmt.Errorf("lockfile: columnar %s: bad column %d %+v", fn, i, c)
+			}
+		}
+	}
+	for name, v := range s.Kinds {
+		if name == "" || v < 0 {
+			return nil, fmt.Errorf("lockfile: bad kind %q = %d", name, v)
+		}
+	}
+	for name, v := range s.Versions {
+		if name == "" || v < 0 {
+			return nil, fmt.Errorf("lockfile: bad version const %q = %d", name, v)
+		}
+	}
+	return &s, nil
+}
+
+func validWire(w string) bool {
+	switch w {
+	case "varint", "fixed8", "bytes", "uvarint":
+		return true
+	}
+	return false
+}
+
+// schemaProblem is an intra-package extraction finding.
+type schemaProblem struct {
+	pos token.Pos
+	msg string
+}
+
+func runWireSchema(p *pass) {
+	_, problems := ExtractSchema(p.pkg)
+	for _, pr := range problems {
+		p.report(pr.pos, CheckWireSchema, "%s", pr.msg)
+	}
+}
+
+// ExtractSchema derives the wire schema of one loaded package, plus any
+// intra-package problems (tag reuse, non-constant tags, kind-value
+// collisions).
+func ExtractSchema(pkg *Package) (*Schema, []schemaProblem) {
+	s := &Schema{
+		Format:   SchemaFormat,
+		Kinds:    map[string]int64{},
+		Versions: map[string]int64{},
+		Messages: map[string][]SchemaField{},
+		Columns:  map[string][]SchemaColumn{},
+	}
+	var problems []schemaProblem
+
+	// Frame kinds (Kind*) and format-version constants (*Version).
+	kindByValue := map[int64]string{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					v, exact := constant.Int64Val(constant.ToInt(c.Val()))
+					if !exact {
+						continue
+					}
+					switch {
+					case strings.HasPrefix(name.Name, "Kind") && len(name.Name) > len("Kind"):
+						if prev, dup := kindByValue[v]; dup {
+							problems = append(problems, schemaProblem{name.Pos(),
+								fmt.Sprintf("frame kind %s reuses value 0x%02x (already %s); kind values are append-only", name.Name, v, prev)})
+							continue
+						}
+						kindByValue[v] = name.Name
+						s.Kinds[name.Name] = v
+					case strings.HasSuffix(name.Name, "Version") && name.Name != "Version":
+						s.Versions[name.Name] = v
+					}
+				}
+			}
+		}
+	}
+
+	appenders, tagFn := findAppenders(pkg)
+
+	// Messages: any non-appender function that calls an appender with a
+	// constant tag argument.
+	forEachFuncDecl(pkg, func(fd *ast.FuncDecl) {
+		fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+		if fd.Body == nil || fn == nil || fn == tagFn {
+			return
+		}
+		if _, isAppender := appenders[fn]; isAppender {
+			return
+		}
+		name := funcDisplayName(fd)
+		var fields []SchemaField
+		seen := map[int64]string{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pkg, call)
+			ap, ok := appenders[callee]
+			if !ok || len(call.Args) <= ap.numIdx {
+				return true
+			}
+			numArg := call.Args[ap.numIdx]
+			v, isConst := constIntValue(pkg, numArg)
+			if !isConst {
+				problems = append(problems, schemaProblem{numArg.Pos(),
+					fmt.Sprintf("message %s: tag argument to %s is not a compile-time constant; the schema cannot be locked", name, callee.Name())})
+				return true
+			}
+			fname := tagConstName(numArg, v)
+			if prev, dup := seen[v]; dup {
+				problems = append(problems, schemaProblem{numArg.Pos(),
+					fmt.Sprintf("message %s reuses tag %d (%s and %s); tag numbers are append-only and never recycled", name, v, prev, fname)})
+				return true
+			}
+			seen[v] = fname
+			fields = append(fields, SchemaField{Name: fname, Num: v, Wire: ap.wire})
+			return true
+		})
+		if len(fields) > 0 {
+			sort.Slice(fields, func(i, j int) bool { return fields[i].Num < fields[j].Num })
+			s.Messages[name] = fields
+		}
+	})
+
+	// A *Version constant that is really a tag number (entVersion,
+	// ansVersion) is already locked as a message field; keep only true
+	// format-version constants under "versions".
+	for _, fields := range s.Messages {
+		for _, f := range fields {
+			delete(s.Versions, f.Name)
+		}
+	}
+
+	// Columnar payloads: functions with >= 2 outermost loops that each
+	// emit one scalar column via an append-style helper ([]byte, uint64)
+	// or ([]byte, float64).
+	forEachFuncDecl(pkg, func(fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		var cols []SchemaColumn
+		for _, loop := range outermostLoops(fd.Body) {
+			if col, ok := columnOfLoop(pkg, loop); ok {
+				cols = append(cols, col)
+			}
+		}
+		if len(cols) >= 2 {
+			s.Columns[funcDisplayName(fd)] = cols
+		}
+	})
+
+	sort.Slice(problems, func(i, j int) bool { return problems[i].pos < problems[j].pos })
+	return s, problems
+}
+
+// appenderInfo describes a discovered field-appender: which parameter
+// is the tag number, and the wire type it bottoms out in.
+type appenderInfo struct {
+	numIdx int
+	wire   string
+}
+
+// findAppenders discovers the field-appender helpers by fixpoint: a
+// function that passes its own parameter as the tag argument of
+// appendTag (wire type = the constant wire-type argument) or of an
+// already-known appender is itself an appender.
+func findAppenders(pkg *Package) (map[*types.Func]appenderInfo, *types.Func) {
+	var tagFn *types.Func
+	if obj, ok := pkg.Types.Scope().Lookup("appendTag").(*types.Func); ok {
+		tagFn = obj
+	}
+	appenders := map[*types.Func]appenderInfo{}
+	if tagFn == nil {
+		return appenders, nil
+	}
+	for changed := true; changed; {
+		changed = false
+		forEachFuncDecl(pkg, func(fd *ast.FuncDecl) {
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fd.Body == nil || fn == nil || fn == tagFn {
+				return
+			}
+			if _, done := appenders[fn]; done {
+				return
+			}
+			params := paramObjects(pkg, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pkg, call)
+				var numArg, wtArg ast.Expr
+				var wire string
+				switch {
+				case callee == tagFn && len(call.Args) >= 3:
+					numArg, wtArg = call.Args[1], call.Args[2]
+				default:
+					ap, ok := appenders[callee]
+					if !ok || len(call.Args) <= ap.numIdx {
+						return true
+					}
+					numArg, wire = call.Args[ap.numIdx], ap.wire
+				}
+				pi := paramIndex(pkg, params, numArg)
+				if pi < 0 {
+					return true
+				}
+				if wtArg != nil {
+					wv, ok := constIntValue(pkg, wtArg)
+					if !ok {
+						return true
+					}
+					wire = wireName(wv)
+				}
+				appenders[fn] = appenderInfo{numIdx: pi, wire: wire}
+				changed = true
+				return false
+			})
+		})
+	}
+	return appenders, tagFn
+}
+
+func wireName(wt int64) string {
+	switch wt {
+	case 0:
+		return "varint"
+	case 1:
+		return "fixed8"
+	case 2:
+		return "bytes"
+	}
+	return fmt.Sprintf("wt%d", wt)
+}
+
+// columnOfLoop classifies one outermost loop as a column emit if it
+// calls a package-level append-style scalar helper; the column is named
+// after the longest selector path in the helper's value argument.
+func columnOfLoop(pkg *Package, loop ast.Stmt) (SchemaColumn, bool) {
+	var best *ast.CallExpr
+	var bestWire string
+	ast.Inspect(loop, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		wire, ok := scalarAppendWire(pkg, call)
+		if !ok {
+			return true
+		}
+		if best == nil || call.Pos() < best.Pos() {
+			best, bestWire = call, wire
+		}
+		return true
+	})
+	if best == nil {
+		return SchemaColumn{}, false
+	}
+	name := longestSelectorPath(best.Args[1])
+	if name == "" {
+		name = exprString(loopRangeExpr(loop))
+	}
+	if name == "" {
+		name = "loop"
+	}
+	return SchemaColumn{Name: name, Wire: bestWire}, true
+}
+
+// scalarAppendWire reports whether call invokes a package-level helper
+// of shape func([]byte, uint64) []byte or func([]byte, float64) []byte,
+// and the wire type of the emitted column.
+func scalarAppendWire(pkg *Package, call *ast.CallExpr) (string, bool) {
+	callee := calleeFunc(pkg, call)
+	if callee == nil || len(call.Args) != 2 {
+		return "", false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return "", false
+	}
+	if !isByteSlice(sig.Params().At(0).Type()) || !isByteSlice(sig.Results().At(0).Type()) {
+		return "", false
+	}
+	b, ok := sig.Params().At(1).Type().Underlying().(*types.Basic)
+	if !ok {
+		return "", false
+	}
+	switch b.Kind() {
+	case types.Uint64:
+		return "uvarint", true
+	case types.Float64:
+		return "fixed8", true
+	}
+	return "", false
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// longestSelectorPath finds the deepest field-selector chain under e
+// ("entries[i].Key.App" -> "Key.App"), skipping index expressions and
+// the root identifier. Returns "" when e contains no selector.
+func longestSelectorPath(e ast.Expr) string {
+	best := ""
+	bestDepth := 0
+	var bestPos token.Pos
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, depth := selectorPath(sel)
+		if depth > bestDepth || (depth == bestDepth && sel.Pos() < bestPos) {
+			best, bestDepth, bestPos = path, depth, sel.Pos()
+		}
+		return true
+	})
+	return best
+}
+
+func selectorPath(sel *ast.SelectorExpr) (string, int) {
+	parts := []string{sel.Sel.Name}
+	x := sel.X
+	for {
+		switch v := x.(type) {
+		case *ast.SelectorExpr:
+			parts = append(parts, v.Sel.Name)
+			x = v.X
+		case *ast.IndexExpr:
+			x = v.X
+		case *ast.ParenExpr:
+			x = v.X
+		case *ast.StarExpr:
+			x = v.X
+		default:
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return strings.Join(parts, "."), len(parts)
+		}
+	}
+}
+
+func loopRangeExpr(loop ast.Stmt) ast.Expr {
+	if r, ok := loop.(*ast.RangeStmt); ok {
+		return r.X
+	}
+	return nil
+}
+
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case nil:
+		return ""
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		p, _ := selectorPath(v)
+		return p
+	case *ast.IndexExpr:
+		return exprString(v.X)
+	case *ast.ParenExpr:
+		return exprString(v.X)
+	case *ast.StarExpr:
+		return exprString(v.X)
+	}
+	return ""
+}
+
+// outermostLoops collects top-level for/range statements in source
+// order, not descending into nested loops.
+func outermostLoops(body *ast.BlockStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n.(ast.Stmt))
+			return false
+		}
+		return true
+	})
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Pos() < loops[j].Pos() })
+	return loops
+}
+
+// forEachFuncDecl visits every function declaration in deterministic
+// (file, then source) order.
+func forEachFuncDecl(pkg *Package, fn func(*ast.FuncDecl)) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// funcDisplayName is "Recv.Name" for methods, "Name" for functions.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}
+
+// calleeFunc resolves a call to a same-package declared function, or
+// nil (builtin, method value, closure, other package...).
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != pkg.Types {
+		return nil
+	}
+	return fn
+}
+
+func paramObjects(pkg *Package, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func paramIndex(pkg *Package, params []types.Object, e ast.Expr) int {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return -1
+	}
+	for i, p := range params {
+		if p == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// constIntValue evaluates e as a compile-time integer constant.
+func constIntValue(pkg *Package, e ast.Expr) (int64, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(tv.Value))
+}
+
+// tagConstName names a field after the constant identifier at the call
+// site; a bare literal gets a synthetic "#<num>" name.
+func tagConstName(e ast.Expr, v int64) string {
+	switch n := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return n.Name
+	case *ast.SelectorExpr:
+		return n.Sel.Name
+	}
+	return fmt.Sprintf("#%d", v)
+}
+
+// CompareSchemas diffs the committed (old) schema against the extracted
+// (new) one. Breaking changes violate the append-only wire contract;
+// additions are compatible but require refreshing the lockfile with
+// `arcslint -update-schema`.
+func CompareSchemas(old, new *Schema) (breaking, additions []string) {
+	oldKindByValue := map[int64]string{}
+	for name, v := range old.Kinds {
+		oldKindByValue[v] = name
+	}
+	for _, name := range sortedKeys(old.Kinds) {
+		ov := old.Kinds[name]
+		nv, ok := new.Kinds[name]
+		switch {
+		case !ok:
+			breaking = append(breaking, fmt.Sprintf("frame kind %s (0x%02x) removed; peers still send it", name, ov))
+		case nv != ov:
+			breaking = append(breaking, fmt.Sprintf("frame kind %s renumbered 0x%02x -> 0x%02x", name, ov, nv))
+		}
+	}
+	for _, name := range sortedKeys(new.Kinds) {
+		nv := new.Kinds[name]
+		if _, ok := old.Kinds[name]; ok {
+			continue
+		}
+		if prev, taken := oldKindByValue[nv]; taken {
+			breaking = append(breaking, fmt.Sprintf("new frame kind %s reuses retired value 0x%02x (was %s)", name, nv, prev))
+		} else {
+			additions = append(additions, fmt.Sprintf("new frame kind %s = 0x%02x", name, nv))
+		}
+	}
+
+	for _, name := range sortedKeys(old.Versions) {
+		ov := old.Versions[name]
+		nv, ok := new.Versions[name]
+		switch {
+		case !ok:
+			breaking = append(breaking, fmt.Sprintf("format version constant %s removed", name))
+		case nv < ov:
+			breaking = append(breaking, fmt.Sprintf("format version constant %s decreased %d -> %d", name, ov, nv))
+		case nv > ov:
+			additions = append(additions, fmt.Sprintf("format version constant %s bumped %d -> %d", name, ov, nv))
+		}
+	}
+	for _, name := range sortedKeys(new.Versions) {
+		if _, ok := old.Versions[name]; !ok {
+			additions = append(additions, fmt.Sprintf("new format version constant %s = %d", name, new.Versions[name]))
+		}
+	}
+
+	for _, msg := range sortedKeys(old.Messages) {
+		of := old.Messages[msg]
+		nf, ok := new.Messages[msg]
+		if !ok {
+			breaking = append(breaking, fmt.Sprintf("message %s removed from the codec", msg))
+			continue
+		}
+		newByNum := map[int64]SchemaField{}
+		for _, f := range nf {
+			newByNum[f.Num] = f
+		}
+		oldByNum := map[int64]SchemaField{}
+		for _, f := range of {
+			oldByNum[f.Num] = f
+			n, ok := newByNum[f.Num]
+			switch {
+			case !ok:
+				breaking = append(breaking, fmt.Sprintf("message %s: tag %d (%s, %s) removed; tags are never recycled", msg, f.Num, f.Name, f.Wire))
+			case n.Wire != f.Wire:
+				breaking = append(breaking, fmt.Sprintf("message %s: tag %d (%s) wire type changed %s -> %s", msg, f.Num, f.Name, f.Wire, n.Wire))
+			case n.Name != f.Name:
+				additions = append(additions, fmt.Sprintf("message %s: tag %d renamed %s -> %s", msg, f.Num, f.Name, n.Name))
+			}
+		}
+		for _, f := range nf {
+			if _, ok := oldByNum[f.Num]; !ok {
+				additions = append(additions, fmt.Sprintf("message %s: new tag %d (%s, %s)", msg, f.Num, f.Name, f.Wire))
+			}
+		}
+	}
+	for _, msg := range sortedKeys(new.Messages) {
+		if _, ok := old.Messages[msg]; !ok {
+			additions = append(additions, fmt.Sprintf("new message %s (%d fields)", msg, len(new.Messages[msg])))
+		}
+	}
+
+	for _, fn := range sortedKeys(old.Columns) {
+		oc := old.Columns[fn]
+		nc, ok := new.Columns[fn]
+		if !ok {
+			breaking = append(breaking, fmt.Sprintf("columnar layout %s removed", fn))
+			continue
+		}
+		n := len(oc)
+		if len(nc) < n {
+			n = len(nc)
+		}
+		for i := 0; i < n; i++ {
+			if oc[i] != nc[i] {
+				breaking = append(breaking, fmt.Sprintf("columnar %s: column %d changed %s(%s) -> %s(%s); column order is frozen, append only",
+					fn, i, oc[i].Name, oc[i].Wire, nc[i].Name, nc[i].Wire))
+			}
+		}
+		if len(nc) < len(oc) {
+			for _, c := range oc[len(nc):] {
+				breaking = append(breaking, fmt.Sprintf("columnar %s: trailing column %s(%s) removed", fn, c.Name, c.Wire))
+			}
+		}
+		for _, c := range nc[n:] {
+			additions = append(additions, fmt.Sprintf("columnar %s: column %s(%s) appended (remember the version bump)", fn, c.Name, c.Wire))
+		}
+	}
+	for _, fn := range sortedKeys(new.Columns) {
+		if _, ok := old.Columns[fn]; !ok {
+			additions = append(additions, fmt.Sprintf("new columnar layout %s (%d columns)", fn, len(new.Columns[fn])))
+		}
+	}
+	return breaking, additions
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// codecImportPath is the module-relative package whose schema the
+// lockfile pins.
+const codecImportPath = "internal/codec"
+
+func lockfilePath(root string) string { return filepath.Join(root, LockfileName) }
+
+// schemaLockFindings diffs pkg's extracted schema against the committed
+// lockfile. Every divergence is a finding: breaking changes must be
+// reverted, additions cleared with -update-schema.
+func schemaLockFindings(root string, pkg *Package) []Finding {
+	sch, _ := ExtractSchema(pkg) // intra problems already reported by the analyzer
+	lockPos := token.Position{Filename: LockfileName, Line: 1, Column: 1}
+	data, err := os.ReadFile(lockfilePath(root))
+	if err != nil {
+		return []Finding{{Pos: lockPos, Check: CheckWireSchema,
+			Message: fmt.Sprintf("missing wire-schema lockfile (%v); run `arcslint -update-schema` and commit it", err)}}
+	}
+	old, err := ParseLockfile(data)
+	if err != nil {
+		return []Finding{{Pos: lockPos, Check: CheckWireSchema,
+			Message: fmt.Sprintf("unreadable wire-schema lockfile: %v", err)}}
+	}
+	breaking, additions := CompareSchemas(old, sch)
+	var out []Finding
+	for _, b := range breaking {
+		out = append(out, Finding{Pos: lockPos, Check: CheckWireSchema,
+			Message: "breaking wire change: " + b})
+	}
+	for _, a := range additions {
+		out = append(out, Finding{Pos: lockPos, Check: CheckWireSchema,
+			Message: "wire schema addition not in lockfile: " + a + "; run `arcslint -update-schema`"})
+	}
+	return out
+}
+
+// SchemaGate runs the full wire-schema contract for the module at root:
+// intra-package extraction findings (with suppressions applied) plus
+// the lockfile diff. This is what `arcslint -schema-only` and the
+// dedicated CI step run.
+func SchemaGate(root string) ([]Finding, error) {
+	pkg, err := loadCodec(root)
+	if err != nil {
+		return nil, err
+	}
+	out := Analyze(pkg, []string{CheckWireSchema})
+	out = append(out, schemaLockFindings(root, pkg)...)
+	sortFindings(out)
+	return out, nil
+}
+
+// UpdateSchemaLock re-extracts the schema and rewrites the lockfile.
+// Breaking changes are refused unless force is set (a deliberate,
+// versioned format migration); the returned breaking list is non-empty
+// exactly when the update was refused.
+func UpdateSchemaLock(root string, force bool) (breaking, additions []string, err error) {
+	pkg, err := loadCodec(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fs := Analyze(pkg, []string{CheckWireSchema}); len(fs) > 0 {
+		msgs := make([]string, len(fs))
+		for i, f := range fs {
+			msgs[i] = f.String()
+		}
+		return nil, nil, fmt.Errorf("schema has intra-package problems; fix before locking:\n%s", strings.Join(msgs, "\n"))
+	}
+	sch, _ := ExtractSchema(pkg)
+	if data, rerr := os.ReadFile(lockfilePath(root)); rerr == nil {
+		if old, perr := ParseLockfile(data); perr == nil {
+			breaking, additions = CompareSchemas(old, sch)
+			if len(breaking) > 0 && !force {
+				return breaking, additions, nil
+			}
+		}
+	}
+	if werr := os.WriteFile(lockfilePath(root), sch.Marshal(), 0o644); werr != nil {
+		return nil, nil, werr
+	}
+	return nil, additions, nil
+}
+
+func loadCodec(root string) (*Package, error) {
+	ld, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := ld.resolve([]string{"./" + codecImportPath})
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) != 1 {
+		return nil, fmt.Errorf("lint: expected one codec package, got %v", paths)
+	}
+	return ld.load(paths[0])
+}

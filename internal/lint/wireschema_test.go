@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExtractSchemaCorpus pins the self-configuring extraction on the
+// miniature corpus codec: appender discovery through appendTag, field
+// tags and wire types, kind constants, true version constants, and the
+// columnar layout.
+func TestExtractSchemaCorpus(t *testing.T) {
+	pkg := loadCorpus(t, "wireschema")
+	s, problems := ExtractSchema(pkg)
+	// Four seeded problems: the duplicate kind value, the reused tag,
+	// the non-constant tag, and the suppressed duplicate — suppression
+	// happens at the Analyze layer, not during extraction.
+	if len(problems) != 4 {
+		for _, pr := range problems {
+			t.Logf("problem: %s: %s", pkg.Fset.Position(pr.pos), pr.msg)
+		}
+		t.Fatalf("got %d extraction problems, want 4", len(problems))
+	}
+
+	if got := s.Kinds["KindAlpha"]; got != 1 {
+		t.Errorf("KindAlpha = %d, want 1", got)
+	}
+	if got := s.Kinds["KindBeta"]; got != 2 {
+		t.Errorf("KindBeta = %d, want 2", got)
+	}
+	if _, dup := s.Kinds["KindDup"]; dup {
+		t.Errorf("KindDup (duplicate value) must not be locked")
+	}
+	if got := s.Versions["miniVersion"]; got != 3 {
+		t.Errorf("miniVersion = %d, want 3", got)
+	}
+	if _, leaked := s.Versions["fldA"]; leaked {
+		t.Errorf("tag constant fldA leaked into versions")
+	}
+
+	fields := s.Messages["encodeGood"]
+	if len(fields) != 2 {
+		t.Fatalf("encodeGood fields = %+v, want 2", fields)
+	}
+	if fields[0] != (SchemaField{Name: "fldA", Num: 1, Wire: "varint"}) {
+		t.Errorf("encodeGood[0] = %+v", fields[0])
+	}
+	if fields[1] != (SchemaField{Name: "fldB", Num: 2, Wire: "fixed8"}) {
+		t.Errorf("encodeGood[1] = %+v", fields[1])
+	}
+
+	cols := s.Columns["appendSnapshot"]
+	if len(cols) != 2 || cols[0] != (SchemaColumn{Name: "ID", Wire: "uvarint"}) || cols[1] != (SchemaColumn{Name: "Perf", Wire: "fixed8"}) {
+		t.Errorf("appendSnapshot columns = %+v, want [ID uvarint, Perf fixed8]", cols)
+	}
+}
+
+// TestRealCodecSchemaMatchesLockfile is the repo-level wire contract:
+// the schema extracted from internal/codec must equal the committed
+// codec.lock.json exactly — no breaking changes and no unlocked
+// additions. This is the same gate `arcslint -schema-only` runs in CI.
+func TestRealCodecSchemaMatchesLockfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks internal/codec; skipped in -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	findings, err := SchemaGate(root)
+	if err != nil {
+		t.Fatalf("SchemaGate: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+
+	// Spot-check the extraction against wire facts the codec tests pin
+	// dynamically: the entry frame kind and the snapshot column count.
+	pkg, err := loadCodec(root)
+	if err != nil {
+		t.Fatalf("loadCodec: %v", err)
+	}
+	s, problems := ExtractSchema(pkg)
+	if len(problems) != 0 {
+		t.Fatalf("real codec has extraction problems: %v", problems)
+	}
+	if got := s.Kinds["KindEntry"]; got != 1 {
+		t.Errorf("KindEntry = %d, want 1", got)
+	}
+	entry := s.Messages["Encoder.AppendEntry"]
+	if len(entry) != 4 || entry[0].Name != "entKey" || entry[0].Wire != "bytes" {
+		t.Errorf("Encoder.AppendEntry fields = %+v", entry)
+	}
+	if cols := s.Columns["Encoder.AppendSnapshot"]; len(cols) != 12 {
+		t.Errorf("Encoder.AppendSnapshot has %d columns, want 12", len(cols))
+	}
+}
+
+// TestCompareSchemasMutatedTag seeds the exact regression the CI
+// verify step performs with sed: renumbering a field tag must produce a
+// breaking diagnostic naming the message and the old field.
+func TestCompareSchemasMutatedTag(t *testing.T) {
+	old := &Schema{
+		Format: SchemaFormat,
+		Messages: map[string][]SchemaField{
+			"Encoder.AppendConfigAnswer": {
+				{Name: "ansKey", Num: 1, Wire: "bytes"},
+				{Name: "ansSource", Num: 5, Wire: "bytes"},
+			},
+		},
+	}
+	mutated := &Schema{
+		Format: SchemaFormat,
+		Messages: map[string][]SchemaField{
+			"Encoder.AppendConfigAnswer": {
+				{Name: "ansKey", Num: 1, Wire: "bytes"},
+				{Name: "ansSource", Num: 7, Wire: "bytes"},
+			},
+		},
+	}
+	breaking, additions := CompareSchemas(old, mutated)
+	if len(breaking) != 1 {
+		t.Fatalf("breaking = %v, want exactly one", breaking)
+	}
+	for _, frag := range []string{"Encoder.AppendConfigAnswer", "tag 5", "ansSource", "never recycled"} {
+		if !strings.Contains(breaking[0], frag) {
+			t.Errorf("breaking diagnostic %q missing %q", breaking[0], frag)
+		}
+	}
+	// The new placement of the moved field is an addition: fixing the
+	// diff means reverting the tag, not locking the new number.
+	if len(additions) != 1 || !strings.Contains(additions[0], "new tag 7") {
+		t.Errorf("additions = %v, want the relocated tag reported as new tag 7", additions)
+	}
+}
+
+// TestCompareSchemasClassification walks the append-only rules:
+// what breaks, what is a compatible addition.
+func TestCompareSchemasClassification(t *testing.T) {
+	old := &Schema{
+		Format:   SchemaFormat,
+		Kinds:    map[string]int64{"KindEntry": 1, "KindGone": 2},
+		Versions: map[string]int64{"snapshotVersion": 1, "droppedVersion": 2},
+		Messages: map[string][]SchemaField{
+			"enc": {
+				{Name: "a", Num: 1, Wire: "varint"},
+				{Name: "b", Num: 2, Wire: "bytes"},
+			},
+		},
+		Columns: map[string][]SchemaColumn{
+			"snap": {{Name: "Key", Wire: "uvarint"}, {Name: "Perf", Wire: "fixed8"}},
+		},
+	}
+	next := &Schema{
+		Format:   SchemaFormat,
+		Kinds:    map[string]int64{"KindEntry": 3, "KindNew": 4, "KindRecycle": 2},
+		Versions: map[string]int64{"snapshotVersion": 2, "freshVersion": 1},
+		Messages: map[string][]SchemaField{
+			"enc": {
+				{Name: "a", Num: 1, Wire: "fixed8"},
+				{Name: "bRenamed", Num: 2, Wire: "bytes"},
+				{Name: "c", Num: 3, Wire: "varint"},
+			},
+		},
+		Columns: map[string][]SchemaColumn{
+			"snap": {{Name: "Key", Wire: "uvarint"}, {Name: "Perf", Wire: "fixed8"}, {Name: "Version", Wire: "uvarint"}},
+		},
+	}
+	breaking, additions := CompareSchemas(old, next)
+	wantBreaking := []string{
+		"KindGone",                    // kind removed
+		"KindEntry renumbered",        // kind value changed
+		"KindRecycle reuses retired",  // retired value reused
+		"droppedVersion removed",      // version const removed
+		"tag 1 (a) wire type changed", // wire change
+	}
+	for _, frag := range wantBreaking {
+		if !containsFrag(breaking, frag) {
+			t.Errorf("breaking %v missing %q", breaking, frag)
+		}
+	}
+	wantAdditions := []string{
+		"new frame kind KindNew",
+		"snapshotVersion bumped 1 -> 2",
+		"new format version constant freshVersion",
+		"tag 2 renamed b -> bRenamed",
+		"new tag 3 (c, varint)",
+		"column Version(uvarint) appended",
+	}
+	for _, frag := range wantAdditions {
+		if !containsFrag(additions, frag) {
+			t.Errorf("additions %v missing %q", additions, frag)
+		}
+	}
+	if len(breaking) != len(wantBreaking) {
+		t.Errorf("breaking = %v (%d entries), want %d", breaking, len(breaking), len(wantBreaking))
+	}
+
+	// Reordering columns is breaking even with nothing removed.
+	swapped := &Schema{
+		Format:  SchemaFormat,
+		Columns: map[string][]SchemaColumn{"snap": {{Name: "Perf", Wire: "fixed8"}, {Name: "Key", Wire: "uvarint"}}},
+	}
+	base := &Schema{
+		Format:  SchemaFormat,
+		Columns: map[string][]SchemaColumn{"snap": {{Name: "Key", Wire: "uvarint"}, {Name: "Perf", Wire: "fixed8"}}},
+	}
+	b, _ := CompareSchemas(base, swapped)
+	if !containsFrag(b, "column order is frozen") {
+		t.Errorf("column reorder not flagged as breaking: %v", b)
+	}
+}
+
+func containsFrag(list []string, frag string) bool {
+	for _, s := range list {
+		if strings.Contains(s, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestParseLockfile covers the validation the fuzz target relies on.
+func TestParseLockfile(t *testing.T) {
+	good := &Schema{
+		Format:   SchemaFormat,
+		Kinds:    map[string]int64{"KindEntry": 1},
+		Versions: map[string]int64{"snapshotVersion": 1},
+		Messages: map[string][]SchemaField{"enc": {{Name: "a", Num: 1, Wire: "varint"}}},
+		Columns:  map[string][]SchemaColumn{"snap": {{Name: "Key", Wire: "uvarint"}}},
+	}
+	s, err := ParseLockfile(good.Marshal())
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	if string(s.Marshal()) != string(good.Marshal()) {
+		t.Errorf("marshal is not canonical:\n%s\nvs\n%s", s.Marshal(), good.Marshal())
+	}
+
+	for name, bad := range map[string]string{
+		"invalid json":  `{"format":`,
+		"wrong format":  `{"format":99}`,
+		"empty message": `{"format":1,"messages":{"":[{"name":"a","num":1,"wire":"varint"}]}}`,
+		"bad wire":      `{"format":1,"messages":{"m":[{"name":"a","num":1,"wire":"zigzag"}]}}`,
+		"negative num":  `{"format":1,"messages":{"m":[{"name":"a","num":-1,"wire":"varint"}]}}`,
+		"duplicate tag": `{"format":1,"messages":{"m":[{"name":"a","num":1,"wire":"varint"},{"name":"b","num":1,"wire":"varint"}]}}`,
+		"empty column":  `{"format":1,"columns":{"f":[{"name":"","wire":"uvarint"}]}}`,
+		"bad kind":      `{"format":1,"kinds":{"KindX":-2}}`,
+		"bad version":   `{"format":1,"versions":{"v":-1}}`,
+		"empty colfunc": `{"format":1,"columns":{"":[{"name":"K","wire":"uvarint"}]}}`,
+	} {
+		if _, err := ParseLockfile([]byte(bad)); err == nil {
+			t.Errorf("ParseLockfile accepted %s: %s", name, bad)
+		}
+	}
+}

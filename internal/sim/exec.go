@@ -340,6 +340,8 @@ func ResolveChunk(sched Schedule, chunk, iters, threads int) int {
 // ProbeLoop simulates one execution of lm under cfg without advancing the
 // machine clock or energy counter. ExecuteLoop is Probe + Account; tests
 // and calibration tools use Probe directly.
+//
+//arcslint:hotpath every search probe runs through here; scratch buffers make it allocation-free
 func (m *Machine) ProbeLoop(lm *LoopModel, cfg Config) (ExecResult, error) {
 	if err := lm.Validate(); err != nil {
 		return ExecResult{}, err

@@ -609,10 +609,13 @@ func (s *Store) Digest() map[string]uint64 {
 // memory-only mode instead of hammering a dead disk forever. The encode
 // buffer and encoder are reused under walMu, so the steady-state append
 // path allocates nothing.
+//
+//arcslint:hotpath backs the 0-allocs/op BenchmarkWALAppend/binary baseline (failure branches are cold)
 func (s *Store) appendWAL(e Entry) {
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
 	if s.closed || s.wal == nil {
+		//arcslint:ignore hotpathalloc save-after-close is a caller bug, not the steady-state append path
 		s.setErr(fmt.Errorf("store: save after Close dropped for %v", e.Key))
 		return
 	}
@@ -624,10 +627,12 @@ func (s *Store) appendWAL(e Entry) {
 	s.walBuf = s.enc.AppendEntry(s.walBuf[:0], &ce)
 	if _, err := s.wal.Write(s.walBuf); err != nil {
 		s.appendFails++
+		//arcslint:ignore hotpathalloc WAL write failure is the cold degraded branch
 		s.setErr(fmt.Errorf("store: append wal: %w", err))
 		if s.degradeAfter > 0 && s.appendFails >= s.degradeAfter {
 			s.degraded = true
 			s.droppedSaves++
+			//arcslint:ignore hotpathalloc tripping degraded mode happens at most once per outage
 			s.degradedCause = fmt.Errorf(
 				"store: degraded to memory-only after %d consecutive WAL append failures: %w",
 				s.appendFails, err)
