@@ -182,7 +182,11 @@ func run(ctx context.Context, cfg loadCfg, logger *log.Logger) (*result, error) 
 }
 
 // verify polls the fleet until every check passes or the settle budget
-// runs out (the last error is returned). The checks, per polling round:
+// runs out (the last error is returned). Each round first refreshes the
+// client's membership from the live fleet, so a join or decommission
+// that happened mid-run is verified under the ring the fleet actually
+// converged to — not the member list the command line was started with.
+// The checks, per polling round:
 //
 //  1. Zero lost acknowledged bests: every owner's dump holds each acked
 //     key at a perf no worse than what was acknowledged.
@@ -201,7 +205,9 @@ func verify(ctx context.Context, cfg loadCfg, res *result, logger *log.Logger) e
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		if lastErr = verifyOnce(ctx, cfg, fc, res); lastErr == nil {
+		if _, err := fc.Refresh(ctx); err != nil {
+			lastErr = fmt.Errorf("refresh membership: %w", err)
+		} else if lastErr = verifyOnce(ctx, cfg, fc, res); lastErr == nil {
 			logger.Printf("verify: round %d clean (%d keys)", round, len(res.AckedBest))
 			return nil
 		}

@@ -47,15 +47,17 @@ const Magic = 0xA7
 
 // Frame kinds. Append-only: never renumber.
 const (
-	KindEntry        = 0x01 // one store entry (WAL record, dump stream element)
-	KindReport       = 0x02 // one report (key, config, perf)
-	KindReportBatch  = 0x03 // uvarint count + count length-prefixed reports
-	KindConfigAnswer = 0x04 // /v1/config response
-	KindAck          = 0x05 // /v1/report(s) response
-	KindSearchReq    = 0x06 // server-side search request
-	KindSearchRes    = 0x07 // one search result
-	KindSnapshot     = 0x08 // columnar snapshot of the full entry set
-	KindDigest       = 0x09 // per-shard anti-entropy digest (/v1/digest)
+	KindEntry         = 0x01 // one store entry (WAL record, dump stream element)
+	KindReport        = 0x02 // one report (key, config, perf)
+	KindReportBatch   = 0x03 // uvarint count + count length-prefixed reports
+	KindConfigAnswer  = 0x04 // /v1/config response
+	KindAck           = 0x05 // /v1/report(s) response
+	KindSearchReq     = 0x06 // server-side search request
+	KindSearchRes     = 0x07 // one search result
+	KindSnapshot      = 0x08 // columnar snapshot of the full entry set
+	KindDigest        = 0x09 // per-shard anti-entropy digest (/v1/digest)
+	KindMemberList    = 0x0A // epoch-versioned fleet member list (/v1/membership)
+	KindRangeTransfer = 0x0B // columnar shard-range transfer for bootstrap (/v1/transfer)
 )
 
 // ContentType is the negotiated media type for binary request and
@@ -66,6 +68,12 @@ const ContentType = "application/x-arcs-bin"
 // once by a peer. A server never re-forwards a marked request, so a
 // stale or disagreeing ring cannot bounce a request around the fleet.
 const ForwardedHeader = "X-Arcs-Fleet-Forwarded"
+
+// EpochHeader carries the serving node's current membership epoch on
+// every fleet-mode response. Clients compare it against the epoch their
+// ring view was built from and refresh the view on mismatch instead of
+// failing over blindly against a stale member list.
+const EpochHeader = "X-Arcs-Fleet-Epoch"
 
 // Wire types, the low three bits of a field tag.
 const (

@@ -151,6 +151,11 @@ type Encoder struct {
 	scratch  []byte // nested-message staging
 	scratch2 []byte // per-element staging inside batch encodes
 	payload  []byte // whole-message staging for framed appends
+
+	// Columnar string-table staging, reused across AppendRangeTransfer
+	// calls so steady-state transfer encoding allocates nothing.
+	strIndex map[string]uint64
+	strTable []string
 }
 
 // AppendEntry appends e as one framed KindEntry record (the WAL and

@@ -136,6 +136,20 @@ func (d *Decoder) DecodeSnapshot(payload []byte) ([]Entry, error) {
 	if ver != snapshotVersion {
 		return nil, fmt.Errorf("%w: snapshot version %d (want %d)", ErrMalformed, ver, snapshotVersion)
 	}
+	entries, err := d.decodeEntryColumns(&r, payload)
+	if err != nil {
+		return nil, err
+	}
+	if r.pos != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot", ErrMalformed, len(payload)-r.pos)
+	}
+	return entries, nil
+}
+
+// decodeEntryColumns parses the shared columnar entry block (string
+// table, row count, then the eleven entry columns) used by snapshots
+// and range transfers.
+func (d *Decoder) decodeEntryColumns(r *snapReader, payload []byte) ([]Entry, error) {
 	nstr, err := r.uvarint()
 	if err != nil {
 		return nil, err
@@ -213,9 +227,6 @@ func (d *Decoder) DecodeSnapshot(payload []byte) ([]Entry, error) {
 		if err := step(); err != nil {
 			return nil, err
 		}
-	}
-	if r.pos != len(payload) {
-		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot", ErrMalformed, len(payload)-r.pos)
 	}
 	return entries, nil
 }

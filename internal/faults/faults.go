@@ -73,12 +73,18 @@ const (
 	Reset
 	// Panic makes the operation panic — only meaningful for Searcher.
 	Panic
+	// Truncate lets the round trip succeed but cuts the response body
+	// after Rule.Offset bytes (default 64) with a reset-shaped error — a
+	// connection dying mid-response. Only meaningful for Transport; the
+	// receiver of a framed stream sees a torn frame that fails its CRC.
+	Truncate
 	kindEnd
 )
 
 var kindNames = [...]string{
 	None: "none", Err: "err", ShortWrite: "short-write", Crash: "crash",
 	Latency: "latency", Hang: "hang", Status5xx: "5xx", Reset: "reset", Panic: "panic",
+	Truncate: "truncate",
 }
 
 func (k Kind) String() string {
@@ -136,8 +142,8 @@ func (r Rule) validate() error {
 	if r.Prob < 0 || r.Prob > 1 {
 		return fmt.Errorf("faults: rule for %s: Prob %v outside [0, 1]", r.Op, r.Prob)
 	}
-	if r.Kind == Crash && r.Offset < 0 {
-		return fmt.Errorf("faults: rule for %s: negative crash offset %d", r.Op, r.Offset)
+	if (r.Kind == Crash || r.Kind == Truncate) && r.Offset < 0 {
+		return fmt.Errorf("faults: rule for %s: negative %s offset %d", r.Op, r.Kind, r.Offset)
 	}
 	return nil
 }

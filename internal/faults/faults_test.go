@@ -2,6 +2,9 @@ package faults
 
 import (
 	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -149,9 +152,48 @@ func TestSeedFromEnv(t *testing.T) {
 	}
 }
 
+// TestTransportTruncate: the Truncate kind delivers real bytes up to
+// the offset, then fails the read with a reset-shaped error — the
+// mid-response connection cut a torn range transfer is built from.
+func TestTransportTruncate(t *testing.T) {
+	body := strings.Repeat("x", 1000)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, body)
+	}))
+	defer ts.Close()
+
+	in := New(3)
+	in.Add(Rule{Op: OpHTTP, Kind: Truncate, Offset: 100, Count: 1})
+	client := &http.Client{Transport: NewTransport(in, nil)}
+
+	resp, err := client.Get(ts.URL + "/v1/transfer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil || !errors.Is(err, ErrReset) {
+		t.Fatalf("truncated read error = %v, want ErrReset", err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("read %d bytes before the cut, want 100", len(got))
+	}
+
+	// The rule's Count is spent: the next response arrives whole.
+	resp, err = client.Get(ts.URL + "/v1/transfer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(got) != body {
+		t.Fatalf("post-fault read = %d bytes err %v, want the whole body", len(got), err)
+	}
+}
+
 func TestKindString(t *testing.T) {
-	if Crash.String() != "crash" || None.String() != "none" {
-		t.Fatalf("Kind names wrong: %v %v", Crash, None)
+	if Crash.String() != "crash" || None.String() != "none" || Truncate.String() != "truncate" {
+		t.Fatalf("Kind names wrong: %v %v %v", Crash, None, Truncate)
 	}
 	if s := Kind(42).String(); !strings.Contains(s, "42") {
 		t.Fatalf("out-of-range Kind String = %q", s)

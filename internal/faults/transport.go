@@ -46,6 +46,17 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		return nil, fmt.Errorf("faults: %s %s: %w", req.Method, req.URL.Path, ErrReset)
 	case Status5xx:
 		return synthesize(req, d), nil
+	case Truncate:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		n := d.offset
+		if n <= 0 {
+			n = 64
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: n}
+		return resp, nil
 	default:
 		return nil, fmt.Errorf("faults: %s %s: %w", req.Method, req.URL.Path, d.errOr(ErrInjected))
 	}
@@ -76,5 +87,35 @@ func synthesize(req *http.Request, d decision) *http.Response {
 		Request:       req,
 	}
 }
+
+// truncatedBody serves the first remaining bytes of the real response
+// body, then fails reads with a reset-shaped error — what a client sees
+// when the serving daemon dies mid-response. The bytes delivered before
+// the cut are real, so a CRC-framed payload arrives torn, not absent.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, fmt.Errorf("faults: response truncated mid-body: %w", ErrReset)
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		// The real body ended before the cut point: pass EOF through.
+		return n, err
+	}
+	if err == nil && b.remaining <= 0 {
+		return n, fmt.Errorf("faults: response truncated mid-body: %w", ErrReset)
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
 
 var _ http.RoundTripper = (*Transport)(nil)

@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Heartbeat failure detection. The detector is a pure function of the
+// observation times fed into it: Observe(peer, now) records a
+// successful heartbeat, Check(now, peers) classifies every tracked
+// peer by how long ago it was last heard. No wall clock is read here
+// (determinism contract) — the caller injects time, so tests drive the
+// alive → suspect → dead ladder with a hand-rolled clock and a given
+// sequence of observations always yields the same transitions.
+//
+// A peer that has never been heard from starts its clock at the first
+// Check that sees it, so a member that is down from the moment it
+// appears in the ring still walks the ladder instead of staying
+// "alive" forever.
+
+// Detector timing defaults (used when Config leaves them zero).
+const (
+	// DefaultSuspectAfter is the silence after which a peer turns
+	// suspect: long enough to ride out a few missed heartbeats.
+	DefaultSuspectAfter = 2 * time.Second
+	// DefaultDeadAfter is the silence after which a suspect peer is
+	// declared dead and skipped by the sweep until it is heard again.
+	DefaultDeadAfter = 10 * time.Second
+)
+
+// PeerState is a peer's position on the failure-detection ladder.
+type PeerState uint8
+
+const (
+	StateAlive PeerState = iota
+	StateSuspect
+	StateDead
+)
+
+// String names the state for /healthz and logs.
+func (s PeerState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Transition is one state change surfaced by Check.
+type Transition struct {
+	Peer string
+	From PeerState
+	To   PeerState
+}
+
+// Detector tracks last-heard times and derived states for the fleet's
+// peers. Safe for concurrent use.
+type Detector struct {
+	suspectAfter time.Duration
+	deadAfter    time.Duration
+
+	mu    sync.Mutex
+	seen  map[string]time.Time // last successful heartbeat; guarded by mu
+	state map[string]PeerState // current ladder position; guarded by mu
+}
+
+// NewDetector builds a detector; non-positive durations select the
+// defaults, and deadAfter is raised to suspectAfter if it is shorter.
+func NewDetector(suspectAfter, deadAfter time.Duration) *Detector {
+	if suspectAfter <= 0 {
+		suspectAfter = DefaultSuspectAfter
+	}
+	if deadAfter <= 0 {
+		deadAfter = DefaultDeadAfter
+	}
+	if deadAfter < suspectAfter {
+		deadAfter = suspectAfter
+	}
+	return &Detector{
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		seen:         make(map[string]time.Time),
+		state:        make(map[string]PeerState),
+	}
+}
+
+// Observe records a successful heartbeat from peer at the injected
+// time, returning it immediately to alive from any state.
+func (d *Detector) Observe(peer string, now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seen[peer] = now
+	d.state[peer] = StateAlive
+}
+
+// Check classifies every peer in peers against the injected time and
+// returns the transitions that occurred, in sorted peer order
+// (deterministic given the same observation history). A peer seen for
+// the first time starts its silence clock at this Check.
+func (d *Detector) Check(now time.Time, peers []string) []Transition {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	var out []Transition
+	for _, peer := range sorted {
+		last, ok := d.seen[peer]
+		if !ok {
+			d.seen[peer] = now
+			d.state[peer] = StateAlive
+			continue
+		}
+		elapsed := now.Sub(last)
+		next := StateAlive
+		switch {
+		case elapsed >= d.deadAfter:
+			next = StateDead
+		case elapsed >= d.suspectAfter:
+			next = StateSuspect
+		}
+		if prev := d.state[peer]; prev != next {
+			d.state[peer] = next
+			out = append(out, Transition{Peer: peer, From: prev, To: next})
+		}
+	}
+	return out
+}
+
+// State returns peer's current ladder position; a peer the detector
+// has never tracked is optimistically alive.
+func (d *Detector) State(peer string) PeerState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state[peer]
+}
+
+// States snapshots every tracked peer's state (for /healthz).
+func (d *Detector) States() map[string]string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.state) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(d.state))
+	for peer, s := range d.state {
+		out[peer] = s.String()
+	}
+	return out
+}
+
+// Counts returns the number of suspect and dead peers (the /metrics
+// gauges).
+func (d *Detector) Counts() (suspect, dead int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, s := range d.state {
+		switch s {
+		case StateSuspect:
+			suspect++
+		case StateDead:
+			dead++
+		}
+	}
+	return suspect, dead
+}
+
+// Retain drops tracking for every peer not in peers (membership
+// removal must not leave ghost suspects behind).
+func (d *Detector) Retain(peers []string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keep := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		keep[p] = true
+	}
+	for p := range d.seen {
+		if !keep[p] {
+			delete(d.seen, p)
+			delete(d.state, p)
+		}
+	}
+}

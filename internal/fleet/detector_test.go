@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The detector is a pure function of injected observation times, so
+// these tests drive a hand-rolled clock through the alive → suspect →
+// dead ladder and assert the exact transition sequence.
+
+func at(s int) time.Time { return time.Unix(int64(s), 0) }
+
+func TestDetectorLadder(t *testing.T) {
+	peers := []string{"n1"}
+	cases := []struct {
+		name string
+		// each step is (observe n1 at obs ≥ 0), then Check at chk.
+		steps []struct {
+			obs int // -1 = no observation this step
+			chk int
+		}
+		want []Transition // transitions of the final Check
+	}{
+		{
+			name: "fresh peer stays alive within suspectAfter",
+			steps: []struct{ obs, chk int }{
+				{obs: 0, chk: 1},
+			},
+			want: nil,
+		},
+		{
+			name: "silence past suspectAfter turns suspect",
+			steps: []struct{ obs, chk int }{
+				{obs: 0, chk: 3},
+			},
+			want: []Transition{{Peer: "n1", From: StateAlive, To: StateSuspect}},
+		},
+		{
+			name: "silence past deadAfter turns dead",
+			steps: []struct{ obs, chk int }{
+				{obs: 0, chk: 3},
+				{obs: -1, chk: 11},
+			},
+			want: []Transition{{Peer: "n1", From: StateSuspect, To: StateDead}},
+		},
+		{
+			name: "silence can jump alive to dead in one check",
+			steps: []struct{ obs, chk int }{
+				{obs: 0, chk: 1},
+				{obs: -1, chk: 30},
+			},
+			want: []Transition{{Peer: "n1", From: StateAlive, To: StateDead}},
+		},
+		{
+			name: "observation revives a suspect",
+			steps: []struct{ obs, chk int }{
+				{obs: 0, chk: 3},
+				{obs: 4, chk: 5},
+			},
+			want: nil, // Observe already reset to alive; Check sees no change
+		},
+		{
+			name: "observation revives the dead",
+			steps: []struct{ obs, chk int }{
+				{obs: 0, chk: 11},
+				{obs: 12, chk: 20},
+			},
+			want: []Transition{{Peer: "n1", From: StateAlive, To: StateSuspect}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDetector(2*time.Second, 10*time.Second)
+			var got []Transition
+			for _, s := range tc.steps {
+				if s.obs >= 0 {
+					d.Observe("n1", at(s.obs))
+				}
+				got = d.Check(at(s.chk), peers)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("final transitions = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDetectorNeverSeenStartsClockAtFirstCheck: a member that is down
+// from the moment it joins still walks the ladder — its silence clock
+// starts at the first Check that sees it, not never.
+func TestDetectorNeverSeenStartsClockAtFirstCheck(t *testing.T) {
+	d := NewDetector(2*time.Second, 10*time.Second)
+	peers := []string{"ghost"}
+	if tr := d.Check(at(0), peers); tr != nil {
+		t.Fatalf("first sighting produced transitions %+v", tr)
+	}
+	if got := d.Check(at(3), peers); len(got) != 1 || got[0].To != StateSuspect {
+		t.Fatalf("silent new peer transitions = %+v, want suspect", got)
+	}
+	if got := d.Check(at(11), peers); len(got) != 1 || got[0].To != StateDead {
+		t.Fatalf("still-silent peer transitions = %+v, want dead", got)
+	}
+}
+
+// TestDetectorDeterministicOrder: transitions come out in sorted peer
+// order whatever order the peer list was passed in.
+func TestDetectorDeterministicOrder(t *testing.T) {
+	d := NewDetector(2*time.Second, 10*time.Second)
+	for _, p := range []string{"b", "a", "c"} {
+		d.Observe(p, at(0))
+	}
+	got := d.Check(at(5), []string{"c", "a", "b"})
+	want := []Transition{
+		{Peer: "a", From: StateAlive, To: StateSuspect},
+		{Peer: "b", From: StateAlive, To: StateSuspect},
+		{Peer: "c", From: StateAlive, To: StateSuspect},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("transitions %+v, want sorted %+v", got, want)
+	}
+	if s, dd := d.Counts(); s != 3 || dd != 0 {
+		t.Fatalf("Counts = (%d,%d), want (3,0)", s, dd)
+	}
+}
+
+// TestDetectorRetain: membership removal drops tracking so departed
+// peers never linger as ghost suspects in the gauges.
+func TestDetectorRetain(t *testing.T) {
+	d := NewDetector(2*time.Second, 10*time.Second)
+	d.Observe("stay", at(0))
+	d.Observe("gone", at(0))
+	d.Check(at(5), []string{"stay", "gone"})
+	d.Retain([]string{"stay"})
+	states := d.States()
+	if _, ok := states["gone"]; ok {
+		t.Fatalf("departed peer still tracked: %v", states)
+	}
+	if states["stay"] != "suspect" {
+		t.Fatalf("retained peer state %q, want suspect", states["stay"])
+	}
+}
+
+// TestDetectorDefaultsClamp: zero durations select the defaults, and a
+// deadAfter below suspectAfter is raised to it.
+func TestDetectorDefaultsClamp(t *testing.T) {
+	d := NewDetector(0, 0)
+	if d.suspectAfter != DefaultSuspectAfter || d.deadAfter != DefaultDeadAfter {
+		t.Fatalf("defaults not applied: %v/%v", d.suspectAfter, d.deadAfter)
+	}
+	d = NewDetector(5*time.Second, time.Second)
+	if d.deadAfter != 5*time.Second {
+		t.Fatalf("deadAfter %v, want clamped to suspectAfter", d.deadAfter)
+	}
+}
+
+// TestJitterSeededAndBounded: the ticker jitter is reproducible from
+// (seed, name) and stays within base ± 25%, and two loops with
+// different names do not tick in lockstep.
+func TestJitterSeededAndBounded(t *testing.T) {
+	base := time.Second
+	a1 := NewJitter(7, "heartbeat:n1", base)
+	a2 := NewJitter(7, "heartbeat:n1", base)
+	b := NewJitter(7, "heartbeat:n2", base)
+	same, diff := true, false
+	for i := 0; i < 64; i++ {
+		d1, d2, d3 := a1.Next(), a2.Next(), b.Next()
+		if d1 != d2 {
+			same = false
+		}
+		if d1 != d3 {
+			diff = true
+		}
+		if d1 < 3*base/4 || d1 >= 5*base/4 {
+			t.Fatalf("jitter %v outside [0.75,1.25)·base", d1)
+		}
+	}
+	if !same {
+		t.Error("equal (seed,name) jitter sequences diverged")
+	}
+	if !diff {
+		t.Error("different names produced identical (lockstep) sequences")
+	}
+}

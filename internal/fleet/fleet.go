@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"arcs/internal/codec"
 	"arcs/internal/store"
@@ -20,8 +22,8 @@ const (
 	DefaultHandoffMax = 4096
 )
 
-// Peer is the fleet's view of one remote arcsd: the three intra-fleet
-// RPCs. *storeclient.Client satisfies it. The interface lives here (and
+// Peer is the fleet's view of one remote arcsd: the intra-fleet RPCs.
+// *storeclient.Client satisfies it. The interface lives here (and
 // names only store/codec/context types) so fleet does not import
 // storeclient — storeclient imports fleet for the ring.
 type Peer interface {
@@ -35,6 +37,20 @@ type Peer interface {
 	// ShardDigest fetches the peer's anti-entropy summary of one store
 	// shard (GET /v1/digest).
 	ShardDigest(ctx context.Context, shard int) (codec.Digest, error)
+	// Ping probes liveness and returns the peer's current member list
+	// (GET /v1/ping) — the heartbeat and the epoch-gossip channel in
+	// one round trip.
+	Ping(ctx context.Context) (codec.MemberList, error)
+	// PushMembership offers the peer an epoch-versioned member list
+	// (POST /v1/membership) and returns the list the peer holds after
+	// considering it — m itself on acceptance, something superseding on
+	// a lost race.
+	PushMembership(ctx context.Context, m codec.MemberList) (codec.MemberList, error)
+	// TransferRange pulls one store shard's entries owned by forNode
+	// under the given epoch's ring (GET /v1/transfer). A peer on a
+	// different epoch rejects with an *EpochMismatchError carrying its
+	// current member list.
+	TransferRange(ctx context.Context, shard int, forNode string, epoch uint64) ([]store.Entry, error)
 }
 
 // Config assembles a Fleet.
@@ -42,33 +58,54 @@ type Config struct {
 	// Self is this node's name in Nodes (by convention its advertised
 	// base URL).
 	Self string
-	// Nodes is the full fleet membership, self included. Order does not
-	// matter; every member must be configured with the same set.
+	// Nodes is the initial fleet membership, self included. Order does
+	// not matter. Membership is live after construction: joins and
+	// leaves swap in new epochs via ApplyMembership and friends.
 	Nodes []string
-	// Replicas is the number of owners per key, clamped to len(Nodes);
-	// zero selects DefaultReplicas.
+	// Epoch is the initial membership epoch; zero selects 1. A node
+	// (re)started with a stale epoch self-corrects from heartbeats and
+	// stale-epoch rejections.
+	Epoch uint64
+	// Replicas is the number of owners per key, clamped to the live
+	// member count; zero selects DefaultReplicas.
 	Replicas int
 	// VNodes is the virtual-node count per member; zero selects
 	// DefaultVNodes.
 	VNodes int
 	// Store is the local knowledge store.
 	Store *store.Store
-	// Peers maps every other member name to its client. A missing peer
-	// is an error: a member that cannot be dialed still gets a client
-	// (whose calls fail and feed the handoff queue).
+	// Peers maps other member names to their clients. Members missing
+	// here are constructed through NewPeer; a member with neither is a
+	// construction error.
 	Peers map[string]Peer
-	// Seed drives the anti-entropy sweep order. The sweep must be
-	// seed-driven, not wall-clock-driven (determinism contract); equal
-	// seeds and equal tick sequences sweep identically.
+	// NewPeer builds a client for a member that joins after
+	// construction (and for any initial member missing from Peers).
+	// Nil means membership is effectively static: a join this node
+	// cannot build a client for is rejected locally.
+	NewPeer func(name string) Peer
+	// Seed drives the anti-entropy sweep order and the heartbeat probe
+	// order. Seed-driven, not wall-clock-driven (determinism
+	// contract): equal seeds and equal tick sequences behave
+	// identically.
 	Seed int64
 	// HandoffMax bounds each per-peer hint queue; zero selects
 	// DefaultHandoffMax.
 	HandoffMax int
+	// SuspectAfter and DeadAfter configure the failure detector; zero
+	// selects DefaultSuspectAfter / DefaultDeadAfter.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
 }
 
 // Stats is a point-in-time snapshot of the fleet counters, exported on
 // /healthz and /metrics.
 type Stats struct {
+	// Epoch is the current membership epoch.
+	Epoch uint64 `json:"epoch"`
+	// Members is the current member count (self included).
+	Members int `json:"members"`
+	// MembershipChanges counts epochs this node has installed.
+	MembershipChanges uint64 `json:"membership_changes"`
 	// Forwards counts reports this node routed to an owner because it
 	// did not own the key.
 	Forwards uint64 `json:"forwards"`
@@ -84,105 +121,190 @@ type Stats struct {
 	Sweeps uint64 `json:"sweeps"`
 	// HandoffDepth is the current total of queued hints across peers.
 	HandoffDepth int `json:"handoff_depth"`
-	// HandoffDropped counts hints dropped on queue overflow (repaired
-	// later by anti-entropy).
+	// HandoffDropped counts hints dropped — on queue overflow or when
+	// a membership change retired the peer the hint was owed to. Both
+	// are repaired later by anti-entropy. Cumulative, so a dropped
+	// hint stays counted after its queue is gone.
 	HandoffDropped uint64 `json:"handoff_dropped"`
 	// Fallbacks counts reports accepted locally by a non-owner because
 	// every owner was unreachable.
 	Fallbacks uint64 `json:"fallbacks"`
+	// Heartbeats and HeartbeatFailures count liveness probes sent and
+	// failed.
+	Heartbeats        uint64 `json:"heartbeats"`
+	HeartbeatFailures uint64 `json:"heartbeat_failures"`
+	// PeersSuspect and PeersDead gauge the detector's current view.
+	PeersSuspect int `json:"peers_suspect"`
+	PeersDead    int `json:"peers_dead"`
+	// TransferredIn counts entries this node merged from bootstrap
+	// range transfers; TransferRetries counts transfer attempts that
+	// had to be retried.
+	TransferredIn   uint64 `json:"transferred_in"`
+	TransferRetries uint64 `json:"transfer_retries"`
+	// Drained counts entry-pushes acknowledged while leaving.
+	Drained uint64 `json:"drained"`
 }
 
-// Fleet is one node's view of the replicated knowledge store. All
-// methods are safe for concurrent use; Tick is typically driven by a
-// single timer goroutine but may race Ingest freely.
-type Fleet struct {
-	self      string
-	replicas  int
+// view is one membership epoch's immutable routing state. Lookups load
+// it atomically and use it unlocked; a membership change builds a new
+// view and swaps the pointer, so requests in flight finish under the
+// epoch they started with.
+type view struct {
+	epoch     uint64
+	replicas  int // effective: config clamped to the member count
 	ring      *Ring
-	st        *store.Store
-	peers     map[string]Peer // immutable after New; lookups only
+	nodes     []string        // sorted member names (self included, unless departed)
+	selfIn    bool            // self is a member of this epoch
+	peers     map[string]Peer // other members' clients
 	peerNames []string        // sorted, self excluded — the deterministic iteration order
+}
+
+// Fleet is one node's share of the replicated knowledge store. All
+// methods are safe for concurrent use; Tick and Heartbeat are
+// typically driven by timer goroutines but may race Ingest freely.
+type Fleet struct {
+	self       string
+	replicas   int // configured owners-per-key (pre-clamp)
+	vnodes     int
+	handoffMax int
+	st         *store.Store
+	seedPeers  map[string]Peer // Config.Peers; consulted before NewPeer
+	newPeer    func(name string) Peer
+	det        *Detector
+	cur        atomic.Pointer[view]
 
 	mu    sync.Mutex
-	rng   *rand.Rand            // sweep-order source; guarded by mu
+	rng   *rand.Rand            // sweep/heartbeat-order source; guarded by mu
 	hints map[string]*hintQueue // per-peer handoff queues; guarded by mu
 	stats Stats                 // guarded by mu
 }
 
-// New validates the membership and builds the node's fleet state.
+// New validates the initial membership and builds the node's fleet
+// state.
 func New(cfg Config) (*Fleet, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("fleet: nil store")
-	}
-	ring, err := NewRing(cfg.Nodes, cfg.VNodes)
-	if err != nil {
-		return nil, err
-	}
-	found := false
-	for _, n := range ring.Nodes() {
-		if n == cfg.Self {
-			found = true
-			break
-		}
-	}
-	if !found {
-		return nil, fmt.Errorf("fleet: self %q not in membership %v", cfg.Self, ring.Nodes())
 	}
 	replicas := cfg.Replicas
 	if replicas <= 0 {
 		replicas = DefaultReplicas
 	}
-	if replicas > len(ring.Nodes()) {
-		replicas = len(ring.Nodes())
-	}
 	handoffMax := cfg.HandoffMax
 	if handoffMax <= 0 {
 		handoffMax = DefaultHandoffMax
 	}
-	f := &Fleet{
-		self:     cfg.Self,
-		replicas: replicas,
-		ring:     ring,
-		st:       cfg.Store,
-		peers:    make(map[string]Peer, len(cfg.Peers)),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		hints:    make(map[string]*hintQueue),
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = 1
 	}
-	for _, n := range ring.Nodes() {
-		if n == cfg.Self {
-			continue
-		}
-		p, ok := cfg.Peers[n]
-		if !ok || p == nil {
-			return nil, fmt.Errorf("fleet: no peer client for member %q", n)
-		}
-		f.peers[n] = p
-		f.peerNames = append(f.peerNames, n)
+	f := &Fleet{
+		self:       cfg.Self,
+		replicas:   replicas,
+		vnodes:     cfg.VNodes,
+		handoffMax: handoffMax,
+		st:         cfg.Store,
+		seedPeers:  cfg.Peers,
+		newPeer:    cfg.NewPeer,
+		det:        NewDetector(cfg.SuspectAfter, cfg.DeadAfter),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		hints:      make(map[string]*hintQueue),
+	}
+	v, err := f.buildView(codec.MemberList{Epoch: epoch, Nodes: cfg.Nodes}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if !v.selfIn {
+		return nil, fmt.Errorf("fleet: self %q not in membership %v", cfg.Self, v.nodes)
+	}
+	for _, n := range v.peerNames {
 		f.hints[n] = newHintQueue(handoffMax) //arcslint:ignore guardedby constructor; the fleet has not escaped yet
 	}
-	sort.Strings(f.peerNames)
+	f.cur.Store(v)
 	return f, nil
 }
+
+// buildView constructs the routing state for member list m, reusing
+// clients from the previous view where the member persists.
+func (f *Fleet) buildView(m codec.MemberList, old *view) (*view, error) {
+	ring, err := NewRing(m.Nodes, f.vnodes)
+	if err != nil {
+		return nil, err
+	}
+	v := &view{
+		epoch:    m.Epoch,
+		replicas: f.replicas,
+		ring:     ring,
+		nodes:    ring.Nodes(),
+	}
+	if v.replicas > len(v.nodes) {
+		v.replicas = len(v.nodes)
+	}
+	v.peers = make(map[string]Peer, len(v.nodes))
+	for _, n := range v.nodes {
+		if n == f.self {
+			v.selfIn = true
+			continue
+		}
+		p, err := f.resolvePeer(old, n)
+		if err != nil {
+			return nil, err
+		}
+		v.peers[n] = p
+		v.peerNames = append(v.peerNames, n)
+	}
+	sort.Strings(v.peerNames)
+	return v, nil
+}
+
+// resolvePeer finds or builds the client for member name.
+func (f *Fleet) resolvePeer(old *view, name string) (Peer, error) {
+	if old != nil {
+		if p := old.peers[name]; p != nil {
+			return p, nil
+		}
+	}
+	if p := f.seedPeers[name]; p != nil {
+		return p, nil
+	}
+	if f.newPeer != nil {
+		if p := f.newPeer(name); p != nil {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("fleet: no peer client for member %q", name)
+}
+
+// view returns the current epoch's routing state.
+func (f *Fleet) view() *view { return f.cur.Load() }
 
 // Self returns this node's member name.
 func (f *Fleet) Self() string { return f.self }
 
 // Replicas returns the owners-per-key count in effect.
-func (f *Fleet) Replicas() int { return f.replicas }
+func (f *Fleet) Replicas() int { return f.view().replicas }
 
-// Ring returns the placement ring (immutable).
-func (f *Fleet) Ring() *Ring { return f.ring }
+// Ring returns the current epoch's placement ring (immutable; a
+// membership change swaps in a new one).
+func (f *Fleet) Ring() *Ring { return f.view().ring }
+
+// Detector returns the failure detector (for /healthz reporting).
+func (f *Fleet) Detector() *Detector { return f.det }
 
 // Owners appends the owner list for a canonical key (primary first),
 // append-style.
 func (f *Fleet) Owners(ck string, dst []string) []string {
-	return f.ring.Owners(ck, f.replicas, dst)
+	v := f.view()
+	return v.ring.Owners(ck, v.replicas, dst)
 }
 
 // OwnsKey reports whether this node is one of the key's owners.
 func (f *Fleet) OwnsKey(ck string) bool {
+	v := f.view()
+	if !v.selfIn {
+		return false
+	}
 	var stack [8]string
-	for _, o := range f.ring.Owners(ck, f.replicas, stack[:0]) {
+	for _, o := range v.ring.Owners(ck, v.replicas, stack[:0]) {
 		if o == f.self {
 			return true
 		}
@@ -208,6 +330,7 @@ func (f *Fleet) Ingest(ctx context.Context, reports []codec.Report, forwarded bo
 	if len(reports) == 0 {
 		return 0
 	}
+	v := f.view()
 	accepted := 0
 	mergeBatch := make(map[string][]store.Entry) // peer -> entries to replicate
 	type fwdBatch struct {
@@ -218,12 +341,14 @@ func (f *Fleet) Ingest(ctx context.Context, reports []codec.Report, forwarded bo
 	var ownerBuf []string
 	for _, r := range reports {
 		ck := r.Key.String()
-		ownerBuf = f.ring.Owners(ck, f.replicas, ownerBuf[:0])
+		ownerBuf = v.ring.Owners(ck, v.replicas, ownerBuf[:0])
 		owned := false
-		for _, o := range ownerBuf {
-			if o == f.self {
-				owned = true
-				break
+		if v.selfIn {
+			for _, o := range ownerBuf {
+				if o == f.self {
+					owned = true
+					break
+				}
 			}
 		}
 		if owned || forwarded {
@@ -250,10 +375,10 @@ func (f *Fleet) Ingest(ctx context.Context, reports []codec.Report, forwarded bo
 	// Replicate owned writes to their co-owners, one batch per peer.
 	for _, name := range sortedKeys(mergeBatch) {
 		entries := mergeBatch[name]
-		if err := f.peers[name].MergeEntries(ctx, entries); err != nil {
+		if err := v.peers[name].MergeEntries(ctx, entries); err != nil {
 			f.mu.Lock()
 			for _, e := range entries {
-				f.hints[name].add(e.Key.String(), hint{kind: hintMerge, key: e.Key})
+				f.hintAdd(name, e.Key.String(), hint{kind: hintMerge, key: e.Key})
 			}
 			f.mu.Unlock()
 			continue
@@ -268,7 +393,7 @@ func (f *Fleet) Ingest(ctx context.Context, reports []codec.Report, forwarded bo
 		b := forwards[primary]
 		sent := false
 		for _, o := range b.owners {
-			if err := f.peers[o].ForwardReports(ctx, b.reports); err == nil {
+			if err := v.peers[o].ForwardReports(ctx, b.reports); err == nil {
 				sent = true
 				break
 			}
@@ -285,7 +410,7 @@ func (f *Fleet) Ingest(ctx context.Context, reports []codec.Report, forwarded bo
 		f.mu.Lock()
 		f.stats.Fallbacks += uint64(len(b.reports))
 		for _, r := range b.reports {
-			f.hints[primary].add(r.Key.String(), hint{kind: hintReport, key: r.Key, report: r})
+			f.hintAdd(primary, r.Key.String(), hint{kind: hintReport, key: r.Key, report: r})
 		}
 		f.mu.Unlock()
 		for _, r := range b.reports {
@@ -294,6 +419,22 @@ func (f *Fleet) Ingest(ctx context.Context, reports []codec.Report, forwarded bo
 		}
 	}
 	return accepted
+}
+
+// hintAdd queues an obligation to a peer, counting the drop if the
+// queue is full or the peer has left the membership since the caller
+// loaded its view (anti-entropy repairs both).
+//
+//arcslint:locked mu
+func (f *Fleet) hintAdd(name, ck string, h hint) {
+	q := f.hints[name]
+	if q == nil {
+		f.stats.HandoffDropped++
+		return
+	}
+	if !q.add(ck, h) {
+		f.stats.HandoffDropped++
+	}
 }
 
 // MergeLocal applies entries a peer replicated to this node (the
@@ -323,14 +464,52 @@ func (f *Fleet) Tick(ctx context.Context) {
 	f.sweep(ctx)
 }
 
+// Heartbeat runs one liveness round at the injected time: ping every
+// peer in a seeded order, feed the failure detector, and adopt any
+// superseding member list a peer gossips back (the recovery path for a
+// node that missed a membership push while down). Driven externally
+// like Tick; now is injected so the detector stays deterministic.
+func (f *Fleet) Heartbeat(ctx context.Context, now time.Time) []Transition {
+	v := f.view()
+	f.mu.Lock()
+	order := f.rng.Perm(len(v.peerNames))
+	f.mu.Unlock()
+	for _, oi := range order {
+		name := v.peerNames[oi]
+		m, err := v.peers[name].Ping(ctx)
+		f.mu.Lock()
+		f.stats.Heartbeats++
+		if err != nil {
+			f.stats.HeartbeatFailures++
+		}
+		f.mu.Unlock()
+		if err != nil {
+			continue
+		}
+		f.det.Observe(name, now)
+		if MembershipSupersedes(m, f.Membership()) {
+			f.ApplyMembership(m)
+		}
+	}
+	return f.det.Check(now, f.view().peerNames)
+}
+
 // drainHints empties each peer's queue: merge hints re-resolve the
 // key's current entry (one send covers any number of queued updates)
 // and report hints re-inject through the owner's report path. A peer
 // still down gets its hints back.
 func (f *Fleet) drainHints(ctx context.Context) {
-	for _, name := range f.peerNames {
+	v := f.view()
+	for _, name := range v.peerNames {
+		if f.det.State(name) == StateDead {
+			continue // keep the hints; heartbeat revives the peer first
+		}
 		f.mu.Lock()
-		hs := f.hints[name].take()
+		q := f.hints[name]
+		var hs []hint
+		if q != nil {
+			hs = q.take()
+		}
 		f.mu.Unlock()
 		if len(hs) == 0 {
 			continue
@@ -349,7 +528,7 @@ func (f *Fleet) drainHints(ctx context.Context) {
 		}
 		failed := hs[:0]
 		if len(entries) > 0 {
-			if err := f.peers[name].MergeEntries(ctx, entries); err != nil {
+			if err := v.peers[name].MergeEntries(ctx, entries); err != nil {
 				for _, h := range hs {
 					if h.kind == hintMerge {
 						failed = append(failed, h)
@@ -358,7 +537,7 @@ func (f *Fleet) drainHints(ctx context.Context) {
 			}
 		}
 		if len(reports) > 0 {
-			if err := f.peers[name].ForwardReports(ctx, reports); err != nil {
+			if err := v.peers[name].ForwardReports(ctx, reports); err != nil {
 				for _, h := range hs {
 					if h.kind == hintReport {
 						failed = append(failed, h)
@@ -369,7 +548,7 @@ func (f *Fleet) drainHints(ctx context.Context) {
 		if len(failed) > 0 {
 			f.mu.Lock()
 			for _, h := range failed {
-				f.hints[name].add(h.key.String(), h)
+				f.hintAdd(name, h.key.String(), h)
 			}
 			f.mu.Unlock()
 		}
@@ -383,12 +562,16 @@ func (f *Fleet) drainHints(ctx context.Context) {
 // direction, and the Supersedes total order makes the crossing pushes
 // converge byte-identically.
 func (f *Fleet) sweep(ctx context.Context) {
+	v := f.view()
 	f.mu.Lock()
-	order := f.rng.Perm(len(f.peerNames))
+	order := f.rng.Perm(len(v.peerNames))
 	f.mu.Unlock()
 	for _, oi := range order {
-		name := f.peerNames[oi]
-		peer := f.peers[name]
+		name := v.peerNames[oi]
+		if f.det.State(name) == StateDead {
+			continue // skip a declared-dead peer; heartbeat revives it
+		}
+		peer := v.peers[name]
 		var mergePush []store.Entry
 		var reportPush []codec.Report
 		down := false
@@ -409,11 +592,11 @@ func (f *Fleet) sweep(ctx context.Context) {
 			}
 			for _, e := range local {
 				ck := e.Key.String()
-				ownerBuf = f.ring.Owners(ck, f.replicas, ownerBuf[:0])
+				ownerBuf = v.ring.Owners(ck, v.replicas, ownerBuf[:0])
 				peerOwns, selfOwns := false, false
 				for _, o := range ownerBuf {
 					peerOwns = peerOwns || o == name
-					selfOwns = selfOwns || o == f.self
+					selfOwns = selfOwns || (v.selfIn && o == f.self)
 				}
 				if !peerOwns {
 					continue // never push a key onto a node that does not own it
@@ -484,15 +667,19 @@ func BuildDigest(st *store.Store, shard int) codec.Digest {
 
 // Stats snapshots the counters.
 func (f *Fleet) Stats() Stats {
+	v := f.view()
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	s := f.stats
 	s.HandoffDepth = 0
-	s.HandoffDropped = 0
-	for _, name := range f.peerNames {
-		s.HandoffDepth += f.hints[name].depth()
-		s.HandoffDropped += f.hints[name].dropped
+	for _, name := range v.peerNames {
+		if q := f.hints[name]; q != nil {
+			s.HandoffDepth += q.depth()
+		}
 	}
+	f.mu.Unlock()
+	s.Epoch = v.epoch
+	s.Members = len(v.nodes)
+	s.PeersSuspect, s.PeersDead = f.det.Counts()
 	return s
 }
 

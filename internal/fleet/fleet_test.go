@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"arcs/internal/codec"
@@ -124,33 +125,81 @@ func TestRingRejectsBadMembership(t *testing.T) {
 var errDown = errors.New("peer down")
 
 // loopPeer wires a Fleet's peer RPCs straight into another in-process
-// Fleet — the transport-free cluster the unit tests run on.
+// Fleet — the transport-free cluster the unit tests run on. A name
+// with no registered fleet behaves as down, which is exactly what a
+// just-proposed joiner looks like before its daemon is up.
 type loopPeer struct {
 	c    *cluster
 	name string
 }
 
-func (p loopPeer) MergeEntries(ctx context.Context, entries []store.Entry) error {
+// target returns the peer's fleet, or nil when the node is down or not
+// (yet) running.
+func (p loopPeer) target() *Fleet {
 	if p.c.down[p.name] {
+		return nil
+	}
+	return p.c.fleets[p.name]
+}
+
+func (p loopPeer) MergeEntries(ctx context.Context, entries []store.Entry) error {
+	fl := p.target()
+	if fl == nil {
 		return errDown
 	}
-	p.c.fleets[p.name].MergeLocal(entries)
+	fl.MergeLocal(entries)
 	return nil
 }
 
 func (p loopPeer) ForwardReports(ctx context.Context, reports []codec.Report) error {
-	if p.c.down[p.name] {
+	fl := p.target()
+	if fl == nil {
 		return errDown
 	}
-	p.c.fleets[p.name].Ingest(ctx, reports, true)
+	fl.Ingest(ctx, reports, true)
 	return nil
 }
 
 func (p loopPeer) ShardDigest(ctx context.Context, shard int) (codec.Digest, error) {
-	if p.c.down[p.name] {
+	if p.target() == nil {
 		return codec.Digest{}, errDown
 	}
 	return BuildDigest(p.c.stores[p.name], shard), nil
+}
+
+func (p loopPeer) Ping(ctx context.Context) (codec.MemberList, error) {
+	fl := p.target()
+	if fl == nil {
+		return codec.MemberList{}, errDown
+	}
+	return fl.Membership(), nil
+}
+
+func (p loopPeer) PushMembership(ctx context.Context, m codec.MemberList) (codec.MemberList, error) {
+	fl := p.target()
+	if fl == nil {
+		return codec.MemberList{}, errDown
+	}
+	fl.ApplyMembership(m)
+	return fl.Membership(), nil
+}
+
+func (p loopPeer) TransferRange(ctx context.Context, shard int, forNode string, epoch uint64) ([]store.Entry, error) {
+	fl := p.target()
+	if fl == nil {
+		return nil, errDown
+	}
+	if p.c.tornHit(p.name) {
+		// Simulates a CRC-failed (torn) transfer frame: the decode layer
+		// rejects the whole response, so the caller sees an error and no
+		// entries — never a partial shard. The counter makes the failure
+		// transient (killing a node mid-transfer, then retrying).
+		return nil, errors.New("transfer frame failed checksum")
+	}
+	if fl.Epoch() != epoch {
+		return nil, &EpochMismatchError{Current: fl.Membership()}
+	}
+	return fl.RangeEntries(shard, forNode), nil
 }
 
 type cluster struct {
@@ -158,6 +207,31 @@ type cluster struct {
 	stores map[string]*store.Store
 	fleets map[string]*Fleet
 	down   map[string]bool
+
+	mu   sync.Mutex
+	torn map[string]int // guarded by mu (bootstrap pulls ranges concurrently); remaining TransferRange answers that fail the frame checksum
+}
+
+// setTorn arms (or, with n=0, disarms) torn-frame answers for a peer.
+func (c *cluster) setTorn(name string, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		delete(c.torn, name)
+		return
+	}
+	c.torn[name] = n
+}
+
+// tornHit consumes one torn-frame answer for the peer, if any remain.
+func (c *cluster) tornHit(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.torn[name] > 0 {
+		c.torn[name]--
+		return true
+	}
+	return false
 }
 
 func newCluster(t *testing.T, n, replicas int) *cluster {
@@ -166,6 +240,7 @@ func newCluster(t *testing.T, n, replicas int) *cluster {
 		stores: map[string]*store.Store{},
 		fleets: map[string]*Fleet{},
 		down:   map[string]bool{},
+		torn:   map[string]int{},
 	}
 	for i := 0; i < n; i++ {
 		c.names = append(c.names, fmt.Sprintf("node%d", i))
@@ -179,15 +254,9 @@ func newCluster(t *testing.T, n, replicas int) *cluster {
 		c.stores[name] = st
 	}
 	for i, name := range c.names {
-		peers := map[string]Peer{}
-		for _, other := range c.names {
-			if other != name {
-				peers[other] = loopPeer{c: c, name: other}
-			}
-		}
 		fl, err := New(Config{
 			Self: name, Nodes: c.names, Replicas: replicas,
-			Store: c.stores[name], Peers: peers, Seed: int64(100 + i),
+			Store: c.stores[name], NewPeer: c.newPeer, Seed: int64(100 + i),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -195,6 +264,38 @@ func newCluster(t *testing.T, n, replicas int) *cluster {
 		c.fleets[name] = fl
 	}
 	return c
+}
+
+// newPeer is the cluster's fleet.Config.NewPeer: loopPeers are cheap
+// stateless handles, so members that join after construction resolve
+// the same way as the initial ones.
+func (c *cluster) newPeer(name string) Peer { return loopPeer{c: c, name: name} }
+
+// addNode spins up one more store+fleet joined through via, mirroring
+// `arcsd -join`: propose through an existing member, adopt the
+// resulting membership, register in the cluster.
+func (c *cluster) addNode(t *testing.T, name, via string, replicas int) *Fleet {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	m, err := c.fleets[via].ProposeJoin(context.Background(), name)
+	if err != nil {
+		t.Fatalf("ProposeJoin(%s): %v", name, err)
+	}
+	fl, err := New(Config{
+		Self: name, Nodes: m.Nodes, Epoch: m.Epoch, Replicas: replicas,
+		Store: st, NewPeer: c.newPeer, Seed: int64(100 + len(c.names)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.names = append(c.names, name)
+	c.stores[name] = st
+	c.fleets[name] = fl
+	return fl
 }
 
 // ownersOf returns (primary, all owners) for a key.

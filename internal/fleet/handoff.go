@@ -35,12 +35,12 @@ type hint struct {
 // hintQueue is the bounded per-peer handoff buffer. Entries dedup by
 // canonical key — a queue holds at most one obligation per key, so a
 // hot key cannot evict a cold one — and overflow drops the newcomer
-// (counted; anti-entropy is the backstop that repairs drops).
-// Not self-locking: the Fleet's mutex guards every queue.
+// (the caller counts it in Stats; anti-entropy is the backstop that
+// repairs drops). Not self-locking: the Fleet's mutex guards every
+// queue.
 type hintQueue struct {
-	max     int
-	items   map[string]hint // guarded by mu (the owning Fleet's mutex)
-	dropped uint64          // guarded by mu
+	max   int
+	items map[string]hint // guarded by mu (the owning Fleet's mutex)
 }
 
 func newHintQueue(max int) *hintQueue {
@@ -50,25 +50,27 @@ func newHintQueue(max int) *hintQueue {
 // add records one obligation, deduplicating against what is already
 // queued for the key: a merge hint subsumes anything (the re-resolved
 // entry is authoritative), and of two report hints the better (lower)
-// perf survives.
+// perf survives. Returns false when the queue is full and the
+// obligation was dropped (a dedup that keeps the old hint is not a
+// drop — the peer is still owed the key).
 //
 //arcslint:locked mu
-func (q *hintQueue) add(ck string, h hint) {
+func (q *hintQueue) add(ck string, h hint) bool {
 	if old, ok := q.items[ck]; ok {
 		if old.kind == hintMerge {
-			return // already owed the authoritative entry
+			return true // already owed the authoritative entry
 		}
 		if h.kind == hintReport && h.report.Perf >= old.report.Perf {
-			return
+			return true
 		}
 		q.items[ck] = h
-		return
+		return true
 	}
 	if len(q.items) >= q.max {
-		q.dropped++
-		return
+		return false
 	}
 	q.items[ck] = h
+	return true
 }
 
 // take removes and returns every queued hint in canonical-key order

@@ -198,7 +198,12 @@ func TestFleetLookupForwarding(t *testing.T) {
 	}
 	ts := newTestServer(t, Config{
 		Store: st, Fleet: fl,
-		FleetPeers: map[string]*storeclient.Client{owner.URL: peer},
+		PeerClient: func(name string) *storeclient.Client {
+			if name == owner.URL {
+				return peer
+			}
+			return nil
+		},
 	})
 
 	// Find a key the stub owns.
@@ -254,7 +259,12 @@ func TestFleetHealthAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := newTestServer(t, Config{Store: st, Fleet: fl, FleetPeers: map[string]*storeclient.Client{other: peer}})
+	ts := newTestServer(t, Config{Store: st, Fleet: fl, PeerClient: func(name string) *storeclient.Client {
+		if name == other {
+			return peer
+		}
+		return nil
+	}})
 
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -267,6 +277,9 @@ func TestFleetHealthAndMetrics(t *testing.T) {
 	resp.Body.Close()
 	if hr.Fleet == nil || hr.Fleet.Self != self || len(hr.Fleet.Nodes) != 2 || hr.Fleet.Replicas != 2 {
 		t.Fatalf("healthz fleet section = %+v", hr.Fleet)
+	}
+	if hr.Fleet.Epoch != 1 {
+		t.Fatalf("healthz fleet epoch = %d, want 1", hr.Fleet.Epoch)
 	}
 	if hr.Fleet.OwnedShare <= 0 || hr.Fleet.OwnedShare >= 1 {
 		t.Fatalf("owned share = %v, want within (0,1)", hr.Fleet.OwnedShare)
@@ -284,6 +297,10 @@ func TestFleetHealthAndMetrics(t *testing.T) {
 	for _, series := range []string{
 		"arcsd_fleet_nodes 2", "arcsd_fleet_replicas 2",
 		"arcsd_fleet_handoff_depth 0", "arcsd_fleet_sweeps_total 0",
+		"arcsd_fleet_epoch 1", "arcsd_fleet_hints_dropped_total 0",
+		"arcsd_fleet_peers_suspect 0", "arcsd_fleet_peers_dead 0",
+		"arcsd_fleet_membership_changes_total 0",
+		"arcsd_fleet_transferred_in_total 0", "arcsd_fleet_drained_total 0",
 	} {
 		if !bytes.Contains(buf.Bytes(), []byte(series)) {
 			t.Fatalf("metrics missing %q in:\n%s", series, buf.String())

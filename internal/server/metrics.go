@@ -30,6 +30,10 @@ type metrics struct {
 	merged                   atomic.Uint64
 	fleetLookupFwd           atomic.Uint64
 	neighborsServed          atomic.Uint64
+	membershipApplied        atomic.Uint64
+	drainErrors              atomic.Uint64
+	transferEpochConflicts   atomic.Uint64
+	transferredOut           atomic.Uint64
 
 	mu       sync.Mutex
 	requests map[reqKey]uint64  // guarded by mu
@@ -139,10 +143,26 @@ func (m *metrics) write(w io.Writer, health store.Health, evc evalcache.Stats, f
 	counter("arcsd_fleet_merged_in_total", "Entries accepted from peer replication or anti-entropy.", fl.stats.MergedIn)
 	counter("arcsd_fleet_repairs_total", "Entries pushed to peers by the anti-entropy sweep.", fl.stats.Repairs)
 	counter("arcsd_fleet_sweeps_total", "Completed anti-entropy sweeps.", fl.stats.Sweeps)
-	counter("arcsd_fleet_handoff_dropped_total", "Hints dropped because a handoff queue overflowed.", fl.stats.HandoffDropped)
+	counter("arcsd_fleet_hints_dropped_total", "Hints dropped because a handoff queue overflowed or its peer left.", fl.stats.HandoffDropped)
 	counter("arcsd_fleet_fallbacks_total", "Reports accepted locally because every owner was unreachable.", fl.stats.Fallbacks)
+	counter("arcsd_fleet_membership_changes_total", "Membership epochs adopted since start.", fl.stats.MembershipChanges)
+	counter("arcsd_fleet_membership_applied_total", "Pushed member lists that superseded the local one.", m.membershipApplied.Load())
+	counter("arcsd_fleet_heartbeats_total", "Heartbeat pings sent to peers.", fl.stats.Heartbeats)
+	counter("arcsd_fleet_heartbeat_failures_total", "Heartbeat pings that failed.", fl.stats.HeartbeatFailures)
+	counter("arcsd_fleet_transferred_in_total", "Entries merged from bootstrap range transfers.", fl.stats.TransferredIn)
+	counter("arcsd_fleet_transferred_out_total", "Entries served through /v1/transfer.", m.transferredOut.Load())
+	counter("arcsd_fleet_transfer_retries_total", "Range-transfer attempts that were retried.", fl.stats.TransferRetries)
+	counter("arcsd_fleet_transfer_epoch_conflicts_total", "Transfer requests rejected for naming a stale epoch.", m.transferEpochConflicts.Load())
+	counter("arcsd_fleet_drained_total", "Entries pushed to new owners by a decommission drain.", fl.stats.Drained)
+	counter("arcsd_fleet_drain_errors_total", "Decommission drains that completed partially.", m.drainErrors.Load())
 	fmt.Fprintf(w, "# HELP arcsd_fleet_handoff_depth Hints queued for currently unreachable peers.\n")
 	fmt.Fprintf(w, "# TYPE arcsd_fleet_handoff_depth gauge\narcsd_fleet_handoff_depth %d\n", fl.stats.HandoffDepth)
+	fmt.Fprintf(w, "# HELP arcsd_fleet_epoch Current membership epoch.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_fleet_epoch gauge\narcsd_fleet_epoch %d\n", fl.stats.Epoch)
+	fmt.Fprintf(w, "# HELP arcsd_fleet_peers_suspect Peers the failure detector currently suspects.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_fleet_peers_suspect gauge\narcsd_fleet_peers_suspect %d\n", fl.stats.PeersSuspect)
+	fmt.Fprintf(w, "# HELP arcsd_fleet_peers_dead Peers the failure detector currently declares dead.\n")
+	fmt.Fprintf(w, "# TYPE arcsd_fleet_peers_dead gauge\narcsd_fleet_peers_dead %d\n", fl.stats.PeersDead)
 	fmt.Fprintf(w, "# HELP arcsd_fleet_nodes Fleet membership size.\n")
 	fmt.Fprintf(w, "# TYPE arcsd_fleet_nodes gauge\narcsd_fleet_nodes %d\n", fl.nodes)
 	fmt.Fprintf(w, "# HELP arcsd_fleet_replicas Configured replication factor.\n")

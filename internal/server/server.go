@@ -13,6 +13,11 @@
 //	GET  /v1/dump     full entry set with versions, streamed
 //	GET  /v1/digest?shard=N   per-shard anti-entropy digest
 //	POST /v1/merge    intra-fleet replication of already-versioned entries
+//	GET  /v1/ping     liveness probe answering the current member list
+//	POST /v1/membership   epoch-versioned member-list gossip (fleet only)
+//	POST /v1/join     admin: add a node to the live membership
+//	POST /v1/leave    admin: remove a node (the node itself drains first)
+//	GET  /v1/transfer?shard=N&for=NODE&epoch=E   ring-aware bootstrap stream
 //	GET  /healthz
 //	GET  /metrics     Prometheus text format
 //
@@ -97,10 +102,13 @@ type Config struct {
 	// route through Fleet.Ingest and unowned lookups proxy to their
 	// owners. Nil serves standalone (every key owned locally).
 	Fleet *fleet.Fleet
-	// FleetPeers are per-member lookup clients for proxying /v1/config
-	// to a key's owners (keyed by member name; self may be absent).
-	// Ignored when Fleet is nil.
-	FleetPeers map[string]*storeclient.Client
+	// PeerClient returns the lookup client for one fleet member (nil for
+	// an unknown name), used to proxy /v1/config to a key's owners. A
+	// function rather than a map because membership is live: joins and
+	// leaves change the member set while the server runs, and the
+	// registry behind this callback is what tracks them. Ignored when
+	// Fleet is nil.
+	PeerClient func(name string) *storeclient.Client
 }
 
 // Server is the arcsd HTTP handler.
@@ -115,7 +123,7 @@ type Server struct {
 	met           *metrics
 	evc           *evalcache.Cache // probe memoisation for the default searcher
 	fleet         *fleet.Fleet     // nil when standalone
-	fleetPeers    map[string]*storeclient.Client
+	peerClient    func(string) *storeclient.Client
 
 	sfMu     sync.Mutex
 	inflight map[string]*flight // guarded by sfMu
@@ -150,7 +158,10 @@ func New(cfg Config) *Server {
 		met:           newMetrics(),
 		inflight:      make(map[string]*flight),
 		fleet:         cfg.Fleet,
-		fleetPeers:    cfg.FleetPeers,
+		peerClient:    cfg.PeerClient,
+	}
+	if s.peerClient == nil {
+		s.peerClient = func(string) *storeclient.Client { return nil }
 	}
 	if s.searchTimeout == 0 {
 		s.searchTimeout = DefaultSearchTimeout
@@ -178,6 +189,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/dump", s.instrument("dump", s.handleDump))
 	s.mux.HandleFunc("/v1/digest", s.instrument("digest", s.handleDigest))
 	s.mux.HandleFunc("/v1/merge", s.instrument("merge", s.handleMerge))
+	s.mux.HandleFunc("/v1/ping", s.instrument("ping", s.handlePing))
+	s.mux.HandleFunc("/v1/membership", s.instrument("membership", s.handleMembership))
+	s.mux.HandleFunc("/v1/join", s.instrument("join", s.handleJoin))
+	s.mux.HandleFunc("/v1/leave", s.instrument("leave", s.handleLeave))
+	s.mux.HandleFunc("/v1/transfer", s.instrument("transfer", s.handleTransfer))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -241,7 +257,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	if s.fleet != nil && r.Header.Get(codec.ForwardedHeader) == "" && !s.fleet.OwnsKey(key.String()) {
 		arch := q.Get("arch")
 		for _, owner := range s.fleet.Owners(key.String(), nil) {
-			peer := s.fleetPeers[owner]
+			peer := s.peerClient(owner)
 			if peer == nil {
 				continue
 			}
@@ -735,11 +751,15 @@ type HealthResponse struct {
 // and the live replication counters, so an operator can see from any
 // one node whether replication and anti-entropy are keeping up.
 type FleetHealth struct {
-	Self       string      `json:"self"`
-	Nodes      []string    `json:"nodes"`
-	Replicas   int         `json:"replicas"`
-	OwnedShare float64     `json:"owned_share"`
-	Stats      fleet.Stats `json:"stats"`
+	Self       string   `json:"self"`
+	Epoch      uint64   `json:"epoch"`
+	Nodes      []string `json:"nodes"`
+	Replicas   int      `json:"replicas"`
+	OwnedShare float64  `json:"owned_share"`
+	// Peers maps each peer to its failure-detector state ("alive",
+	// "suspect" or "dead").
+	Peers map[string]string `json:"peers,omitempty"`
+	Stats fleet.Stats       `json:"stats"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -762,9 +782,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.fleet != nil {
 		resp.Fleet = &FleetHealth{
 			Self:       s.fleet.Self(),
-			Nodes:      s.fleet.Ring().Nodes(),
+			Epoch:      s.fleet.Epoch(),
+			Nodes:      s.fleet.Membership().Nodes,
 			Replicas:   s.fleet.Replicas(),
 			OwnedShare: s.fleet.Ring().OwnedShare(s.fleet.Self()),
+			Peers:      s.fleet.Detector().States(),
 			Stats:      s.fleet.Stats(),
 		}
 	}
@@ -791,6 +813,16 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if s.fleet != nil {
+			// Every response advertises the membership epoch, so clients
+			// notice a join/leave from ordinary traffic and refresh their
+			// ring view without polling. Stamped at first write, not here:
+			// a join/leave handler bumps the epoch mid-request and must
+			// advertise the epoch it produced, not the one it started on.
+			sw.beforeWrite = func() {
+				sw.Header().Set(codec.EpochHeader, strconv.FormatUint(s.fleet.Epoch(), 10))
+			}
+		}
 		func() {
 			defer func() {
 				if rec := recover(); rec != nil {
@@ -808,17 +840,25 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 
 type statusWriter struct {
 	http.ResponseWriter
-	code  int
-	wrote bool
+	code        int
+	wrote       bool
+	beforeWrite func() // runs once, before the first header/body write
+}
+
+func (w *statusWriter) start() {
+	if !w.wrote && w.beforeWrite != nil {
+		w.beforeWrite()
+	}
+	w.wrote = true
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
-	w.wrote = true
+	w.start()
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {
-	w.wrote = true
+	w.start()
 	return w.ResponseWriter.Write(p)
 }

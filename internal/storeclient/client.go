@@ -70,6 +70,11 @@ type Client struct {
 	binDown   atomic.Bool
 	batchDown atomic.Bool
 
+	// epochHook observes the fleet membership epoch (codec.EpochHeader)
+	// stamped on responses, letting a fleet-aware caller notice a
+	// membership change and refresh its ring view.
+	epochHook func(epoch uint64)
+
 	// breaker construction parameters, resolved in New after options run.
 	brThreshold int
 	brOpenFor   time.Duration
@@ -132,6 +137,14 @@ func WithBreakerClock(now func() time.Time) Option {
 // back into the client.
 func WithBreakerHook(hook func(from, to string)) Option {
 	return func(c *Client) { c.brHook = hook }
+}
+
+// WithEpochHook observes the fleet membership epoch advertised on every
+// response (codec.EpochHeader). The hook runs on each response carrying
+// the header, with whatever epoch the serving node reported; it must be
+// fast and must not call back into the client.
+func WithEpochHook(hook func(epoch uint64)) Option {
+	return func(c *Client) { c.epochHook = hook }
 }
 
 // WithBinary makes the client negotiate the compact binary wire codec
@@ -425,6 +438,10 @@ type reqSpec struct {
 	forwarded    bool // send codec.ForwardedHeader (intra-fleet routing)
 	out          any  // JSON decode target; nil discards the body
 	onFrame      func(kind byte, payload []byte) error
+	// on409 turns a 409 Conflict body into a typed error (the fleet's
+	// stale-epoch rejection carries the current member list). A nil
+	// return falls through to the generic statusError.
+	on409 func(body []byte) error
 }
 
 // decodedKind reports which decode path doSpec took.
@@ -546,9 +563,21 @@ func (c *Client) attempt(ctx context.Context, spec reqSpec) (decodedKind, error)
 			lastErr = err
 			continue
 		}
+		if c.epochHook != nil {
+			if v := resp.Header.Get(codec.EpochHeader); v != "" {
+				if epoch, perr := strconv.ParseUint(v, 10, 64); perr == nil && epoch > 0 {
+					c.epochHook(epoch)
+				}
+			}
+		}
 		switch {
 		case resp.StatusCode == http.StatusNotFound:
 			return decodedNothing, ErrNotFound
+		case resp.StatusCode == http.StatusConflict && spec.on409 != nil:
+			if cerr := spec.on409(data); cerr != nil {
+				return decodedNothing, cerr
+			}
+			return decodedNothing, &statusError{method: spec.method, path: spec.path, code: resp.StatusCode, msg: firstLine(data)}
 		case resp.StatusCode >= 500, resp.StatusCode == http.StatusTooManyRequests:
 			lastErr = &statusError{method: spec.method, path: spec.path, code: resp.StatusCode, msg: firstLine(data)}
 			if secs, perr := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); perr == nil && secs > 0 {

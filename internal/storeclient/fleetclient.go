@@ -3,8 +3,10 @@ package storeclient
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 
+	"arcs/internal/codec"
 	arcs "arcs/internal/core"
 	"arcs/internal/fleet"
 	"arcs/internal/store"
@@ -22,48 +24,171 @@ import (
 // requirement: every fleet member forwards what it does not own, so a
 // request landing anywhere still finds its key. The ring here just
 // makes the common case one hop.
+//
+// Membership is live: every response carries the serving node's fleet
+// epoch in a header, and when a higher epoch than the client's ring was
+// built from is observed, the next operation first refreshes — pings
+// the members, adopts the highest-epoch member list, and rebuilds the
+// ring — so a join or leave propagates to clients without restarting
+// them.
 type Fleet struct {
+	cur          atomic.Pointer[clientView]
+	replicasWant int      // configured, pre-clamp
+	opts         []Option // per-node client options (epoch hook appended)
+
+	observed  atomic.Uint64 // highest fleet epoch seen in any response
+	refreshMu sync.Mutex    // serialises Refresh (view swaps stay ordered)
+
+	failovers   atomic.Uint64
+	readRepairs atomic.Uint64
+	refreshes   atomic.Uint64
+}
+
+// clientView is one immutable membership snapshot: ring, clamped
+// replica count, sorted node list, and the per-node clients. Operations
+// load it once and run against it; Refresh swaps in a successor.
+type clientView struct {
+	epoch    uint64
 	ring     *fleet.Ring
 	replicas int
 	nodes    []string // sorted membership (ring order)
 	clients  map[string]*Client
-
-	failovers   atomic.Uint64
-	readRepairs atomic.Uint64
 }
 
 // NewFleet builds a fleet client over the full membership (the same
-// node list every arcsd was started with). replicas must match the
-// servers' -replicas or routing will miss owners; opts apply to every
-// per-node client.
+// node list every arcsd was started with — the view self-corrects from
+// response epochs afterwards). replicas must match the servers'
+// -replicas or routing will miss owners; opts apply to every per-node
+// client.
 func NewFleet(nodes []string, replicas int, opts ...Option) (*Fleet, error) {
+	if replicas <= 0 {
+		replicas = fleet.DefaultReplicas
+	}
+	f := &Fleet{replicasWant: replicas, opts: opts}
+	v, err := f.buildView(0, nodes, nil)
+	if err != nil {
+		return nil, err
+	}
+	f.cur.Store(v)
+	return f, nil
+}
+
+// buildView constructs a view over nodes at the given epoch, reusing
+// clients from old where the node persists so connection pools (and
+// their binary-downgrade latches) survive membership changes.
+func (f *Fleet) buildView(epoch uint64, nodes []string, old *clientView) (*clientView, error) {
 	ring, err := fleet.NewRing(nodes, 0)
 	if err != nil {
 		return nil, err
 	}
-	if replicas <= 0 {
-		replicas = fleet.DefaultReplicas
-	}
+	replicas := f.replicasWant
 	if replicas > len(ring.Nodes()) {
 		replicas = len(ring.Nodes())
 	}
-	f := &Fleet{ring: ring, replicas: replicas, nodes: ring.Nodes(), clients: map[string]*Client{}}
-	for _, n := range f.nodes {
-		f.clients[n] = New(n, opts...)
+	v := &clientView{epoch: epoch, ring: ring, replicas: replicas, nodes: ring.Nodes(), clients: map[string]*Client{}}
+	for _, n := range v.nodes {
+		if old != nil {
+			if c := old.clients[n]; c != nil {
+				v.clients[n] = c
+				continue
+			}
+		}
+		opts := make([]Option, 0, len(f.opts)+1)
+		opts = append(opts, f.opts...)
+		opts = append(opts, WithEpochHook(f.observe))
+		v.clients[n] = New(n, opts...)
 	}
-	return f, nil
+	return v, nil
 }
 
-// Nodes returns the sorted membership.
-func (f *Fleet) Nodes() []string { return f.nodes }
+// observe is the per-response epoch hook: it records the highest fleet
+// epoch any member has advertised, which arms maybeRefresh.
+func (f *Fleet) observe(epoch uint64) {
+	for {
+		cur := f.observed.Load()
+		if epoch <= cur || f.observed.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// view returns the current membership snapshot, refreshing it first
+// when a member has advertised a newer epoch than the snapshot was
+// built from. Refresh failures are swallowed — the stale view still
+// routes correctly via server-side forwarding, just with extra hops.
+func (f *Fleet) view(ctx context.Context) *clientView {
+	v := f.cur.Load()
+	if obs := f.observed.Load(); obs > v.epoch {
+		if nv, err := f.Refresh(ctx); err == nil {
+			return nv
+		}
+	}
+	return v
+}
+
+// Refresh pings the current members, adopts the highest-epoch member
+// list any of them returns, and rebuilds the ring and client set from
+// it. Safe to call concurrently; swaps are serialised and never move
+// the view backwards.
+func (f *Fleet) Refresh(ctx context.Context) (*clientView, error) {
+	f.refreshMu.Lock()
+	defer f.refreshMu.Unlock()
+	v := f.cur.Load()
+	armed := f.observed.Load()
+	best := codec.MemberList{Epoch: v.epoch, Nodes: v.nodes}
+	var lastErr error
+	got := false
+	for _, n := range v.nodes {
+		m, err := v.clients[n].Ping(ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return v, err
+			}
+			lastErr = err
+			continue
+		}
+		if m.Epoch == 0 || len(m.Nodes) == 0 {
+			continue // standalone daemon: nothing to adopt
+		}
+		got = true
+		if fleet.MembershipSupersedes(m, best) {
+			best = m
+		}
+	}
+	if !got && lastErr != nil {
+		return v, lastErr
+	}
+	if best.Epoch <= v.epoch {
+		// Nothing newer to adopt: disarm the trigger (unless a still-higher
+		// epoch was observed while we were pinging) so operations stop
+		// re-pinging the fleet on every call.
+		f.observed.CompareAndSwap(armed, v.epoch)
+		return v, nil
+	}
+	nv, err := f.buildView(best.Epoch, best.Nodes, v)
+	if err != nil {
+		return v, err
+	}
+	f.cur.Store(nv)
+	f.refreshes.Add(1)
+	return nv, nil
+}
+
+// Nodes returns the sorted membership of the current view.
+func (f *Fleet) Nodes() []string { return f.cur.Load().nodes }
+
+// Epoch returns the fleet epoch the current view was built from (0
+// until a refresh has adopted a live membership).
+func (f *Fleet) Epoch() uint64 { return f.cur.Load().epoch }
 
 // Client returns the per-node client (nil for a non-member), so callers
 // can address one specific node — health checks, dump comparisons.
-func (f *Fleet) Client(node string) *Client { return f.clients[node] }
+func (f *Fleet) Client(node string) *Client { return f.cur.Load().clients[node] }
 
 // Owners returns the owner list (primary first) for a key.
 func (f *Fleet) Owners(k arcs.HistoryKey) []string {
-	return f.ring.Owners(k.String(), f.replicas, nil)
+	v := f.cur.Load()
+	return v.ring.Owners(k.String(), v.replicas, nil)
 }
 
 // Failovers reports how many times a request had to skip past a failed
@@ -74,13 +199,17 @@ func (f *Fleet) Failovers() uint64 { return f.failovers.Load() }
 // owners that were missing them or held a stale version.
 func (f *Fleet) ReadRepairs() uint64 { return f.readRepairs.Load() }
 
+// Refreshes reports how many times the client rebuilt its view from a
+// newer fleet epoch.
+func (f *Fleet) Refreshes() uint64 { return f.refreshes.Load() }
+
 // route appends the key's owners followed by the remaining members —
-// the full failover order for one key.
-func (f *Fleet) route(k arcs.HistoryKey) []string {
-	order := f.ring.Owners(k.String(), f.replicas, make([]string, 0, len(f.nodes)))
-	for _, n := range f.nodes {
+// the full failover order for one key under the given view.
+func (v *clientView) route(k arcs.HistoryKey) []string {
+	order := v.ring.Owners(k.String(), v.replicas, make([]string, 0, len(v.nodes)))
+	for _, n := range v.nodes {
 		owned := false
-		for _, o := range order[:f.replicas] {
+		for _, o := range order[:v.replicas] {
 			if o == n {
 				owned = true
 				break
@@ -99,10 +228,11 @@ func (f *Fleet) route(k arcs.HistoryKey) []string {
 // entry outranks a primary that answered "nothing yet" (fresh restart,
 // replication in flight). Transport failures count as failovers.
 func (f *Fleet) Lookup(ctx context.Context, k arcs.HistoryKey, opts LookupOpts) (Result, error) {
+	v := f.view(ctx)
 	var lastErr error
 	notFound := false
-	for i, node := range f.route(k) {
-		res, err := f.clients[node].Lookup(ctx, k, opts)
+	for i, node := range v.route(k) {
+		res, err := v.clients[node].Lookup(ctx, k, opts)
 		if err == nil {
 			return res, nil
 		}
@@ -113,7 +243,7 @@ func (f *Fleet) Lookup(ctx context.Context, k arcs.HistoryKey, opts LookupOpts) 
 			notFound = true
 		} else {
 			lastErr = err
-			if i+1 < len(f.nodes) {
+			if i+1 < len(v.nodes) {
 				f.failovers.Add(1)
 			}
 		}
@@ -144,14 +274,15 @@ func (f *Fleet) Lookup(ctx context.Context, k arcs.HistoryKey, opts LookupOpts) 
 // Returns ErrNotFound only when no owner has anything; a transport error
 // is returned only when every owner failed.
 func (f *Fleet) LookupMerged(ctx context.Context, k arcs.HistoryKey, opts LookupOpts) (Result, error) {
-	owners := f.Owners(k)
+	v := f.view(ctx)
+	owners := v.ring.Owners(k.String(), v.replicas, nil)
 	var best Result
 	found := false
 	var lastErr error
 	results := make(map[string]Result, len(owners))
 	missing := make(map[string]bool, len(owners))
 	for _, node := range owners {
-		res, err := f.clients[node].Lookup(ctx, k, opts)
+		res, err := v.clients[node].Lookup(ctx, k, opts)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return Result{}, err
@@ -176,7 +307,7 @@ func (f *Fleet) LookupMerged(ctx context.Context, k arcs.HistoryKey, opts Lookup
 		return Result{}, ErrNotFound
 	}
 	if best.Source != "fallback" {
-		f.readRepair(ctx, k, best, owners, results, missing)
+		f.readRepair(ctx, v, k, best, owners, results, missing)
 	}
 	return best, nil
 }
@@ -217,7 +348,7 @@ func betterResult(a, b Result) bool {
 // the read path closes the gap without waiting for the next anti-entropy
 // sweep. The push carries the winner's own version, so the receiver's
 // Supersedes check makes re-pushing (or racing a newer write) harmless.
-func (f *Fleet) readRepair(ctx context.Context, k arcs.HistoryKey, best Result, owners []string, results map[string]Result, missing map[string]bool) {
+func (f *Fleet) readRepair(ctx context.Context, v *clientView, k arcs.HistoryKey, best Result, owners []string, results map[string]Result, missing map[string]bool) {
 	entry := store.Entry{Key: k, Cfg: best.Config, Perf: best.Perf, Version: best.Version}
 	for _, node := range owners {
 		res, answered := results[node]
@@ -226,7 +357,7 @@ func (f *Fleet) readRepair(ctx context.Context, k arcs.HistoryKey, best Result, 
 		if !stale {
 			continue
 		}
-		if err := f.clients[node].MergeEntries(ctx, []store.Entry{entry}); err == nil {
+		if err := v.clients[node].MergeEntries(ctx, []store.Entry{entry}); err == nil {
 			f.readRepairs.Add(1)
 		}
 	}
@@ -241,11 +372,12 @@ func (f *Fleet) Neighbors(ctx context.Context, k arcs.HistoryKey, max int) ([]ar
 	if max <= 0 {
 		return nil, nil
 	}
+	v := f.view(ctx)
 	byKey := make(map[string]arcs.Neighbor)
 	var lastErr error
 	answered := false
-	for _, node := range f.nodes {
-		ns, err := f.clients[node].Neighbors(ctx, k, max)
+	for _, node := range v.nodes {
+		ns, err := v.clients[node].Neighbors(ctx, k, max)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return nil, err
@@ -283,9 +415,10 @@ func (f *Fleet) Neighbors(ctx context.Context, k arcs.HistoryKey, max int) ([]ar
 // any other member (which forwards or accepts-and-hints). An ack from
 // any node means the fleet has taken responsibility for the record.
 func (f *Fleet) Report(ctx context.Context, k arcs.HistoryKey, cfg arcs.ConfigValues, perf float64) error {
+	v := f.view(ctx)
 	var lastErr error
-	for i, node := range f.route(k) {
-		err := f.clients[node].Report(ctx, k, cfg, perf)
+	for i, node := range v.route(k) {
+		err := v.clients[node].Report(ctx, k, cfg, perf)
 		if err == nil {
 			return nil
 		}
@@ -293,7 +426,7 @@ func (f *Fleet) Report(ctx context.Context, k arcs.HistoryKey, cfg arcs.ConfigVa
 			return err
 		}
 		lastErr = err
-		if i+1 < len(f.nodes) {
+		if i+1 < len(v.nodes) {
 			f.failovers.Add(1)
 		}
 	}
@@ -307,21 +440,22 @@ func (f *Fleet) ReportBatch(ctx context.Context, reports []Report) error {
 	if len(reports) == 0 {
 		return nil
 	}
+	v := f.view(ctx)
 	groups := make(map[string][]Report)
 	for _, r := range reports {
-		p := f.ring.Owners(r.Key.String(), 1, nil)[0]
+		p := v.ring.Owners(r.Key.String(), 1, nil)[0]
 		groups[p] = append(groups[p], r)
 	}
 	var firstErr error
-	for _, primary := range f.nodes { // deterministic group order
+	for _, primary := range v.nodes { // deterministic group order
 		batch := groups[primary]
 		if len(batch) == 0 {
 			continue
 		}
 		var lastErr error
 		sent := false
-		for i, node := range f.route(batch[0].Key) {
-			err := f.clients[node].ReportBatch(ctx, batch)
+		for i, node := range v.route(batch[0].Key) {
+			err := v.clients[node].ReportBatch(ctx, batch)
 			if err == nil {
 				sent = true
 				break
@@ -330,7 +464,7 @@ func (f *Fleet) ReportBatch(ctx context.Context, reports []Report) error {
 				return err
 			}
 			lastErr = err
-			if i+1 < len(f.nodes) {
+			if i+1 < len(v.nodes) {
 				f.failovers.Add(1)
 			}
 		}

@@ -2,11 +2,14 @@ package storeclient_test
 
 import (
 	"context"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
 	arcs "arcs/internal/core"
+	"arcs/internal/fleet"
 	"arcs/internal/server"
 	"arcs/internal/store"
 	. "arcs/internal/storeclient"
@@ -53,6 +56,99 @@ func newFleetNodes(t *testing.T, n int) (*Fleet, []*store.Store) {
 		ordered[i] = byURL[u]
 	}
 	return f, ordered
+}
+
+// liveMember is one real fleet-member daemon stack for the live-epoch
+// tests: store, fleet, HTTP server on a pre-bound listener.
+func startLiveMember(t *testing.T, ln net.Listener, self string, nodes []string, epoch uint64) *fleet.Fleet {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	newPeer := func(name string) fleet.Peer {
+		return New(name, WithRetries(0), WithHTTPClient(&http.Client{Timeout: 2 * time.Second}))
+	}
+	fl, err := fleet.New(fleet.Config{
+		Self: self, Nodes: nodes, Epoch: epoch, Replicas: 2, Store: st, NewPeer: newPeer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: server.New(server.Config{Store: st, Fleet: fl})}
+	go func() { _ = hs.Serve(ln) }()
+	t.Cleanup(func() { _ = hs.Close() })
+	return fl
+}
+
+// TestFleetClientAdoptsNewEpoch: every response advertises the serving
+// node's membership epoch; when the fleet grows behind the client's
+// back, the next operation observes the higher epoch, refreshes, and
+// routes over the grown membership — no client restart.
+func TestFleetClientAdoptsNewEpoch(t *testing.T) {
+	const n = 3
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	fleets := make([]*fleet.Fleet, n)
+	for i := range urls {
+		fleets[i] = startLiveMember(t, lns[i], urls[i], urls, 1)
+	}
+
+	f, err := NewFleet(urls, 2, WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	k := arcs.HistoryKey{App: "SP", Workload: "B", CapW: 70, Region: "live"}
+	if err := f.Report(ctx, k, arcs.ConfigValues{Threads: 8}, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	// The first response armed the observer; the next operation adopts.
+	if _, err := f.Lookup(ctx, k, LookupOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Epoch() != 1 {
+		t.Fatalf("client epoch %d after first ops, want adopted 1", f.Epoch())
+	}
+
+	// Grow the fleet through the admin endpoint, then bring the joiner up.
+	ln4, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url4 := "http://" + ln4.Addr().String()
+	m, err := f.Client(urls[0]).Join(ctx, url4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 2 {
+		t.Fatalf("join answered epoch %d, want 2", m.Epoch)
+	}
+	startLiveMember(t, ln4, url4, m.Nodes, m.Epoch)
+
+	// The join response already carried the new epoch header; the next
+	// operation refreshes and the view includes the newcomer.
+	if err := f.Report(ctx, k, arcs.ConfigValues{Threads: 16}, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if f.Epoch() != 2 || len(f.Nodes()) != 4 {
+		t.Fatalf("client view = epoch %d nodes %v, want epoch 2 with 4 nodes", f.Epoch(), f.Nodes())
+	}
+	if f.Refreshes() == 0 {
+		t.Fatal("refresh counter never moved")
+	}
+	if f.Client(url4) == nil {
+		t.Fatal("no client for the joined node")
+	}
 }
 
 // TestFleetReadRepair: LookupMerged pushes the winning entry back to

@@ -1,19 +1,22 @@
 package storeclient
 
-// Intra-fleet peer RPCs. These three methods make *Client satisfy
-// fleet.Peer (structurally — fleet defines the interface, this package
-// implements it; the dependency runs storeclient→fleet, never back).
-// Fleet members run the same build, so unlike the public report path
-// there is no permanent downgrade latch: a binary body rejection falls
-// back to JSON per call, which only ever matters mid-rolling-upgrade.
+// Intra-fleet peer RPCs. These methods make *Client satisfy fleet.Peer
+// (structurally — fleet defines the interface, this package implements
+// it; the dependency runs storeclient→fleet, never back). Fleet
+// members run the same build, so unlike the public report path there
+// is no permanent downgrade latch: a binary body rejection falls back
+// to JSON per call, which only ever matters mid-rolling-upgrade.
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 
 	"arcs/internal/codec"
+	"arcs/internal/fleet"
 	"arcs/internal/store"
 )
 
@@ -97,4 +100,144 @@ func (c *Client) ShardDigest(ctx context.Context, shard int) (codec.Digest, erro
 		return codec.Digest{}, err
 	}
 	return res, nil
+}
+
+// membershipResponse is the JSON body of the membership endpoints
+// (/v1/ping, /v1/membership, /v1/join, /v1/leave): the serving node's
+// current member list, plus what the call did to it.
+type membershipResponse struct {
+	Applied bool     `json:"applied,omitempty"`
+	Epoch   uint64   `json:"epoch"`
+	Nodes   []string `json:"nodes"`
+	Drained int      `json:"drained,omitempty"`
+}
+
+func (m *membershipResponse) memberList() codec.MemberList {
+	return codec.MemberList{Epoch: m.Epoch, Nodes: m.Nodes}
+}
+
+// Ping probes liveness (GET /v1/ping) and returns the peer's current
+// member list — one round trip serves as both the heartbeat and the
+// epoch-gossip channel. A standalone (fleetless) daemon answers with
+// epoch 0 and no nodes.
+func (c *Client) Ping(ctx context.Context) (codec.MemberList, error) {
+	var out membershipResponse
+	spec := reqSpec{method: http.MethodGet, path: "/v1/ping", out: &out}
+	if _, err := c.doSpec(ctx, spec); err != nil {
+		return codec.MemberList{}, err
+	}
+	return out.memberList(), nil
+}
+
+// PushMembership offers the peer an epoch-versioned member list (POST
+// /v1/membership) and returns the list the peer holds afterwards: m
+// itself when it superseded, or the peer's (newer) list when the push
+// lost the epoch race — which is how a proposer learns it must adopt
+// and retry. The binary body is one KindMemberList frame; a JSON body
+// is the fallback per call.
+func (c *Client) PushMembership(ctx context.Context, m codec.MemberList) (codec.MemberList, error) {
+	var out membershipResponse
+	if c.binary && !c.binDown.Load() {
+		eb := encPool.Get().(*encBuf)
+		eb.buf = eb.enc.AppendMemberList(eb.buf[:0], &m)
+		_, err := c.doSpec(ctx, reqSpec{
+			method: http.MethodPost, path: "/v1/membership",
+			body: eb.buf, binaryBody: true, out: &out,
+		})
+		encPool.Put(eb)
+		if !binaryRejected(err) {
+			if err != nil {
+				return codec.MemberList{}, err
+			}
+			return out.memberList(), nil
+		}
+	}
+	spec := reqSpec{method: http.MethodPost, path: "/v1/membership", out: &out}
+	if err := c.doJSONSpec(ctx, spec, m); err != nil {
+		return codec.MemberList{}, err
+	}
+	return out.memberList(), nil
+}
+
+// TransferRange pulls one store shard's entries owned by forNode under
+// the given epoch's ring (GET /v1/transfer) — the bootstrap stream. A
+// server on a different epoch rejects with 409 and its current member
+// list, surfaced as *fleet.EpochMismatchError so the caller adopts the
+// list and retries under the corrected ring. The binary response is
+// one CRC-framed KindRangeTransfer: a transfer torn mid-body fails the
+// frame checksum as a unit, so the caller can never merge half a
+// shard.
+func (c *Client) TransferRange(ctx context.Context, shard int, forNode string, epoch uint64) ([]store.Entry, error) {
+	q := "shard=" + strconv.Itoa(shard) + "&for=" + url.QueryEscape(forNode) + "&epoch=" + strconv.FormatUint(epoch, 10)
+	var outJSON struct {
+		Epoch   uint64        `json:"epoch"`
+		Shard   uint64        `json:"shard"`
+		Entries []store.Entry `json:"entries"`
+	}
+	var entries []store.Entry
+	decodedBin := false
+	spec := reqSpec{
+		method: http.MethodGet,
+		path:   "/v1/transfer?" + q,
+		out:    &outJSON,
+		on409: func(body []byte) error {
+			var cur membershipResponse
+			if jerr := json.Unmarshal(body, &cur); jerr != nil || cur.Epoch == 0 {
+				return nil // not a membership payload; generic statusError
+			}
+			return &fleet.EpochMismatchError{Current: cur.memberList()}
+		},
+	}
+	if c.binary {
+		spec.acceptBinary = true
+		spec.onFrame = func(kind byte, payload []byte) error {
+			if kind != codec.KindRangeTransfer {
+				return fmt.Errorf("storeclient: unexpected frame kind %#x for transfer", kind)
+			}
+			dec := decPool.Get().(*codec.Decoder)
+			defer decPool.Put(dec)
+			t, err := dec.DecodeRangeTransfer(payload)
+			if err != nil {
+				return fmt.Errorf("storeclient: decode range transfer: %w", err)
+			}
+			entries = make([]store.Entry, len(t.Entries))
+			for i, e := range t.Entries {
+				entries[i] = store.Entry(e)
+			}
+			decodedBin = true
+			return nil
+		}
+	}
+	if _, err := c.doSpec(ctx, spec); err != nil {
+		return nil, err
+	}
+	if decodedBin {
+		return entries, nil
+	}
+	return outJSON.Entries, nil
+}
+
+// Join asks the member at this client's base URL to coordinate adding
+// node to the fleet (POST /v1/join), returning the membership that
+// resulted.
+func (c *Client) Join(ctx context.Context, node string) (codec.MemberList, error) {
+	var out membershipResponse
+	spec := reqSpec{method: http.MethodPost, path: "/v1/join", out: &out}
+	if err := c.doJSONSpec(ctx, spec, map[string]string{"node": node}); err != nil {
+		return codec.MemberList{}, err
+	}
+	return out.memberList(), nil
+}
+
+// Leave asks the member at this client's base URL to coordinate
+// removing node from the fleet (POST /v1/leave). Removing the serving
+// node itself makes it drain its entries to the new owners before
+// acknowledging. Returns the membership that resulted.
+func (c *Client) Leave(ctx context.Context, node string) (codec.MemberList, error) {
+	var out membershipResponse
+	spec := reqSpec{method: http.MethodPost, path: "/v1/leave", out: &out}
+	if err := c.doJSONSpec(ctx, spec, map[string]string{"node": node}); err != nil {
+		return codec.MemberList{}, err
+	}
+	return out.memberList(), nil
 }
